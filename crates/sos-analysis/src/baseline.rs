@@ -1,0 +1,327 @@
+//! Baselines: the *original* SOS architecture of Keromytis, Misra &
+//! Rubenstein (SIGCOMM 2002).
+//!
+//! Two variants are modelled:
+//!
+//! * [`OriginalSosAnalysis`] — the fixed 3-layer (SOAP → beacon →
+//!   servlet), one-to-all architecture analysed in the original paper
+//!   under random congestion attacks. Expressed as a special case of the
+//!   generalized model, which is exactly the ICDCS paper's point: the
+//!   original design is one point in a larger design space.
+//! * [`MultiRoleAnalysis`] — the original paper additionally assumed one
+//!   physical node may simultaneously serve several layers. The ICDCS
+//!   paper argues this is dangerous under break-in attacks (one broken
+//!   node discloses the membership of several layers at once); this type
+//!   quantifies that argument with a simple two-regime model.
+
+use crate::one_burst::{OneBurstAnalysis, OneBurstReport};
+use sos_core::{
+    AttackBudget, ConfigError, MappingDegree, PathEvaluator, Probability, Scenario,
+    SystemParams,
+};
+
+/// Number of layers in the original SOS architecture.
+pub const ORIGINAL_SOS_LAYERS: usize = 3;
+
+/// The original SOS architecture: 3 layers, one-to-all mapping.
+///
+/// # Example
+///
+/// ```
+/// use sos_analysis::OriginalSosAnalysis;
+/// use sos_core::{PathEvaluator, SystemParams};
+///
+/// let baseline = OriginalSosAnalysis::new(SystemParams::paper_default(), 10)?;
+/// // Random congestion attack of 2000 nodes (original paper's model).
+/// let report = baseline.under_random_congestion(2_000)?;
+/// let ps = report.success_probability(PathEvaluator::Binomial);
+/// assert!(ps.value() > 0.9); // one-to-all shrugs off random congestion
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OriginalSosAnalysis {
+    scenario: Scenario,
+}
+
+impl OriginalSosAnalysis {
+    /// Creates the baseline with SOS nodes split evenly over the three
+    /// roles (SOAPs, beacons, secret servlets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors (e.g. too few SOS nodes for three
+    /// layers).
+    pub fn new(system: SystemParams, filters: u64) -> Result<Self, ConfigError> {
+        let scenario = Scenario::builder()
+            .system(system)
+            .layers(ORIGINAL_SOS_LAYERS)
+            .mapping(MappingDegree::OneToAll)
+            .filters(filters)
+            .build()?;
+        Ok(OriginalSosAnalysis { scenario })
+    }
+
+    /// Creates the baseline with explicit role sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors, including a mismatch between role
+    /// sizes and `system.sos_nodes()`.
+    pub fn with_role_sizes(
+        system: SystemParams,
+        soaps: u64,
+        beacons: u64,
+        servlets: u64,
+        filters: u64,
+    ) -> Result<Self, ConfigError> {
+        let scenario = Scenario::builder()
+            .system(system)
+            .layer_sizes(vec![soaps, beacons, servlets])
+            .mapping(MappingDegree::OneToAll)
+            .filters(filters)
+            .build()?;
+        Ok(OriginalSosAnalysis { scenario })
+    }
+
+    /// The underlying 3-layer scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Evaluates the baseline under the original paper's attack model:
+    /// purely random congestion of `congested_nodes` overlay nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidAttack`] when the budget exceeds the
+    /// overlay population.
+    pub fn under_random_congestion(
+        &self,
+        congested_nodes: u64,
+    ) -> Result<OneBurstReport, ConfigError> {
+        Ok(OneBurstAnalysis::new(
+            &self.scenario,
+            AttackBudget::congestion_only(congested_nodes),
+        )?
+        .run())
+    }
+
+    /// Evaluates the baseline under the ICDCS paper's intelligent
+    /// one-burst attack — the configuration in which the original
+    /// architecture collapses (one-to-all discloses everything).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidAttack`] when a budget exceeds the
+    /// overlay population.
+    pub fn under_intelligent_attack(
+        &self,
+        budget: AttackBudget,
+    ) -> Result<OneBurstReport, ConfigError> {
+        Ok(OneBurstAnalysis::new(&self.scenario, budget)?.run())
+    }
+}
+
+/// The multi-role variant: every SOS node simultaneously serves all three
+/// roles and (per one-to-all) knows every other SOS node and every filter.
+///
+/// Model: a single break-in anywhere discloses the entire membership, so
+/// the system has exactly two regimes —
+///
+/// * with probability `q = 1 − (1 − P_B · n/N)^{N_T}` at least one
+///   break-in succeeds: the attacker congests all filters first, then as
+///   many disclosed SOS nodes as the remaining budget allows;
+/// * otherwise the attack degenerates to random congestion over a single
+///   logical layer of `n` one-to-all nodes.
+///
+/// `P_S = q · P_S(disclosed) + (1 − q) · P_S(random)`.
+#[derive(Debug, Clone)]
+pub struct MultiRoleAnalysis {
+    system: SystemParams,
+    filters: u64,
+}
+
+impl MultiRoleAnalysis {
+    /// Creates the multi-role baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroCount`] when `filters == 0`.
+    pub fn new(system: SystemParams, filters: u64) -> Result<Self, ConfigError> {
+        if filters == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "filter_count",
+            });
+        }
+        Ok(MultiRoleAnalysis { system, filters })
+    }
+
+    /// Probability at least one break-in succeeds during `N_T` uniform
+    /// trials.
+    pub fn disclosure_probability(&self, break_in_trials: u64) -> Probability {
+        let per_trial = self.system.break_in_probability().value()
+            * self.system.sos_nodes() as f64
+            / self.system.overlay_nodes() as f64;
+        Probability::clamped(1.0 - (1.0 - per_trial).powf(break_in_trials as f64))
+    }
+
+    /// End-to-end `P_S` under the two-regime model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidAttack`] when a budget exceeds the
+    /// overlay population.
+    pub fn success_probability(
+        &self,
+        budget: AttackBudget,
+        evaluator: PathEvaluator,
+    ) -> Result<Probability, ConfigError> {
+        let big_n = self.system.overlay_nodes();
+        if budget.break_in_trials > big_n || budget.congestion_capacity > big_n {
+            return Err(ConfigError::InvalidAttack {
+                reason: "budget exceeds overlay population".to_string(),
+            });
+        }
+        let n = self.system.sos_nodes() as f64;
+        let n_f = self.filters as f64;
+        let p_b = self.system.break_in_probability().value();
+        let q = self.disclosure_probability(budget.break_in_trials).value();
+
+        // Disclosed regime: filters die first, then SOS nodes.
+        let broken = p_b * n / big_n as f64 * budget.break_in_trials as f64;
+        let budget_c = budget.congestion_capacity as f64;
+        let ps_disclosed = if budget_c >= n_f {
+            // All filters congested ⇒ no path regardless of the overlay.
+            0.0
+        } else {
+            // Partially congested filter ring; SOS layer untouched
+            // (attacker prefers filters — closest to the target).
+            let good_filters = n_f - budget_c;
+            let _ = good_filters;
+            evaluator.layer_success(self.filters, budget_c, n_f)
+        };
+
+        // Random regime: one logical one-to-all layer of n nodes plus a
+        // clean filter ring.
+        let congested_random = budget_c * n / big_n as f64;
+        let ps_random = evaluator.layer_success(
+            self.system.sos_nodes(),
+            congested_random.min(n - broken.min(n)),
+            n,
+        );
+
+        Ok(Probability::clamped(
+            q * ps_disclosed + (1.0 - q) * ps_random,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_sos_resists_random_congestion() {
+        let baseline =
+            OriginalSosAnalysis::new(SystemParams::paper_default(), 10).unwrap();
+        let report = baseline.under_random_congestion(2_000).unwrap();
+        // One-to-all mapping: binomial evaluator gives (0.2)^33-ish per
+        // layer failure — essentially zero.
+        let ps = report.success_probability(PathEvaluator::Binomial);
+        assert!(ps.value() > 0.99, "P_S = {}", ps.value());
+        // The paper-faithful hypergeometric evaluator saturates at 1.
+        let ps_h = report.success_probability(PathEvaluator::Hypergeometric);
+        assert_eq!(ps_h.value(), 1.0);
+    }
+
+    #[test]
+    fn original_sos_collapses_under_break_in() {
+        let baseline =
+            OriginalSosAnalysis::new(SystemParams::paper_default(), 10).unwrap();
+        let report = baseline
+            .under_intelligent_attack(AttackBudget::new(2_000, 2_000))
+            .unwrap();
+        let ps = report.success_probability(PathEvaluator::Binomial);
+        assert!(ps.value() < 0.01, "P_S = {}", ps.value());
+    }
+
+    #[test]
+    fn with_role_sizes_validates_total() {
+        let err = OriginalSosAnalysis::with_role_sizes(
+            SystemParams::paper_default(),
+            10,
+            10,
+            10,
+            10,
+        );
+        assert!(err.is_err(), "30 ≠ 100 SOS nodes must be rejected");
+        let ok = OriginalSosAnalysis::with_role_sizes(
+            SystemParams::paper_default(),
+            40,
+            30,
+            30,
+            10,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn multi_role_disclosure_probability() {
+        let mr = MultiRoleAnalysis::new(SystemParams::paper_default(), 10).unwrap();
+        assert_eq!(mr.disclosure_probability(0).value(), 0.0);
+        // Per-trial success = 0.5 * 100/10000 = 0.005;
+        // q(200) = 1 - 0.995^200 ≈ 0.633.
+        let q = mr.disclosure_probability(200).value();
+        assert!((q - 0.6330).abs() < 1e-3, "q = {q}");
+        // Monotone in N_T.
+        assert!(mr.disclosure_probability(2_000).value() > q);
+    }
+
+    #[test]
+    fn multi_role_collapses_under_break_in() {
+        // The paper's qualitative claim: allowing multi-role nodes is
+        // "very dangerous" under break-in attacks. With the paper's
+        // default budget the disclosure regime (q ≈ 0.63) is a total
+        // loss, so P_S drops to the surviving-regime mass ≈ 1 − q.
+        let system = SystemParams::paper_default();
+        let mr = MultiRoleAnalysis::new(system, 10).unwrap();
+        let safe = mr
+            .success_probability(AttackBudget::congestion_only(2_000), PathEvaluator::Binomial)
+            .unwrap()
+            .value();
+        let attacked = mr
+            .success_probability(AttackBudget::new(200, 2_000), PathEvaluator::Binomial)
+            .unwrap()
+            .value();
+        assert!(safe > 0.99);
+        assert!(attacked < 0.4, "multi-role should collapse: {attacked}");
+        let expected = 1.0 - mr.disclosure_probability(200).value();
+        assert!(
+            (attacked - expected).abs() < 0.01,
+            "attacked {attacked} vs surviving regime {expected}"
+        );
+        // And it keeps collapsing as N_T grows.
+        let heavy = mr
+            .success_probability(AttackBudget::new(2_000, 2_000), PathEvaluator::Binomial)
+            .unwrap()
+            .value();
+        assert!(heavy < 0.01, "heavy break-in should annihilate: {heavy}");
+    }
+
+    #[test]
+    fn multi_role_without_break_in_is_safe() {
+        let mr = MultiRoleAnalysis::new(SystemParams::paper_default(), 10).unwrap();
+        let ps = mr
+            .success_probability(AttackBudget::congestion_only(2_000), PathEvaluator::Binomial)
+            .unwrap();
+        assert!(ps.value() > 0.99);
+    }
+
+    #[test]
+    fn multi_role_rejects_bad_budget() {
+        let mr = MultiRoleAnalysis::new(SystemParams::paper_default(), 10).unwrap();
+        assert!(mr
+            .success_probability(AttackBudget::new(20_000, 0), PathEvaluator::Binomial)
+            .is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Exact (distribution-level) analysis of pure random congestion.
+//!
+//! The paper's average-case model plugs the *mean* number of bad nodes
+//! `s_i` into `P(n_i, s_i, m_i)` and, for high mapping degrees, gets
+//! `P_S ≡ 1` whenever `s_i < m_i` (see `DESIGN.md` §1). The actual
+//! quantity of interest is an expectation over the *distribution* of
+//! bad-node counts: under a random congestion attack of `N_C` nodes out
+//! of `N`, the number of congested SOS nodes in layer `i` is
+//! hypergeometric, `S_i ~ Hyp(N, n_i, N_C)`, and
+//!
+//! ```text
+//! P_i = E[ 1 − C(S_i, m_i) / C(n_i, m_i) ]
+//!     = Σ_k  Pr{S_i = k} · (1 − C(k, m_i)/C(n_i, m_i)).
+//! ```
+//!
+//! This module computes that sum exactly (per layer, multiplying across
+//! layers — the layers' counts are weakly negatively correlated through
+//! the shared budget, an `O(n/N)` effect that the cross-validation tests
+//! bound). It is exact only for the **pure congestion** attack
+//! (`N_T = 0`, the Fig. 4(a) setting, and the attack model of the
+//! original SOS paper); break-in attacks need the average-case model or
+//! the simulator.
+
+use sos_core::{AttackBudget, ConfigError, Probability, Scenario};
+use sos_math::HypergeometricDist;
+
+/// Exact pure-congestion analysis (see module docs).
+#[derive(Debug, Clone)]
+pub struct ExactCongestionAnalysis {
+    scenario: Scenario,
+    congestion: u64,
+}
+
+impl ExactCongestionAnalysis {
+    /// Creates the analysis for a random congestion attack of
+    /// `congestion` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidAttack`] when the budget exceeds
+    /// the overlay population.
+    pub fn new(scenario: &Scenario, congestion: u64) -> Result<Self, ConfigError> {
+        let n = scenario.system().overlay_nodes();
+        if congestion > n {
+            return Err(ConfigError::InvalidAttack {
+                reason: format!("N_C = {congestion} exceeds the overlay population N = {n}"),
+            });
+        }
+        Ok(ExactCongestionAnalysis {
+            scenario: scenario.clone(),
+            congestion,
+        })
+    }
+
+    /// Exact per-boundary success probability
+    /// `P_i = E[1 − C(S_i, m_i)/C(n_i, m_i)]`.
+    ///
+    /// The filter boundary always returns 1 (filters are congested only
+    /// upon disclosure, which pure congestion cannot cause).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary` is out of `1..=L+1`.
+    pub fn layer_success(&self, boundary: usize) -> f64 {
+        let topo = self.scenario.topology();
+        let l = topo.layer_count();
+        assert!(
+            (1..=l + 1).contains(&boundary),
+            "boundary {boundary} out of range"
+        );
+        if boundary == l + 1 {
+            return 1.0;
+        }
+        let n_i = topo.size_of_layer(boundary);
+        let m_i = (topo.degree(boundary).round() as u64).clamp(1, n_i);
+        let dist = HypergeometricDist::new(
+            self.scenario.system().overlay_nodes(),
+            n_i,
+            self.congestion,
+        )
+        .expect("validated at construction");
+        let mut expect_failure = 0.0;
+        for k in dist.min_k()..=dist.max_k() {
+            if k < m_i {
+                continue; // C(k, m) = 0
+            }
+            // C(k, m)/C(n_i, m) via the exact hypergeometric helper.
+            let all_bad = sos_math::hypergeom::all_specific_in_sample(
+                n_i as f64,
+                k as f64,
+                m_i,
+            );
+            expect_failure += dist.pmf(k) * all_bad;
+        }
+        (1.0 - expect_failure).clamp(0.0, 1.0)
+    }
+
+    /// Exact end-to-end `P_S` (product over boundaries; layer counts
+    /// treated as independent — see module docs for the correlation
+    /// caveat).
+    pub fn success_probability(&self) -> Probability {
+        let l = self.scenario.topology().layer_count();
+        let mut ps = 1.0;
+        for boundary in 1..=l + 1 {
+            ps *= self.layer_success(boundary);
+        }
+        Probability::clamped(ps)
+    }
+
+    /// The congestion budget.
+    pub fn congestion(&self) -> u64 {
+        self.congestion
+    }
+}
+
+/// Convenience: exact `P_S` for a budget that must be congestion-only.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidAttack`] if the budget contains
+/// break-in trials (the exact analysis does not model break-ins) or
+/// exceeds the overlay.
+pub fn exact_ps(scenario: &Scenario, budget: AttackBudget) -> Result<Probability, ConfigError> {
+    if budget.break_in_trials > 0 {
+        return Err(ConfigError::InvalidAttack {
+            reason: format!(
+                "exact analysis handles pure congestion only (N_T = {} given)",
+                budget.break_in_trials
+            ),
+        });
+    }
+    Ok(ExactCongestionAnalysis::new(scenario, budget.congestion_capacity)?
+        .success_probability())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_burst::OneBurstAnalysis;
+    use sos_core::{MappingDegree, PathEvaluator, SystemParams};
+
+    fn scenario(layers: usize, mapping: MappingDegree) -> Scenario {
+        Scenario::builder()
+            .system(SystemParams::paper_default())
+            .layers(layers)
+            .mapping(mapping)
+            .filters(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_average_case_for_degree_one() {
+        // For m = 1 the failure probability is linear in S_i, so the
+        // expectation equals the average-case value exactly.
+        for n_c in [500u64, 2_000, 6_000] {
+            let s = scenario(3, MappingDegree::ONE_TO_ONE);
+            let exact = ExactCongestionAnalysis::new(&s, n_c)
+                .unwrap()
+                .success_probability()
+                .value();
+            let avg = OneBurstAnalysis::new(&s, AttackBudget::congestion_only(n_c))
+                .unwrap()
+                .run()
+                .success_probability(PathEvaluator::Hypergeometric)
+                .value();
+            assert!(
+                (exact - avg).abs() < 1e-6,
+                "N_C={n_c}: exact {exact} vs average {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_to_all_declines_where_average_case_saturates() {
+        // The Fig. 4(a) resolution: average-case says P_S = 1 for
+        // one-to-all at every L; the exact analysis declines with L.
+        let mut prev = 1.0;
+        let mut moved = false;
+        for l in [1usize, 4, 8, 10] {
+            let s = scenario(l, MappingDegree::OneToAll);
+            let exact = ExactCongestionAnalysis::new(&s, 6_000)
+                .unwrap()
+                .success_probability()
+                .value();
+            let avg = OneBurstAnalysis::new(&s, AttackBudget::congestion_only(6_000))
+                .unwrap()
+                .run()
+                .success_probability(PathEvaluator::Hypergeometric)
+                .value();
+            assert_eq!(avg, 1.0, "average-case saturates at L={l}");
+            assert!(exact <= prev + 1e-12, "exact not declining at L={l}");
+            if exact < prev - 1e-9 {
+                moved = true;
+            }
+            prev = exact;
+        }
+        assert!(moved, "exact P_S should strictly decline somewhere");
+        assert!(prev < 1.0, "exact P_S at L=10 must be below 1: {prev}");
+    }
+
+    #[test]
+    fn zero_congestion_is_harmless() {
+        let s = scenario(3, MappingDegree::OneToHalf);
+        let exact = ExactCongestionAnalysis::new(&s, 0).unwrap();
+        assert_eq!(exact.success_probability().value(), 1.0);
+    }
+
+    #[test]
+    fn total_congestion_is_fatal() {
+        let s = scenario(3, MappingDegree::OneToAll);
+        let exact = ExactCongestionAnalysis::new(&s, 10_000).unwrap();
+        // Every overlay node congested ⇒ every SOS node congested.
+        assert!(exact.success_probability().value() < 1e-9);
+    }
+
+    #[test]
+    fn filters_unaffected() {
+        let s = scenario(2, MappingDegree::OneTo(2));
+        let exact = ExactCongestionAnalysis::new(&s, 6_000).unwrap();
+        assert_eq!(exact.layer_success(3), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_budget() {
+        let s = scenario(4, MappingDegree::OneTo(5));
+        let mut prev = 1.0;
+        for n_c in (0..=10_000).step_by(2_000) {
+            let ps = ExactCongestionAnalysis::new(&s, n_c)
+                .unwrap()
+                .success_probability()
+                .value();
+            assert!(ps <= prev + 1e-12, "not monotone at N_C={n_c}");
+            prev = ps;
+        }
+    }
+
+    #[test]
+    fn exact_ps_rejects_break_in_budgets() {
+        let s = scenario(3, MappingDegree::OneTo(2));
+        assert!(exact_ps(&s, AttackBudget::new(1, 100)).is_err());
+        assert!(exact_ps(&s, AttackBudget::congestion_only(100)).is_ok());
+        assert!(ExactCongestionAnalysis::new(&s, 10_001).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Timely delivery — the paper's §5 open issue, made quantitative.
+//!
+//! The paper observes a second trade-off orthogonal to resilience:
+//! *"an increase in the number of layers increases resilience to
+//! break-in attacks and also the latency of communication. An increase
+//! in the mapping degree decreases resilience to break-in attacks.
+//! However the latency here may be minimized due to more routing
+//! choices."*
+//!
+//! This module models that trade-off. Per-hop delay is exponential with
+//! mean [`LatencyModel::per_hop_mean`]; a forwarding node with `g` good
+//! next-layer choices that routes *delay-aware* (probes its neighbors
+//! and picks the fastest) sees an effective hop delay of `mean / g`
+//! (minimum of `g` i.i.d. exponentials), while *oblivious* forwarding
+//! pays the full mean regardless of `g`. Chord transport multiplies
+//! each logical hop by its expected lookup length `~½·log₂ N`.
+//!
+//! [`latency_resilience_frontier`] sweeps a design grid and returns the
+//! `(P_S, latency)` points with their Pareto front — the concrete
+//! decision surface the paper's final remarks call for.
+
+use crate::successive::SuccessiveAnalysis;
+use sos_core::{
+    AttackBudget, CompromiseState, ConfigError, MappingDegree, NodeDistribution,
+    PathEvaluator, Scenario, SuccessiveParams, SystemParams, Topology,
+};
+
+/// How a forwarding node picks among its good next-layer neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForwardingDiscipline {
+    /// Pick any good neighbor without regard to delay: every hop costs
+    /// the full per-hop mean.
+    #[default]
+    Oblivious,
+    /// Probe good neighbors and take the fastest: a hop with `g` good
+    /// choices costs `mean / g` in expectation (min of exponentials).
+    DelayAware,
+}
+
+impl ForwardingDiscipline {
+    /// Stable label for CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ForwardingDiscipline::Oblivious => "oblivious",
+            ForwardingDiscipline::DelayAware => "delay-aware",
+        }
+    }
+}
+
+/// Latency model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Mean one-hop delay (arbitrary units; e.g. milliseconds).
+    pub per_hop_mean: f64,
+    /// Whether logical hops ride on Chord (expected stretch
+    /// `½·log₂ N` underlay hops per logical hop) or go direct.
+    pub chord_transport: bool,
+    /// Forwarding discipline.
+    pub discipline: ForwardingDiscipline,
+}
+
+impl LatencyModel {
+    /// Direct transport, oblivious forwarding, unit mean — the
+    /// baseline against which designs are compared.
+    pub fn unit() -> Self {
+        LatencyModel {
+            per_hop_mean: 1.0,
+            chord_transport: false,
+            discipline: ForwardingDiscipline::Oblivious,
+        }
+    }
+
+    /// Expected Chord stretch per logical hop for an overlay of `n`
+    /// ring members (`½·log₂ n`, the classic Chord expectation, floored
+    /// at one underlay hop).
+    pub fn chord_stretch(overlay_nodes: u64) -> f64 {
+        ((overlay_nodes.max(2) as f64).log2() / 2.0).max(1.0)
+    }
+
+    /// Expected end-to-end delivery latency for a topology in
+    /// compromise state `state`, conditioned on delivery succeeding.
+    ///
+    /// The message crosses boundaries `1..=L+1`; at boundary `i` the
+    /// forwarding node has on average `g_i = m_i · (1 − s_i/n_i)` good
+    /// choices (floored at one, since we condition on success).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not match the topology shape or the model
+    /// has a non-positive hop mean.
+    pub fn expected_latency(
+        &self,
+        scenario: &Scenario,
+        state: &CompromiseState,
+    ) -> f64 {
+        assert!(
+            self.per_hop_mean > 0.0,
+            "per-hop mean must be positive, got {}",
+            self.per_hop_mean
+        );
+        let topo: &Topology = scenario.topology();
+        assert_eq!(
+            state.layer_count(),
+            topo.layer_count() + 1,
+            "state does not match topology"
+        );
+        let stretch = if self.chord_transport {
+            Self::chord_stretch(scenario.system().overlay_nodes())
+        } else {
+            1.0
+        };
+        let mut total = 0.0;
+        for (i, size, degree) in topo.boundaries() {
+            let good_fraction = 1.0 - state.bad_fraction(i);
+            let good_choices = (degree * good_fraction).max(1.0);
+            let hop = match self.discipline {
+                ForwardingDiscipline::Oblivious => self.per_hop_mean,
+                ForwardingDiscipline::DelayAware => self.per_hop_mean / good_choices,
+            };
+            // The final servlet→filter hop is always direct (filters
+            // are off the ring).
+            let hop_stretch = if i == topo.layer_count() + 1 {
+                1.0
+            } else {
+                stretch
+            };
+            let _ = size;
+            total += hop * hop_stretch;
+        }
+        total
+    }
+
+    /// Expected latency over a *clean* (unattacked) topology — the
+    /// provisioning-time number.
+    pub fn clean_latency(&self, scenario: &Scenario) -> f64 {
+        self.expected_latency(scenario, &CompromiseState::clean(scenario.topology()))
+    }
+}
+
+/// One candidate design with its resilience and latency coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Number of layers.
+    pub layers: usize,
+    /// Mapping policy label.
+    pub mapping: String,
+    /// `P_S` under the evaluated attack.
+    pub ps: f64,
+    /// Expected delivery latency under attack (conditioned on success).
+    pub latency: f64,
+    /// Whether the point survived the Pareto filter (maximal `P_S`,
+    /// minimal latency).
+    pub pareto_optimal: bool,
+}
+
+impl std::fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "L={},{},{:.6},{:.4},{}",
+            self.layers, self.mapping, self.ps, self.latency, self.pareto_optimal
+        )
+    }
+}
+
+/// Sweeps `layers × mappings` under a successive attack and returns all
+/// design points with the Pareto front marked.
+///
+/// # Errors
+///
+/// Propagates configuration errors from scenario construction or the
+/// analysis.
+pub fn latency_resilience_frontier(
+    system: SystemParams,
+    distribution: NodeDistribution,
+    budget: AttackBudget,
+    params: SuccessiveParams,
+    model: LatencyModel,
+    layer_range: impl IntoIterator<Item = usize>,
+    mappings: &[MappingDegree],
+) -> Result<Vec<DesignPoint>, ConfigError> {
+    let mut points = Vec::new();
+    for layers in layer_range {
+        for mapping in mappings {
+            let scenario = Scenario::builder()
+                .system(system)
+                .layers(layers)
+                .distribution(distribution.clone())
+                .mapping(mapping.clone())
+                .build()?;
+            let report = SuccessiveAnalysis::new(&scenario, budget, params)?.run();
+            let ps = report
+                .success_probability(PathEvaluator::Binomial)
+                .value();
+            let latency = model.expected_latency(&scenario, &report.state);
+            points.push(DesignPoint {
+                layers,
+                mapping: mapping.to_string(),
+                ps,
+                latency,
+                pareto_optimal: false,
+            });
+        }
+    }
+    mark_pareto(&mut points);
+    Ok(points)
+}
+
+/// Marks the Pareto-optimal points in place: a point is optimal when no
+/// other point has `P_S ≥` *and* `latency ≤` with at least one strict.
+pub fn mark_pareto(points: &mut [DesignPoint]) {
+    for i in 0..points.len() {
+        let dominated = points.iter().enumerate().any(|(j, other)| {
+            j != i
+                && other.ps >= points[i].ps
+                && other.latency <= points[i].latency
+                && (other.ps > points[i].ps || other.latency < points[i].latency)
+        });
+        points[i].pareto_optimal = !dominated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(layers: usize, mapping: MappingDegree) -> Scenario {
+        Scenario::builder()
+            .system(SystemParams::paper_default())
+            .layers(layers)
+            .mapping(mapping)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_latency_counts_boundaries() {
+        let model = LatencyModel::unit();
+        // L layers + filter boundary, unit mean, direct, oblivious.
+        assert_eq!(model.clean_latency(&scenario(3, MappingDegree::OneTo(2))), 4.0);
+        assert_eq!(model.clean_latency(&scenario(1, MappingDegree::OneTo(2))), 2.0);
+    }
+
+    #[test]
+    fn more_layers_cost_more_latency() {
+        let model = LatencyModel::unit();
+        let l3 = model.clean_latency(&scenario(3, MappingDegree::OneTo(2)));
+        let l6 = model.clean_latency(&scenario(6, MappingDegree::OneTo(2)));
+        assert!(l6 > l3);
+    }
+
+    #[test]
+    fn delay_aware_forwarding_benefits_from_degree() {
+        let mut model = LatencyModel::unit();
+        model.discipline = ForwardingDiscipline::DelayAware;
+        let narrow = model.clean_latency(&scenario(3, MappingDegree::ONE_TO_ONE));
+        let wide = model.clean_latency(&scenario(3, MappingDegree::OneTo(5)));
+        assert!(
+            wide < narrow,
+            "more routing choices should cut delay-aware latency: {wide} vs {narrow}"
+        );
+        // Oblivious forwarding sees no benefit.
+        let oblivious = LatencyModel::unit();
+        assert_eq!(
+            oblivious.clean_latency(&scenario(3, MappingDegree::ONE_TO_ONE)),
+            oblivious.clean_latency(&scenario(3, MappingDegree::OneTo(5)))
+        );
+    }
+
+    #[test]
+    fn chord_transport_stretches_latency() {
+        let direct = LatencyModel::unit();
+        let chord = LatencyModel {
+            chord_transport: true,
+            ..LatencyModel::unit()
+        };
+        let s = scenario(3, MappingDegree::OneTo(2));
+        let d = direct.clean_latency(&s);
+        let c = chord.clean_latency(&s);
+        // ½·log2(10000) ≈ 6.64 per logical hop, final hop direct.
+        assert!(c > 2.0 * d, "chord {c} should dwarf direct {d}");
+        let expected = 3.0 * LatencyModel::chord_stretch(10_000) + 1.0;
+        assert!((c - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damage_slows_delay_aware_routing() {
+        let mut model = LatencyModel::unit();
+        model.discipline = ForwardingDiscipline::DelayAware;
+        let s = scenario(3, MappingDegree::OneTo(5));
+        let mut state = CompromiseState::clean(s.topology());
+        let clean = model.expected_latency(&s, &state);
+        state.set_congested(2, 20.0); // most of layer 2 gone
+        let damaged = model.expected_latency(&s, &state);
+        assert!(damaged > clean, "{damaged} vs {clean}");
+    }
+
+    #[test]
+    fn frontier_marks_pareto_points() {
+        let points = latency_resilience_frontier(
+            SystemParams::paper_default(),
+            NodeDistribution::Even,
+            AttackBudget::paper_default(),
+            SuccessiveParams::paper_default(),
+            LatencyModel::unit(),
+            1..=6,
+            &[
+                MappingDegree::ONE_TO_ONE,
+                MappingDegree::OneTo(2),
+                MappingDegree::OneTo(5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(points.len(), 18);
+        let pareto: Vec<_> = points.iter().filter(|p| p.pareto_optimal).collect();
+        assert!(!pareto.is_empty());
+        assert!(pareto.len() < points.len(), "not everything is optimal");
+        // No pareto point dominates another pareto point.
+        for a in &pareto {
+            for b in &pareto {
+                let dominates = a.ps >= b.ps
+                    && a.latency <= b.latency
+                    && (a.ps > b.ps || a.latency < b.latency);
+                assert!(!dominates, "{a} dominates {b}");
+            }
+        }
+        // The most resilient point overall must be on the front.
+        let best = points
+            .iter()
+            .max_by(|a, b| a.ps.partial_cmp(&b.ps).unwrap())
+            .unwrap();
+        assert!(best.pareto_optimal);
+    }
+
+    #[test]
+    fn mark_pareto_handles_duplicates() {
+        let mut pts = vec![
+            DesignPoint {
+                layers: 1,
+                mapping: "a".into(),
+                ps: 0.5,
+                latency: 2.0,
+                pareto_optimal: false,
+            },
+            DesignPoint {
+                layers: 2,
+                mapping: "b".into(),
+                ps: 0.5,
+                latency: 2.0,
+                pareto_optimal: false,
+            },
+        ];
+        mark_pareto(&mut pts);
+        // Identical points do not dominate each other.
+        assert!(pts.iter().all(|p| p.pareto_optimal));
+    }
+
+    #[test]
+    #[should_panic(expected = "per-hop mean must be positive")]
+    fn non_positive_mean_rejected() {
+        let model = LatencyModel {
+            per_hop_mean: 0.0,
+            ..LatencyModel::unit()
+        };
+        model.clean_latency(&scenario(3, MappingDegree::OneTo(2)));
+    }
+}

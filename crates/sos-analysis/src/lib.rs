@@ -1,0 +1,67 @@
+//! Closed-form average-case analysis of the generalized SOS architecture
+//! under intelligent DDoS attacks — §3 of the ICDCS 2004 paper.
+//!
+//! Two attack models are implemented:
+//!
+//! * [`one_burst`] — §3.1: the attacker spends all `N_T` break-in trials
+//!   at once, uniformly at random over the `N` overlay nodes, then
+//!   congests the disclosed nodes (plus random spillover) with its `N_C`
+//!   congestion budget. Equations (1)–(9).
+//! * [`successive`] — §3.2: the break-in phase runs over `R` rounds; each
+//!   round attacks the nodes disclosed by the previous round first and
+//!   spends leftover budget randomly (Algorithm 1). The attacker may know
+//!   a fraction `P_E` of the first layer a priori. Equations (10)–(27).
+//!
+//! Both produce a [`sos_core::CompromiseState`] (the per-layer `b_i`,
+//! `c_i`) from which `P_S` is computed with any
+//! [`sos_core::PathEvaluator`]. Setting `R = 1, P_E = 0` makes the
+//! successive model numerically identical to the one-burst model (verified
+//! by tests in both crates).
+//!
+//! The [`baseline`] module models the *original* SOS architecture
+//! (SIGCOMM 2002) — fixed 3 layers, one-to-all mapping — including the
+//! multi-role-node variant whose break-in fragility motivates the paper's
+//! generalization. The [`sweep`] module provides the parameter-sweep
+//! machinery used by the figure harness.
+//!
+//! # Example
+//!
+//! ```
+//! use sos_analysis::one_burst::OneBurstAnalysis;
+//! use sos_core::{AttackBudget, MappingDegree, PathEvaluator, Scenario, SystemParams};
+//!
+//! let scenario = Scenario::builder()
+//!     .system(SystemParams::paper_default())
+//!     .layers(3)
+//!     .mapping(MappingDegree::ONE_TO_ONE)
+//!     .build()?;
+//! // Moderate pure-congestion attack (Fig. 4(a)).
+//! let report = OneBurstAnalysis::new(&scenario, AttackBudget::congestion_only(2_000))?
+//!     .run();
+//! let ps = report.success_probability(PathEvaluator::Hypergeometric);
+//! assert!(ps.value() > 0.4 && ps.value() < 0.6); // 0.8^3 * (filters ≈ 1)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advisor;
+pub mod baseline;
+pub mod exact;
+pub mod latency;
+pub mod one_burst;
+pub mod optimizer;
+pub mod sensitivity;
+pub mod successive;
+pub mod sweep;
+
+pub use advisor::{has_critical, review, Advice, Severity};
+pub use baseline::{MultiRoleAnalysis, OriginalSosAnalysis};
+pub use exact::{exact_ps, ExactCongestionAnalysis};
+pub use latency::{latency_resilience_frontier, DesignPoint, ForwardingDiscipline, LatencyModel};
+pub use one_burst::{OneBurstAnalysis, OneBurstReport};
+pub use optimizer::{AttackProfile, Constraints, DesignSpace, Objective, Optimizer, RankedDesign};
+pub use sensitivity::{tornado, OperatingPoint, SensitivityEntry};
+pub use successive::{RoundCase, RoundTrace, SuccessiveAnalysis, SuccessiveReport};
+pub use sweep::{SweepPoint, SweepSeries, SweepTable};

@@ -1,0 +1,418 @@
+//! One-burst attack model — §3.1, equations (1)–(9).
+//!
+//! The attacker spends all `N_T` break-in trials in a single round,
+//! uniformly at random over the `N` overlay nodes (no prior knowledge),
+//! then spends `N_C` congestion slots: first on every disclosed-but-not-
+//! broken node, then randomly on the remaining population.
+//!
+//! All quantities are *average-case* (weak law of large numbers): layer
+//! `i` receives `h_i = n_i N_T / N` break-in attempts of which
+//! `b_i = P_B h_i` succeed. A successful break-in at layer `i−1`
+//! discloses the node's `m_i` neighbors at layer `i`; overlaps between
+//! multiple disclosures and between disclosure and direct attack are
+//! discounted by equations (5)–(7).
+
+use sos_core::{
+    AttackBudget, CompromiseState, ConfigError, PathEvaluator, Probability, Scenario,
+};
+
+/// Validated one-burst analysis, ready to [`run`](OneBurstAnalysis::run).
+#[derive(Debug, Clone)]
+pub struct OneBurstAnalysis {
+    scenario: Scenario,
+    budget: AttackBudget,
+}
+
+impl OneBurstAnalysis {
+    /// Creates the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidAttack`] when `N_T` or `N_C` exceeds
+    /// the overlay population — the attacker cannot attempt more nodes
+    /// than exist.
+    pub fn new(scenario: &Scenario, budget: AttackBudget) -> Result<Self, ConfigError> {
+        let n = scenario.system().overlay_nodes();
+        if budget.break_in_trials > n {
+            return Err(ConfigError::InvalidAttack {
+                reason: format!(
+                    "N_T = {} exceeds the overlay population N = {n}",
+                    budget.break_in_trials
+                ),
+            });
+        }
+        if budget.congestion_capacity > n {
+            return Err(ConfigError::InvalidAttack {
+                reason: format!(
+                    "N_C = {} exceeds the overlay population N = {n}",
+                    budget.congestion_capacity
+                ),
+            });
+        }
+        Ok(OneBurstAnalysis {
+            scenario: scenario.clone(),
+            budget,
+        })
+    }
+
+    /// Executes equations (1)–(9) and returns the full report.
+    pub fn run(&self) -> OneBurstReport {
+        let topo = self.scenario.topology();
+        let l = topo.layer_count();
+        let layers = l + 1; // including the filter layer
+        let big_n = self.scenario.system().overlay_nodes() as f64;
+        let p_b = self.scenario.system().break_in_probability().value();
+        let n_t = self.budget.break_in_trials as f64;
+        let n_c = self.budget.congestion_capacity as f64;
+
+        let size = |i: usize| topo.size_of_layer(i) as f64;
+
+        // Break-in phase: h_i and b_i (filters cannot be attacked).
+        let mut attempted = vec![0.0; layers];
+        let mut broken = vec![0.0; layers];
+        for i in 1..=l {
+            attempted[i - 1] = size(i) / big_n * n_t;
+            broken[i - 1] = p_b * attempted[i - 1];
+        }
+
+        // Disclosure: z_i, d_i^N, d_i^A (eqs (5)–(7)); layer 1 cannot be
+        // disclosed by break-ins, so both sets are empty there.
+        let mut disclosed_new = vec![0.0; layers];
+        let mut disclosed_attempted = vec![0.0; layers];
+        for i in 2..=layers {
+            let n_i = size(i);
+            let m_i = topo.degree(i);
+            let b_prev = broken[i - 2];
+            let survive_disclosure = (1.0 - m_i / n_i).max(0.0).powf(b_prev);
+            let h_i = attempted[i - 1];
+            let z_i = n_i * (1.0 - survive_disclosure * (1.0 - h_i / n_i));
+            disclosed_new[i - 1] = (z_i - h_i).max(0.0);
+            disclosed_attempted[i - 1] =
+                (h_i - broken[i - 1]).max(0.0) * (1.0 - survive_disclosure);
+        }
+
+        let total_disclosed: f64 = disclosed_new.iter().sum::<f64>()
+            + disclosed_attempted.iter().sum::<f64>();
+        let total_broken: f64 = broken.iter().sum();
+
+        // Congestion phase: eqs (8)–(9).
+        let mut congested = vec![0.0; layers];
+        let filter_disclosed =
+            disclosed_new[layers - 1] + disclosed_attempted[layers - 1];
+        if n_c >= total_disclosed {
+            // All disclosed nodes congested; spare budget spread randomly
+            // over the remaining *overlay* good nodes (filters excluded).
+            let spare = n_c - total_disclosed;
+            let pool = big_n - total_broken - (total_disclosed - filter_disclosed);
+            for i in 1..=l {
+                let known =
+                    disclosed_new[i - 1] + disclosed_attempted[i - 1];
+                let remaining =
+                    (size(i) - broken[i - 1] - known).max(0.0);
+                let random_share = if pool > 0.0 {
+                    spare * remaining / pool
+                } else {
+                    0.0
+                };
+                congested[i - 1] = known + random_share;
+            }
+            congested[layers - 1] = filter_disclosed;
+        } else {
+            // Only a random subset of the disclosed nodes is congested.
+            let ratio = if total_disclosed > 0.0 {
+                n_c / total_disclosed
+            } else {
+                0.0
+            };
+            for i in 1..=layers {
+                congested[i - 1] =
+                    ratio * (disclosed_new[i - 1] + disclosed_attempted[i - 1]);
+            }
+        }
+
+        // Cap congestion at the nodes actually available in each layer.
+        for i in 1..=layers {
+            let cap = (size(i) - broken[i - 1]).max(0.0);
+            congested[i - 1] = congested[i - 1].min(cap);
+        }
+
+        let state =
+            CompromiseState::from_counts(topo, broken.clone(), congested.clone());
+        OneBurstReport {
+            scenario: self.scenario.clone(),
+            budget: self.budget,
+            attempted,
+            broken,
+            disclosed_new,
+            disclosed_attempted,
+            congested,
+            total_disclosed,
+            total_broken,
+            state,
+        }
+    }
+}
+
+/// Full output of a one-burst analysis: the per-layer intermediate
+/// quantities of §3.1 plus the final compromise state.
+///
+/// All vectors have `L+1` entries; index `L` (the last) is the filter
+/// layer.
+#[derive(Debug, Clone)]
+pub struct OneBurstReport {
+    scenario: Scenario,
+    budget: AttackBudget,
+    /// Break-in attempts per layer (`h_i`).
+    pub attempted: Vec<f64>,
+    /// Successful break-ins per layer (`b_i`).
+    pub broken: Vec<f64>,
+    /// Disclosed, never-attacked nodes per layer (`d_i^N`).
+    pub disclosed_new: Vec<f64>,
+    /// Disclosed nodes that survived a break-in attempt (`d_i^A`).
+    pub disclosed_attempted: Vec<f64>,
+    /// Congested nodes per layer (`c_i`).
+    pub congested: Vec<f64>,
+    /// Total disclosed-but-not-broken nodes (`N_D`).
+    pub total_disclosed: f64,
+    /// Total broken-in nodes (`N_B`).
+    pub total_broken: f64,
+    /// Final per-layer compromise state (`b_i`, `c_i`, `s_i`).
+    pub state: CompromiseState,
+}
+
+impl OneBurstReport {
+    /// The scenario this report was computed for.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The attack budget used.
+    pub fn budget(&self) -> AttackBudget {
+        self.budget
+    }
+
+    /// End-to-end success probability `P_S` (equation (1)).
+    pub fn success_probability(&self, evaluator: PathEvaluator) -> Probability {
+        evaluator.success_probability(self.scenario.topology(), &self.state)
+    }
+
+    /// Per-layer success probabilities `P_1..=P_{L+1}`.
+    pub fn layer_successes(&self, evaluator: PathEvaluator) -> Vec<f64> {
+        evaluator.layer_successes(self.scenario.topology(), &self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_core::{MappingDegree, NodeDistribution, SystemParams};
+
+    fn scenario(layers: usize, mapping: MappingDegree) -> Scenario {
+        Scenario::builder()
+            .system(SystemParams::paper_default())
+            .layers(layers)
+            .distribution(NodeDistribution::Even)
+            .mapping(mapping)
+            .filters(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pure_congestion_matches_hand_computation() {
+        // N_T = 0, N_C = 2000, L = 1, one-to-one: every layer loses a
+        // uniform 20% ⇒ P_S = 0.8 (filters untouched).
+        let s = scenario(1, MappingDegree::ONE_TO_ONE);
+        let report = OneBurstAnalysis::new(&s, AttackBudget::congestion_only(2_000))
+            .unwrap()
+            .run();
+        assert_eq!(report.total_broken, 0.0);
+        assert_eq!(report.total_disclosed, 0.0);
+        assert!((report.congested[0] - 20.0).abs() < 1e-9);
+        assert_eq!(report.congested[1], 0.0, "filters not randomly congested");
+        let ps = report.success_probability(PathEvaluator::Hypergeometric);
+        assert!((ps.value() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_congestion_multi_layer_product() {
+        // L = 2, even split 50/50, one-to-one, N_C = 2000: each layer
+        // loses 20% ⇒ P_S = 0.8².
+        let s = scenario(2, MappingDegree::ONE_TO_ONE);
+        let report = OneBurstAnalysis::new(&s, AttackBudget::congestion_only(2_000))
+            .unwrap()
+            .run();
+        let ps = report.success_probability(PathEvaluator::Hypergeometric);
+        assert!((ps.value() - 0.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_in_phase_distributes_attempts_proportionally() {
+        let s = scenario(4, MappingDegree::OneTo(2));
+        let report = OneBurstAnalysis::new(&s, AttackBudget::new(2_000, 0))
+            .unwrap()
+            .run();
+        // h_i = n_i / N * N_T = 25/10000 * 2000 = 5 per layer.
+        for i in 0..4 {
+            assert!((report.attempted[i] - 5.0).abs() < 1e-9);
+            assert!((report.broken[i] - 2.5).abs() < 1e-9);
+        }
+        // Filters never attempted.
+        assert_eq!(report.attempted[4], 0.0);
+        assert_eq!(report.broken[4], 0.0);
+        assert!((report.total_broken - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disclosure_grows_with_mapping_degree() {
+        let budget = AttackBudget::new(2_000, 0);
+        let low = OneBurstAnalysis::new(&scenario(3, MappingDegree::ONE_TO_ONE), budget)
+            .unwrap()
+            .run();
+        let high = OneBurstAnalysis::new(&scenario(3, MappingDegree::OneToAll), budget)
+            .unwrap()
+            .run();
+        assert!(
+            high.total_disclosed > low.total_disclosed,
+            "one-to-all should disclose more: {} vs {}",
+            high.total_disclosed,
+            low.total_disclosed
+        );
+        // One-to-all with any successful break-in at layer i-1 discloses
+        // the entire layer i: disclosed-new plus directly-attacked nodes
+        // cover the whole layer (d^A is a subset of the attacked nodes).
+        let n2 = high.scenario().topology().size_of_layer(2) as f64;
+        let attacked_or_disclosed = high.disclosed_new[1] + high.attempted[1];
+        assert!(
+            (attacked_or_disclosed - n2).abs() < 1e-6,
+            "{attacked_or_disclosed} vs {n2}"
+        );
+    }
+
+    #[test]
+    fn layer_one_never_disclosed() {
+        let s = scenario(3, MappingDegree::OneToAll);
+        let report = OneBurstAnalysis::new(&s, AttackBudget::new(2_000, 2_000))
+            .unwrap()
+            .run();
+        assert_eq!(report.disclosed_new[0], 0.0);
+        assert_eq!(report.disclosed_attempted[0], 0.0);
+    }
+
+    #[test]
+    fn filters_congested_only_on_disclosure() {
+        // Without break-ins the filters stay clean even under heavy
+        // congestion budgets.
+        let s = scenario(3, MappingDegree::OneToAll);
+        let clean = OneBurstAnalysis::new(&s, AttackBudget::congestion_only(6_000))
+            .unwrap()
+            .run();
+        assert_eq!(clean.congested[3], 0.0);
+        // With break-ins, servlet-layer compromises disclose filters.
+        let attacked = OneBurstAnalysis::new(&s, AttackBudget::new(2_000, 6_000))
+            .unwrap()
+            .run();
+        assert!(attacked.congested[3] > 0.0);
+    }
+
+    #[test]
+    fn scarce_congestion_budget_is_proportional() {
+        // Make N_D large (one-to-all, heavy break-in) and N_C small.
+        let s = scenario(3, MappingDegree::OneToAll);
+        let report = OneBurstAnalysis::new(&s, AttackBudget::new(2_000, 10))
+            .unwrap()
+            .run();
+        assert!(report.total_disclosed > 10.0);
+        let total_congested: f64 = report.congested.iter().sum();
+        assert!(
+            (total_congested - 10.0).abs() < 1e-6,
+            "scarce budget must be fully and exactly spent: {total_congested}"
+        );
+    }
+
+    #[test]
+    fn congestion_budget_conserved_when_abundant() {
+        let s = scenario(3, MappingDegree::ONE_TO_ONE);
+        let report = OneBurstAnalysis::new(&s, AttackBudget::new(200, 2_000))
+            .unwrap()
+            .run();
+        // Congested overlay total = disclosed + spare * (overlay share).
+        // All layers plus spillover must never exceed N_C.
+        let total: f64 = report.congested.iter().sum();
+        assert!(total <= 2_000.0 + 1e-6);
+        // and every disclosed node is congested.
+        for i in 0..4 {
+            assert!(
+                report.congested[i] + 1e-9
+                    >= report.disclosed_new[i] + report.disclosed_attempted[i]
+            );
+        }
+    }
+
+    #[test]
+    fn more_attack_resources_reduce_ps() {
+        let s = scenario(3, MappingDegree::OneTo(2));
+        let mut prev = f64::INFINITY;
+        for n_c in [0u64, 1_000, 2_000, 4_000, 6_000] {
+            let ps = OneBurstAnalysis::new(&s, AttackBudget::new(200, n_c))
+                .unwrap()
+                .run()
+                .success_probability(PathEvaluator::Binomial)
+                .value();
+            assert!(ps <= prev + 1e-12, "P_S not monotone at N_C = {n_c}");
+            prev = ps;
+        }
+        let mut prev = f64::INFINITY;
+        for n_t in [0u64, 100, 200, 1_000, 2_000] {
+            let ps = OneBurstAnalysis::new(&s, AttackBudget::new(n_t, 2_000))
+                .unwrap()
+                .run()
+                .success_probability(PathEvaluator::Binomial)
+                .value();
+            assert!(ps <= prev + 1e-12, "P_S not monotone at N_T = {n_t}");
+            prev = ps;
+        }
+    }
+
+    #[test]
+    fn one_to_all_collapses_under_break_in() {
+        // Paper: "when the mapping is one to all, P_S = 0 in Fig. 4(b)".
+        let s = scenario(3, MappingDegree::OneToAll);
+        let report = OneBurstAnalysis::new(&s, AttackBudget::new(2_000, 2_000))
+            .unwrap()
+            .run();
+        let ps = report.success_probability(PathEvaluator::Hypergeometric);
+        assert!(ps.value() < 0.01, "P_S = {} should collapse", ps.value());
+    }
+
+    #[test]
+    fn zero_attack_gives_certain_success() {
+        let s = scenario(5, MappingDegree::OneToHalf);
+        let report = OneBurstAnalysis::new(&s, AttackBudget::new(0, 0))
+            .unwrap()
+            .run();
+        for eval in [PathEvaluator::Hypergeometric, PathEvaluator::Binomial] {
+            assert_eq!(report.success_probability(eval).value(), 1.0);
+        }
+    }
+
+    #[test]
+    fn oversized_budgets_rejected() {
+        let s = scenario(3, MappingDegree::ONE_TO_ONE);
+        assert!(OneBurstAnalysis::new(&s, AttackBudget::new(10_001, 0)).is_err());
+        assert!(OneBurstAnalysis::new(&s, AttackBudget::new(0, 10_001)).is_err());
+        assert!(OneBurstAnalysis::new(&s, AttackBudget::new(10_000, 10_000)).is_ok());
+    }
+
+    #[test]
+    fn state_counts_stay_within_layer_sizes() {
+        let s = scenario(3, MappingDegree::OneToAll);
+        let report = OneBurstAnalysis::new(&s, AttackBudget::new(10_000, 10_000))
+            .unwrap()
+            .run();
+        let topo = report.scenario().topology();
+        for i in 1..=4 {
+            assert!(report.state.bad(i) <= topo.size_of_layer(i) as f64 + 1e-9);
+        }
+    }
+}

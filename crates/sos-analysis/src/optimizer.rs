@@ -1,0 +1,453 @@
+//! Design-space optimization: pick `(L, n_i, m_i)` for an anticipated
+//! threat model.
+//!
+//! The paper's conclusion — *"if the system is designed carefully
+//! keeping potential attack scenarios in mind, more resilient
+//! architectures can be designed"* — implies a concrete engineering
+//! task: given the attacks you expect and a latency budget, choose the
+//! design features. This module implements it as an exhaustive search
+//! over the (small) design grid with two objectives and optional
+//! constraints:
+//!
+//! * [`Objective::WorstCase`] — maximize the minimum `P_S` over the
+//!   attack profiles (robust design);
+//! * [`Objective::Weighted`] — maximize the expected `P_S` under a
+//!   probability distribution over profiles.
+//!
+//! The search is deliberately exhaustive rather than heuristic: the
+//! grid is `|L| × |mappings| × |distributions|` ≈ hundreds of points,
+//! each priced by a closed form in microseconds, and exhaustiveness
+//! makes the result auditable.
+
+use crate::latency::LatencyModel;
+use crate::one_burst::OneBurstAnalysis;
+use crate::successive::SuccessiveAnalysis;
+use sos_core::{
+    AttackConfig, ConfigError, MappingDegree, NodeDistribution, PathEvaluator, Scenario,
+    SystemParams,
+};
+
+/// A named attack profile to design against.
+#[derive(Debug, Clone)]
+pub struct AttackProfile {
+    /// Human-readable name (appears in reports).
+    pub name: String,
+    /// The attack itself.
+    pub attack: AttackConfig,
+}
+
+impl AttackProfile {
+    /// Creates a profile.
+    pub fn new(name: impl Into<String>, attack: AttackConfig) -> Self {
+        AttackProfile {
+            name: name.into(),
+            attack,
+        }
+    }
+}
+
+/// The design grid to search.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    /// Candidate layer counts.
+    pub layers: Vec<usize>,
+    /// Candidate mapping policies.
+    pub mappings: Vec<MappingDegree>,
+    /// Candidate node distributions.
+    pub distributions: Vec<NodeDistribution>,
+    /// Filter count (fixed across the grid).
+    pub filters: u64,
+}
+
+impl DesignSpace {
+    /// The paper's grid: `L ∈ 1..=6`, the five named mappings, the three
+    /// named distributions, 10 filters.
+    pub fn paper_grid() -> Self {
+        DesignSpace {
+            layers: (1..=6).collect(),
+            mappings: MappingDegree::paper_named_set(),
+            distributions: vec![
+                NodeDistribution::Even,
+                NodeDistribution::Increasing,
+                NodeDistribution::Decreasing,
+            ],
+            filters: 10,
+        }
+    }
+
+    /// Number of candidate designs.
+    pub fn size(&self) -> usize {
+        self.layers.len() * self.mappings.len() * self.distributions.len()
+    }
+}
+
+/// What to maximize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// The minimum `P_S` over all profiles.
+    WorstCase,
+    /// The profile-weighted mean `P_S` (weights are supplied with the
+    /// profiles via [`Optimizer::weights`]; unweighted = uniform).
+    Weighted,
+}
+
+/// Optional feasibility constraints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constraints {
+    /// Reject designs whose *clean* expected latency exceeds this.
+    pub max_clean_latency: Option<f64>,
+    /// Reject designs whose `P_S` under any profile falls below this.
+    pub min_ps_per_profile: Option<f64>,
+}
+
+/// A scored, feasible design.
+#[derive(Debug, Clone)]
+pub struct RankedDesign {
+    /// Layer count.
+    pub layers: usize,
+    /// Mapping policy.
+    pub mapping: MappingDegree,
+    /// Node distribution.
+    pub distribution: NodeDistribution,
+    /// Objective value (higher is better).
+    pub score: f64,
+    /// `P_S` per profile, in profile order.
+    pub per_profile: Vec<f64>,
+    /// Clean expected latency under the optimizer's latency model.
+    pub clean_latency: f64,
+}
+
+impl std::fmt::Display for RankedDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "L={} {} {} score={:.4} latency={:.1}",
+            self.layers, self.mapping, self.distribution, self.score, self.clean_latency
+        )
+    }
+}
+
+/// Exhaustive design optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    system: SystemParams,
+    space: DesignSpace,
+    profiles: Vec<AttackProfile>,
+    weights: Option<Vec<f64>>,
+    objective: Objective,
+    constraints: Constraints,
+    latency_model: LatencyModel,
+    evaluator: PathEvaluator,
+}
+
+impl Optimizer {
+    /// Creates an optimizer over `space` for `profiles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or the space is empty — an
+    /// optimization without candidates or threats is a caller bug.
+    pub fn new(system: SystemParams, space: DesignSpace, profiles: Vec<AttackProfile>) -> Self {
+        assert!(!profiles.is_empty(), "at least one attack profile required");
+        assert!(space.size() > 0, "empty design space");
+        Optimizer {
+            system,
+            space,
+            profiles,
+            weights: None,
+            objective: Objective::WorstCase,
+            constraints: Constraints::default(),
+            latency_model: LatencyModel::unit(),
+            evaluator: PathEvaluator::Binomial,
+        }
+    }
+
+    /// Sets per-profile weights (used by [`Objective::Weighted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the profile count or weights
+    /// are not positive.
+    pub fn weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            self.profiles.len(),
+            "one weight per profile"
+        );
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Sets the objective (default worst-case).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets feasibility constraints.
+    pub fn constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the latency model used for the latency constraint/report.
+    pub fn latency_model(mut self, model: LatencyModel) -> Self {
+        self.latency_model = model;
+        self
+    }
+
+    /// Sets the `P_S` evaluator (default binomial).
+    pub fn evaluator(mut self, evaluator: PathEvaluator) -> Self {
+        self.evaluator = evaluator;
+        self
+    }
+
+    /// Searches the grid; returns feasible designs sorted best-first.
+    ///
+    /// Designs that cannot be built (e.g. a distribution that starves a
+    /// layer at some `L`) are skipped silently — they are infeasible,
+    /// not errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] only for errors that invalidate the
+    /// whole search (an attack budget exceeding the overlay).
+    pub fn run(&self) -> Result<Vec<RankedDesign>, ConfigError> {
+        let mut ranked = Vec::new();
+        for &layers in &self.space.layers {
+            for mapping in &self.space.mappings {
+                for distribution in &self.space.distributions {
+                    let Ok(scenario) = Scenario::builder()
+                        .system(self.system)
+                        .layers(layers)
+                        .distribution(distribution.clone())
+                        .mapping(mapping.clone())
+                        .filters(self.space.filters)
+                        .build()
+                    else {
+                        continue; // infeasible grid point
+                    };
+                    let clean_latency = self.latency_model.clean_latency(&scenario);
+                    if let Some(max) = self.constraints.max_clean_latency {
+                        if clean_latency > max {
+                            continue;
+                        }
+                    }
+                    let mut per_profile = Vec::with_capacity(self.profiles.len());
+                    for profile in &self.profiles {
+                        let ps = self.price(&scenario, profile.attack)?;
+                        per_profile.push(ps);
+                    }
+                    if let Some(min) = self.constraints.min_ps_per_profile {
+                        if per_profile.iter().any(|&p| p < min) {
+                            continue;
+                        }
+                    }
+                    let score = match self.objective {
+                        Objective::WorstCase => {
+                            per_profile.iter().cloned().fold(f64::INFINITY, f64::min)
+                        }
+                        Objective::Weighted => {
+                            let weights = self.weights.clone().unwrap_or_else(|| {
+                                vec![1.0; self.profiles.len()]
+                            });
+                            let total: f64 = weights.iter().sum();
+                            per_profile
+                                .iter()
+                                .zip(&weights)
+                                .map(|(p, w)| p * w)
+                                .sum::<f64>()
+                                / total
+                        }
+                    };
+                    ranked.push(RankedDesign {
+                        layers,
+                        mapping: mapping.clone(),
+                        distribution: distribution.clone(),
+                        score,
+                        per_profile,
+                        clean_latency,
+                    });
+                }
+            }
+        }
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.clean_latency.partial_cmp(&b.clean_latency).unwrap())
+        });
+        Ok(ranked)
+    }
+
+    fn price(&self, scenario: &Scenario, attack: AttackConfig) -> Result<f64, ConfigError> {
+        let ps = match attack {
+            AttackConfig::OneBurst { budget } => OneBurstAnalysis::new(scenario, budget)?
+                .run()
+                .success_probability(self.evaluator),
+            AttackConfig::Successive { budget, params } => {
+                SuccessiveAnalysis::new(scenario, budget, params)?
+                    .run()
+                    .success_probability(self.evaluator)
+            }
+        };
+        Ok(ps.value())
+    }
+
+    /// The attack profiles being designed against.
+    pub fn profiles(&self) -> &[AttackProfile] {
+        &self.profiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_core::{AttackBudget, SuccessiveParams};
+
+    fn profiles() -> Vec<AttackProfile> {
+        vec![
+            AttackProfile::new(
+                "flooder",
+                AttackConfig::OneBurst {
+                    budget: AttackBudget::congestion_only(6_000),
+                },
+            ),
+            AttackProfile::new(
+                "intruder",
+                AttackConfig::Successive {
+                    budget: AttackBudget::new(2_000, 1_000),
+                    params: SuccessiveParams::new(5, 0.2).unwrap(),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn optimizer_ranks_best_first() {
+        let ranked = Optimizer::new(
+            SystemParams::paper_default(),
+            DesignSpace::paper_grid(),
+            profiles(),
+        )
+        .run()
+        .unwrap();
+        assert!(!ranked.is_empty());
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+        }
+        // Every reported score is the min of its per-profile values.
+        for r in &ranked {
+            let min = r.per_profile.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!((r.score - min).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_case_never_picks_one_to_all() {
+        // One-to-all dies under the intruder profile, so it can never
+        // win a worst-case optimization that includes break-ins.
+        let ranked = Optimizer::new(
+            SystemParams::paper_default(),
+            DesignSpace::paper_grid(),
+            profiles(),
+        )
+        .run()
+        .unwrap();
+        let best = &ranked[0];
+        assert_ne!(best.mapping, MappingDegree::OneToAll, "{best}");
+        assert!(best.score > 0.0);
+    }
+
+    #[test]
+    fn latency_constraint_filters_deep_designs() {
+        let unconstrained = Optimizer::new(
+            SystemParams::paper_default(),
+            DesignSpace::paper_grid(),
+            profiles(),
+        )
+        .run()
+        .unwrap();
+        let constrained = Optimizer::new(
+            SystemParams::paper_default(),
+            DesignSpace::paper_grid(),
+            profiles(),
+        )
+        .constraints(Constraints {
+            max_clean_latency: Some(3.0), // allows L ≤ 2 only (unit model)
+            min_ps_per_profile: None,
+        })
+        .run()
+        .unwrap();
+        assert!(constrained.len() < unconstrained.len());
+        assert!(constrained.iter().all(|d| d.layers <= 2));
+    }
+
+    #[test]
+    fn min_ps_constraint_can_empty_the_space() {
+        let ranked = Optimizer::new(
+            SystemParams::paper_default(),
+            DesignSpace::paper_grid(),
+            profiles(),
+        )
+        .constraints(Constraints {
+            max_clean_latency: None,
+            min_ps_per_profile: Some(0.999),
+        })
+        .run()
+        .unwrap();
+        assert!(
+            ranked.is_empty(),
+            "no design survives both profiles at P_S ≥ 0.999"
+        );
+    }
+
+    #[test]
+    fn weighted_objective_shifts_the_winner() {
+        let base = Optimizer::new(
+            SystemParams::paper_default(),
+            DesignSpace::paper_grid(),
+            profiles(),
+        );
+        // Weight the flooder overwhelmingly: high mapping degrees
+        // (great against congestion) should rise in the ranking.
+        let flood_heavy = base
+            .clone()
+            .objective(Objective::Weighted)
+            .weights(vec![1_000.0, 1.0])
+            .run()
+            .unwrap();
+        let winner = &flood_heavy[0];
+        // Against a near-pure congestion threat the winner must do very
+        // well on profile 0.
+        assert!(winner.per_profile[0] > 0.9, "{winner}");
+    }
+
+    #[test]
+    fn infeasible_grid_points_are_skipped() {
+        // 100 SOS nodes over 101 layers is unbuildable; the optimizer
+        // should skip it, not fail.
+        let space = DesignSpace {
+            layers: vec![3, 101],
+            mappings: vec![MappingDegree::ONE_TO_ONE],
+            distributions: vec![NodeDistribution::Even],
+            filters: 10,
+        };
+        let ranked = Optimizer::new(SystemParams::paper_default(), space, profiles())
+            .run()
+            .unwrap();
+        assert!(ranked.iter().all(|d| d.layers == 3));
+        assert!(!ranked.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attack profile")]
+    fn empty_profiles_rejected() {
+        Optimizer::new(
+            SystemParams::paper_default(),
+            DesignSpace::paper_grid(),
+            vec![],
+        );
+    }
+}

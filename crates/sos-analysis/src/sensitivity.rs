@@ -1,0 +1,371 @@
+//! Parameter-sensitivity (tornado) analysis.
+//!
+//! The paper's conclusions are sensitivity statements — "`P_S` is
+//! sensitive to `N_T`", "for higher mapping degrees `P_S` is more
+//! sensitive to changing `N_T`" — evaluated by eyeballing curves. This
+//! module makes them quantitative: perturb each system/attack parameter
+//! by a relative step around an operating point and report the induced
+//! `ΔP_S`, producing the ranking a deployment engineer needs ("which
+//! knob should I defend first?").
+//!
+//! All derivatives are central finite differences on the successive
+//! closed-form model (the paper's most general one), with integer
+//! parameters stepped by at least 1.
+
+use crate::successive::SuccessiveAnalysis;
+use sos_core::{
+    AttackBudget, ConfigError, MappingDegree, NodeDistribution, PathEvaluator, Scenario,
+    SuccessiveParams, SystemParams,
+};
+
+/// The operating point to analyze around.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    /// Overlay population `N`.
+    pub overlay_nodes: u64,
+    /// SOS nodes `n`.
+    pub sos_nodes: u64,
+    /// Break-in success probability `P_B`.
+    pub break_in_probability: f64,
+    /// Layers `L`.
+    pub layers: usize,
+    /// Mapping policy.
+    pub mapping: MappingDegree,
+    /// Node distribution.
+    pub distribution: NodeDistribution,
+    /// Filters.
+    pub filters: u64,
+    /// Break-in budget `N_T`.
+    pub break_in_trials: u64,
+    /// Congestion budget `N_C`.
+    pub congestion_capacity: u64,
+    /// Rounds `R`.
+    pub rounds: u32,
+    /// Prior knowledge `P_E`.
+    pub prior_knowledge: f64,
+}
+
+impl OperatingPoint {
+    /// The paper's default operating point (successive model defaults).
+    pub fn paper_default() -> Self {
+        OperatingPoint {
+            overlay_nodes: 10_000,
+            sos_nodes: 100,
+            break_in_probability: 0.5,
+            layers: 3,
+            mapping: MappingDegree::OneTo(2),
+            distribution: NodeDistribution::Even,
+            filters: 10,
+            break_in_trials: 200,
+            congestion_capacity: 2_000,
+            rounds: 3,
+            prior_knowledge: 0.2,
+        }
+    }
+
+    /// Prices this operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn price(&self, evaluator: PathEvaluator) -> Result<f64, ConfigError> {
+        let scenario = Scenario::builder()
+            .system(SystemParams::new(
+                self.overlay_nodes,
+                self.sos_nodes,
+                self.break_in_probability,
+            )?)
+            .layers(self.layers)
+            .distribution(self.distribution.clone())
+            .mapping(self.mapping.clone())
+            .filters(self.filters)
+            .build()?;
+        let report = SuccessiveAnalysis::new(
+            &scenario,
+            AttackBudget::new(self.break_in_trials, self.congestion_capacity),
+            SuccessiveParams::new(self.rounds, self.prior_knowledge)?,
+        )?
+        .run();
+        Ok(report.success_probability(evaluator).value())
+    }
+}
+
+/// Sensitivity of `P_S` to one parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityEntry {
+    /// Parameter name (e.g. `"N_T"`).
+    pub parameter: &'static str,
+    /// `P_S` with the parameter stepped down.
+    pub ps_low: f64,
+    /// `P_S` with the parameter stepped up.
+    pub ps_high: f64,
+    /// The relative step used (e.g. `0.2` = ±20%).
+    pub relative_step: f64,
+}
+
+impl SensitivityEntry {
+    /// Total swing `|P_S(high) − P_S(low)|` — the tornado bar length.
+    pub fn swing(&self) -> f64 {
+        (self.ps_high - self.ps_low).abs()
+    }
+
+    /// Signed direction: positive when increasing the parameter raises
+    /// `P_S` (a defender-friendly knob).
+    pub fn direction(&self) -> f64 {
+        self.ps_high - self.ps_low
+    }
+}
+
+impl std::fmt::Display for SensitivityEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{},{:.6},{:.6},{:.6}",
+            self.parameter,
+            self.ps_low,
+            self.ps_high,
+            self.swing()
+        )
+    }
+}
+
+/// Full tornado analysis around an operating point.
+///
+/// Perturbs each parameter by ±`relative_step` (integer parameters by
+/// at least ±1; probabilities clamped into `[0, 1]`; `L` stepped ±1)
+/// and returns entries sorted by swing, largest first.
+///
+/// # Errors
+///
+/// Propagates configuration errors from any perturbed point. Perturbed
+/// points that are structurally infeasible (e.g. `L+1` starving a
+/// layer) propagate their error — choose operating points away from the
+/// feasibility boundary.
+pub fn tornado(
+    point: &OperatingPoint,
+    relative_step: f64,
+    evaluator: PathEvaluator,
+) -> Result<Vec<SensitivityEntry>, ConfigError> {
+    assert!(
+        relative_step > 0.0 && relative_step < 1.0,
+        "relative step must be in (0, 1), got {relative_step}"
+    );
+    let mut entries = Vec::new();
+
+    let step_u64 = |v: u64| -> (u64, u64) {
+        let d = ((v as f64 * relative_step).round() as u64).max(1);
+        (v.saturating_sub(d), v + d)
+    };
+    let step_prob = |v: f64| -> (f64, f64) {
+        (
+            (v * (1.0 - relative_step)).max(0.0),
+            (v * (1.0 + relative_step)).min(1.0),
+        )
+    };
+
+    // N_T
+    {
+        let (lo, hi) = step_u64(point.break_in_trials);
+        let mut a = point.clone();
+        a.break_in_trials = lo;
+        let mut b = point.clone();
+        b.break_in_trials = hi.min(point.overlay_nodes);
+        entries.push(SensitivityEntry {
+            parameter: "N_T",
+            ps_low: a.price(evaluator)?,
+            ps_high: b.price(evaluator)?,
+            relative_step,
+        });
+    }
+    // N_C
+    {
+        let (lo, hi) = step_u64(point.congestion_capacity);
+        let mut a = point.clone();
+        a.congestion_capacity = lo;
+        let mut b = point.clone();
+        b.congestion_capacity = hi.min(point.overlay_nodes);
+        entries.push(SensitivityEntry {
+            parameter: "N_C",
+            ps_low: a.price(evaluator)?,
+            ps_high: b.price(evaluator)?,
+            relative_step,
+        });
+    }
+    // P_B
+    {
+        let (lo, hi) = step_prob(point.break_in_probability);
+        let mut a = point.clone();
+        a.break_in_probability = lo;
+        let mut b = point.clone();
+        b.break_in_probability = hi;
+        entries.push(SensitivityEntry {
+            parameter: "P_B",
+            ps_low: a.price(evaluator)?,
+            ps_high: b.price(evaluator)?,
+            relative_step,
+        });
+    }
+    // P_E
+    {
+        let (lo, hi) = step_prob(point.prior_knowledge);
+        let mut a = point.clone();
+        a.prior_knowledge = lo;
+        let mut b = point.clone();
+        b.prior_knowledge = hi;
+        entries.push(SensitivityEntry {
+            parameter: "P_E",
+            ps_low: a.price(evaluator)?,
+            ps_high: b.price(evaluator)?,
+            relative_step,
+        });
+    }
+    // R (±1)
+    {
+        let mut a = point.clone();
+        a.rounds = point.rounds.saturating_sub(1).max(1);
+        let mut b = point.clone();
+        b.rounds = point.rounds + 1;
+        entries.push(SensitivityEntry {
+            parameter: "R",
+            ps_low: a.price(evaluator)?,
+            ps_high: b.price(evaluator)?,
+            relative_step,
+        });
+    }
+    // L (±1)
+    {
+        let mut a = point.clone();
+        a.layers = point.layers.saturating_sub(1).max(1);
+        let mut b = point.clone();
+        b.layers = point.layers + 1;
+        entries.push(SensitivityEntry {
+            parameter: "L",
+            ps_low: a.price(evaluator)?,
+            ps_high: b.price(evaluator)?,
+            relative_step,
+        });
+    }
+    // n (SOS provisioning)
+    {
+        let (lo, hi) = step_u64(point.sos_nodes);
+        let mut a = point.clone();
+        a.sos_nodes = lo.max(point.layers as u64); // keep layers non-empty
+        let mut b = point.clone();
+        b.sos_nodes = hi.min(point.overlay_nodes);
+        entries.push(SensitivityEntry {
+            parameter: "n",
+            ps_low: a.price(evaluator)?,
+            ps_high: b.price(evaluator)?,
+            relative_step,
+        });
+    }
+    // N (overlay size)
+    {
+        let (lo, hi) = step_u64(point.overlay_nodes);
+        let mut a = point.clone();
+        a.overlay_nodes = lo.max(point.sos_nodes).max(point.congestion_capacity);
+        let mut b = point.clone();
+        b.overlay_nodes = hi;
+        entries.push(SensitivityEntry {
+            parameter: "N",
+            ps_low: a.price(evaluator)?,
+            ps_high: b.price(evaluator)?,
+            relative_step,
+        });
+    }
+
+    entries.sort_by(|a, b| b.swing().partial_cmp(&a.swing()).unwrap());
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_prices() {
+        let p = OperatingPoint::paper_default();
+        let ps = p.price(PathEvaluator::Binomial).unwrap();
+        assert!(ps > 0.0 && ps < 1.0);
+    }
+
+    #[test]
+    fn tornado_sorted_by_swing() {
+        let entries =
+            tornado(&OperatingPoint::paper_default(), 0.25, PathEvaluator::Binomial)
+                .unwrap();
+        assert_eq!(entries.len(), 8);
+        for w in entries.windows(2) {
+            assert!(w[0].swing() >= w[1].swing() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn attack_knobs_hurt_defender_knobs_help() {
+        let entries =
+            tornado(&OperatingPoint::paper_default(), 0.25, PathEvaluator::Binomial)
+                .unwrap();
+        let by_name = |n: &str| entries.iter().find(|e| e.parameter == n).unwrap();
+        // Raising attacker resources lowers P_S.
+        for attacker in ["N_T", "N_C", "P_B", "P_E", "R"] {
+            assert!(
+                by_name(attacker).direction() <= 1e-9,
+                "{attacker} should have negative direction: {:?}",
+                by_name(attacker)
+            );
+        }
+        // Raising the overlay size raises P_S (dilution).
+        assert!(by_name("N").direction() >= -1e-9);
+        // Counter-intuitive but real: at a *fixed* mapping degree,
+        // provisioning more SOS nodes enlarges the attack surface
+        // (more random break-in hits, more disclosure) without adding
+        // per-hop redundancy, so P_S falls. (With one-to-all mappings
+        // more nodes would help; see EXPERIMENTS.md.)
+        assert!(by_name("n").direction() <= 1e-9, "{:?}", by_name("n"));
+    }
+
+    #[test]
+    fn display_format_is_csv() {
+        let e = SensitivityEntry {
+            parameter: "N_T",
+            ps_low: 0.5,
+            ps_high: 0.3,
+            relative_step: 0.2,
+        };
+        assert_eq!(e.to_string(), "N_T,0.500000,0.300000,0.200000");
+        assert!((e.swing() - 0.2).abs() < 1e-12);
+        assert!(e.direction() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative step must be in (0, 1)")]
+    fn bad_step_rejected() {
+        let _ = tornado(&OperatingPoint::paper_default(), 1.5, PathEvaluator::Binomial);
+    }
+
+    #[test]
+    fn higher_mapping_more_sensitive_to_break_in() {
+        // The paper's claim, quantified: the N_T swing grows with the
+        // mapping degree — measured at a budget where both designs are
+        // still alive (at the paper's full budget one-to-five is already
+        // near P_S = 0, leaving no room to swing).
+        let swing_for = |mapping: MappingDegree| {
+            let mut p = OperatingPoint::paper_default();
+            p.mapping = mapping;
+            p.break_in_trials = 50;
+            p.congestion_capacity = 1_000;
+            tornado(&p, 0.25, PathEvaluator::Binomial)
+                .unwrap()
+                .into_iter()
+                .find(|e| e.parameter == "N_T")
+                .unwrap()
+                .swing()
+        };
+        let low = swing_for(MappingDegree::ONE_TO_ONE);
+        let high = swing_for(MappingDegree::OneTo(5));
+        assert!(
+            high > low,
+            "one-to-five N_T swing {high} should exceed one-to-one {low}"
+        );
+    }
+}

@@ -1,0 +1,685 @@
+//! Successive attack model — §3.2, Algorithm 1, equations (10)–(27).
+//!
+//! The break-in phase runs over up to `R` rounds. Each round the attacker
+//! first attacks every node disclosed by the previous round (`X_j` nodes),
+//! then spends the remainder of that round's quota `α = N_T / R` on
+//! uniformly random nodes, borrowing from the global budget `β` as needed.
+//! The attacker never attempts the same node twice and never congests a
+//! node it broke into. Prior knowledge `P_E` seeds round 1 with
+//! `X_1 = n_1 P_E` known first-layer nodes.
+//!
+//! Algorithm 1 distinguishes four cases per round, mapped here to
+//! [`RoundCase`]:
+//!
+//! | paper case        | variant                      | effect |
+//! |-------------------|------------------------------|--------|
+//! | `X_j < α < β`     | [`RoundCase::DisclosedBelowQuota`]  | attack `X_j` + random `α−X_j`, continue |
+//! | `X_j < β ≤ α`     | [`RoundCase::FinalPartialBudget`]   | attack `X_j` + random `β−X_j`, stop |
+//! | `α ≤ X_j < β`     | [`RoundCase::DisclosedAboveQuota`]  | attack all `X_j`, continue |
+//! | `X_j ≥ β`         | [`RoundCase::BudgetExhausted`]      | attack `β` of `X_j`, leave `f`, stop |
+//!
+//! ### Deliberate deviations from the paper's algebra
+//!
+//! Two places where a literal transcription of the equations would
+//! double-count are implemented in overlap-free form (documented in
+//! `DESIGN.md` and `EXPERIMENTS.md`):
+//!
+//! 1. Equation (25) sums per-round filter disclosures
+//!    `Σ_k d^N_{L+1,k}`, but the same filter can be disclosed in several
+//!    rounds. We track the cumulative disclosed-filter count as
+//!    `n_f (1 − (1 − m/n_f)^{Σ_k b_{L,k}})`, which is exact under the
+//!    model's independence assumptions and equals the paper's sum when
+//!    `R = 1`.
+//! 2. The paper does not model nodes that were randomly and
+//!    unsuccessfully attacked in round `k` and disclosed only in a later
+//!    round; neither do we (the executable attacker in `sos-attack`
+//!    does, and the gap is measured in the evaluator ablation).
+
+use sos_core::{
+    AttackBudget, CompromiseState, ConfigError, PathEvaluator, Probability, Scenario,
+    SuccessiveParams,
+};
+
+/// Which Algorithm-1 branch a round took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundCase {
+    /// `X_j < α < β`: disclosed nodes fit below the round quota; spend
+    /// the rest of the quota randomly and continue.
+    DisclosedBelowQuota,
+    /// `X_j < β ≤ α`: the remaining global budget fits in this round;
+    /// spend it (disclosed first, then random) and stop.
+    FinalPartialBudget,
+    /// `α ≤ X_j < β`: disclosed nodes exceed the quota; attack all of
+    /// them (borrowing from `β`) and continue.
+    DisclosedAboveQuota,
+    /// `X_j ≥ β`: more disclosed nodes than budget; attack a `β`-subset,
+    /// leave the rest (`f`) for the congestion phase, and stop.
+    BudgetExhausted,
+}
+
+impl RoundCase {
+    /// Whether this case terminates the break-in phase.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            RoundCase::FinalPartialBudget | RoundCase::BudgetExhausted
+        )
+    }
+}
+
+/// Per-round record of every Algorithm-1 quantity (average case).
+///
+/// All per-layer vectors have `L` entries (SOS layers only) except
+/// [`newly_disclosed`](Self::newly_disclosed), which has `L+1` with the
+/// last entry being the filters disclosed *in this round*.
+#[derive(Debug, Clone)]
+pub struct RoundTrace {
+    /// 1-based round number `j`.
+    pub round: u32,
+    /// Branch taken.
+    pub case: RoundCase,
+    /// Nodes known (disclosed, unattacked) at the start of the round
+    /// (`X_j`).
+    pub known_at_start: f64,
+    /// Global budget `β` remaining at the start of the round.
+    pub budget_before: f64,
+    /// Deterministic attempts on disclosed nodes (`h^D_{i,j}`).
+    pub attempted_disclosed: Vec<f64>,
+    /// Random attempts (`h^A_{i,j}`).
+    pub attempted_random: Vec<f64>,
+    /// Successful break-ins (`b_{i,j} = b^D + b^A`).
+    pub broken: Vec<f64>,
+    /// Disclosed-never-attacked after this round (`d^N_{i,j}`; last entry
+    /// = filters newly disclosed this round).
+    pub newly_disclosed: Vec<f64>,
+    /// Random-attempt survivors disclosed this round (`d^A_{i,j}`).
+    pub disclosed_attempted: Vec<f64>,
+    /// Disclosed nodes left unattacked by budget exhaustion (`f_{i,j}`).
+    pub leftover_disclosed: Vec<f64>,
+}
+
+/// Validated successive analysis, ready to
+/// [`run`](SuccessiveAnalysis::run).
+#[derive(Debug, Clone)]
+pub struct SuccessiveAnalysis {
+    scenario: Scenario,
+    budget: AttackBudget,
+    params: SuccessiveParams,
+}
+
+impl SuccessiveAnalysis {
+    /// Creates the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidAttack`] when a budget exceeds the
+    /// overlay population (same constraints as the one-burst model).
+    pub fn new(
+        scenario: &Scenario,
+        budget: AttackBudget,
+        params: SuccessiveParams,
+    ) -> Result<Self, ConfigError> {
+        let n = scenario.system().overlay_nodes();
+        if budget.break_in_trials > n {
+            return Err(ConfigError::InvalidAttack {
+                reason: format!(
+                    "N_T = {} exceeds the overlay population N = {n}",
+                    budget.break_in_trials
+                ),
+            });
+        }
+        if budget.congestion_capacity > n {
+            return Err(ConfigError::InvalidAttack {
+                reason: format!(
+                    "N_C = {} exceeds the overlay population N = {n}",
+                    budget.congestion_capacity
+                ),
+            });
+        }
+        Ok(SuccessiveAnalysis {
+            scenario: scenario.clone(),
+            budget,
+            params,
+        })
+    }
+
+    /// Executes Algorithm 1 plus equations (10)–(27) and returns the full
+    /// report.
+    pub fn run(&self) -> SuccessiveReport {
+        let topo = self.scenario.topology();
+        let l = topo.layer_count();
+        let big_n = self.scenario.system().overlay_nodes() as f64;
+        let p_b = self.scenario.system().break_in_probability().value();
+        let n_t = self.budget.break_in_trials as f64;
+        let n_c = self.budget.congestion_capacity as f64;
+        let r = self.params.rounds();
+        let alpha = n_t / r as f64;
+        let n_f = topo.filter_count() as f64;
+        let m_into = |i: usize| topo.degree(i);
+        let size = |i: usize| topo.size_of_layer(i) as f64;
+
+        // Cumulative per-SOS-layer state (index 0 = layer 1).
+        let mut cum_attempted = vec![0.0f64; l]; // Σ_k h_{i,k} (+ f via cum_leftover)
+        let mut cum_leftover = vec![0.0f64; l]; // Σ_k f_{i,k}
+        let mut cum_broken = vec![0.0f64; l]; // Σ_k b_{i,k}
+        let mut cum_failed_disclosed = vec![0.0f64; l]; // Σ_k u^D_{i,k}
+        let mut cum_disclosed_attempted = vec![0.0f64; l]; // Σ_k d^A_{i,k}
+        let mut cum_broken_servlets = 0.0f64; // Σ_k b_{L,k}, drives filter disclosure
+        let mut filters_disclosed = 0.0f64; // overlap-free cumulative
+
+        // Disclosed-unattacked carried into the next round (d^N_{i,j−1});
+        // round 1 is seeded by prior knowledge at layer 1.
+        let mut pending = vec![0.0f64; l];
+        pending[0] = size(1) * self.params.prior_knowledge().value();
+
+        let mut beta = n_t;
+        let mut rounds: Vec<RoundTrace> = Vec::new();
+
+        for round in 1..=r {
+            let known: f64 = pending.iter().sum();
+            let budget_before = beta;
+
+            // Select the Algorithm-1 branch.
+            let case = if known >= beta {
+                RoundCase::BudgetExhausted
+            } else if known < beta && beta <= alpha {
+                RoundCase::FinalPartialBudget
+            } else if known < alpha {
+                RoundCase::DisclosedBelowQuota
+            } else {
+                RoundCase::DisclosedAboveQuota
+            };
+
+            // Deterministic and random attempt allocation.
+            let mut attempted_disclosed = vec![0.0f64; l];
+            let mut attempted_random = vec![0.0f64; l];
+            let mut leftover = vec![0.0f64; l];
+            let random_budget = match case {
+                RoundCase::DisclosedBelowQuota => alpha - known,
+                RoundCase::FinalPartialBudget => beta - known,
+                RoundCase::DisclosedAboveQuota => 0.0,
+                RoundCase::BudgetExhausted => 0.0,
+            };
+            match case {
+                RoundCase::BudgetExhausted => {
+                    // Attack a β-subset of the disclosed nodes,
+                    // proportionally per layer; the rest becomes f_{i,j}.
+                    for i in 0..l {
+                        let share = if known > 0.0 {
+                            pending[i] / known * beta
+                        } else {
+                            0.0
+                        };
+                        attempted_disclosed[i] = share;
+                        leftover[i] = pending[i] - share;
+                    }
+                    beta = 0.0;
+                }
+                _ => {
+                    attempted_disclosed.copy_from_slice(&pending);
+                    // Random attempts land on nodes untouched so far,
+                    // proportionally to each layer's untouched share
+                    // (eq. (11); the denominator follows the paper).
+                    let untouched_total: f64 = big_n
+                        - known
+                        - cum_attempted.iter().sum::<f64>();
+                    let spend = random_budget.min(untouched_total.max(0.0));
+                    if spend > 0.0 && untouched_total > 0.0 {
+                        for i in 0..l {
+                            let untouched_layer = (size(i + 1)
+                                - pending[i]
+                                - cum_attempted[i]
+                                - cum_leftover[i])
+                                .max(0.0);
+                            attempted_random[i] =
+                                untouched_layer / untouched_total * spend;
+                        }
+                    }
+                    beta -= match case {
+                        RoundCase::DisclosedBelowQuota => alpha,
+                        RoundCase::FinalPartialBudget => beta,
+                        RoundCase::DisclosedAboveQuota => known,
+                        RoundCase::BudgetExhausted => unreachable!(),
+                    };
+                }
+            }
+
+            // Break-in outcomes (eqs (12)–(17)).
+            let mut broken = vec![0.0f64; l];
+            for i in 0..l {
+                let h = attempted_disclosed[i] + attempted_random[i];
+                broken[i] = p_b * h;
+                cum_attempted[i] += h;
+                cum_leftover[i] += leftover[i];
+                cum_broken[i] += broken[i];
+                cum_failed_disclosed[i] += (1.0 - p_b) * attempted_disclosed[i];
+            }
+            cum_broken_servlets += broken[l - 1];
+
+            // Disclosure (eqs (18)–(20), (24)): layer i is disclosed by
+            // round-j break-ins at layer i−1; overlaps with everything
+            // attacked or left over so far are discounted.
+            let mut newly_disclosed = vec![0.0f64; l + 1];
+            let mut disclosed_attempted = vec![0.0f64; l];
+            for i in 2..=l {
+                let n_i = size(i);
+                let m_i = m_into(i);
+                let b_prev = broken[i - 2];
+                let survive = (1.0 - m_i / n_i).max(0.0).powf(b_prev);
+                let touched = cum_attempted[i - 1] + cum_leftover[i - 1];
+                let z = n_i * (1.0 - survive * (1.0 - (touched / n_i).min(1.0)));
+                newly_disclosed[i - 1] = (z - touched).max(0.0);
+                disclosed_attempted[i - 1] = (1.0 - p_b)
+                    * attempted_random[i - 1]
+                    * (1.0 - survive);
+                cum_disclosed_attempted[i - 1] += disclosed_attempted[i - 1];
+            }
+            // Filters: overlap-free cumulative disclosure driven by all
+            // servlet-layer break-ins so far.
+            let m_filter = m_into(l + 1);
+            let filters_now = n_f
+                * (1.0 - (1.0 - m_filter / n_f).max(0.0).powf(cum_broken_servlets));
+            newly_disclosed[l] = (filters_now - filters_disclosed).max(0.0);
+            filters_disclosed = filters_now;
+
+            // Next round attacks what this round disclosed; layer 1 can
+            // never be disclosed by break-ins.
+            pending[..l].copy_from_slice(&newly_disclosed[..l]);
+            pending[0] = 0.0;
+
+            rounds.push(RoundTrace {
+                round,
+                case,
+                known_at_start: known,
+                budget_before,
+                attempted_disclosed,
+                attempted_random,
+                broken,
+                newly_disclosed,
+                disclosed_attempted,
+                leftover_disclosed: leftover,
+            });
+
+            if case.is_terminal() {
+                break;
+            }
+        }
+
+        // Congestion phase (eqs (25)–(27)). Known-but-not-broken nodes:
+        // failed attempts on disclosed nodes (u^D, all rounds), the final
+        // round's unattacked disclosures (d^N_{i,J}), random-attempt
+        // survivors disclosed the same round (d^A, all rounds) and
+        // budget-exhaustion leftovers (f).
+        let last = rounds.last().expect("at least one round always runs");
+        let mut known_per_layer = vec![0.0f64; l];
+        for i in 0..l {
+            known_per_layer[i] = cum_failed_disclosed[i]
+                + last.newly_disclosed[i]
+                + cum_disclosed_attempted[i]
+                + cum_leftover[i];
+        }
+        let total_disclosed: f64 =
+            known_per_layer.iter().sum::<f64>() + filters_disclosed;
+        let total_broken: f64 = cum_broken.iter().sum();
+
+        let mut congested = vec![0.0f64; l + 1];
+        if n_c >= total_disclosed {
+            let spare = n_c - total_disclosed;
+            let pool = big_n - total_broken - (total_disclosed - filters_disclosed);
+            for i in 0..l {
+                let remaining =
+                    (size(i + 1) - cum_broken[i] - known_per_layer[i]).max(0.0);
+                let random_share = if pool > 0.0 {
+                    spare * remaining / pool
+                } else {
+                    0.0
+                };
+                congested[i] = known_per_layer[i] + random_share;
+            }
+            congested[l] = filters_disclosed;
+        } else {
+            let ratio = if total_disclosed > 0.0 {
+                n_c / total_disclosed
+            } else {
+                0.0
+            };
+            for i in 0..l {
+                congested[i] = ratio * known_per_layer[i];
+            }
+            congested[l] = ratio * filters_disclosed;
+        }
+
+        // Cap at available nodes per layer.
+        let mut broken_full = cum_broken.clone();
+        broken_full.push(0.0); // filters cannot be broken into
+        for i in 0..=l {
+            let cap = (size(i + 1) - broken_full[i]).max(0.0);
+            congested[i] = congested[i].min(cap);
+        }
+
+        let state =
+            CompromiseState::from_counts(topo, broken_full, congested.clone());
+        SuccessiveReport {
+            scenario: self.scenario.clone(),
+            budget: self.budget,
+            params: self.params,
+            rounds,
+            congested,
+            total_disclosed,
+            total_broken,
+            filters_disclosed,
+            state,
+        }
+    }
+}
+
+/// Full output of a successive-attack analysis.
+#[derive(Debug, Clone)]
+pub struct SuccessiveReport {
+    scenario: Scenario,
+    budget: AttackBudget,
+    params: SuccessiveParams,
+    /// Per-round traces, in order; the last round is the terminal one
+    /// (`J ≤ R`).
+    pub rounds: Vec<RoundTrace>,
+    /// Congested nodes per layer (`c_i`; last entry = filters).
+    pub congested: Vec<f64>,
+    /// Total disclosed-but-not-broken nodes at congestion time (`N_D`).
+    pub total_disclosed: f64,
+    /// Total broken-in nodes (`N_B`).
+    pub total_broken: f64,
+    /// Cumulative disclosed filters.
+    pub filters_disclosed: f64,
+    /// Final per-layer compromise state.
+    pub state: CompromiseState,
+}
+
+impl SuccessiveReport {
+    /// The scenario this report was computed for.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The attack budget used.
+    pub fn budget(&self) -> AttackBudget {
+        self.budget
+    }
+
+    /// The successive-model parameters used.
+    pub fn params(&self) -> SuccessiveParams {
+        self.params
+    }
+
+    /// Number of break-in rounds actually executed (`J ≤ R`).
+    pub fn rounds_executed(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+
+    /// End-to-end success probability `P_S` (equation (1)).
+    pub fn success_probability(&self, evaluator: PathEvaluator) -> Probability {
+        evaluator.success_probability(self.scenario.topology(), &self.state)
+    }
+
+    /// Per-layer success probabilities `P_1..=P_{L+1}`.
+    pub fn layer_successes(&self, evaluator: PathEvaluator) -> Vec<f64> {
+        evaluator.layer_successes(self.scenario.topology(), &self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_burst::OneBurstAnalysis;
+    use sos_core::{MappingDegree, NodeDistribution, SystemParams};
+
+    fn scenario(layers: usize, mapping: MappingDegree) -> Scenario {
+        Scenario::builder()
+            .system(SystemParams::paper_default())
+            .layers(layers)
+            .distribution(NodeDistribution::Even)
+            .mapping(mapping)
+            .filters(10)
+            .build()
+            .unwrap()
+    }
+
+    fn paper_budget() -> AttackBudget {
+        AttackBudget::new(200, 2_000)
+    }
+
+    #[test]
+    fn degenerates_to_one_burst() {
+        // R = 1, P_E = 0 must reproduce §3.1 exactly.
+        for mapping in [
+            MappingDegree::ONE_TO_ONE,
+            MappingDegree::OneTo(5),
+            MappingDegree::OneToHalf,
+            MappingDegree::OneToAll,
+        ] {
+            for (n_t, n_c) in [(200u64, 2_000u64), (2_000, 2_000), (0, 6_000)] {
+                let s = scenario(3, mapping.clone());
+                let budget = AttackBudget::new(n_t, n_c);
+                let ob = OneBurstAnalysis::new(&s, budget).unwrap().run();
+                let succ = SuccessiveAnalysis::new(
+                    &s,
+                    budget,
+                    SuccessiveParams::new(1, 0.0).unwrap(),
+                )
+                .unwrap()
+                .run();
+                for i in 1..=4 {
+                    assert!(
+                        (ob.state.bad(i) - succ.state.bad(i)).abs() < 1e-6,
+                        "{mapping} N_T={n_t} N_C={n_c} layer {i}: {} vs {}",
+                        ob.state.bad(i),
+                        succ.state.bad(i)
+                    );
+                }
+                let p1 = ob.success_probability(PathEvaluator::Binomial).value();
+                let p2 = succ.success_probability(PathEvaluator::Binomial).value();
+                assert!((p1 - p2).abs() < 1e-9, "{mapping}: {p1} vs {p2}");
+            }
+        }
+    }
+
+    #[test]
+    fn executes_requested_rounds_when_budget_allows() {
+        let s = scenario(3, MappingDegree::OneTo(2));
+        let report = SuccessiveAnalysis::new(
+            &s,
+            paper_budget(),
+            SuccessiveParams::new(3, 0.2).unwrap(),
+        )
+        .unwrap()
+        .run();
+        assert!(report.rounds_executed() >= 1 && report.rounds_executed() <= 3);
+        // Budget is conserved: total attempts + leftovers ≤ N_T.
+        let total_attempts: f64 = report
+            .rounds
+            .iter()
+            .flat_map(|r| {
+                r.attempted_disclosed
+                    .iter()
+                    .chain(&r.attempted_random)
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .sum();
+        // Attempts also land on non-SOS nodes, so SOS-layer attempts are
+        // well below N_T.
+        assert!(total_attempts <= 200.0 + 1e-9);
+    }
+
+    #[test]
+    fn prior_knowledge_hurts() {
+        let s = scenario(3, MappingDegree::OneTo(5));
+        let ps = |p_e: f64| {
+            SuccessiveAnalysis::new(
+                &s,
+                paper_budget(),
+                SuccessiveParams::new(3, p_e).unwrap(),
+            )
+            .unwrap()
+            .run()
+            .success_probability(PathEvaluator::Binomial)
+            .value()
+        };
+        let base = ps(0.0);
+        let known = ps(0.5);
+        assert!(
+            known < base,
+            "prior knowledge should reduce P_S: {known} vs {base}"
+        );
+    }
+
+    #[test]
+    fn more_rounds_reduce_ps() {
+        // Fig. 7: P_S decreases as R increases (mapping one-to-five).
+        let s = scenario(3, MappingDegree::OneTo(5));
+        let mut prev = f64::INFINITY;
+        for r in 1..=8 {
+            let ps = SuccessiveAnalysis::new(
+                &s,
+                paper_budget(),
+                SuccessiveParams::new(r, 0.2).unwrap(),
+            )
+            .unwrap()
+            .run()
+            .success_probability(PathEvaluator::Binomial)
+            .value();
+            assert!(
+                ps <= prev + 1e-6,
+                "P_S not (weakly) decreasing at R = {r}: {ps} vs {prev}"
+            );
+            prev = ps;
+        }
+    }
+
+    #[test]
+    fn round1_uses_prior_knowledge_at_layer_one() {
+        let s = scenario(3, MappingDegree::OneTo(2));
+        let report = SuccessiveAnalysis::new(
+            &s,
+            paper_budget(),
+            SuccessiveParams::new(3, 0.3).unwrap(),
+        )
+        .unwrap()
+        .run();
+        let r1 = &report.rounds[0];
+        // X_1 = n_1 * P_E = 34 * 0.3 = 10.2.
+        assert!((r1.known_at_start - 10.2).abs() < 1e-9);
+        assert!((r1.attempted_disclosed[0] - 10.2).abs() < 1e-9);
+        // Layer 1 is never *newly* disclosed.
+        for r in &report.rounds {
+            assert_eq!(r.newly_disclosed[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_leaves_leftovers() {
+        // Huge prior knowledge + tiny N_T forces case X_j ≥ β in round 1.
+        let s = scenario(3, MappingDegree::OneTo(2));
+        let report = SuccessiveAnalysis::new(
+            &s,
+            AttackBudget::new(5, 2_000),
+            SuccessiveParams::new(3, 1.0).unwrap(),
+        )
+        .unwrap()
+        .run();
+        assert_eq!(report.rounds_executed(), 1);
+        let r1 = &report.rounds[0];
+        assert_eq!(r1.case, RoundCase::BudgetExhausted);
+        // X_1 = 34 nodes known, β = 5 attacked, 29 left over.
+        assert!((r1.attempted_disclosed[0] - 5.0).abs() < 1e-9);
+        assert!((r1.leftover_disclosed[0] - 29.0).abs() < 1e-9);
+        // Leftovers are congested (N_C is ample).
+        assert!(report.congested[0] >= 29.0 - 1e-9);
+    }
+
+    #[test]
+    fn zero_break_in_budget_is_pure_congestion() {
+        let s = scenario(3, MappingDegree::OneTo(2));
+        let report = SuccessiveAnalysis::new(
+            &s,
+            AttackBudget::new(0, 2_000),
+            SuccessiveParams::new(3, 0.0).unwrap(),
+        )
+        .unwrap()
+        .run();
+        assert_eq!(report.total_broken, 0.0);
+        assert_eq!(report.filters_disclosed, 0.0);
+        let ob = OneBurstAnalysis::new(&s, AttackBudget::new(0, 2_000))
+            .unwrap()
+            .run();
+        let a = report.success_probability(PathEvaluator::Binomial).value();
+        let b = ob.success_probability(PathEvaluator::Binomial).value();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filters_disclosure_is_cumulative_and_bounded() {
+        let s = scenario(2, MappingDegree::OneToAll);
+        let report = SuccessiveAnalysis::new(
+            &s,
+            AttackBudget::new(2_000, 2_000),
+            SuccessiveParams::new(4, 0.2).unwrap(),
+        )
+        .unwrap()
+        .run();
+        assert!(report.filters_disclosed <= 10.0 + 1e-9);
+        let sum_rounds: f64 = report
+            .rounds
+            .iter()
+            .map(|r| *r.newly_disclosed.last().unwrap())
+            .sum();
+        assert!((sum_rounds - report.filters_disclosed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_counts_stay_within_layer_sizes() {
+        let s = scenario(4, MappingDegree::OneToAll);
+        let report = SuccessiveAnalysis::new(
+            &s,
+            AttackBudget::new(10_000, 10_000),
+            SuccessiveParams::new(5, 0.9).unwrap(),
+        )
+        .unwrap()
+        .run();
+        let topo = report.scenario().topology();
+        for i in 1..=5 {
+            assert!(report.state.bad(i) <= topo.size_of_layer(i) as f64 + 1e-9);
+        }
+        let ps = report.success_probability(PathEvaluator::Binomial);
+        assert!((0.0..=1.0).contains(&ps.value()));
+    }
+
+    #[test]
+    fn deeper_layering_resists_break_in() {
+        // Paper: more layers improve resilience to break-in attacks
+        // (under low mapping degree, heavy break-in).
+        let heavy = AttackBudget::new(2_000, 2_000);
+        let params = SuccessiveParams::new(3, 0.2).unwrap();
+        let shallow = SuccessiveAnalysis::new(
+            &scenario(2, MappingDegree::ONE_TO_ONE),
+            heavy,
+            params,
+        )
+        .unwrap()
+        .run();
+        let deep = SuccessiveAnalysis::new(
+            &scenario(8, MappingDegree::ONE_TO_ONE),
+            heavy,
+            params,
+        )
+        .unwrap()
+        .run();
+        // Deeper layering should disclose fewer nodes per broken node
+        // chain... compare the disclosed totals normalized by n.
+        assert!(
+            deep.total_disclosed <= shallow.total_disclosed + 1e-9,
+            "deep {} vs shallow {}",
+            deep.total_disclosed,
+            shallow.total_disclosed
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! The attacker's evolving view of the system.
+
+use sos_overlay::NodeId;
+use std::collections::HashSet;
+
+/// Bookkeeping of everything the attacker has learned or done.
+///
+/// Invariants maintained by the mutators:
+///
+/// * `attempted`, `broken` and `pending` are pairwise consistent —
+///   a broken node is always attempted, never pending;
+/// * `known_sos` holds every node whose SOS/filter membership the
+///   attacker has learned (disclosed by a captured neighbor table or
+///   known a priori), whether or not it was later attacked;
+/// * `pending` ⊆ `known_sos` \ `attempted`: the disclosed nodes the
+///   attacker has not yet acted on (Algorithm 1's `X_j`).
+#[derive(Debug, Clone, Default)]
+pub struct AttackerKnowledge {
+    attempted: HashSet<NodeId>,
+    broken: HashSet<NodeId>,
+    known_sos: HashSet<NodeId>,
+    pending: HashSet<NodeId>,
+}
+
+impl AttackerKnowledge {
+    /// Fresh, empty knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a node as known a priori or disclosed by a break-in. Nodes
+    /// already attempted stay out of the pending queue.
+    pub fn disclose(&mut self, node: NodeId) {
+        self.known_sos.insert(node);
+        if !self.attempted.contains(&node) {
+            self.pending.insert(node);
+        }
+    }
+
+    /// Marks a node as known without queueing it for break-in — used for
+    /// filters, which the paper treats as impossible to break into
+    /// (they are congested directly in the congestion phase).
+    pub fn disclose_unbreakable(&mut self, node: NodeId) {
+        self.known_sos.insert(node);
+    }
+
+    /// Records a break-in attempt and its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was already attempted — the attacker never
+    /// attacks a node twice (the paper's assumption), so a repeat is a
+    /// caller bug.
+    pub fn record_attempt(&mut self, node: NodeId, succeeded: bool) {
+        assert!(
+            self.attempted.insert(node),
+            "{node} was attempted twice"
+        );
+        self.pending.remove(&node);
+        if succeeded {
+            self.broken.insert(node);
+        }
+    }
+
+    /// Whether the attacker has already attempted this node.
+    pub fn has_attempted(&self, node: NodeId) -> bool {
+        self.attempted.contains(&node)
+    }
+
+    /// Whether the attacker knows this node is part of the architecture.
+    pub fn knows(&self, node: NodeId) -> bool {
+        self.known_sos.contains(&node)
+    }
+
+    /// Nodes attempted so far (successfully or not).
+    pub fn attempted(&self) -> &HashSet<NodeId> {
+        &self.attempted
+    }
+
+    /// Nodes broken into.
+    pub fn broken(&self) -> &HashSet<NodeId> {
+        &self.broken
+    }
+
+    /// Disclosed nodes not yet attacked (`X_j`).
+    pub fn pending(&self) -> &HashSet<NodeId> {
+        &self.pending
+    }
+
+    /// The pending queue in a deterministic (sorted) order — determinism
+    /// keeps simulations reproducible under a fixed seed. Entries leave
+    /// the queue when they are attempted via
+    /// [`record_attempt`](Self::record_attempt).
+    pub fn pending_sorted(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.pending.iter().copied().collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// The congestion-phase target list: every known node that was not
+    /// broken into (the attacker never congests a node it controls),
+    /// sorted for determinism.
+    pub fn congestion_targets(&self) -> Vec<NodeId> {
+        let mut targets: Vec<NodeId> = self
+            .known_sos
+            .difference(&self.broken)
+            .copied()
+            .collect();
+        targets.sort_unstable();
+        targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disclosure_feeds_pending() {
+        let mut k = AttackerKnowledge::new();
+        k.disclose(NodeId(3));
+        k.disclose(NodeId(5));
+        assert!(k.knows(NodeId(3)));
+        assert_eq!(k.pending().len(), 2);
+        assert_eq!(k.pending_sorted(), vec![NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn attempts_clear_pending() {
+        let mut k = AttackerKnowledge::new();
+        k.disclose(NodeId(1));
+        k.record_attempt(NodeId(1), false);
+        assert!(k.pending().is_empty());
+        assert!(k.has_attempted(NodeId(1)));
+        assert!(!k.broken().contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn disclosure_after_attempt_not_pending_but_targeted() {
+        let mut k = AttackerKnowledge::new();
+        k.record_attempt(NodeId(9), false);
+        k.disclose(NodeId(9)); // learned later that it is an SOS node
+        assert!(k.pending().is_empty(), "already attempted");
+        assert_eq!(k.congestion_targets(), vec![NodeId(9)]);
+    }
+
+    #[test]
+    fn broken_nodes_never_congestion_targets() {
+        let mut k = AttackerKnowledge::new();
+        k.disclose(NodeId(2));
+        k.record_attempt(NodeId(2), true);
+        k.disclose(NodeId(4));
+        assert_eq!(k.congestion_targets(), vec![NodeId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempted twice")]
+    fn double_attempt_panics() {
+        let mut k = AttackerKnowledge::new();
+        k.record_attempt(NodeId(1), false);
+        k.record_attempt(NodeId(1), true);
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion benches: regeneration cost of every paper figure.
+//!
+//! One bench per figure panel (the same code paths the `fig*` binaries
+//! print), so `cargo bench` both times the analytical pipeline and
+//! re-derives every figure's numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sos_bench::figures;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("fig4a", |b| b.iter(|| black_box(figures::fig4a())));
+    group.bench_function("fig4b", |b| b.iter(|| black_box(figures::fig4b())));
+    group.bench_function("fig6a", |b| b.iter(|| black_box(figures::fig6a())));
+    group.bench_function("fig6b", |b| b.iter(|| black_box(figures::fig6b())));
+    group.bench_function("fig7", |b| b.iter(|| black_box(figures::fig7())));
+    group.bench_function("fig8a", |b| b.iter(|| black_box(figures::fig8a())));
+    group.bench_function("fig8b", |b| b.iter(|| black_box(figures::fig8b())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Criterion benches for the deeper substrates: the exact congestion
+//! analysis, the design optimizer, the Chord maintenance protocol, and
+//! the flow model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sos_analysis::{
+    AttackProfile, DesignSpace, ExactCongestionAnalysis, Optimizer,
+};
+use sos_core::{
+    AttackBudget, AttackConfig, MappingDegree, Scenario, SuccessiveParams, SystemParams,
+};
+use sos_des::Scheduler;
+use sos_overlay::protocol::{run_maintenance, ChordProtocol, ProtocolConfig};
+use sos_overlay::NodeId;
+use sos_sim::{FlowModel, FlowSimulation};
+use std::hint::black_box;
+
+fn scenario(mapping: MappingDegree) -> Scenario {
+    Scenario::builder()
+        .system(SystemParams::paper_default())
+        .layers(3)
+        .mapping(mapping)
+        .filters(10)
+        .build()
+        .expect("valid")
+}
+
+fn bench_exact_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact-congestion");
+    for mapping in [MappingDegree::ONE_TO_ONE, MappingDegree::OneToAll] {
+        let s = scenario(mapping.clone());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mapping.label()),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    black_box(
+                        ExactCongestionAnalysis::new(s, 2_000)
+                            .unwrap()
+                            .success_probability(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    let profiles = vec![
+        AttackProfile::new(
+            "flooder",
+            AttackConfig::OneBurst {
+                budget: AttackBudget::congestion_only(6_000),
+            },
+        ),
+        AttackProfile::new(
+            "intruder",
+            AttackConfig::Successive {
+                budget: AttackBudget::new(2_000, 1_000),
+                params: SuccessiveParams::new(5, 0.2).unwrap(),
+            },
+        ),
+    ];
+    group.bench_function("paper-grid-2-profiles", |b| {
+        b.iter(|| {
+            black_box(
+                Optimizer::new(
+                    SystemParams::paper_default(),
+                    DesignSpace::paper_grid(),
+                    profiles.clone(),
+                )
+                .run()
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_chord_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord-protocol");
+    group.sample_size(10);
+    group.bench_function("build-128-ring", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut proto = ChordProtocol::new(ProtocolConfig::default());
+            let mut sched = Scheduler::new();
+            let mut ids: Vec<u64> = Vec::new();
+            for i in 0..128u32 {
+                let id = loop {
+                    let id = rng.gen::<u64>();
+                    if !ids.contains(&id) {
+                        break id;
+                    }
+                };
+                ids.push(id);
+                if i == 0 {
+                    proto.bootstrap(id, NodeId(i), &mut sched);
+                } else {
+                    let via = ids[rng.gen_range(0..i as usize)];
+                    proto.join(id, NodeId(i), via, &mut sched);
+                    let now = sched.now();
+                    run_maintenance(&mut proto, &mut sched, now + 30);
+                }
+            }
+            black_box(proto.convergence_fraction())
+        })
+    });
+    group.finish();
+}
+
+fn bench_flow_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow-model");
+    group.sample_size(10);
+    let s = Scenario::builder()
+        .system(SystemParams::new(1_000, 100, 0.5).unwrap())
+        .layers(3)
+        .mapping(MappingDegree::OneTo(2))
+        .filters(10)
+        .build()
+        .unwrap();
+    group.bench_function("20x50", |b| {
+        b.iter(|| {
+            black_box(
+                FlowSimulation::new(
+                    s.clone(),
+                    AttackConfig::OneBurst {
+                        budget: AttackBudget::new(50, 300),
+                    },
+                    FlowModel::new(100.0, 300.0),
+                    20,
+                    50,
+                    3,
+                )
+                .run(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_analysis,
+    bench_optimizer,
+    bench_chord_protocol,
+    bench_flow_model
+);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Prints the Chord-transport ablation.
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ablation_chord
+//! ```
+
+use sos_bench::ablations::{chord_ablation, AblationOptions};
+
+fn main() {
+    print!("{}", chord_ablation(AblationOptions::default()));
+}

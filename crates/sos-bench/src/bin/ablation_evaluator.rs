@@ -1,0 +1,16 @@
+//! Prints the evaluator ablation: closed-form vs Monte Carlo `P_S`.
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ablation_evaluator
+//! ```
+
+use sos_bench::ablations::{evaluator_ablation, AblationOptions};
+use sos_sim::ComparisonRow;
+
+fn main() {
+    println!("# ablation-evaluator");
+    println!("{}", ComparisonRow::CSV_HEADER);
+    for row in evaluator_ablation(AblationOptions::default()) {
+        println!("{row}");
+    }
+}

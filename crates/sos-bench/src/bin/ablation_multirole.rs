@@ -1,0 +1,11 @@
+//! Prints the multi-role-baseline ablation.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin ablation_multirole
+//! ```
+
+use sos_bench::ablations::multirole_ablation;
+
+fn main() {
+    print!("{}", multirole_ablation());
+}

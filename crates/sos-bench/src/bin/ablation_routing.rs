@@ -1,0 +1,11 @@
+//! Prints the routing-policy ablation.
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ablation_routing
+//! ```
+
+use sos_bench::ablations::{routing_ablation, AblationOptions};
+
+fn main() {
+    print!("{}", routing_ablation(AblationOptions::default()));
+}

@@ -1,0 +1,11 @@
+//! Prints every paper figure (CSV blocks) in order.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin all_figures
+//! ```
+
+fn main() {
+    for table in sos_bench::figures::all() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Prints the capacity/flow congestion extension (P_S vs per-slot load).
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ext_flow
+//! ```
+
+use sos_bench::ablations::{flow_extension, AblationOptions};
+
+fn main() {
+    print!("{}", flow_extension(AblationOptions::default()));
+}

@@ -1,0 +1,15 @@
+//! Prints the latency–resilience Pareto frontier (§5 "timely delivery").
+//!
+//! ```text
+//! cargo run -p sos-bench --bin ext_latency
+//! ```
+
+use sos_bench::ablations::latency_frontier;
+
+fn main() {
+    println!("# ext-latency");
+    println!("design,P_S,latency,pareto");
+    for p in latency_frontier() {
+        println!("{p}");
+    }
+}

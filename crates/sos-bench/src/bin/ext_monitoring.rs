@@ -1,0 +1,12 @@
+//! Prints the traffic-monitoring attacker extension (P_S vs tap
+//! probability).
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ext_monitoring
+//! ```
+
+use sos_bench::ablations::{monitoring_extension, AblationOptions};
+
+fn main() {
+    print!("{}", monitoring_extension(AblationOptions::default()));
+}

@@ -1,0 +1,11 @@
+//! Prints Chord lookup correctness under continuous churn.
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ext_protocol_churn
+//! ```
+
+use sos_bench::ablations::protocol_churn_extension;
+
+fn main() {
+    print!("{}", protocol_churn_extension());
+}

@@ -1,0 +1,11 @@
+//! Prints the repair-dynamics extension (`P_S(t)`, stale vs adaptive).
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ext_repair
+//! ```
+
+use sos_bench::ablations::{repair_extension, AblationOptions};
+
+fn main() {
+    print!("{}", repair_extension(AblationOptions::default()));
+}

@@ -1,0 +1,11 @@
+//! Prints Chord-protocol recovery curves after mass failure.
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ext_stabilization
+//! ```
+
+use sos_bench::ablations::stabilization_extension;
+
+fn main() {
+    print!("{}", stabilization_extension());
+}

@@ -1,0 +1,12 @@
+//! Prints SOS delivery over a stale-then-converging Chord protocol
+//! ring.
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ext_staleness
+//! ```
+
+use sos_bench::ablations::staleness_extension;
+
+fn main() {
+    print!("{}", staleness_extension());
+}

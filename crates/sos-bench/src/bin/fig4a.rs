@@ -1,0 +1,9 @@
+//! Prints the fig4a series (CSV) with the paper's exact parameters.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin fig4a
+//! ```
+
+fn main() {
+    print!("{}", sos_bench::figures::fig4a());
+}

@@ -1,0 +1,10 @@
+//! Prints Fig. 4(a) recomputed with the exact distribution-level
+//! congestion analysis.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin fig4a_exact
+//! ```
+
+fn main() {
+    print!("{}", sos_bench::figures::fig4a_exact());
+}

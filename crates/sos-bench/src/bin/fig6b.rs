@@ -1,0 +1,9 @@
+//! Prints the fig6b series (CSV) with the paper's exact parameters.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin fig6b
+//! ```
+
+fn main() {
+    print!("{}", sos_bench::figures::fig6b());
+}

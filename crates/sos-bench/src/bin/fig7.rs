@@ -1,0 +1,9 @@
+//! Prints the fig7 series (CSV) with the paper's exact parameters.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin fig7
+//! ```
+
+fn main() {
+    print!("{}", sos_bench::figures::fig7());
+}

@@ -1,0 +1,9 @@
+//! Prints the fig8a series (CSV) with the paper's exact parameters.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin fig8a
+//! ```
+
+fn main() {
+    print!("{}", sos_bench::figures::fig8a());
+}

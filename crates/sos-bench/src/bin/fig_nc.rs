@@ -1,0 +1,10 @@
+//! Prints the supplemental P_S-vs-N_C analysis the paper defers to its
+//! technical report.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin fig_nc
+//! ```
+
+fn main() {
+    print!("{}", sos_bench::figures::supplemental_nc());
+}

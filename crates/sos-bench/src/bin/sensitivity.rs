@@ -1,0 +1,20 @@
+//! Prints the tornado sensitivity analysis at the paper's operating
+//! point.
+//!
+//! ```text
+//! cargo run -p sos-bench --bin sensitivity
+//! ```
+
+use sos_analysis::{tornado, OperatingPoint};
+use sos_core::PathEvaluator;
+
+fn main() {
+    let point = OperatingPoint::paper_default();
+    let base = point.price(PathEvaluator::Binomial).expect("valid point");
+    println!("# sensitivity");
+    println!("base P_S: {base:.6}");
+    println!("parameter,ps_low,ps_high,swing");
+    for entry in tornado(&point, 0.25, PathEvaluator::Binomial).expect("valid point") {
+        println!("{entry}");
+    }
+}

@@ -1,0 +1,713 @@
+//! Command implementations for the `sos` CLI.
+
+use crate::args::{ArgError, ParsedArgs};
+use sos_analysis::{OneBurstAnalysis, SuccessiveAnalysis};
+use sos_core::{
+    AttackBudget, AttackConfig, MappingDegree, NodeDistribution, PathEvaluator, Scenario,
+    SuccessiveParams, SystemParams,
+};
+use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
+use sos_sim::routing::RoutingPolicy;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+sos — generalized Secure Overlay Services analysis & simulation (ICDCS 2004)
+
+USAGE:
+    sos <COMMAND> [FLAGS]
+
+COMMANDS:
+    analyze    closed-form P_S for one configuration
+    simulate   Monte Carlo P_S for one configuration
+    compare    closed-form vs Monte Carlo side by side
+    figure     regenerate a paper figure (fig4a fig4b fig6a fig6b fig7 fig8a fig8b all)
+    optimize   search the design grid for the best worst-case design
+    frontier   latency-resilience Pareto frontier over the design grid
+    tornado    parameter-sensitivity analysis around an operating point
+    advise     lint a design against the standard threat catalogue
+
+SHARED FLAGS (defaults = the paper's):
+    --overlay-nodes N    total overlay population      [10000]
+    --sos-nodes n        SOS nodes                     [100]
+    --pb P_B             break-in success probability  [0.5]
+    --filters F          filter count                  [10]
+    --layers L           number of layers              [3]
+    --mapping M          one-to-one | one-to-K | one-to-half | one-to-all [one-to-2]
+    --distribution D     even | increasing | decreasing [even]
+    --nt N_T             break-in budget               [200]
+    --nc N_C             congestion budget             [2000]
+    --model M            one-burst | successive        [successive]
+    --rounds R           successive rounds             [3]
+    --pe P_E             prior first-layer knowledge   [0.2]
+    --evaluator E        binomial | hypergeometric     [binomial]
+
+SIMULATE FLAGS:
+    --trials T           attacked overlays             [100]
+    --routes K           routes per trial              [100]
+    --seed S             master seed                   [0]
+    --policy P           random-good | first-good | backtracking [random-good]
+    --transport T        direct | chord                [direct]
+
+OTHER FLAGS:
+    --json 1             (analyze) machine-readable output
+    --top K              (optimize) rows to print            [10]
+    --max-latency T      (optimize) clean-latency constraint
+    --pareto-only 1      (frontier) hide dominated designs
+    --step S             (tornado) relative perturbation     [0.25]
+    --threats a,b,…      (advise) threat subset: moderate-flooder |
+                         heavy-flooder | paper-intelligent |
+                         patient-intruder | balanced          [all]
+
+EXAMPLES:
+    sos analyze --layers 4 --mapping one-to-2
+    sos simulate --nt 200 --nc 2000 --trials 200 --seed 7
+    sos compare --mapping one-to-all --model one-burst
+    sos figure fig6a
+    sos optimize --max-latency 5
+    sos tornado --mapping one-to-5
+    sos advise --mapping one-to-all
+";
+
+/// Runs the CLI against raw arguments (without the program name);
+/// returns the process exit code.
+pub fn run<I, S>(args: I, out: &mut dyn std::io::Write) -> i32
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    match dispatch(args, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            let _ = writeln!(out, "run `sos` with no arguments for usage");
+            1
+        }
+    }
+}
+
+fn dispatch<I, S>(args: I, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let parsed = ParsedArgs::parse(args)?;
+    let command = parsed.positionals().first().map(String::as_str);
+    match command {
+        None | Some("help") => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Some("analyze") => analyze(&parsed, out),
+        Some("simulate") => simulate(&parsed, out),
+        Some("compare") => compare(&parsed, out),
+        Some("figure") => figure(&parsed, out),
+        Some("optimize") => optimize(&parsed, out),
+        Some("frontier") => frontier(&parsed, out),
+        Some("tornado") => tornado_cmd(&parsed, out),
+        Some("advise") => advise(&parsed, out),
+        Some(other) => Err(ArgError(format!("unknown command `{other}`")).into()),
+    }
+}
+
+fn parse_mapping(raw: &str) -> Result<MappingDegree, ArgError> {
+    match raw {
+        "one-to-one" | "one-to-1" => Ok(MappingDegree::ONE_TO_ONE),
+        "one-to-half" => Ok(MappingDegree::OneToHalf),
+        "one-to-all" => Ok(MappingDegree::OneToAll),
+        other => {
+            if let Some(k) = other.strip_prefix("one-to-") {
+                let k: u64 = k.parse().map_err(|_| {
+                    ArgError(format!("unrecognized mapping `{other}`"))
+                })?;
+                Ok(MappingDegree::OneTo(k))
+            } else {
+                Err(ArgError(format!(
+                    "unrecognized mapping `{other}` (try one-to-one, one-to-5, one-to-half, one-to-all)"
+                )))
+            }
+        }
+    }
+}
+
+fn parse_distribution(raw: &str) -> Result<NodeDistribution, ArgError> {
+    match raw {
+        "even" => Ok(NodeDistribution::Even),
+        "increasing" => Ok(NodeDistribution::Increasing),
+        "decreasing" => Ok(NodeDistribution::Decreasing),
+        other => Err(ArgError(format!(
+            "unrecognized distribution `{other}` (even | increasing | decreasing)"
+        ))),
+    }
+}
+
+fn parse_evaluator(raw: &str) -> Result<PathEvaluator, ArgError> {
+    match raw {
+        "binomial" => Ok(PathEvaluator::Binomial),
+        "hypergeometric" => Ok(PathEvaluator::Hypergeometric),
+        other => Err(ArgError(format!(
+            "unrecognized evaluator `{other}` (binomial | hypergeometric)"
+        ))),
+    }
+}
+
+struct CommonConfig {
+    scenario: Scenario,
+    attack: AttackConfig,
+    evaluator: PathEvaluator,
+}
+
+fn common_config(args: &ParsedArgs) -> Result<CommonConfig, Box<dyn std::error::Error>> {
+    let overlay_nodes: u64 = args.get_or("overlay-nodes", 10_000)?;
+    let sos_nodes: u64 = args.get_or("sos-nodes", 100)?;
+    let p_b: f64 = args.get_or("pb", 0.5)?;
+    let filters: u64 = args.get_or("filters", 10)?;
+    let layers: usize = args.get_or("layers", 3)?;
+    let mapping = parse_mapping(args.get("mapping").unwrap_or("one-to-2"))?;
+    let distribution = parse_distribution(args.get("distribution").unwrap_or("even"))?;
+    let evaluator = parse_evaluator(args.get("evaluator").unwrap_or("binomial"))?;
+
+    let scenario = Scenario::builder()
+        .system(SystemParams::new(overlay_nodes, sos_nodes, p_b)?)
+        .layers(layers)
+        .distribution(distribution)
+        .mapping(mapping)
+        .filters(filters)
+        .build()?;
+
+    let budget = AttackBudget::new(args.get_or("nt", 200)?, args.get_or("nc", 2_000)?);
+    let attack = match args.get("model").unwrap_or("successive") {
+        "one-burst" => AttackConfig::OneBurst { budget },
+        "successive" => AttackConfig::Successive {
+            budget,
+            params: SuccessiveParams::new(
+                args.get_or("rounds", 3)?,
+                args.get_or("pe", 0.2)?,
+            )?,
+        },
+        other => return Err(ArgError(format!("unknown model `{other}`")).into()),
+    };
+    Ok(CommonConfig {
+        scenario,
+        attack,
+        evaluator,
+    })
+}
+
+fn analyze(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = common_config(args)?;
+    let json = args.get("json").is_some();
+    args.reject_unknown()?;
+    let (ps, layer_ps, broken, congested) = match cfg.attack {
+        AttackConfig::OneBurst { budget } => {
+            let report = OneBurstAnalysis::new(&cfg.scenario, budget)?.run();
+            (
+                report.success_probability(cfg.evaluator).value(),
+                report.layer_successes(cfg.evaluator),
+                report.total_broken,
+                report.congested.iter().sum::<f64>(),
+            )
+        }
+        AttackConfig::Successive { budget, params } => {
+            let report = SuccessiveAnalysis::new(&cfg.scenario, budget, params)?.run();
+            (
+                report.success_probability(cfg.evaluator).value(),
+                report.layer_successes(cfg.evaluator),
+                report.total_broken,
+                report.congested.iter().sum::<f64>(),
+            )
+        }
+    };
+    if json {
+        // Machine-readable manifest + result (audit trail for batch
+        // experiment runners).
+        let doc = serde_json::json!({
+            "scenario": cfg.scenario,
+            "attack": cfg.attack,
+            "evaluator": cfg.evaluator,
+            "ps": ps,
+            "per_layer_success": layer_ps,
+            "expected_broken": broken,
+            "expected_congested": congested,
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&doc)?)?;
+        return Ok(());
+    }
+    writeln!(out, "model: {}", cfg.attack.model_name())?;
+    writeln!(out, "evaluator: {}", cfg.evaluator)?;
+    writeln!(out, "layer sizes: {:?}", cfg.scenario.topology().layer_sizes())?;
+    writeln!(out, "P_S: {ps:.6}")?;
+    for (i, p) in layer_ps.iter().enumerate() {
+        let name = if i == layer_ps.len() - 1 {
+            "filters".to_string()
+        } else {
+            format!("layer {}", i + 1)
+        };
+        writeln!(out, "  P_{} ({name}): {p:.6}", i + 1)?;
+    }
+    writeln!(out, "expected broken-in nodes: {broken:.2}")?;
+    writeln!(out, "expected congested nodes: {congested:.2}")?;
+    Ok(())
+}
+
+fn simulate(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = common_config(args)?;
+    let trials: u64 = args.get_or("trials", 100)?;
+    let routes: u64 = args.get_or("routes", 100)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let policy = match args.get("policy").unwrap_or("random-good") {
+        "random-good" => RoutingPolicy::RandomGood,
+        "first-good" => RoutingPolicy::FirstGood,
+        "backtracking" => RoutingPolicy::Backtracking,
+        other => return Err(ArgError(format!("unknown policy `{other}`")).into()),
+    };
+    let transport = match args.get("transport").unwrap_or("direct") {
+        "direct" => TransportKind::Direct,
+        "chord" => TransportKind::Chord,
+        other => return Err(ArgError(format!("unknown transport `{other}`")).into()),
+    };
+    args.reject_unknown()?;
+
+    let sim = Simulation::new(
+        SimulationConfig::new(cfg.scenario, cfg.attack)
+            .trials(trials)
+            .routes_per_trial(routes)
+            .seed(seed)
+            .policy(policy)
+            .transport(transport),
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let result = sim.run_parallel(threads);
+    let ci = result.confidence_interval(0.95);
+    writeln!(out, "model: {}", cfg.attack.model_name())?;
+    writeln!(out, "policy: {policy}  transport: {}", transport.label())?;
+    writeln!(out, "trials: {trials}  routes/trial: {routes}  seed: {seed}")?;
+    writeln!(out, "empirical P_S: {:.6}", result.success_rate())?;
+    writeln!(out, "95% CI: [{:.6}, {:.6}]", ci.lower, ci.upper)?;
+    writeln!(
+        out,
+        "per-trial spread: mean {:.4}, sd {:.4}, min {:.4}, max {:.4}",
+        result.per_trial.mean, result.per_trial.std_dev, result.per_trial.min, result.per_trial.max
+    )?;
+    writeln!(
+        out,
+        "eq.(1) on realized states: hypergeometric {:.6}, binomial {:.6}",
+        result.realized_ps_hypergeometric, result.realized_ps_binomial
+    )?;
+    writeln!(out, "mean underlay hops: {:.2}", result.mean_underlay_hops)?;
+    if let Some(layer) = result.bottleneck_layer() {
+        writeln!(
+            out,
+            "failure bottleneck: layer {layer} ({} of {} failures died there)",
+            result.failure_depths[layer],
+            result.failure_depths.iter().sum::<u64>()
+        )?;
+    }
+    Ok(())
+}
+
+fn compare(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = common_config(args)?;
+    let trials: u64 = args.get_or("trials", 100)?;
+    let routes: u64 = args.get_or("routes", 100)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    args.reject_unknown()?;
+    let row = sos_sim::compare_models(
+        "cli",
+        &cfg.scenario,
+        cfg.attack,
+        trials,
+        routes,
+        seed,
+    )?;
+    writeln!(out, "{}", sos_sim::ComparisonRow::CSV_HEADER)?;
+    writeln!(out, "{row}")?;
+    Ok(())
+}
+
+fn optimize(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use sos_analysis::{AttackProfile, Constraints, DesignSpace, Optimizer};
+    let overlay_nodes: u64 = args.get_or("overlay-nodes", 10_000)?;
+    let sos_nodes: u64 = args.get_or("sos-nodes", 100)?;
+    let p_b: f64 = args.get_or("pb", 0.5)?;
+    let max_latency: Option<f64> = match args.get("max-latency") {
+        None => None,
+        Some(raw) => Some(raw.parse()?),
+    };
+    let top: usize = args.get_or("top", 10)?;
+    args.reject_unknown()?;
+
+    let system = SystemParams::new(overlay_nodes, sos_nodes, p_b)?;
+    // A representative threat mix from the shared preset catalogue:
+    // heavy flood, patient intruder, balanced adversary.
+    let profiles: Vec<AttackProfile> = [
+        sos_core::ThreatPreset::HeavyFlooder,
+        sos_core::ThreatPreset::PatientIntruder,
+        sos_core::ThreatPreset::Balanced,
+    ]
+    .into_iter()
+    .map(|preset| AttackProfile::new(preset.label(), preset.attack(&system)))
+    .collect();
+    let optimizer = Optimizer::new(system, DesignSpace::paper_grid(), profiles)
+        .constraints(Constraints {
+            max_clean_latency: max_latency,
+            min_ps_per_profile: None,
+        });
+    let ranked = optimizer.run()?;
+    writeln!(
+        out,
+        "rank,design,worst_case_ps,heavy-flooder,patient-intruder,balanced,clean_latency"
+    )?;
+    for (i, d) in ranked.iter().take(top).enumerate() {
+        writeln!(
+            out,
+            "{},L={} {} {},{:.6},{:.6},{:.6},{:.6},{:.2}",
+            i + 1,
+            d.layers,
+            d.mapping,
+            d.distribution,
+            d.score,
+            d.per_profile[0],
+            d.per_profile[1],
+            d.per_profile[2],
+            d.clean_latency
+        )?;
+    }
+    if ranked.is_empty() {
+        writeln!(out, "no feasible design under the given constraints")?;
+    }
+    Ok(())
+}
+
+fn frontier(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use sos_analysis::{latency_resilience_frontier, ForwardingDiscipline, LatencyModel};
+    let overlay_nodes: u64 = args.get_or("overlay-nodes", 10_000)?;
+    let sos_nodes: u64 = args.get_or("sos-nodes", 100)?;
+    let p_b: f64 = args.get_or("pb", 0.5)?;
+    let chord = matches!(args.get("transport"), Some("chord"));
+    let pareto_only = args.get("pareto-only").is_some();
+    args.reject_unknown()?;
+
+    let system = SystemParams::new(overlay_nodes, sos_nodes, p_b)?;
+    let model = LatencyModel {
+        per_hop_mean: 1.0,
+        chord_transport: chord,
+        discipline: ForwardingDiscipline::DelayAware,
+    };
+    let points = latency_resilience_frontier(
+        system,
+        NodeDistribution::Even,
+        AttackBudget::paper_default(),
+        SuccessiveParams::paper_default(),
+        model,
+        1..=8,
+        &MappingDegree::paper_named_set(),
+    )?;
+    writeln!(out, "design,P_S,latency,pareto")?;
+    for p in points {
+        if pareto_only && !p.pareto_optimal {
+            continue;
+        }
+        writeln!(out, "{p}")?;
+    }
+    Ok(())
+}
+
+fn tornado_cmd(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use sos_analysis::{tornado, OperatingPoint};
+    let mut point = OperatingPoint::paper_default();
+    point.overlay_nodes = args.get_or("overlay-nodes", point.overlay_nodes)?;
+    point.sos_nodes = args.get_or("sos-nodes", point.sos_nodes)?;
+    point.break_in_probability = args.get_or("pb", point.break_in_probability)?;
+    point.layers = args.get_or("layers", point.layers)?;
+    point.mapping = parse_mapping(args.get("mapping").unwrap_or("one-to-2"))?;
+    point.distribution = parse_distribution(args.get("distribution").unwrap_or("even"))?;
+    point.break_in_trials = args.get_or("nt", point.break_in_trials)?;
+    point.congestion_capacity = args.get_or("nc", point.congestion_capacity)?;
+    point.rounds = args.get_or("rounds", point.rounds)?;
+    point.prior_knowledge = args.get_or("pe", point.prior_knowledge)?;
+    let step: f64 = args.get_or("step", 0.25)?;
+    let evaluator = parse_evaluator(args.get("evaluator").unwrap_or("binomial"))?;
+    args.reject_unknown()?;
+
+    let base = point.price(evaluator)?;
+    writeln!(out, "# tornado (step ±{:.0}%)", step * 100.0)?;
+    writeln!(out, "base P_S: {base:.6}")?;
+    writeln!(out, "parameter,ps_low,ps_high,swing")?;
+    for entry in tornado(&point, step, evaluator)? {
+        writeln!(out, "{entry}")?;
+    }
+    Ok(())
+}
+
+fn advise(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use sos_core::ThreatPreset;
+    let cfg = common_config(args)?;
+    let threats: Vec<ThreatPreset> = match args.get("threats") {
+        None => ThreatPreset::ALL.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|label| {
+                ThreatPreset::parse(label.trim()).ok_or_else(|| {
+                    ArgError(format!(
+                        "unknown threat `{label}` (known: {})",
+                        ThreatPreset::ALL.map(|t| t.label()).join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    args.reject_unknown()?;
+    let advice = sos_analysis::review(&cfg.scenario, &threats)?;
+    writeln!(
+        out,
+        "reviewing L={} {:?} against {} threats",
+        cfg.scenario.topology().layer_count(),
+        cfg.scenario.topology().degrees(),
+        threats.len()
+    )?;
+    if advice.is_empty() {
+        writeln!(out, "no findings — the design survives the stated threats")?;
+    }
+    for item in &advice {
+        writeln!(out, "{item}")?;
+    }
+    if sos_analysis::has_critical(&advice) {
+        writeln!(out, "verdict: REJECT (critical findings)")?;
+    } else {
+        writeln!(out, "verdict: acceptable")?;
+    }
+    Ok(())
+}
+
+fn figure(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    args.reject_unknown()?;
+    let which = args
+        .positionals()
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| ArgError("figure requires a name (e.g. `sos figure fig4a`)".into()))?;
+    use sos_bench::figures;
+    let tables = match which {
+        "fig4a" => vec![figures::fig4a()],
+        "fig4b" => vec![figures::fig4b()],
+        "fig6a" => vec![figures::fig6a()],
+        "fig6b" => vec![figures::fig6b()],
+        "fig7" => vec![figures::fig7()],
+        "fig8a" => vec![figures::fig8a()],
+        "fig8b" => vec![figures::fig8b()],
+        "all" => figures::all(),
+        other => return Err(ArgError(format!("unknown figure `{other}`")).into()),
+    };
+    for t in tables {
+        writeln!(out, "{t}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> (i32, String) {
+        let mut buf = Vec::new();
+        let code = run(args.iter().map(|s| s.to_string()), &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (code, out) = run_to_string(&[]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn analyze_defaults_succeed() {
+        let (code, out) = run_to_string(&["analyze"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("P_S:"));
+        assert!(out.contains("model: successive"));
+    }
+
+    #[test]
+    fn analyze_one_burst_matches_library() {
+        let (code, out) = run_to_string(&[
+            "analyze",
+            "--model",
+            "one-burst",
+            "--mapping",
+            "one-to-one",
+            "--layers",
+            "1",
+            "--nt",
+            "0",
+            "--nc",
+            "2000",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("P_S: 0.8000"), "{out}");
+    }
+
+    #[test]
+    fn simulate_small_run_succeeds() {
+        let (code, out) = run_to_string(&[
+            "simulate",
+            "--overlay-nodes",
+            "500",
+            "--sos-nodes",
+            "50",
+            "--trials",
+            "10",
+            "--routes",
+            "20",
+            "--nt",
+            "10",
+            "--nc",
+            "50",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("empirical P_S"), "{out}");
+        assert!(out.contains("95% CI"), "{out}");
+    }
+
+    #[test]
+    fn figure_fig7_prints_csv() {
+        let (code, out) = run_to_string(&["figure", "fig7"]);
+        assert_eq!(code, 0);
+        assert!(out.starts_with("# fig7"));
+        assert!(out.contains("series,R,P_S"));
+        assert!(out.contains("L=3,1,"));
+    }
+
+    #[test]
+    fn optimize_ranks_designs() {
+        let (code, out) = run_to_string(&["optimize", "--top", "3"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.starts_with("rank,design"), "{out}");
+        assert!(out.lines().count() >= 2, "{out}");
+        // The top design must not be one-to-all (it dies to the intruder).
+        let first = out.lines().nth(1).unwrap();
+        assert!(!first.contains("one-to-all"), "{first}");
+    }
+
+    #[test]
+    fn optimize_latency_constraint_respected() {
+        let (code, out) = run_to_string(&["optimize", "--max-latency", "3", "--top", "50"]);
+        assert_eq!(code, 0, "{out}");
+        for line in out.lines().skip(1) {
+            // Unit latency model: L+1 boundaries ⇒ max-latency 3 allows L ≤ 2.
+            assert!(
+                line.contains("L=1") || line.contains("L=2"),
+                "deep design leaked through: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_prints_points() {
+        let (code, out) = run_to_string(&["frontier", "--pareto-only", "1"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.starts_with("design,P_S,latency,pareto"));
+        for line in out.lines().skip(1) {
+            assert!(line.ends_with("true"), "non-pareto point in output: {line}");
+        }
+    }
+
+    #[test]
+    fn tornado_prints_ranked_sensitivities() {
+        let (code, out) = run_to_string(&["tornado", "--step", "0.2"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("base P_S:"), "{out}");
+        assert!(out.contains("parameter,ps_low,ps_high,swing"));
+        // All eight parameters reported.
+        for p in ["N_T", "N_C", "P_B", "P_E", "R,", "L,", "n,", "N,"] {
+            assert!(out.contains(p), "missing {p} in {out}");
+        }
+    }
+
+    #[test]
+    fn advise_flags_original_sos() {
+        let (code, out) = run_to_string(&["advise", "--mapping", "one-to-all"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("one-to-all-under-break-in"), "{out}");
+        assert!(out.contains("verdict: REJECT"), "{out}");
+    }
+
+    #[test]
+    fn advise_accepts_good_design_with_selected_threats() {
+        let (code, out) = run_to_string(&[
+            "advise",
+            "--layers",
+            "4",
+            "--mapping",
+            "one-to-2",
+            "--threats",
+            "paper-intelligent",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("verdict: acceptable"), "{out}");
+    }
+
+    #[test]
+    fn advise_rejects_unknown_threat_label() {
+        let (code, out) = run_to_string(&["advise", "--threats", "zombie-horde"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown threat"), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, out) = run_to_string(&["frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn unknown_flag_fails() {
+        let (code, out) = run_to_string(&["analyze", "--tirals", "5"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--tirals"), "{out}");
+    }
+
+    #[test]
+    fn bad_mapping_reported() {
+        let (code, out) = run_to_string(&["analyze", "--mapping", "one-two-many"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unrecognized mapping"), "{out}");
+    }
+
+    #[test]
+    fn invalid_configuration_propagates() {
+        // 100 SOS nodes cannot fill 101 layers.
+        let (code, out) = run_to_string(&["analyze", "--layers", "101"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error:"), "{out}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Node-distribution policies: how the `n` SOS nodes are spread over the
+//! `L` layers.
+//!
+//! The paper evaluates three policies in Fig. 6(b):
+//!
+//! * **even** — every layer gets `n / L`;
+//! * **increasing** — the first layer is fixed at `n / L` (to keep load
+//!   balance with clients) and the remaining nodes are split over layers
+//!   `2..=L` in the ratio `1 : 2 : … : L−1`, so layers closer to the
+//!   target are larger;
+//! * **decreasing** — first layer fixed at `n / L`, remaining layers in
+//!   the ratio `L−1 : L−2 : … : 1`.
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+use sos_math::sampling::proportional_split;
+
+/// Policy describing how SOS nodes are distributed across layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum NodeDistribution {
+    /// `n / L` nodes per layer (the paper's default).
+    Even,
+    /// First layer `n / L`; layers `2..=L` in increasing ratio
+    /// `1 : 2 : … : L−1`. Performs best under break-in attacks per the
+    /// paper's Fig. 6(b).
+    Increasing,
+    /// First layer `n / L`; layers `2..=L` in decreasing ratio
+    /// `L−1 : … : 1`.
+    Decreasing,
+    /// Explicit per-layer weights (not necessarily normalized).
+    Custom(Vec<f64>),
+}
+
+impl NodeDistribution {
+    /// Computes concrete integer layer sizes for `sos_nodes` nodes over
+    /// `layers` layers. The sizes always sum to exactly `sos_nodes`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::ZeroCount`] if `layers == 0` or `sos_nodes == 0`;
+    /// * [`ConfigError::InvalidWeights`] if a custom weight vector has the
+    ///   wrong length, negative entries, or sums to zero;
+    /// * [`ConfigError::EmptyLayer`] if the policy would leave some layer
+    ///   without any nodes (e.g. too many layers for too few nodes).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sos_core::NodeDistribution;
+    /// let sizes = NodeDistribution::Increasing.layer_sizes(100, 5)?;
+    /// assert_eq!(sizes.iter().sum::<u64>(), 100);
+    /// assert_eq!(sizes[0], 20); // first layer fixed at n / L
+    /// // Remaining 80 nodes in ratio 1:2:3:4.
+    /// assert_eq!(sizes[1..], [8, 16, 24, 32]);
+    /// # Ok::<(), sos_core::ConfigError>(())
+    /// ```
+    pub fn layer_sizes(&self, sos_nodes: u64, layers: usize) -> Result<Vec<u64>, ConfigError> {
+        if layers == 0 {
+            return Err(ConfigError::ZeroCount { name: "layers (L)" });
+        }
+        if sos_nodes == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "sos_nodes (n)",
+            });
+        }
+        let sizes = match self {
+            NodeDistribution::Even => {
+                proportional_split(sos_nodes, &vec![1.0; layers])
+            }
+            NodeDistribution::Increasing | NodeDistribution::Decreasing => {
+                if layers == 1 {
+                    vec![sos_nodes]
+                } else {
+                    let first = sos_nodes / layers as u64;
+                    let rest = sos_nodes - first;
+                    let mut weights: Vec<f64> =
+                        (1..layers as u64).map(|i| i as f64).collect();
+                    if matches!(self, NodeDistribution::Decreasing) {
+                        weights.reverse();
+                    }
+                    let mut sizes = vec![first];
+                    sizes.extend(proportional_split(rest, &weights));
+                    sizes
+                }
+            }
+            NodeDistribution::Custom(weights) => {
+                if weights.len() != layers {
+                    return Err(ConfigError::InvalidWeights {
+                        reason: format!(
+                            "expected {layers} weights, got {}",
+                            weights.len()
+                        ),
+                    });
+                }
+                if weights.iter().any(|&w| w.is_nan() || w < 0.0) {
+                    return Err(ConfigError::InvalidWeights {
+                        reason: format!("negative or NaN weight in {weights:?}"),
+                    });
+                }
+                if weights.iter().sum::<f64>() <= 0.0 {
+                    return Err(ConfigError::InvalidWeights {
+                        reason: "weights sum to zero".to_string(),
+                    });
+                }
+                proportional_split(sos_nodes, weights)
+            }
+        };
+        if let Some(idx) = sizes.iter().position(|&s| s == 0) {
+            return Err(ConfigError::EmptyLayer { layer: idx + 1 });
+        }
+        Ok(sizes)
+    }
+
+    /// Short machine-readable label used in experiment CSV output.
+    pub fn label(&self) -> String {
+        match self {
+            NodeDistribution::Even => "even".to_string(),
+            NodeDistribution::Increasing => "increasing".to_string(),
+            NodeDistribution::Decreasing => "decreasing".to_string(),
+            NodeDistribution::Custom(w) => format!("custom({} weights)", w.len()),
+        }
+    }
+}
+
+impl std::fmt::Display for NodeDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_distribution_balances() {
+        let sizes = NodeDistribution::Even.layer_sizes(100, 3).unwrap();
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+        assert!(sizes.iter().all(|&s| s == 33 || s == 34));
+
+        let sizes = NodeDistribution::Even.layer_sizes(99, 3).unwrap();
+        assert_eq!(sizes, vec![33, 33, 33]);
+    }
+
+    #[test]
+    fn increasing_distribution_shape() {
+        let sizes = NodeDistribution::Increasing.layer_sizes(100, 4).unwrap();
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+        assert_eq!(sizes[0], 25);
+        // Remaining 75 in ratio 1:2:3 → 12.5, 25, 37.5 → rounded, conserving.
+        assert!(sizes[1] < sizes[2] && sizes[2] < sizes[3]);
+    }
+
+    #[test]
+    fn decreasing_distribution_shape() {
+        let sizes = NodeDistribution::Decreasing.layer_sizes(100, 4).unwrap();
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+        assert_eq!(sizes[0], 25);
+        assert!(sizes[1] > sizes[2] && sizes[2] > sizes[3]);
+    }
+
+    #[test]
+    fn increasing_and_decreasing_are_mirrors() {
+        let inc = NodeDistribution::Increasing.layer_sizes(100, 5).unwrap();
+        let dec = NodeDistribution::Decreasing.layer_sizes(100, 5).unwrap();
+        let mut tail: Vec<u64> = inc[1..].to_vec();
+        tail.reverse();
+        assert_eq!(tail, dec[1..].to_vec());
+    }
+
+    #[test]
+    fn single_layer_gets_everything() {
+        for dist in [
+            NodeDistribution::Even,
+            NodeDistribution::Increasing,
+            NodeDistribution::Decreasing,
+        ] {
+            assert_eq!(dist.layer_sizes(42, 1).unwrap(), vec![42]);
+        }
+    }
+
+    #[test]
+    fn custom_weights_respected() {
+        let dist = NodeDistribution::Custom(vec![1.0, 1.0, 2.0]);
+        assert_eq!(dist.layer_sizes(100, 3).unwrap(), vec![25, 25, 50]);
+    }
+
+    #[test]
+    fn custom_weight_validation() {
+        assert!(matches!(
+            NodeDistribution::Custom(vec![1.0]).layer_sizes(10, 2),
+            Err(ConfigError::InvalidWeights { .. })
+        ));
+        assert!(matches!(
+            NodeDistribution::Custom(vec![1.0, -1.0]).layer_sizes(10, 2),
+            Err(ConfigError::InvalidWeights { .. })
+        ));
+        assert!(matches!(
+            NodeDistribution::Custom(vec![0.0, 0.0]).layer_sizes(10, 2),
+            Err(ConfigError::InvalidWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_layers_rejected() {
+        // 3 nodes over 5 layers must fail.
+        assert!(matches!(
+            NodeDistribution::Even.layer_sizes(3, 5),
+            Err(ConfigError::EmptyLayer { .. })
+        ));
+        // Increasing with tiny remainder starves layer 2.
+        assert!(matches!(
+            NodeDistribution::Increasing.layer_sizes(10, 10),
+            Err(ConfigError::EmptyLayer { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_inputs_rejected() {
+        assert!(NodeDistribution::Even.layer_sizes(0, 3).is_err());
+        assert!(NodeDistribution::Even.layer_sizes(10, 0).is_err());
+    }
+
+    #[test]
+    fn labels_stable() {
+        assert_eq!(NodeDistribution::Even.to_string(), "even");
+        assert_eq!(NodeDistribution::Increasing.to_string(), "increasing");
+        assert_eq!(NodeDistribution::Decreasing.to_string(), "decreasing");
+    }
+}

@@ -1,0 +1,142 @@
+//! Configuration error type shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building or validating an SOS configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A probability parameter fell outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter (e.g. `"P_B"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The number of SOS nodes exceeds the overlay population.
+    SosExceedsOverlay {
+        /// SOS node count `n`.
+        sos_nodes: u64,
+        /// Overlay population `N`.
+        overlay_nodes: u64,
+    },
+    /// A structural count that must be positive was zero.
+    ZeroCount {
+        /// Name of the offending parameter (e.g. `"layers"`).
+        name: &'static str,
+    },
+    /// The per-layer sizes do not sum to the declared SOS node count.
+    LayerSizeMismatch {
+        /// Sum of the provided layer sizes.
+        layer_total: u64,
+        /// Declared SOS node count.
+        sos_nodes: u64,
+    },
+    /// A layer was assigned zero nodes, which would disconnect the overlay.
+    EmptyLayer {
+        /// 1-based index of the empty layer.
+        layer: usize,
+    },
+    /// A mapping degree exceeds the size of the layer it maps into.
+    MappingExceedsLayer {
+        /// 1-based index of the target layer.
+        layer: usize,
+        /// Requested degree.
+        degree: f64,
+        /// Size of the target layer.
+        layer_size: u64,
+    },
+    /// A custom weight vector had the wrong length or invalid entries.
+    InvalidWeights {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// Attack parameters are inconsistent with the system parameters.
+    InvalidAttack {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// A required builder field was never set.
+    MissingField {
+        /// Name of the field.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidProbability { name, value } => {
+                write!(f, "probability {name} = {value} is outside [0, 1]")
+            }
+            ConfigError::SosExceedsOverlay {
+                sos_nodes,
+                overlay_nodes,
+            } => write!(
+                f,
+                "SOS node count n = {sos_nodes} exceeds overlay population N = {overlay_nodes}"
+            ),
+            ConfigError::ZeroCount { name } => {
+                write!(f, "{name} must be positive")
+            }
+            ConfigError::LayerSizeMismatch {
+                layer_total,
+                sos_nodes,
+            } => write!(
+                f,
+                "layer sizes sum to {layer_total} but n = {sos_nodes} SOS nodes were declared"
+            ),
+            ConfigError::EmptyLayer { layer } => {
+                write!(f, "layer {layer} has no nodes")
+            }
+            ConfigError::MappingExceedsLayer {
+                layer,
+                degree,
+                layer_size,
+            } => write!(
+                f,
+                "mapping degree m_{layer} = {degree} exceeds the {layer_size} nodes of layer {layer}"
+            ),
+            ConfigError::InvalidWeights { reason } => {
+                write!(f, "invalid distribution weights: {reason}")
+            }
+            ConfigError::InvalidAttack { reason } => {
+                write!(f, "invalid attack parameters: {reason}")
+            }
+            ConfigError::MissingField { name } => {
+                write!(f, "required field `{name}` was not set")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ConfigError::InvalidProbability {
+            name: "P_B",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("P_B"));
+        assert!(e.to_string().contains("1.5"));
+
+        let e = ConfigError::LayerSizeMismatch {
+            layer_total: 90,
+            sos_nodes: 100,
+        };
+        assert!(e.to_string().contains("90"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        takes_err(&ConfigError::ZeroCount { name: "layers" });
+    }
+}

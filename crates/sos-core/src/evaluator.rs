@@ -1,0 +1,255 @@
+//! Computing `P_S` from per-layer compromise counts — equation (1).
+//!
+//! The paper expresses the probability that a message makes it from a
+//! client to the target as
+//!
+//! ```text
+//! P_S = ∏_{i=1}^{L+1} (1 − P(n_i, s_i, m_i)),
+//! ```
+//!
+//! where `P(n_i, s_i, m_i)` is the probability that *all* `m_i` next-hop
+//! neighbors at layer `i` of a forwarding node are bad. The average-case
+//! model plugs in fractional `s_i`, which requires choosing a continuous
+//! extension of the combinatorial ratio `C(s, m)/C(n, m)`; see
+//! `DESIGN.md` §1 for why this matters. Two extensions are provided:
+//!
+//! * [`PathEvaluator::Hypergeometric`] — the paper's formula, evaluated in
+//!   clamped product form (`m` rounded to the nearest integer). Exactly
+//!   zero while `s_i < m_i`, which makes high mapping degrees appear
+//!   perfectly immune to moderate random congestion.
+//! * [`PathEvaluator::Binomial`] — the independent-compromise relaxation
+//!   `(s/n)^m`, defined for fractional `m` and never saturating; this is
+//!   the evaluator whose shapes match the paper's plotted curves and the
+//!   Monte Carlo ground truth.
+
+use crate::params::Probability;
+use crate::state::CompromiseState;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use sos_math::hypergeom::{all_specific_in_sample, all_specific_in_sample_binomial};
+
+/// Strategy for evaluating the per-layer failure probability
+/// `P(n_i, s_i, m_i)` at fractional average-case arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PathEvaluator {
+    /// The paper's combinatorial ratio `C(s,m)/C(n,m)` (clamped product
+    /// form; `m` rounded to nearest integer, minimum 1).
+    Hypergeometric,
+    /// Independent-compromise relaxation `(s/n)^m` (supports fractional
+    /// `m`; default because its shapes match the paper's figures).
+    #[default]
+    Binomial,
+}
+
+impl PathEvaluator {
+    /// Probability that all `m` neighbors chosen from a layer of `n`
+    /// nodes with `s` bad nodes are bad — the paper's `P(n, s, m)`.
+    ///
+    /// Returns a value in `[0, 1]`; `s` is clamped into `[0, n]` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `m <= 0` — an empty layer or a node with no
+    /// neighbors cannot forward at all and upstream validation rejects
+    /// such topologies.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sos_core::PathEvaluator;
+    /// // One neighbor out of 100 nodes, 20 bad: both evaluators agree.
+    /// let h = PathEvaluator::Hypergeometric.layer_failure(100, 20.0, 1.0);
+    /// let b = PathEvaluator::Binomial.layer_failure(100, 20.0, 1.0);
+    /// assert!((h - 0.2).abs() < 1e-12);
+    /// assert!((b - 0.2).abs() < 1e-12);
+    /// ```
+    pub fn layer_failure(&self, n: u64, s: f64, m: f64) -> f64 {
+        assert!(n > 0, "layer must be non-empty");
+        assert!(m > 0.0, "mapping degree must be positive");
+        let s = s.clamp(0.0, n as f64);
+        match self {
+            PathEvaluator::Hypergeometric => {
+                let m_int = (m.round() as u64).clamp(1, n);
+                all_specific_in_sample(n as f64, s, m_int)
+            }
+            PathEvaluator::Binomial => {
+                all_specific_in_sample_binomial(n as f64, s, m.min(n as f64))
+            }
+        }
+    }
+
+    /// Per-layer success probability `P_i = 1 − P(n_i, s_i, m_i)`.
+    pub fn layer_success(&self, n: u64, s: f64, m: f64) -> f64 {
+        1.0 - self.layer_failure(n, s, m)
+    }
+
+    /// End-to-end success probability `P_S` (equation (1)) for a
+    /// compromise state over a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was built for a different topology shape.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sos_core::{CompromiseState, MappingDegree, PathEvaluator, Topology};
+    ///
+    /// let topo = Topology::builder()
+    ///     .layer_sizes(vec![100])
+    ///     .mapping(MappingDegree::ONE_TO_ONE)
+    ///     .filters(10)
+    ///     .build()?;
+    /// let mut state = CompromiseState::clean(&topo);
+    /// state.set_congested(1, 20.0);
+    /// let ps = PathEvaluator::Hypergeometric.success_probability(&topo, &state);
+    /// assert!((ps.value() - 0.8).abs() < 1e-12);
+    /// # Ok::<(), sos_core::ConfigError>(())
+    /// ```
+    pub fn success_probability(
+        &self,
+        topology: &Topology,
+        state: &CompromiseState,
+    ) -> Probability {
+        assert_eq!(
+            state.layer_count(),
+            topology.layer_count() + 1,
+            "state shape does not match topology"
+        );
+        let mut ps = 1.0;
+        for (i, size, degree) in topology.boundaries() {
+            ps *= self.layer_success(size, state.bad(i), degree);
+        }
+        Probability::clamped(ps)
+    }
+
+    /// Per-layer success probabilities `P_1..=P_{L+1}` — useful for
+    /// attributing which layer dominates a failure.
+    pub fn layer_successes(
+        &self,
+        topology: &Topology,
+        state: &CompromiseState,
+    ) -> Vec<f64> {
+        topology
+            .boundaries()
+            .map(|(i, size, degree)| self.layer_success(size, state.bad(i), degree))
+            .collect()
+    }
+
+    /// Stable label for CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PathEvaluator::Hypergeometric => "hypergeometric",
+            PathEvaluator::Binomial => "binomial",
+        }
+    }
+}
+
+impl std::fmt::Display for PathEvaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingDegree;
+
+    fn topo(mapping: MappingDegree) -> Topology {
+        Topology::builder()
+            .layer_sizes(vec![50, 50])
+            .mapping(mapping)
+            .filters(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn evaluators_agree_for_degree_one() {
+        for s in [0.0, 1.0, 12.5, 49.9, 50.0] {
+            let h = PathEvaluator::Hypergeometric.layer_failure(50, s, 1.0);
+            let b = PathEvaluator::Binomial.layer_failure(50, s, 1.0);
+            assert!((h - b).abs() < 1e-12, "s = {s}: {h} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_saturates_below_degree() {
+        // s < m ⇒ exact 0 failure under the combinatorial form...
+        assert_eq!(
+            PathEvaluator::Hypergeometric.layer_failure(50, 4.0, 5.0),
+            0.0
+        );
+        // ...but not under the binomial relaxation.
+        assert!(PathEvaluator::Binomial.layer_failure(50, 4.0, 5.0) > 0.0);
+    }
+
+    #[test]
+    fn failure_monotone_in_bad_count() {
+        for eval in [PathEvaluator::Hypergeometric, PathEvaluator::Binomial] {
+            let mut prev = 0.0;
+            for s in 0..=50 {
+                let p = eval.layer_failure(50, s as f64, 3.0);
+                assert!(p >= prev - 1e-12, "{eval}: s = {s}");
+                prev = p;
+            }
+            assert!((prev - 1.0).abs() < 1e-9, "{eval}: fully-bad layer must fail");
+        }
+    }
+
+    #[test]
+    fn clean_state_gives_certain_success() {
+        let t = topo(MappingDegree::OneTo(2));
+        let s = CompromiseState::clean(&t);
+        for eval in [PathEvaluator::Hypergeometric, PathEvaluator::Binomial] {
+            assert_eq!(eval.success_probability(&t, &s).value(), 1.0);
+        }
+    }
+
+    #[test]
+    fn fully_congested_layer_gives_certain_failure() {
+        let t = topo(MappingDegree::OneTo(2));
+        let mut s = CompromiseState::clean(&t);
+        s.set_congested(2, 50.0);
+        for eval in [PathEvaluator::Hypergeometric, PathEvaluator::Binomial] {
+            assert_eq!(eval.success_probability(&t, &s).value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn success_probability_multiplies_layers() {
+        let t = topo(MappingDegree::ONE_TO_ONE);
+        let mut s = CompromiseState::clean(&t);
+        s.set_congested(1, 10.0); // P_1 = 0.8
+        s.set_congested(2, 25.0); // P_2 = 0.5
+        let ps = PathEvaluator::Hypergeometric.success_probability(&t, &s);
+        assert!((ps.value() - 0.4).abs() < 1e-12);
+        let per_layer = PathEvaluator::Hypergeometric.layer_successes(&t, &s);
+        assert_eq!(per_layer.len(), 3);
+        assert!((per_layer[0] - 0.8).abs() < 1e-12);
+        assert!((per_layer[1] - 0.5).abs() < 1e-12);
+        assert!((per_layer[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_layer_participates() {
+        let t = topo(MappingDegree::ONE_TO_ONE);
+        let mut s = CompromiseState::clean(&t);
+        s.set_congested(3, 5.0); // half the filters
+        let ps = PathEvaluator::Hypergeometric.success_probability(&t, &s);
+        assert!((ps.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_supports_fractional_degree() {
+        let p = PathEvaluator::Binomial.layer_failure(33, 16.5, 16.5);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping degree must be positive")]
+    fn zero_degree_rejected() {
+        PathEvaluator::Binomial.layer_failure(10, 1.0, 0.0);
+    }
+}

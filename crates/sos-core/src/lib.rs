@@ -1,0 +1,69 @@
+//! Domain model for the **generalized Secure Overlay Services (SOS)
+//! architecture** of Xuan, Chellappan, Wang & Wang (ICDCS 2004).
+//!
+//! The original SOS architecture (Keromytis et al., SIGCOMM 2002) routes
+//! client traffic to a protected target through three fixed overlay layers
+//! (SOAPs → beacons → secret servlets) and a ring of filters. The ICDCS
+//! 2004 paper generalizes this to `L` layers with three tunable design
+//! features, all first-class types in this crate:
+//!
+//! * the **number of layers** `L` ([`Topology`]),
+//! * the **node distribution per layer** `n_1..n_L`
+//!   ([`NodeDistribution`]), and
+//! * the **mapping degree** `m_i` — how many next-layer neighbors each
+//!   node knows ([`MappingDegree`]).
+//!
+//! On top of the structural model the crate defines the shared vocabulary
+//! used by the analytical (`sos-analysis`) and simulation (`sos-sim`)
+//! crates: system parameters ([`SystemParams`]), attack budgets
+//! ([`AttackBudget`], [`AttackConfig`]), per-layer compromise state
+//! ([`CompromiseState`]) and the `P_S` evaluator ([`PathEvaluator`]),
+//! which turns per-layer bad-node counts into the paper's success
+//! probability via equation (1):
+//!
+//! ```text
+//! P_S = ∏_{i=1}^{L+1} (1 − P(n_i, s_i, m_i))
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use sos_core::{NodeDistribution, MappingDegree, Scenario, SystemParams};
+//!
+//! // The paper's default configuration: N=10000 overlay nodes, n=100 SOS
+//! // nodes, 10 filters, P_B=0.5, evenly distributed across 3 layers with
+//! // one-to-two mapping.
+//! let scenario = Scenario::builder()
+//!     .system(SystemParams::new(10_000, 100, 0.5)?)
+//!     .layers(3)
+//!     .distribution(NodeDistribution::Even)
+//!     .mapping(MappingDegree::OneTo(2))
+//!     .filters(10)
+//!     .build()?;
+//! assert_eq!(scenario.topology().layer_count(), 3);
+//! assert_eq!(scenario.topology().layer_sizes(), &[34, 33, 33]);
+//! # Ok::<(), sos_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distribution;
+pub mod error;
+pub mod evaluator;
+pub mod mapping;
+pub mod params;
+pub mod presets;
+pub mod scenario;
+pub mod state;
+pub mod topology;
+
+pub use distribution::NodeDistribution;
+pub use error::ConfigError;
+pub use evaluator::PathEvaluator;
+pub use mapping::MappingDegree;
+pub use params::{AttackBudget, AttackConfig, Probability, SuccessiveParams, SystemParams};
+pub use presets::ThreatPreset;
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use state::CompromiseState;
+pub use topology::{Topology, TopologyBuilder};

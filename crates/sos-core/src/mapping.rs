@@ -1,0 +1,168 @@
+//! Mapping-degree policies: how many next-layer neighbors each node knows.
+//!
+//! The paper calls `m_i` the *mapping degree* into layer `i`: the number of
+//! neighbors a node at layer `i−1` keeps in its routing table for layer
+//! `i`. Clients are treated uniformly — `m_1` is the number of first-layer
+//! (SOAP) nodes a client knows.
+//!
+//! Named degrees from the paper's figures:
+//!
+//! | name         | `m_i`        | figures        |
+//! |--------------|--------------|----------------|
+//! | one-to-one   | `1`          | 4, 6           |
+//! | one-to-two   | `2`          | 6              |
+//! | one-to-five  | `5`          | 6, 7, 8        |
+//! | one-to-half  | `n_i / 2`    | 4, 6           |
+//! | one-to-all   | `n_i`        | 4, 6 (orig SOS)|
+
+use serde::{Deserialize, Serialize};
+
+/// Policy mapping a target-layer size `n_i` to the degree `m_i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MappingDegree {
+    /// Exactly `k` neighbors (capped at the layer size).
+    /// `OneTo(1)` is the paper's "one to one" mapping.
+    OneTo(u64),
+    /// Half of the next layer: `m_i = n_i / 2` (may be fractional in the
+    /// average-case analysis; the simulator rounds to nearest, min 1).
+    OneToHalf,
+    /// Every node of the next layer: `m_i = n_i` (the original SOS
+    /// assumption).
+    OneToAll,
+    /// Explicit degree per layer boundary, `m_1..=m_{L+1}` (values are
+    /// capped at the corresponding layer size).
+    Custom(Vec<f64>),
+}
+
+impl MappingDegree {
+    /// The paper's "one to one" mapping.
+    pub const ONE_TO_ONE: MappingDegree = MappingDegree::OneTo(1);
+
+    /// Degree into a layer of `layer_size` nodes, for the boundary with
+    /// 1-based index `boundary` (1 = client→layer1, …, L+1 = layerL→filters).
+    ///
+    /// Every policy returns a value in `[min(1, n_i), n_i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary == 0`, or if the policy is `Custom` and
+    /// `boundary` exceeds the provided vector (catching topology/mapping
+    /// mismatches early).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sos_core::MappingDegree;
+    /// assert_eq!(MappingDegree::OneTo(5).degree_into(40, 2), 5.0);
+    /// assert_eq!(MappingDegree::OneToHalf.degree_into(40, 2), 20.0);
+    /// assert_eq!(MappingDegree::OneToAll.degree_into(40, 2), 40.0);
+    /// // Requested degree larger than the layer is capped.
+    /// assert_eq!(MappingDegree::OneTo(100).degree_into(40, 2), 40.0);
+    /// ```
+    pub fn degree_into(&self, layer_size: u64, boundary: usize) -> f64 {
+        assert!(boundary >= 1, "layer boundaries are 1-based");
+        let n = layer_size as f64;
+        let raw = match self {
+            MappingDegree::OneTo(k) => *k as f64,
+            MappingDegree::OneToHalf => n / 2.0,
+            MappingDegree::OneToAll => n,
+            MappingDegree::Custom(degrees) => {
+                assert!(
+                    boundary <= degrees.len(),
+                    "custom mapping has {} degrees but boundary {boundary} was requested",
+                    degrees.len()
+                );
+                degrees[boundary - 1]
+            }
+        };
+        raw.clamp(1.0_f64.min(n), n)
+    }
+
+    /// Short machine-readable label used in experiment CSV output.
+    pub fn label(&self) -> String {
+        match self {
+            MappingDegree::OneTo(1) => "one-to-one".to_string(),
+            MappingDegree::OneTo(k) => format!("one-to-{k}"),
+            MappingDegree::OneToHalf => "one-to-half".to_string(),
+            MappingDegree::OneToAll => "one-to-all".to_string(),
+            MappingDegree::Custom(d) => format!("custom({} boundaries)", d.len()),
+        }
+    }
+
+    /// The named mappings the paper sweeps in its figures, in a stable
+    /// presentation order.
+    pub fn paper_named_set() -> Vec<MappingDegree> {
+        vec![
+            MappingDegree::ONE_TO_ONE,
+            MappingDegree::OneTo(2),
+            MappingDegree::OneTo(5),
+            MappingDegree::OneToHalf,
+            MappingDegree::OneToAll,
+        ]
+    }
+}
+
+impl std::fmt::Display for MappingDegree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_degrees() {
+        assert_eq!(MappingDegree::ONE_TO_ONE.degree_into(33, 1), 1.0);
+        assert_eq!(MappingDegree::OneTo(2).degree_into(33, 1), 2.0);
+        assert_eq!(MappingDegree::OneTo(5).degree_into(33, 1), 5.0);
+        assert_eq!(MappingDegree::OneToHalf.degree_into(33, 1), 16.5);
+        assert_eq!(MappingDegree::OneToAll.degree_into(33, 1), 33.0);
+    }
+
+    #[test]
+    fn degree_capped_at_layer_size() {
+        assert_eq!(MappingDegree::OneTo(10).degree_into(4, 1), 4.0);
+        assert_eq!(MappingDegree::OneToAll.degree_into(1, 1), 1.0);
+    }
+
+    #[test]
+    fn degree_at_least_one_when_layer_nonempty() {
+        assert_eq!(MappingDegree::OneToHalf.degree_into(1, 1), 1.0);
+        assert_eq!(MappingDegree::Custom(vec![0.2]).degree_into(9, 1), 1.0);
+    }
+
+    #[test]
+    fn zero_size_layer_yields_zero() {
+        assert_eq!(MappingDegree::OneTo(3).degree_into(0, 1), 0.0);
+    }
+
+    #[test]
+    fn custom_per_boundary() {
+        let m = MappingDegree::Custom(vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.degree_into(10, 1), 1.0);
+        assert_eq!(m.degree_into(10, 2), 2.0);
+        assert_eq!(m.degree_into(10, 3), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "custom mapping has 2 degrees")]
+    fn custom_out_of_range_boundary_panics() {
+        MappingDegree::Custom(vec![1.0, 2.0]).degree_into(10, 3);
+    }
+
+    #[test]
+    fn labels_stable() {
+        assert_eq!(MappingDegree::ONE_TO_ONE.to_string(), "one-to-one");
+        assert_eq!(MappingDegree::OneTo(5).to_string(), "one-to-5");
+        assert_eq!(MappingDegree::OneToHalf.to_string(), "one-to-half");
+        assert_eq!(MappingDegree::OneToAll.to_string(), "one-to-all");
+    }
+
+    #[test]
+    fn paper_set_has_five_mappings() {
+        assert_eq!(MappingDegree::paper_named_set().len(), 5);
+    }
+}

@@ -1,0 +1,378 @@
+//! System and attack parameters.
+//!
+//! Parameter names follow the paper exactly: `N` (overlay population), `n`
+//! (SOS nodes), `P_B` (break-in success probability), `N_T` (break-in
+//! budget), `N_C` (congestion budget), `R` (break-in rounds) and `P_E`
+//! (fraction of first-layer nodes known a priori).
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// A probability, statically guaranteed to lie in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use sos_core::Probability;
+/// let p = Probability::new(0.5)?;
+/// assert_eq!(p.value(), 0.5);
+/// assert!(Probability::new(1.2).is_err());
+/// # Ok::<(), sos_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// A probability of zero.
+    pub const ZERO: Probability = Probability(0.0);
+    /// A probability of one.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Validates and wraps a probability value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidProbability`] when `value` is NaN or
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ConfigError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(ConfigError::InvalidProbability {
+                name: "probability",
+                value,
+            });
+        }
+        Ok(Probability(value))
+    }
+
+    /// Clamps an arbitrary float into `[0, 1]` (NaN becomes 0).
+    pub fn clamped(value: f64) -> Self {
+        if value.is_nan() {
+            Probability(0.0)
+        } else {
+            Probability(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The inner value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Complement `1 − p`.
+    pub fn complement(&self) -> Probability {
+        Probability(1.0 - self.0)
+    }
+}
+
+impl std::fmt::Display for Probability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Delegate so precision/width specifiers (`{:.4}`) apply.
+        std::fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+/// Static system-side parameters: the overlay population, the SOS subset
+/// and the per-node break-in success probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    overlay_nodes: u64,
+    sos_nodes: u64,
+    break_in_probability: Probability,
+}
+
+impl SystemParams {
+    /// Creates system parameters.
+    ///
+    /// * `overlay_nodes` — `N`, total overlay population the attacker
+    ///   samples from,
+    /// * `sos_nodes` — `n`, nodes participating in the SOS architecture,
+    /// * `break_in_probability` — `P_B`, probability a break-in attempt on
+    ///   a node succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n > N`, zero counts, and invalid probabilities.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sos_core::SystemParams;
+    /// let sys = SystemParams::new(10_000, 100, 0.5)?;
+    /// assert_eq!(sys.overlay_nodes(), 10_000);
+    /// # Ok::<(), sos_core::ConfigError>(())
+    /// ```
+    pub fn new(
+        overlay_nodes: u64,
+        sos_nodes: u64,
+        break_in_probability: f64,
+    ) -> Result<Self, ConfigError> {
+        if overlay_nodes == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "overlay_nodes (N)",
+            });
+        }
+        if sos_nodes == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "sos_nodes (n)",
+            });
+        }
+        if sos_nodes > overlay_nodes {
+            return Err(ConfigError::SosExceedsOverlay {
+                sos_nodes,
+                overlay_nodes,
+            });
+        }
+        let p = Probability::new(break_in_probability).map_err(|_| {
+            ConfigError::InvalidProbability {
+                name: "P_B",
+                value: break_in_probability,
+            }
+        })?;
+        Ok(SystemParams {
+            overlay_nodes,
+            sos_nodes,
+            break_in_probability: p,
+        })
+    }
+
+    /// The paper's default system: `N = 10000`, `n = 100`, `P_B = 0.5`.
+    pub fn paper_default() -> Self {
+        SystemParams::new(10_000, 100, 0.5).expect("paper defaults are valid")
+    }
+
+    /// Total overlay population `N`.
+    pub fn overlay_nodes(&self) -> u64 {
+        self.overlay_nodes
+    }
+
+    /// SOS node count `n`.
+    pub fn sos_nodes(&self) -> u64 {
+        self.sos_nodes
+    }
+
+    /// Break-in success probability `P_B`.
+    pub fn break_in_probability(&self) -> Probability {
+        self.break_in_probability
+    }
+
+    /// Nodes in the overlay that are *not* SOS nodes.
+    pub fn non_sos_nodes(&self) -> u64 {
+        self.overlay_nodes - self.sos_nodes
+    }
+}
+
+/// Attacker resources: `N_T` break-in trials and `N_C` congestion slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackBudget {
+    /// Number of nodes the attacker can attempt to break into (`N_T`).
+    pub break_in_trials: u64,
+    /// Number of nodes the attacker can congest (`N_C`).
+    pub congestion_capacity: u64,
+}
+
+impl AttackBudget {
+    /// Creates an attack budget.
+    pub fn new(break_in_trials: u64, congestion_capacity: u64) -> Self {
+        AttackBudget {
+            break_in_trials,
+            congestion_capacity,
+        }
+    }
+
+    /// The paper's successive-model default: `N_T = 200`, `N_C = 2000`.
+    pub fn paper_default() -> Self {
+        AttackBudget::new(200, 2_000)
+    }
+
+    /// A pure congestion attack (`N_T = 0`).
+    pub fn congestion_only(congestion_capacity: u64) -> Self {
+        AttackBudget::new(0, congestion_capacity)
+    }
+}
+
+/// Parameters specific to the successive attack model (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuccessiveParams {
+    rounds: u32,
+    prior_knowledge: Probability,
+}
+
+impl SuccessiveParams {
+    /// Creates successive-attack parameters.
+    ///
+    /// * `rounds` — `R`, the number of break-in rounds (must be ≥ 1),
+    /// * `prior_knowledge` — `P_E`, fraction of first-layer nodes the
+    ///   attacker knows before the attack.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `rounds == 0` and invalid probabilities.
+    pub fn new(rounds: u32, prior_knowledge: f64) -> Result<Self, ConfigError> {
+        if rounds == 0 {
+            return Err(ConfigError::ZeroCount { name: "rounds (R)" });
+        }
+        let p = Probability::new(prior_knowledge).map_err(|_| {
+            ConfigError::InvalidProbability {
+                name: "P_E",
+                value: prior_knowledge,
+            }
+        })?;
+        Ok(SuccessiveParams {
+            rounds,
+            prior_knowledge: p,
+        })
+    }
+
+    /// The paper's default: `R = 3`, `P_E = 0.2`.
+    pub fn paper_default() -> Self {
+        SuccessiveParams::new(3, 0.2).expect("paper defaults are valid")
+    }
+
+    /// Number of break-in rounds `R`.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Prior knowledge fraction `P_E`.
+    pub fn prior_knowledge(&self) -> Probability {
+        self.prior_knowledge
+    }
+}
+
+/// A full attack description: which model plus its parameters.
+///
+/// Setting `R = 1, P_E = 0` in [`AttackConfig::Successive`] makes the
+/// successive model degenerate into [`AttackConfig::OneBurst`] — a
+/// property the analysis crate verifies numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackConfig {
+    /// §3.1: one round of random break-ins, then congestion; no prior
+    /// knowledge.
+    OneBurst {
+        /// Attacker resources.
+        budget: AttackBudget,
+    },
+    /// §3.2: `R` rounds of disclosure-guided break-ins with prior
+    /// knowledge of the first layer, then congestion.
+    Successive {
+        /// Attacker resources.
+        budget: AttackBudget,
+        /// Round count and prior knowledge.
+        params: SuccessiveParams,
+    },
+}
+
+impl AttackConfig {
+    /// The attack budget regardless of model.
+    pub fn budget(&self) -> AttackBudget {
+        match self {
+            AttackConfig::OneBurst { budget } => *budget,
+            AttackConfig::Successive { budget, .. } => *budget,
+        }
+    }
+
+    /// Human-readable model name.
+    pub fn model_name(&self) -> &'static str {
+        match self {
+            AttackConfig::OneBurst { .. } => "one-burst",
+            AttackConfig::Successive { .. } => "successive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_validation() {
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(-0.001).is_err());
+        assert!(Probability::new(1.001).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn probability_clamping() {
+        assert_eq!(Probability::clamped(-3.0).value(), 0.0);
+        assert_eq!(Probability::clamped(7.0).value(), 1.0);
+        assert_eq!(Probability::clamped(f64::NAN).value(), 0.0);
+        assert_eq!(Probability::clamped(0.3).value(), 0.3);
+    }
+
+    #[test]
+    fn probability_complement() {
+        let p = Probability::new(0.3).unwrap();
+        assert!((p.complement().value() - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn system_params_validation() {
+        assert!(SystemParams::new(100, 100, 0.5).is_ok());
+        assert!(matches!(
+            SystemParams::new(100, 101, 0.5),
+            Err(ConfigError::SosExceedsOverlay { .. })
+        ));
+        assert!(matches!(
+            SystemParams::new(0, 0, 0.5),
+            Err(ConfigError::ZeroCount { .. })
+        ));
+        assert!(matches!(
+            SystemParams::new(100, 10, 1.5),
+            Err(ConfigError::InvalidProbability { name: "P_B", .. })
+        ));
+    }
+
+    #[test]
+    fn paper_defaults_match_section_3() {
+        let sys = SystemParams::paper_default();
+        assert_eq!(sys.overlay_nodes(), 10_000);
+        assert_eq!(sys.sos_nodes(), 100);
+        assert_eq!(sys.break_in_probability().value(), 0.5);
+        assert_eq!(sys.non_sos_nodes(), 9_900);
+
+        let budget = AttackBudget::paper_default();
+        assert_eq!(budget.break_in_trials, 200);
+        assert_eq!(budget.congestion_capacity, 2_000);
+
+        let succ = SuccessiveParams::paper_default();
+        assert_eq!(succ.rounds(), 3);
+        assert_eq!(succ.prior_knowledge().value(), 0.2);
+    }
+
+    #[test]
+    fn successive_params_validation() {
+        assert!(matches!(
+            SuccessiveParams::new(0, 0.2),
+            Err(ConfigError::ZeroCount { .. })
+        ));
+        assert!(matches!(
+            SuccessiveParams::new(3, -0.1),
+            Err(ConfigError::InvalidProbability { name: "P_E", .. })
+        ));
+    }
+
+    #[test]
+    fn attack_config_accessors() {
+        let one = AttackConfig::OneBurst {
+            budget: AttackBudget::new(5, 10),
+        };
+        assert_eq!(one.budget().break_in_trials, 5);
+        assert_eq!(one.model_name(), "one-burst");
+
+        let succ = AttackConfig::Successive {
+            budget: AttackBudget::new(7, 11),
+            params: SuccessiveParams::paper_default(),
+        };
+        assert_eq!(succ.budget().congestion_capacity, 11);
+        assert_eq!(succ.model_name(), "successive");
+    }
+}

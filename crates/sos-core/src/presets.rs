@@ -1,0 +1,165 @@
+//! Named presets: the paper's configurations and a standard threat
+//! catalogue.
+//!
+//! The same handful of configurations appears in the figures, the
+//! examples, the CLI and the optimizer; defining them once keeps every
+//! consumer literally on the same numbers.
+
+use crate::mapping::MappingDegree;
+use crate::params::{AttackBudget, AttackConfig, SuccessiveParams, SystemParams};
+use crate::scenario::Scenario;
+use crate::ConfigError;
+
+/// The paper's default 3-layer scenario with the given mapping
+/// (`N=10000, n=100, P_B=0.5`, 10 filters, even distribution).
+///
+/// # Errors
+///
+/// Propagates configuration errors (none for the named mappings).
+pub fn paper_scenario(mapping: MappingDegree) -> Result<Scenario, ConfigError> {
+    Scenario::builder()
+        .system(SystemParams::paper_default())
+        .layers(3)
+        .mapping(mapping)
+        .filters(10)
+        .build()
+}
+
+/// The original SOS architecture as a scenario: 3 layers, one-to-all.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn original_sos_scenario() -> Result<Scenario, ConfigError> {
+    paper_scenario(MappingDegree::OneToAll)
+}
+
+/// A named adversary from the standard threat catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreatPreset {
+    /// Pure congestion flood, moderate (`N_T=0, N_C=2000`) — the
+    /// original SOS paper's attack model at Fig-4(a) intensity.
+    ModerateFlooder,
+    /// Pure congestion flood, heavy (`N_T=0, N_C=6000`).
+    HeavyFlooder,
+    /// The paper's default intelligent attacker
+    /// (`N_T=200, N_C=2000, R=3, P_E=0.2`).
+    PaperIntelligent,
+    /// A patient, break-in-heavy intruder
+    /// (`N_T=2000, N_C=1000, R=5, P_E=0.2`).
+    PatientIntruder,
+    /// A balanced adversary (`N_T=500, N_C=3000, R=3, P_E=0.1`).
+    Balanced,
+}
+
+impl ThreatPreset {
+    /// Every preset, in catalogue order.
+    pub const ALL: [ThreatPreset; 5] = [
+        ThreatPreset::ModerateFlooder,
+        ThreatPreset::HeavyFlooder,
+        ThreatPreset::PaperIntelligent,
+        ThreatPreset::PatientIntruder,
+        ThreatPreset::Balanced,
+    ];
+
+    /// Stable label for CSV output and CLI parsing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ThreatPreset::ModerateFlooder => "moderate-flooder",
+            ThreatPreset::HeavyFlooder => "heavy-flooder",
+            ThreatPreset::PaperIntelligent => "paper-intelligent",
+            ThreatPreset::PatientIntruder => "patient-intruder",
+            ThreatPreset::Balanced => "balanced",
+        }
+    }
+
+    /// Parses a label produced by [`label`](Self::label).
+    pub fn parse(label: &str) -> Option<ThreatPreset> {
+        ThreatPreset::ALL.into_iter().find(|p| p.label() == label)
+    }
+
+    /// The attack configuration for this preset, with budgets capped at
+    /// the overlay population so presets stay valid on scaled-down
+    /// systems.
+    pub fn attack(&self, system: &SystemParams) -> AttackConfig {
+        let n = system.overlay_nodes();
+        let cap = |v: u64| v.min(n);
+        match self {
+            ThreatPreset::ModerateFlooder => AttackConfig::OneBurst {
+                budget: AttackBudget::congestion_only(cap(2_000)),
+            },
+            ThreatPreset::HeavyFlooder => AttackConfig::OneBurst {
+                budget: AttackBudget::congestion_only(cap(6_000)),
+            },
+            ThreatPreset::PaperIntelligent => AttackConfig::Successive {
+                budget: AttackBudget::new(cap(200), cap(2_000)),
+                params: SuccessiveParams::paper_default(),
+            },
+            ThreatPreset::PatientIntruder => AttackConfig::Successive {
+                budget: AttackBudget::new(cap(2_000), cap(1_000)),
+                params: SuccessiveParams::new(5, 0.2).expect("static parameters valid"),
+            },
+            ThreatPreset::Balanced => AttackConfig::Successive {
+                budget: AttackBudget::new(cap(500), cap(3_000)),
+                params: SuccessiveParams::new(3, 0.1).expect("static parameters valid"),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ThreatPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_matches_defaults() {
+        let s = paper_scenario(MappingDegree::OneTo(2)).unwrap();
+        assert_eq!(s.system().overlay_nodes(), 10_000);
+        assert_eq!(s.topology().layer_count(), 3);
+        assert_eq!(s.topology().filter_count(), 10);
+    }
+
+    #[test]
+    fn original_sos_is_one_to_all() {
+        let s = original_sos_scenario().unwrap();
+        assert_eq!(s.topology().degree(1), 34.0);
+        assert_eq!(s.topology().degree(4), 10.0);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for preset in ThreatPreset::ALL {
+            assert_eq!(ThreatPreset::parse(preset.label()), Some(preset));
+            assert_eq!(preset.to_string(), preset.label());
+        }
+        assert_eq!(ThreatPreset::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn budgets_capped_for_small_systems() {
+        let tiny = SystemParams::new(500, 50, 0.5).unwrap();
+        for preset in ThreatPreset::ALL {
+            let budget = preset.attack(&tiny).budget();
+            assert!(budget.break_in_trials <= 500, "{preset}");
+            assert!(budget.congestion_capacity <= 500, "{preset}");
+        }
+    }
+
+    #[test]
+    fn flooders_have_no_break_in() {
+        let sys = SystemParams::paper_default();
+        for preset in [ThreatPreset::ModerateFlooder, ThreatPreset::HeavyFlooder] {
+            assert_eq!(preset.attack(&sys).budget().break_in_trials, 0);
+            assert!(matches!(
+                preset.attack(&sys),
+                AttackConfig::OneBurst { .. }
+            ));
+        }
+    }
+}

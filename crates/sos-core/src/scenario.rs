@@ -1,0 +1,217 @@
+//! A complete, validated experiment scenario: system parameters plus
+//! topology.
+
+use crate::distribution::NodeDistribution;
+use crate::error::ConfigError;
+use crate::mapping::MappingDegree;
+use crate::params::SystemParams;
+use crate::topology::{Topology, TopologyBuilder, DEFAULT_FILTER_COUNT};
+use serde::{Deserialize, Serialize};
+
+/// System parameters and topology, validated for mutual consistency
+/// (`Σ n_i == n`, `n ≤ N`).
+///
+/// Filters are *not* counted in the overlay population `N`: the paper
+/// treats them as special infrastructure that cannot be broken into and
+/// can only be congested upon disclosure.
+///
+/// # Example
+///
+/// ```
+/// use sos_core::{MappingDegree, NodeDistribution, Scenario, SystemParams};
+///
+/// let scenario = Scenario::builder()
+///     .system(SystemParams::paper_default())
+///     .layers(4)
+///     .distribution(NodeDistribution::Increasing)
+///     .mapping(MappingDegree::OneTo(5))
+///     .build()?;
+/// assert_eq!(scenario.topology().layer_count(), 4);
+/// assert_eq!(scenario.topology().total_sos_nodes(), 100);
+/// # Ok::<(), sos_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    system: SystemParams,
+    topology: Topology,
+}
+
+impl Scenario {
+    /// Starts building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// Creates a scenario from already-built parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::LayerSizeMismatch`] when the topology's SOS
+    /// node total differs from `system.sos_nodes()`.
+    pub fn new(system: SystemParams, topology: Topology) -> Result<Self, ConfigError> {
+        if topology.total_sos_nodes() != system.sos_nodes() {
+            return Err(ConfigError::LayerSizeMismatch {
+                layer_total: topology.total_sos_nodes(),
+                sos_nodes: system.sos_nodes(),
+            });
+        }
+        Ok(Scenario { system, topology })
+    }
+
+    /// System-side parameters.
+    pub fn system(&self) -> &SystemParams {
+        &self.system
+    }
+
+    /// The layered topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    system: Option<SystemParams>,
+    layers: Option<usize>,
+    distribution: NodeDistributionOpt,
+    explicit_sizes: Option<Vec<u64>>,
+    mapping: Option<MappingDegree>,
+    filters: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct NodeDistributionOpt(NodeDistribution);
+
+impl Default for NodeDistributionOpt {
+    fn default() -> Self {
+        NodeDistributionOpt(NodeDistribution::Even)
+    }
+}
+
+impl ScenarioBuilder {
+    /// Sets the system parameters (required).
+    pub fn system(mut self, system: SystemParams) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// Sets the number of layers `L` (required unless
+    /// [`layer_sizes`](Self::layer_sizes) is used).
+    pub fn layers(mut self, layers: usize) -> Self {
+        self.layers = Some(layers);
+        self
+    }
+
+    /// Sets the node-distribution policy (default
+    /// [`NodeDistribution::Even`]).
+    pub fn distribution(mut self, distribution: NodeDistribution) -> Self {
+        self.distribution = NodeDistributionOpt(distribution);
+        self
+    }
+
+    /// Sets explicit layer sizes, overriding `layers`/`distribution`.
+    pub fn layer_sizes(mut self, sizes: Vec<u64>) -> Self {
+        self.explicit_sizes = Some(sizes);
+        self
+    }
+
+    /// Sets the mapping-degree policy (required).
+    pub fn mapping(mut self, mapping: MappingDegree) -> Self {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    /// Sets the filter count (default [`DEFAULT_FILTER_COUNT`]).
+    pub fn filters(mut self, filters: u64) -> Self {
+        self.filters = Some(filters);
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from topology construction, plus
+    /// [`ConfigError::MissingField`] for unset required fields.
+    pub fn build(self) -> Result<Scenario, ConfigError> {
+        let system = self.system.ok_or(ConfigError::MissingField { name: "system" })?;
+        let mapping = self.mapping.ok_or(ConfigError::MissingField { name: "mapping" })?;
+        let mut tb: TopologyBuilder = Topology::builder()
+            .mapping(mapping)
+            .filters(self.filters.unwrap_or(DEFAULT_FILTER_COUNT));
+        tb = if let Some(sizes) = self.explicit_sizes {
+            tb.layer_sizes(sizes)
+        } else {
+            let layers = self.layers.ok_or(ConfigError::MissingField {
+                name: "layers or layer_sizes",
+            })?;
+            tb.distribute(system.sos_nodes(), layers, self.distribution.0)
+        };
+        Scenario::new(system, tb.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let s = Scenario::builder()
+            .system(SystemParams::paper_default())
+            .layers(3)
+            .mapping(MappingDegree::OneToAll)
+            .build()
+            .unwrap();
+        assert_eq!(s.system().overlay_nodes(), 10_000);
+        assert_eq!(s.topology().layer_count(), 3);
+        assert_eq!(s.topology().filter_count(), DEFAULT_FILTER_COUNT);
+    }
+
+    #[test]
+    fn explicit_sizes_must_match_system() {
+        let err = Scenario::builder()
+            .system(SystemParams::paper_default())
+            .layer_sizes(vec![10, 10])
+            .mapping(MappingDegree::ONE_TO_ONE)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::LayerSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_fields_reported() {
+        assert!(matches!(
+            Scenario::builder().build(),
+            Err(ConfigError::MissingField { name: "system" })
+        ));
+        assert!(matches!(
+            Scenario::builder()
+                .system(SystemParams::paper_default())
+                .build(),
+            Err(ConfigError::MissingField { name: "mapping" })
+        ));
+        assert!(matches!(
+            Scenario::builder()
+                .system(SystemParams::paper_default())
+                .mapping(MappingDegree::ONE_TO_ONE)
+                .build(),
+            Err(ConfigError::MissingField { .. })
+        ));
+    }
+
+    #[test]
+    fn distribution_is_applied() {
+        let s = Scenario::builder()
+            .system(SystemParams::paper_default())
+            .layers(4)
+            .distribution(NodeDistribution::Decreasing)
+            .mapping(MappingDegree::ONE_TO_ONE)
+            .build()
+            .unwrap();
+        let sizes = s.topology().layer_sizes();
+        assert_eq!(sizes[0], 25);
+        assert!(sizes[1] > sizes[3]);
+    }
+}

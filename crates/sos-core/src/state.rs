@@ -1,0 +1,233 @@
+//! Per-layer compromise state: the `b_i`, `c_i`, `s_i` of the paper.
+
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Average-case (possibly fractional) counts of compromised nodes per
+/// layer, covering layers `1..=L+1` (the last entry is the filter layer).
+///
+/// A *bad* node is one that is broken into **or** congested
+/// (`s_i = b_i + c_i`); the two contributions are tracked separately
+/// because the paper's attack models treat them differently (broken-in
+/// nodes are never also congested).
+///
+/// # Example
+///
+/// ```
+/// use sos_core::{CompromiseState, MappingDegree, Topology};
+///
+/// let topo = Topology::builder()
+///     .layer_sizes(vec![50, 50])
+///     .mapping(MappingDegree::ONE_TO_ONE)
+///     .filters(10)
+///     .build()?;
+/// let mut state = CompromiseState::clean(&topo);
+/// state.set_broken(1, 5.0);
+/// state.set_congested(1, 10.0);
+/// assert_eq!(state.bad(1), 15.0);
+/// assert_eq!(state.bad(3), 0.0); // filters untouched
+/// # Ok::<(), sos_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompromiseState {
+    broken: Vec<f64>,
+    congested: Vec<f64>,
+    layer_sizes: Vec<u64>,
+}
+
+impl CompromiseState {
+    /// A state with no compromised nodes, shaped for `topology`
+    /// (`L+1` entries, the last being the filter layer).
+    pub fn clean(topology: &Topology) -> Self {
+        let mut layer_sizes: Vec<u64> = topology.layer_sizes().to_vec();
+        layer_sizes.push(topology.filter_count());
+        let len = layer_sizes.len();
+        CompromiseState {
+            broken: vec![0.0; len],
+            congested: vec![0.0; len],
+            layer_sizes,
+        }
+    }
+
+    /// Builds a state from explicit per-layer counts (must both have
+    /// length `L+1` and match the topology's layer sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree with the topology or any count is
+    /// negative/NaN — these are internal-model bugs, not user input.
+    pub fn from_counts(topology: &Topology, broken: Vec<f64>, congested: Vec<f64>) -> Self {
+        let expected = topology.layer_count() + 1;
+        assert_eq!(broken.len(), expected, "broken counts must cover L+1 layers");
+        assert_eq!(
+            congested.len(),
+            expected,
+            "congested counts must cover L+1 layers"
+        );
+        assert!(
+            broken.iter().chain(&congested).all(|v| v.is_finite() && *v >= 0.0),
+            "compromise counts must be finite and non-negative"
+        );
+        let mut state = CompromiseState::clean(topology);
+        state.broken = broken;
+        state.congested = congested;
+        state
+    }
+
+    /// Number of tracked layers (`L+1`).
+    pub fn layer_count(&self) -> usize {
+        self.layer_sizes.len()
+    }
+
+    /// Broken-in count `b_i` for 1-based layer `i`.
+    pub fn broken(&self, i: usize) -> f64 {
+        self.broken[self.check(i)]
+    }
+
+    /// Congested count `c_i` for 1-based layer `i`.
+    pub fn congested(&self, i: usize) -> f64 {
+        self.congested[self.check(i)]
+    }
+
+    /// Bad count `s_i = b_i + c_i`, capped at the layer size.
+    pub fn bad(&self, i: usize) -> f64 {
+        let idx = self.check(i);
+        (self.broken[idx] + self.congested[idx]).min(self.layer_sizes[idx] as f64)
+    }
+
+    /// Sets the broken-in count for 1-based layer `i`, capping at the
+    /// layer size.
+    pub fn set_broken(&mut self, i: usize, value: f64) {
+        let idx = self.check(i);
+        self.broken[idx] = value.clamp(0.0, self.layer_sizes[idx] as f64);
+    }
+
+    /// Sets the congested count for 1-based layer `i`, capping at the
+    /// layer size.
+    pub fn set_congested(&mut self, i: usize, value: f64) {
+        let idx = self.check(i);
+        self.congested[idx] = value.clamp(0.0, self.layer_sizes[idx] as f64);
+    }
+
+    /// Total broken-in nodes over all layers (`N_B` once the attack is
+    /// complete).
+    pub fn total_broken(&self) -> f64 {
+        self.broken.iter().sum()
+    }
+
+    /// Total congested nodes over all layers.
+    pub fn total_congested(&self) -> f64 {
+        self.congested.iter().sum()
+    }
+
+    /// Total bad nodes over all layers.
+    pub fn total_bad(&self) -> f64 {
+        (1..=self.layer_count()).map(|i| self.bad(i)).sum()
+    }
+
+    /// Fraction of layer `i` that is bad, in `[0, 1]`.
+    pub fn bad_fraction(&self, i: usize) -> f64 {
+        let idx = self.check(i);
+        let size = self.layer_sizes[idx];
+        if size == 0 {
+            0.0
+        } else {
+            self.bad(i) / size as f64
+        }
+    }
+
+    fn check(&self, i: usize) -> usize {
+        assert!(
+            (1..=self.layer_sizes.len()).contains(&i),
+            "layer {i} out of range (1..={})",
+            self.layer_sizes.len()
+        );
+        i - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingDegree;
+
+    fn topo() -> Topology {
+        Topology::builder()
+            .layer_sizes(vec![30, 30, 40])
+            .mapping(MappingDegree::ONE_TO_ONE)
+            .filters(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_state_is_all_zero() {
+        let s = CompromiseState::clean(&topo());
+        assert_eq!(s.layer_count(), 4);
+        for i in 1..=4 {
+            assert_eq!(s.bad(i), 0.0);
+            assert_eq!(s.bad_fraction(i), 0.0);
+        }
+        assert_eq!(s.total_bad(), 0.0);
+    }
+
+    #[test]
+    fn bad_is_sum_of_broken_and_congested() {
+        let mut s = CompromiseState::clean(&topo());
+        s.set_broken(2, 4.5);
+        s.set_congested(2, 3.25);
+        assert_eq!(s.bad(2), 7.75);
+        assert_eq!(s.total_broken(), 4.5);
+        assert_eq!(s.total_congested(), 3.25);
+    }
+
+    #[test]
+    fn counts_capped_at_layer_size() {
+        let mut s = CompromiseState::clean(&topo());
+        s.set_broken(1, 25.0);
+        s.set_congested(1, 25.0);
+        // Individually capped at 30, sum capped at 30 too.
+        assert_eq!(s.bad(1), 30.0);
+        s.set_congested(1, 1e9);
+        assert_eq!(s.congested(1), 30.0);
+    }
+
+    #[test]
+    fn negative_values_clamped() {
+        let mut s = CompromiseState::clean(&topo());
+        s.set_broken(1, -5.0);
+        assert_eq!(s.broken(1), 0.0);
+    }
+
+    #[test]
+    fn from_counts_round_trip() {
+        let t = topo();
+        let s = CompromiseState::from_counts(
+            &t,
+            vec![1.0, 2.0, 3.0, 0.0],
+            vec![4.0, 5.0, 6.0, 1.0],
+        );
+        assert_eq!(s.bad(1), 5.0);
+        assert_eq!(s.bad(4), 1.0);
+        assert_eq!(s.total_bad(), 22.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover L+1 layers")]
+    fn from_counts_wrong_length_panics() {
+        CompromiseState::from_counts(&topo(), vec![0.0; 3], vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn layer_zero_panics() {
+        CompromiseState::clean(&topo()).bad(0);
+    }
+
+    #[test]
+    fn bad_fraction_normalizes() {
+        let mut s = CompromiseState::clean(&topo());
+        s.set_congested(3, 10.0);
+        assert_eq!(s.bad_fraction(3), 0.25);
+    }
+}

@@ -1,0 +1,345 @@
+//! The generalized SOS topology: layers, filters and mapping degrees.
+
+use crate::distribution::NodeDistribution;
+use crate::error::ConfigError;
+use crate::mapping::MappingDegree;
+use serde::{Deserialize, Serialize};
+
+/// Default number of filters used throughout the paper's evaluation.
+pub const DEFAULT_FILTER_COUNT: u64 = 10;
+
+/// A validated generalized SOS topology.
+///
+/// Layers are 1-based as in the paper: layers `1..=L` hold SOS nodes and
+/// layer `L+1` is the filter ring around the target. The *boundary* `i`
+/// (also 1-based) is the hop from layer `i−1` into layer `i`, where layer
+/// `0` is the client population; its mapping degree is `m_i`.
+///
+/// # Example
+///
+/// ```
+/// use sos_core::{MappingDegree, NodeDistribution, Topology};
+///
+/// let topo = Topology::builder()
+///     .layer_sizes(vec![34, 33, 33])
+///     .mapping(MappingDegree::OneTo(2))
+///     .filters(10)
+///     .build()?;
+/// assert_eq!(topo.layer_count(), 3);
+/// assert_eq!(topo.size_of_layer(4), 10);   // the filter layer
+/// assert_eq!(topo.degree(2), 2.0);          // m_2
+/// # Ok::<(), sos_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    layer_sizes: Vec<u64>,
+    filter_count: u64,
+    /// `m_1..=m_{L+1}`, indexed by boundary − 1.
+    degrees: Vec<f64>,
+}
+
+impl Topology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::new()
+    }
+
+    /// Number of SOS layers `L` (excluding the filter layer).
+    pub fn layer_count(&self) -> usize {
+        self.layer_sizes.len()
+    }
+
+    /// SOS layer sizes `n_1..n_L`.
+    pub fn layer_sizes(&self) -> &[u64] {
+        &self.layer_sizes
+    }
+
+    /// Number of filters `n_{L+1}`.
+    pub fn filter_count(&self) -> u64 {
+        self.filter_count
+    }
+
+    /// Total SOS nodes `n = Σ n_i` (filters excluded).
+    pub fn total_sos_nodes(&self) -> u64 {
+        self.layer_sizes.iter().sum()
+    }
+
+    /// Size of 1-based layer `i`, where `i = L+1` addresses the filters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0` or `i > L+1`.
+    pub fn size_of_layer(&self, i: usize) -> u64 {
+        assert!(i >= 1, "layers are 1-based");
+        let l = self.layer_count();
+        if i <= l {
+            self.layer_sizes[i - 1]
+        } else if i == l + 1 {
+            self.filter_count
+        } else {
+            panic!("layer {i} out of range (L = {l})");
+        }
+    }
+
+    /// Mapping degree `m_i` for 1-based boundary `i` in `1..=L+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn degree(&self, i: usize) -> f64 {
+        assert!(
+            (1..=self.degrees.len()).contains(&i),
+            "boundary {i} out of range (1..={})",
+            self.degrees.len()
+        );
+        self.degrees[i - 1]
+    }
+
+    /// All mapping degrees `m_1..=m_{L+1}`.
+    pub fn degrees(&self) -> &[f64] {
+        &self.degrees
+    }
+
+    /// Iterator over `(boundary, layer_size, degree)` triples for
+    /// boundaries `1..=L+1` — the shape the per-layer equations consume.
+    pub fn boundaries(&self) -> impl Iterator<Item = (usize, u64, f64)> + '_ {
+        (1..=self.layer_count() + 1)
+            .map(move |i| (i, self.size_of_layer(i), self.degree(i)))
+    }
+}
+
+/// Builder for [`Topology`] (see type-level docs).
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    layer_sizes: Option<Vec<u64>>,
+    sos_nodes_and_distribution: Option<(u64, usize, NodeDistribution)>,
+    filter_count: Option<u64>,
+    mapping: Option<MappingDegree>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets explicit layer sizes `n_1..n_L` (alternative to
+    /// [`distribute`](Self::distribute)).
+    pub fn layer_sizes(mut self, sizes: Vec<u64>) -> Self {
+        self.layer_sizes = Some(sizes);
+        self
+    }
+
+    /// Derives layer sizes by spreading `sos_nodes` over `layers` layers
+    /// with `distribution` (alternative to
+    /// [`layer_sizes`](Self::layer_sizes); the later call wins).
+    pub fn distribute(
+        mut self,
+        sos_nodes: u64,
+        layers: usize,
+        distribution: NodeDistribution,
+    ) -> Self {
+        self.sos_nodes_and_distribution = Some((sos_nodes, layers, distribution));
+        self.layer_sizes = None;
+        self
+    }
+
+    /// Sets the filter count `n_{L+1}` (default
+    /// [`DEFAULT_FILTER_COUNT`]).
+    pub fn filters(mut self, count: u64) -> Self {
+        self.filter_count = Some(count);
+        self
+    }
+
+    /// Sets the mapping-degree policy (required).
+    pub fn mapping(mut self, mapping: MappingDegree) -> Self {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    /// Validates and builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::MissingField`] if neither layer sizes nor a
+    ///   distribution, or no mapping policy, was provided;
+    /// * [`ConfigError::EmptyLayer`] if any layer (or the filter ring)
+    ///   would be empty;
+    /// * errors propagated from [`NodeDistribution::layer_sizes`].
+    pub fn build(self) -> Result<Topology, ConfigError> {
+        let layer_sizes = match (self.layer_sizes, self.sos_nodes_and_distribution) {
+            (Some(sizes), _) => sizes,
+            (None, Some((n, l, dist))) => dist.layer_sizes(n, l)?,
+            (None, None) => {
+                return Err(ConfigError::MissingField {
+                    name: "layer_sizes or distribute",
+                })
+            }
+        };
+        if layer_sizes.is_empty() {
+            return Err(ConfigError::ZeroCount { name: "layers (L)" });
+        }
+        if let Some(idx) = layer_sizes.iter().position(|&s| s == 0) {
+            return Err(ConfigError::EmptyLayer { layer: idx + 1 });
+        }
+        let filter_count = self.filter_count.unwrap_or(DEFAULT_FILTER_COUNT);
+        if filter_count == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "filter_count",
+            });
+        }
+        let mapping = self.mapping.ok_or(ConfigError::MissingField { name: "mapping" })?;
+
+        let l = layer_sizes.len();
+        let mut degrees = Vec::with_capacity(l + 1);
+        for boundary in 1..=l + 1 {
+            let size = if boundary <= l {
+                layer_sizes[boundary - 1]
+            } else {
+                filter_count
+            };
+            let d = mapping.degree_into(size, boundary);
+            if d > size as f64 {
+                return Err(ConfigError::MappingExceedsLayer {
+                    layer: boundary,
+                    degree: d,
+                    layer_size: size,
+                });
+            }
+            degrees.push(d);
+        }
+        Ok(Topology {
+            layer_sizes,
+            filter_count,
+            degrees,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo3() -> Topology {
+        Topology::builder()
+            .layer_sizes(vec![34, 33, 33])
+            .mapping(MappingDegree::OneTo(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let t = topo3();
+        assert_eq!(t.layer_count(), 3);
+        assert_eq!(t.total_sos_nodes(), 100);
+        assert_eq!(t.filter_count(), DEFAULT_FILTER_COUNT);
+        assert_eq!(t.size_of_layer(1), 34);
+        assert_eq!(t.size_of_layer(3), 33);
+        assert_eq!(t.size_of_layer(4), 10);
+        assert_eq!(t.degrees().len(), 4);
+    }
+
+    #[test]
+    fn boundaries_iterator_covers_filters() {
+        let t = topo3();
+        let bs: Vec<_> = t.boundaries().collect();
+        assert_eq!(bs.len(), 4);
+        assert_eq!(bs[0], (1, 34, 2.0));
+        assert_eq!(bs[3], (4, 10, 2.0));
+    }
+
+    #[test]
+    fn distribute_matches_distribution_policy() {
+        let t = Topology::builder()
+            .distribute(100, 4, NodeDistribution::Even)
+            .mapping(MappingDegree::ONE_TO_ONE)
+            .build()
+            .unwrap();
+        assert_eq!(t.layer_sizes(), &[25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn one_to_all_degrees_track_layer_sizes() {
+        let t = Topology::builder()
+            .layer_sizes(vec![40, 30, 30])
+            .mapping(MappingDegree::OneToAll)
+            .filters(10)
+            .build()
+            .unwrap();
+        assert_eq!(t.degree(1), 40.0);
+        assert_eq!(t.degree(2), 30.0);
+        assert_eq!(t.degree(4), 10.0);
+    }
+
+    #[test]
+    fn one_to_half_degrees_may_be_fractional() {
+        let t = Topology::builder()
+            .layer_sizes(vec![33])
+            .mapping(MappingDegree::OneToHalf)
+            .build()
+            .unwrap();
+        assert_eq!(t.degree(1), 16.5);
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(matches!(
+            Topology::builder().mapping(MappingDegree::ONE_TO_ONE).build(),
+            Err(ConfigError::MissingField { .. })
+        ));
+        assert!(matches!(
+            Topology::builder().layer_sizes(vec![10]).build(),
+            Err(ConfigError::MissingField { name: "mapping" })
+        ));
+    }
+
+    #[test]
+    fn empty_layers_rejected() {
+        assert!(matches!(
+            Topology::builder()
+                .layer_sizes(vec![10, 0, 10])
+                .mapping(MappingDegree::ONE_TO_ONE)
+                .build(),
+            Err(ConfigError::EmptyLayer { layer: 2 })
+        ));
+        assert!(matches!(
+            Topology::builder()
+                .layer_sizes(vec![])
+                .mapping(MappingDegree::ONE_TO_ONE)
+                .build(),
+            Err(ConfigError::ZeroCount { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_filters_rejected() {
+        assert!(matches!(
+            Topology::builder()
+                .layer_sizes(vec![10])
+                .filters(0)
+                .mapping(MappingDegree::ONE_TO_ONE)
+                .build(),
+            Err(ConfigError::ZeroCount { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn size_of_layer_out_of_range_panics() {
+        topo3().size_of_layer(5);
+    }
+
+    #[test]
+    fn custom_mapping_with_explicit_boundaries() {
+        let t = Topology::builder()
+            .layer_sizes(vec![20, 20])
+            .filters(10)
+            .mapping(MappingDegree::Custom(vec![3.0, 4.0, 5.0]))
+            .build()
+            .unwrap();
+        assert_eq!(t.degree(1), 3.0);
+        assert_eq!(t.degree(2), 4.0);
+        assert_eq!(t.degree(3), 5.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Round-trip tests for the serializable configuration types — these
+//! are what make scenarios and attack configs storable as experiment
+//! manifests.
+
+use sos_core::{
+    AttackBudget, AttackConfig, CompromiseState, MappingDegree, NodeDistribution,
+    Probability, Scenario, SuccessiveParams, SystemParams, Topology,
+};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn probability_round_trips_transparently() {
+    let p = Probability::new(0.375).unwrap();
+    let json = serde_json::to_string(&p).unwrap();
+    assert_eq!(json, "0.375", "transparent representation");
+    let back: Probability = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, p);
+}
+
+#[test]
+fn system_params_round_trip() {
+    let sys = SystemParams::paper_default();
+    let back = round_trip(&sys);
+    assert_eq!(back, sys);
+}
+
+#[test]
+fn attack_configs_round_trip() {
+    let configs = [
+        AttackConfig::OneBurst {
+            budget: AttackBudget::new(100, 2_000),
+        },
+        AttackConfig::Successive {
+            budget: AttackBudget::paper_default(),
+            params: SuccessiveParams::paper_default(),
+        },
+    ];
+    for cfg in configs {
+        assert_eq!(round_trip(&cfg), cfg);
+    }
+}
+
+#[test]
+fn mapping_degrees_round_trip() {
+    for mapping in MappingDegree::paper_named_set() {
+        assert_eq!(round_trip(&mapping), mapping);
+    }
+    let custom = MappingDegree::Custom(vec![1.5, 2.0, 3.0]);
+    assert_eq!(round_trip(&custom), custom);
+}
+
+#[test]
+fn distributions_round_trip() {
+    for dist in [
+        NodeDistribution::Even,
+        NodeDistribution::Increasing,
+        NodeDistribution::Decreasing,
+        NodeDistribution::Custom(vec![1.0, 2.0]),
+    ] {
+        assert_eq!(round_trip(&dist), dist);
+    }
+}
+
+#[test]
+fn full_scenario_round_trips_and_stays_valid() {
+    let scenario = Scenario::builder()
+        .system(SystemParams::paper_default())
+        .layers(4)
+        .distribution(NodeDistribution::Increasing)
+        .mapping(MappingDegree::OneTo(5))
+        .filters(10)
+        .build()
+        .unwrap();
+    let back: Scenario = round_trip(&scenario);
+    assert_eq!(back, scenario);
+    // The deserialized scenario still satisfies the invariants the
+    // builder enforced.
+    assert_eq!(back.topology().total_sos_nodes(), back.system().sos_nodes());
+}
+
+#[test]
+fn topology_round_trip() {
+    let topo = Topology::builder()
+        .layer_sizes(vec![40, 30, 30])
+        .mapping(MappingDegree::OneToHalf)
+        .filters(12)
+        .build()
+        .unwrap();
+    let back: Topology = round_trip(&topo);
+    assert_eq!(back, topo);
+    assert_eq!(back.degree(1), 20.0);
+}
+
+#[test]
+fn compromise_state_round_trip() {
+    let topo = Topology::builder()
+        .layer_sizes(vec![10, 10])
+        .mapping(MappingDegree::ONE_TO_ONE)
+        .filters(5)
+        .build()
+        .unwrap();
+    let state = CompromiseState::from_counts(
+        &topo,
+        vec![1.0, 2.0, 0.0],
+        vec![3.0, 0.5, 1.0],
+    );
+    let back: CompromiseState = round_trip(&state);
+    assert_eq!(back, state);
+    assert_eq!(back.bad(1), 4.0);
+}
+
+#[test]
+fn scenario_json_is_human_auditable() {
+    // The manifest format should carry recognizable field names.
+    let scenario = Scenario::builder()
+        .system(SystemParams::paper_default())
+        .layers(3)
+        .mapping(MappingDegree::OneTo(2))
+        .build()
+        .unwrap();
+    let json = serde_json::to_string_pretty(&scenario).unwrap();
+    for needle in ["overlay_nodes", "sos_nodes", "layer_sizes", "filter_count"] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}

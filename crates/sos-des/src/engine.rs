@@ -1,0 +1,262 @@
+//! The event scheduler and a thin simulation driver.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic future-event queue.
+///
+/// Events fire in `(time, insertion order)` order: two events scheduled
+/// for the same tick fire in the order they were scheduled, regardless
+/// of heap internals — the property that makes protocol simulations
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped
+    /// event, or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — schedules must be causal.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek().map(|Reverse(e)| e.at <= deadline)? {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+/// Outcome of driving a [`Simulation`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was processed.
+    Progressed,
+    /// The queue is empty; the simulation is quiescent.
+    Quiescent,
+    /// The next event lies beyond the supplied deadline.
+    DeadlineReached,
+}
+
+/// A world that reacts to events — implement this and drive it with
+/// [`run_until`].
+///
+/// The handler receives the scheduler so it can schedule follow-up
+/// events (message replies, periodic timers).
+pub trait Simulation {
+    /// The event type flowing through the queue.
+    type Event;
+
+    /// Handles one event at simulated time `at`.
+    fn handle(&mut self, at: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Drives `world` until `deadline` (inclusive) or quiescence; returns
+/// how the run ended and the number of events processed.
+pub fn run_until<W: Simulation>(
+    world: &mut W,
+    sched: &mut Scheduler<W::Event>,
+    deadline: SimTime,
+) -> (StepOutcome, u64) {
+    let start = sched.processed();
+    loop {
+        match sched.pop_until(deadline) {
+            Some((at, event)) => world.handle(at, event, sched),
+            None => {
+                let outcome = if sched.is_empty() {
+                    StepOutcome::Quiescent
+                } else {
+                    StepOutcome::DeadlineReached
+                };
+                return (outcome, sched.processed() - start);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_same_tick() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(SimTime::from_ticks(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_ordering_dominates() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ticks(30), "late");
+        s.schedule(SimTime::from_ticks(10), "early");
+        s.schedule(SimTime::from_ticks(20), "mid");
+        assert_eq!(s.pop().unwrap().1, "early");
+        assert_eq!(s.pop().unwrap().1, "mid");
+        assert_eq!(s.pop().unwrap().1, "late");
+        assert_eq!(s.now(), SimTime::from_ticks(30));
+        assert_eq!(s.processed(), 3);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ticks(10), "a");
+        s.pop();
+        s.schedule_in(5, "b");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_ticks(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn past_scheduling_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ticks(10), "a");
+        s.pop();
+        s.schedule(SimTime::from_ticks(5), "b");
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ticks(10), "a");
+        s.schedule(SimTime::from_ticks(20), "b");
+        assert!(s.pop_until(SimTime::from_ticks(15)).is_some());
+        assert!(s.pop_until(SimTime::from_ticks(15)).is_none());
+        assert_eq!(s.pending(), 1);
+    }
+
+    struct Counter {
+        fired: Vec<u64>,
+        limit: u64,
+    }
+
+    impl Simulation for Counter {
+        type Event = u64;
+
+        fn handle(&mut self, at: SimTime, event: u64, sched: &mut Scheduler<u64>) {
+            self.fired.push(event);
+            // Periodic timer: reschedule until the limit.
+            if event < self.limit {
+                sched.schedule(at + 10, event + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_drives_periodic_timer() {
+        let mut world = Counter {
+            fired: Vec::new(),
+            limit: 5,
+        };
+        let mut sched = Scheduler::new();
+        sched.schedule(SimTime::ZERO, 0);
+        let (outcome, n) = run_until(&mut world, &mut sched, SimTime::from_ticks(25));
+        assert_eq!(outcome, StepOutcome::DeadlineReached);
+        assert_eq!(n, 3, "events at t=0, 10, 20");
+        assert_eq!(world.fired, vec![0, 1, 2]);
+        let (outcome, n) = run_until(&mut world, &mut sched, SimTime::from_ticks(1_000));
+        assert_eq!(outcome, StepOutcome::Quiescent);
+        assert_eq!(n, 3, "events at t=30, 40, 50 then stop");
+        assert_eq!(world.fired, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

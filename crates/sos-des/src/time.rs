@@ -1,0 +1,100 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in integer ticks.
+///
+/// Integer ticks (rather than floats) keep event ordering exact and
+/// platform-independent; callers choose the tick granularity (e.g.
+/// 1 tick = 1 ms of modelled network time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// The raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in ticks.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, delta: u64) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(delta)
+                .expect("simulated time overflowed u64 ticks"),
+        )
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, delta: u64) {
+        *self = *self + delta;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("negative simulated-time difference")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(t + 5 - t, 5);
+        assert_eq!(t.since(SimTime::from_ticks(3)), 7);
+        assert_eq!(SimTime::from_ticks(3).since(t), 0, "saturates");
+        let mut u = t;
+        u += 2;
+        assert_eq!(u.ticks(), 12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_ticks(1));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative simulated-time difference")]
+    fn negative_difference_panics() {
+        let _ = SimTime::from_ticks(1) - SimTime::from_ticks(2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ticks(42).to_string(), "t=42");
+    }
+}

@@ -1,0 +1,243 @@
+//! Exact and continuous binomial coefficients.
+//!
+//! The SOS analysis needs binomial coefficients in two flavours:
+//!
+//! * **exact** integer coefficients for small arguments (unit-test oracles,
+//!   hypergeometric PMFs over concrete overlays), and
+//! * **continuous** coefficients `C(y, z)` where `y` is a *fractional*
+//!   average-case quantity (e.g. "on average 13.7 bad nodes"), needed by the
+//!   paper's `P(x, y, z)` ratio.
+
+use crate::special::{ln_factorial, ln_gamma};
+
+/// Exact binomial coefficient `C(n, k)` as `u128`.
+///
+/// Computed multiplicatively with interleaved division so intermediate
+/// values stay small; returns `None` on overflow.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sos_math::binomial(10, 3), Some(120));
+/// assert_eq!(sos_math::binomial(5, 9), Some(0));
+/// ```
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// Natural log of the exact binomial coefficient `C(n, k)` for integers.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (coefficient is zero).
+///
+/// # Example
+///
+/// ```
+/// assert!((sos_math::ln_binomial(52, 5) - 2_598_960.0f64.ln()).abs() < 1e-9);
+/// ```
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Continuous log-binomial `ln C(y, z)` for real `y >= z - 1 + eps` and
+/// integer... no: real `y` and real `z` with `y >= z` and both `>= 0`,
+/// via `ln Γ(y+1) − ln Γ(z+1) − ln Γ(y−z+1)`.
+///
+/// Returns `f64::NEG_INFINITY` when `y < z` (the coefficient is treated as
+/// zero, matching the paper's convention `P(x, y, z) = 0` for `y < z`).
+pub fn ln_binomial_continuous(y: f64, z: f64) -> f64 {
+    if y < z || y < 0.0 || z < 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(y + 1.0) - ln_gamma(z + 1.0) - ln_gamma(y - z + 1.0)
+}
+
+/// Falling factorial `y * (y-1) * ... * (y-k+1)` with `k` integer factors,
+/// evaluated at real `y`.
+///
+/// This is the building block for the product form of the paper's
+/// combinatorial ratio: `C(y,z)/C(x,z) = ff(y,z)/ff(x,z)`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sos_math::falling_factorial(5.0, 3), 60.0);
+/// assert_eq!(sos_math::falling_factorial(2.5, 2), 2.5 * 1.5);
+/// ```
+pub fn falling_factorial(y: f64, k: u64) -> f64 {
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc *= y - i as f64;
+    }
+    acc
+}
+
+/// Ratio of falling factorials `ff(y, z) / ff(x, z)` with each numerator
+/// factor clamped at zero.
+///
+/// For integer `y >= z` this equals `C(y,z)/C(x,z)` exactly. For fractional
+/// `y` it is the natural average-case extension used throughout the
+/// analysis: as soon as `y` drops below the number of factors (`y < z`),
+/// one factor hits zero and the ratio is zero — matching the discrete
+/// convention that a sample smaller than the specific subset cannot contain
+/// it.
+///
+/// # Panics
+///
+/// Panics if `x < z as f64` (the population must be able to hold the
+/// specific subset) or if `x <= 0` with `z > 0`.
+pub fn clamped_ff_ratio(x: f64, y: f64, z: u64) -> f64 {
+    if z == 0 {
+        return 1.0;
+    }
+    assert!(
+        x >= z as f64,
+        "population x = {x} cannot contain a specific subset of size {z}"
+    );
+    let mut acc = 1.0;
+    for i in 0..z {
+        let num = (y - i as f64).max(0.0);
+        if num == 0.0 {
+            return 0.0;
+        }
+        let den = x - i as f64;
+        acc *= num / den;
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_table() {
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(4, 2), Some(6));
+        assert_eq!(binomial(10, 0), Some(1));
+        assert_eq!(binomial(10, 10), Some(1));
+        assert_eq!(binomial(10, 11), Some(0));
+        assert_eq!(binomial(100, 2), Some(4950));
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..40u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pascal_rule() {
+        for n in 1..60u64 {
+            for k in 1..n {
+                let lhs = binomial(n, k).unwrap();
+                let rhs = binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap();
+                assert_eq!(lhs, rhs, "Pascal failed at n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_overflow_detected() {
+        // C(200, 100) overflows u128.
+        assert_eq!(binomial(200, 100), None);
+        // But C(128, 2) is fine.
+        assert_eq!(binomial(128, 2), Some(8128));
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for n in 0..50u64 {
+            for k in 0..=n {
+                let exact = binomial(n, k).unwrap() as f64;
+                let got = ln_binomial(n, k).exp();
+                assert!(
+                    (got - exact).abs() < 1e-6 * exact.max(1.0),
+                    "n={n} k={k}: {got} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ln_binomial_continuous_matches_integer() {
+        for n in 1..40u64 {
+            for k in 0..=n {
+                let a = ln_binomial(n, k);
+                let b = ln_binomial_continuous(n as f64, k as f64);
+                assert!((a - b).abs() < 1e-8 * a.abs().max(1.0), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_binomial_continuous_zero_below_diagonal() {
+        assert_eq!(ln_binomial_continuous(3.0, 4.0), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial_continuous(-1.0, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn falling_factorial_basics() {
+        assert_eq!(falling_factorial(10.0, 0), 1.0);
+        assert_eq!(falling_factorial(10.0, 1), 10.0);
+        assert_eq!(falling_factorial(10.0, 3), 720.0);
+        // Below the diagonal a factor goes negative.
+        assert!(falling_factorial(2.0, 4) == 0.0 || falling_factorial(2.0, 4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_ratio_matches_exact_hypergeometric() {
+        // C(y,z)/C(x,z) for integer arguments.
+        for x in 1..20u64 {
+            for y in 0..=x {
+                for z in 0..=x.min(8) {
+                    let expect = if y >= z {
+                        binomial(y, z).unwrap() as f64 / binomial(x, z).unwrap() as f64
+                    } else {
+                        0.0
+                    };
+                    let got = clamped_ff_ratio(x as f64, y as f64, z);
+                    assert!(
+                        (got - expect).abs() < 1e-12,
+                        "x={x} y={y} z={z}: {got} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamped_ratio_fractional_monotone_in_y() {
+        let x = 33.0;
+        let z = 5;
+        let mut prev = 0.0;
+        let mut y = 0.0;
+        while y <= x {
+            let p = clamped_ff_ratio(x, y, z);
+            assert!(p >= prev - 1e-12, "not monotone at y = {y}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+            y += 0.37;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot contain a specific subset")]
+    fn clamped_ratio_rejects_small_population() {
+        clamped_ff_ratio(3.0, 2.0, 5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Hypergeometric probabilities.
+//!
+//! Two views are needed by the SOS analysis:
+//!
+//! 1. the paper's `P(x, y, z)` — probability that a random `y`-subset of a
+//!    population of `x` contains a *specific* `z`-subset, extended to
+//!    fractional `y` for average-case arguments
+//!    ([`all_specific_in_sample`]), and
+//! 2. the full hypergeometric distribution over concrete integer counts
+//!    ([`HypergeometricDist`]), used as an exact oracle when validating the
+//!    average-case model and by the Monte Carlo tests.
+
+use crate::combinatorics::{clamped_ff_ratio, ln_binomial};
+
+#[cfg(test)]
+use crate::combinatorics::binomial;
+
+/// The paper's `P(x, y, z)`: probability that a uniformly random `y`-subset
+/// drawn from a population of size `x` contains a specific subset of size
+/// `z`, i.e. `C(y, z) / C(x, z)` for `y >= z` and `0` otherwise.
+///
+/// `y` may be fractional (an average-case count); the product form
+/// `∏_{k<z} (y−k)/(x−k)` is used with numerator factors clamped at zero so
+/// the result is continuous, monotone in `y`, and exactly matches the
+/// discrete ratio at integer `y`.
+///
+/// # Panics
+///
+/// Panics if `x < z as f64` — a population smaller than the specific subset
+/// is a caller bug.
+///
+/// # Example
+///
+/// ```
+/// use sos_math::hypergeom::all_specific_in_sample;
+///
+/// // One specific node among 100, sample of 20: 20/100.
+/// assert!((all_specific_in_sample(100.0, 20.0, 1) - 0.2).abs() < 1e-12);
+/// // Sample smaller than the subset: impossible.
+/// assert_eq!(all_specific_in_sample(100.0, 2.0, 3), 0.0);
+/// ```
+pub fn all_specific_in_sample(x: f64, y: f64, z: u64) -> f64 {
+    clamped_ff_ratio(x, y, z)
+}
+
+/// Smooth "independent compromise" relaxation of [`all_specific_in_sample`]:
+/// `(y / x)^z` with real `z`.
+///
+/// Each of the `z` specific nodes is treated as independently contained in
+/// the sample with probability `y/x`. Unlike the combinatorial ratio this is
+/// defined for *fractional* `z` (needed for mapping degrees like
+/// "one-to-half" where `m_i = n_i / 2` is not an integer) and never
+/// saturates at zero for `y < z`. For `z = 1` it coincides with the
+/// hypergeometric form.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`, `y < 0`, `y > x`, or `z < 0`.
+pub fn all_specific_in_sample_binomial(x: f64, y: f64, z: f64) -> f64 {
+    assert!(x > 0.0, "population must be positive, got {x}");
+    assert!(
+        (0.0..=x).contains(&y),
+        "sample y = {y} must lie in [0, x = {x}]"
+    );
+    assert!(z >= 0.0, "subset size must be non-negative, got {z}");
+    (y / x).powf(z).clamp(0.0, 1.0)
+}
+
+/// Exact hypergeometric distribution: drawing `sample` items without
+/// replacement from a population of `population` items of which `successes`
+/// are marked, the number of marked items drawn.
+///
+/// # Example
+///
+/// ```
+/// use sos_math::HypergeometricDist;
+///
+/// let d = HypergeometricDist::new(50, 5, 10).unwrap();
+/// let p0 = d.pmf(0);
+/// assert!(p0 > 0.3 && p0 < 0.32); // C(45,10)/C(50,10) ≈ 0.3106
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HypergeometricDist {
+    population: u64,
+    successes: u64,
+    sample: u64,
+}
+
+impl HypergeometricDist {
+    /// Creates the distribution. Returns `None` if `successes` or `sample`
+    /// exceed `population`.
+    pub fn new(population: u64, successes: u64, sample: u64) -> Option<Self> {
+        if successes > population || sample > population {
+            return None;
+        }
+        Some(Self {
+            population,
+            successes,
+            sample,
+        })
+    }
+
+    /// Population size `N`.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Number of marked items `K`.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Sample size `n`.
+    pub fn sample(&self) -> u64 {
+        self.sample
+    }
+
+    /// Smallest attainable count.
+    pub fn min_k(&self) -> u64 {
+        (self.sample + self.successes).saturating_sub(self.population)
+    }
+
+    /// Largest attainable count.
+    pub fn max_k(&self) -> u64 {
+        self.sample.min(self.successes)
+    }
+
+    /// Probability of drawing exactly `k` marked items.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k < self.min_k() || k > self.max_k() {
+            return 0.0;
+        }
+        // Work in log space; the populations in SOS experiments reach 2e4.
+        let ln_p = ln_binomial(self.successes, k)
+            + ln_binomial(self.population - self.successes, self.sample - k)
+            - ln_binomial(self.population, self.sample);
+        ln_p.exp()
+    }
+
+    /// Probability of drawing at most `k` marked items.
+    pub fn cdf(&self, k: u64) -> f64 {
+        let mut acc = 0.0;
+        for i in self.min_k()..=k.min(self.max_k()) {
+            acc += self.pmf(i);
+        }
+        acc.min(1.0)
+    }
+
+    /// Mean `n K / N`.
+    pub fn mean(&self) -> f64 {
+        self.sample as f64 * self.successes as f64 / self.population as f64
+    }
+
+    /// Variance `n K (N−K) (N−n) / (N² (N−1))`.
+    pub fn variance(&self) -> f64 {
+        let n = self.sample as f64;
+        let bigk = self.successes as f64;
+        let bign = self.population as f64;
+        if self.population <= 1 {
+            return 0.0;
+        }
+        n * (bigk / bign) * (1.0 - bigk / bign) * (bign - n) / (bign - 1.0)
+    }
+
+    /// Probability that *all* marked items are inside the sample, i.e. the
+    /// paper's `P(x, y, z)` with `x = population`, `y = sample`,
+    /// `z = successes` — exact integer version.
+    pub fn all_successes_drawn(&self) -> f64 {
+        self.pmf(self.successes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (n, k, s) in [(20u64, 5u64, 7u64), (50, 20, 10), (100, 1, 100), (9, 9, 4)] {
+            let d = HypergeometricDist::new(n, k, s).unwrap();
+            let total: f64 = (d.min_k()..=d.max_k()).map(|i| d.pmf(i)).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-10,
+                "pmf sums to {total} for ({n},{k},{s})"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_matches_exact_combinatorics() {
+        let d = HypergeometricDist::new(10, 4, 5).unwrap();
+        // P(X = 2) = C(4,2) C(6,3) / C(10,5) = 6*20/252
+        let expect = 6.0 * 20.0 / 252.0;
+        assert!((d.pmf(2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_variance_match_definitions() {
+        let d = HypergeometricDist::new(60, 24, 15).unwrap();
+        let mean: f64 = (d.min_k()..=d.max_k()).map(|i| i as f64 * d.pmf(i)).sum();
+        assert!((mean - d.mean()).abs() < 1e-9);
+        let var: f64 = (d.min_k()..=d.max_k())
+            .map(|i| (i as f64 - d.mean()).powi(2) * d.pmf(i))
+            .sum();
+        assert!((var - d.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_successes_drawn_matches_ratio() {
+        // C(y, z)/C(x, z) with x=12 population, y=8 sample, z=3 marked.
+        let d = HypergeometricDist::new(12, 3, 8).unwrap();
+        let expect =
+            binomial(8, 3).unwrap() as f64 / binomial(12, 3).unwrap() as f64;
+        assert!((d.all_successes_drawn() - expect).abs() < 1e-12);
+        // And agrees with the continuous form.
+        let cont = all_specific_in_sample(12.0, 8.0, 3);
+        assert!((d.all_successes_drawn() - cont).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_bounds() {
+        // Sample 8 of 10 with 5 marked: at least 3 marked must be drawn.
+        let d = HypergeometricDist::new(10, 5, 8).unwrap();
+        assert_eq!(d.min_k(), 3);
+        assert_eq!(d.max_k(), 5);
+        assert_eq!(d.pmf(2), 0.0);
+        assert_eq!(d.pmf(6), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(HypergeometricDist::new(5, 6, 2).is_none());
+        assert!(HypergeometricDist::new(5, 2, 6).is_none());
+    }
+
+    #[test]
+    fn binomial_relaxation_brackets_hypergeometric() {
+        // For z = 1 the two forms agree exactly.
+        let h = all_specific_in_sample(100.0, 37.0, 1);
+        let b = all_specific_in_sample_binomial(100.0, 37.0, 1.0);
+        assert!((h - b).abs() < 1e-12);
+        // For z > 1, sampling without replacement makes "all specific in
+        // sample" *less* likely than independent inclusion.
+        let h = all_specific_in_sample(100.0, 37.0, 5);
+        let b = all_specific_in_sample_binomial(100.0, 37.0, 5.0);
+        assert!(h <= b + 1e-12, "hypergeom {h} should not exceed binomial {b}");
+    }
+
+    #[test]
+    fn binomial_relaxation_fractional_subset() {
+        let p = all_specific_in_sample_binomial(100.0, 25.0, 2.5);
+        assert!((p - 0.25f64.powf(2.5)).abs() < 1e-12);
+    }
+}

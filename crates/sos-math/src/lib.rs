@@ -1,0 +1,47 @@
+//! Special functions and statistics substrate for the `sos-resilience`
+//! workspace.
+//!
+//! The ICDCS 2004 analysis of the generalized Secure Overlay Services (SOS)
+//! architecture is built on a small amount of non-trivial mathematics that
+//! has no lightweight off-the-shelf crate in this workspace's dependency
+//! budget:
+//!
+//! * combinatorial ratios `C(y, z) / C(x, z)` evaluated at *fractional*
+//!   average-case arguments (the paper's `P(x, y, z)`),
+//! * the log-gamma function (Lanczos approximation) for continuous
+//!   binomial coefficients,
+//! * hypergeometric tail probabilities for validating the average-case
+//!   model against exact distributions,
+//! * proportion confidence intervals and running summary statistics for
+//!   the Monte Carlo engine,
+//! * partial-shuffle sampling helpers for the attack simulator.
+//!
+//! Everything here is deterministic, allocation-light and extensively
+//! property-tested.
+//!
+//! # Example
+//!
+//! ```
+//! use sos_math::hypergeom::all_specific_in_sample;
+//!
+//! // Probability that a random 4-subset of 10 nodes contains a specific
+//! // 2-subset: C(4,2)/C(10,2) ... expressed per the paper as P(x, y, z)
+//! // with x = population, y = sample, z = specific subset.
+//! let p = all_specific_in_sample(10.0, 4.0, 2);
+//! assert!((p - 6.0 / 45.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod combinatorics;
+pub mod hypergeom;
+pub mod sampling;
+pub mod series;
+pub mod special;
+pub mod stats;
+
+pub use combinatorics::{binomial, falling_factorial, ln_binomial};
+pub use hypergeom::{all_specific_in_sample, HypergeometricDist};
+pub use special::{ln_factorial, ln_gamma};
+pub use stats::{proportion_ci, RunningStats, SummaryStats};

@@ -1,0 +1,269 @@
+//! Random sampling helpers used by the attack and overlay simulators.
+//!
+//! All helpers take a caller-supplied [`rand::Rng`] so that every simulation
+//! in the workspace is reproducible from a single seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws `k` distinct indices uniformly from `0..n` using a partial
+/// Fisher–Yates shuffle (O(k) extra space via a sparse swap map).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let picks = sos_math::sampling::sample_indices(&mut rng, 100, 5);
+/// assert_eq!(picks.len(), 5);
+/// let mut sorted = picks.clone();
+/// sorted.sort_unstable();
+/// sorted.dedup();
+/// assert_eq!(sorted.len(), 5); // all distinct
+/// ```
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    use std::collections::HashMap;
+    let mut swaps: HashMap<usize, usize> = HashMap::with_capacity(k * 2);
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        let vi = *swaps.get(&i).unwrap_or(&i);
+        let vj = *swaps.get(&j).unwrap_or(&j);
+        out.push(vj);
+        swaps.insert(j, vi);
+        swaps.insert(i, vj);
+    }
+    out
+}
+
+/// Draws `k` distinct elements from `items` without replacement, cloning
+/// the chosen elements.
+///
+/// # Panics
+///
+/// Panics if `k > items.len()`.
+pub fn sample_from<R: Rng + ?Sized, T: Clone>(rng: &mut R, items: &[T], k: usize) -> Vec<T> {
+    sample_indices(rng, items.len(), k)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+/// Splits `total` items into integer bucket sizes proportional to `weights`
+/// using the largest-remainder (Hamilton) method, preserving
+/// `Σ result = total` exactly.
+///
+/// Used to spread fractional average-case counts (e.g. break-in attempts
+/// per layer) onto concrete overlays while conserving node counts.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, any weight is negative, or all weights are
+/// zero while `total > 0`.
+///
+/// # Example
+///
+/// ```
+/// let split = sos_math::sampling::proportional_split(10, &[1.0, 1.0, 1.0]);
+/// assert_eq!(split.iter().sum::<u64>(), 10);
+/// assert!(split.iter().all(|&s| s == 3 || s == 4));
+/// ```
+pub fn proportional_split(total: u64, weights: &[f64]) -> Vec<u64> {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "weights must be non-negative: {weights:?}"
+    );
+    let sum: f64 = weights.iter().sum();
+    if total == 0 {
+        return vec![0; weights.len()];
+    }
+    assert!(sum > 0.0, "all-zero weights cannot split {total} items");
+    let mut floors: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = total as f64 * w / sum;
+        let fl = exact.floor() as u64;
+        floors.push(fl);
+        assigned += fl;
+        remainders.push((i, exact - fl as f64));
+    }
+    // Distribute the leftover units to the largest remainders
+    // (deterministic tie-break on index for reproducibility).
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut leftover = total - assigned;
+    for (i, _) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        floors[i] += 1;
+        leftover -= 1;
+    }
+    floors
+}
+
+/// Rounds a non-negative real to one of its two nearest integers, chosen
+/// randomly so the expectation equals `x` (stochastic rounding).
+///
+/// Used to realize fractional average-case quantities (e.g. a mapping
+/// degree of `16.5` neighbors) on concrete overlays without bias.
+///
+/// # Panics
+///
+/// Panics if `x` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = sos_math::sampling::stochastic_round(&mut rng, 2.5);
+/// assert!(r == 2 || r == 3);
+/// assert_eq!(sos_math::sampling::stochastic_round(&mut rng, 4.0), 4);
+/// ```
+pub fn stochastic_round<R: Rng + ?Sized>(rng: &mut R, x: f64) -> u64 {
+    assert!(x.is_finite() && x >= 0.0, "cannot round {x}");
+    let floor = x.floor();
+    let frac = x - floor;
+    let base = floor as u64;
+    if frac > 0.0 && rng.gen::<f64>() < frac {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// Bernoulli trial: returns `true` with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    rng.gen::<f64>() < p
+}
+
+/// Shuffles a slice in place (thin wrapper so downstream crates only depend
+/// on `sos-math` for randomized operations).
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
+    items.shuffle(rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..200usize);
+            let k = rng.gen_range(0..=n);
+            let picks = sample_indices(&mut rng, n, k);
+            assert_eq!(picks.len(), k);
+            assert!(picks.iter().all(|&i| i < n));
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates for n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_population_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut picks = sample_indices(&mut rng, 16, 16);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 10;
+        let mut counts = vec![0u32; n];
+        let trials = 20_000;
+        for _ in 0..trials {
+            for i in sample_indices(&mut rng, n, 3) {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials as f64 * 3.0 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 0.05 * expect,
+                "index {i} drawn {c} times, expected ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_indices(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn proportional_split_conserves_total() {
+        let cases: &[(u64, &[f64])] = &[
+            (100, &[1.0, 2.0, 3.0]),
+            (7, &[0.4, 0.4, 0.2]),
+            (1, &[5.0, 5.0]),
+            (0, &[1.0]),
+            (13, &[1e-9, 1.0, 1e-9]),
+        ];
+        for (total, weights) in cases {
+            let split = proportional_split(*total, weights);
+            assert_eq!(split.iter().sum::<u64>(), *total, "weights {weights:?}");
+        }
+    }
+
+    #[test]
+    fn proportional_split_proportions_close() {
+        let split = proportional_split(1000, &[1.0, 2.0, 7.0]);
+        assert_eq!(split, vec![100, 200, 700]);
+    }
+
+    #[test]
+    fn stochastic_round_unbiased() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 40_000;
+        let total: u64 = (0..trials).map(|_| stochastic_round(&mut rng, 2.3)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 2.3).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn stochastic_round_integer_is_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(stochastic_round(&mut rng, 7.0), 7);
+            assert_eq!(stochastic_round(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 50_000;
+        let hits = (0..trials).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.01, "observed {freq}");
+    }
+
+    #[test]
+    fn bernoulli_degenerate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Small numeric-series helpers shared by sweeps, benches and tests.
+
+/// Inclusive evenly spaced grid of `count` points from `start` to `end`.
+///
+/// # Panics
+///
+/// Panics if `count == 0`, or if `count == 1` while `start != end`.
+///
+/// # Example
+///
+/// ```
+/// let g = sos_math::series::linspace(0.0, 1.0, 5);
+/// assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(start: f64, end: f64, count: usize) -> Vec<f64> {
+    assert!(count > 0, "linspace needs at least one point");
+    if count == 1 {
+        assert!(
+            start == end,
+            "a single-point grid requires start == end ({start} != {end})"
+        );
+        return vec![start];
+    }
+    let step = (end - start) / (count - 1) as f64;
+    (0..count).map(|i| start + step * i as f64).collect()
+}
+
+/// Direction of a (weak) monotone trend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trend {
+    /// Every step is non-decreasing.
+    NonDecreasing,
+    /// Every step is non-increasing.
+    NonIncreasing,
+    /// Constant within tolerance.
+    Flat,
+    /// Neither direction holds.
+    Mixed,
+}
+
+/// Classifies the trend of `values` with absolute tolerance `tol`
+/// (steps smaller than `tol` count as flat).
+///
+/// Used by the experiment harness to assert the *shapes* the paper reports
+/// (e.g. "`P_S` decreases as `R` increases") without pinning exact numbers.
+///
+/// # Example
+///
+/// ```
+/// use sos_math::series::{trend, Trend};
+/// assert_eq!(trend(&[1.0, 0.8, 0.5], 1e-9), Trend::NonIncreasing);
+/// assert_eq!(trend(&[0.5, 0.5 + 1e-12], 1e-9), Trend::Flat);
+/// ```
+pub fn trend(values: &[f64], tol: f64) -> Trend {
+    let mut up = false;
+    let mut down = false;
+    for w in values.windows(2) {
+        let d = w[1] - w[0];
+        if d > tol {
+            up = true;
+        } else if d < -tol {
+            down = true;
+        }
+    }
+    match (up, down) {
+        (true, true) => Trend::Mixed,
+        (true, false) => Trend::NonDecreasing,
+        (false, true) => Trend::NonIncreasing,
+        (false, false) => Trend::Flat,
+    }
+}
+
+/// Index of the maximum value (first occurrence). Returns `None` for empty
+/// input or if any value is NaN.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Finds the first index where series `a` crosses from `>= b` to `< b`
+/// (a "crossover point" in the paper's tradeoff curves). Returns `None`
+/// when no crossover exists.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths.
+pub fn crossover_index(a: &[f64], b: &[f64]) -> Option<usize> {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    let mut was_above = None;
+    for i in 0..a.len() {
+        let above = a[i] >= b[i];
+        if let Some(prev) = was_above {
+            if prev && !above {
+                return Some(i);
+            }
+        }
+        was_above = Some(above);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints() {
+        let g = linspace(-2.0, 2.0, 9);
+        assert_eq!(g.len(), 9);
+        assert_eq!(g[0], -2.0);
+        assert_eq!(g[8], 2.0);
+    }
+
+    #[test]
+    fn linspace_single_point() {
+        assert_eq!(linspace(3.0, 3.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-point grid")]
+    fn linspace_single_point_mismatch() {
+        linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn trend_classification() {
+        assert_eq!(trend(&[1.0, 2.0, 3.0], 0.0), Trend::NonDecreasing);
+        assert_eq!(trend(&[3.0, 2.0, 2.0], 1e-9), Trend::NonIncreasing);
+        assert_eq!(trend(&[1.0, 1.0, 1.0], 1e-9), Trend::Flat);
+        assert_eq!(trend(&[1.0, 2.0, 1.0], 1e-9), Trend::Mixed);
+        assert_eq!(trend(&[], 1e-9), Trend::Flat);
+        assert_eq!(trend(&[5.0], 1e-9), Trend::Flat);
+    }
+
+    #[test]
+    fn argmax_behaviour() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn crossover_detection() {
+        let a = [1.0, 0.9, 0.5, 0.2];
+        let b = [0.6, 0.6, 0.6, 0.6];
+        assert_eq!(crossover_index(&a, &b), Some(2));
+        let never = [1.0, 1.0];
+        let below = [0.0, 0.0];
+        assert_eq!(crossover_index(&never, &below), None);
+    }
+}

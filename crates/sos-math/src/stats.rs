@@ -1,0 +1,332 @@
+//! Summary statistics and confidence intervals for the Monte Carlo engine.
+
+use crate::special::inverse_normal_cdf;
+
+/// Incremental mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// let mut s = sos_math::RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; `0.0` with fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn summary(&self) -> SummaryStats {
+        SummaryStats {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Immutable snapshot of a [`RunningStats`] accumulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Preferred over the normal (Wald) interval because Monte Carlo estimates
+/// of `P_S` frequently sit at the `0.0`/`1.0` boundary, where Wald
+/// degenerates to a zero-width interval.
+///
+/// # Panics
+///
+/// Panics if `successes > trials`, `trials == 0`, or `level` is not in
+/// `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// let ci = sos_math::proportion_ci(90, 100, 0.95);
+/// assert!(ci.lower < 0.9 && ci.upper > 0.9);
+/// assert!(ci.contains(0.9));
+/// ```
+pub fn proportion_ci(successes: u64, trials: u64, level: f64) -> ConfidenceInterval {
+    assert!(trials > 0, "cannot form an interval from zero trials");
+    assert!(
+        successes <= trials,
+        "successes {successes} exceed trials {trials}"
+    );
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0, 1), got {level}"
+    );
+    let z = inverse_normal_cdf(0.5 + level / 2.0);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // The Wilson interval contains the MLE analytically; at p ∈ {0, 1}
+    // `center ± half` cancels to p exactly in real arithmetic but can
+    // miss by an ulp in floats, so clamp against the estimate too.
+    ConfidenceInterval {
+        estimate: p,
+        lower: (center - half).max(0.0).min(p),
+        upper: (center + half).min(1.0).max(p),
+        level,
+    }
+}
+
+/// Linear interpolation quantile of a sorted slice (type-7, the default in
+/// most statistics environments).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty, unsorted, or `q` is outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range: {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4 → sample variance 32/7.
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn wilson_interval_basics() {
+        let ci = proportion_ci(50, 100, 0.95);
+        assert!((ci.estimate - 0.5).abs() < 1e-12);
+        assert!(ci.lower > 0.39 && ci.lower < 0.41);
+        assert!(ci.upper > 0.59 && ci.upper < 0.61);
+    }
+
+    #[test]
+    fn wilson_interval_boundaries_nondegenerate() {
+        let ci = proportion_ci(0, 100, 0.95);
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!(ci.lower, 0.0);
+        assert!(ci.upper > 0.0, "zero successes must still give width");
+        let ci = proportion_ci(100, 100, 0.95);
+        assert_eq!(ci.upper, 1.0);
+        assert!(ci.lower < 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_trials() {
+        let wide = proportion_ci(5, 10, 0.95);
+        let narrow = proportion_ci(500, 1000, 0.95);
+        assert!(narrow.half_width() < wide.half_width());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(quantile(&data, 0.5), 2.5);
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn proportion_ci_rejects_zero_trials() {
+        proportion_ci(0, 0, 0.95);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use sos_math::combinatorics::{clamped_ff_ratio, ln_binomial_continuous};
+use sos_math::hypergeom::{all_specific_in_sample, all_specific_in_sample_binomial};
+use sos_math::sampling::proportional_split;
+use sos_math::stats::{proportion_ci, quantile, RunningStats};
+use sos_math::{binomial, ln_binomial, ln_gamma, HypergeometricDist};
+
+proptest! {
+    #[test]
+    fn ln_gamma_recurrence_holds(x in 0.05f64..5_000.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0),
+            "x = {x}: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn ln_gamma_log_convex(x in 0.5f64..1_000.0, d in 0.01f64..10.0) {
+        // Log-convexity: ln Γ((a+b)/2) <= (ln Γ(a) + ln Γ(b)) / 2.
+        let a = x;
+        let b = x + d;
+        let mid = ln_gamma((a + b) / 2.0);
+        let avg = (ln_gamma(a) + ln_gamma(b)) / 2.0;
+        prop_assert!(mid <= avg + 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_exact_agreement(n in 0u64..120, k in 0u64..120) {
+        // Where the exact value fits in u128, the log form must agree.
+        if let Some(exact) = binomial(n, k) {
+            if exact > 0 {
+                let expect = (exact as f64).ln();
+                let got = ln_binomial(n, k);
+                prop_assert!((got - expect).abs() < 1e-7 * expect.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_binomial_interpolates(n in 2u64..200, k in 1u64..200) {
+        prop_assume!(k < n);
+        // C(y, k) is increasing in y above the diagonal.
+        let lo = ln_binomial_continuous(n as f64, k as f64);
+        let hi = ln_binomial_continuous(n as f64 + 0.5, k as f64);
+        prop_assert!(hi >= lo);
+    }
+
+    #[test]
+    fn ratio_is_probability(x in 1.0f64..10_000.0, frac in 0.0f64..=1.0, z in 0u64..50) {
+        prop_assume!(x >= z as f64);
+        let y = frac * x;
+        let p = clamped_ff_ratio(x, y, z);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn ratio_monotone_in_sample(x in 10.0f64..5_000.0, z in 1u64..10,
+                                a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        prop_assume!(x >= z as f64);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let p_lo = clamped_ff_ratio(x, lo * x, z);
+        let p_hi = clamped_ff_ratio(x, hi * x, z);
+        prop_assert!(p_lo <= p_hi + 1e-12);
+    }
+
+    #[test]
+    fn ratio_antitone_in_subset(x in 10.0f64..5_000.0, frac in 0.0f64..=1.0,
+                                z in 1u64..20) {
+        prop_assume!(x >= (z + 1) as f64);
+        let y = frac * x;
+        // Requiring a bigger specific subset can only be less likely.
+        let small = all_specific_in_sample(x, y, z);
+        let large = all_specific_in_sample(x, y, z + 1);
+        prop_assert!(large <= small + 1e-12);
+    }
+
+    #[test]
+    fn hypergeom_below_binomial_relaxation(x in 10.0f64..2_000.0,
+                                           frac in 0.0f64..=1.0,
+                                           z in 1u64..12) {
+        prop_assume!(x >= z as f64);
+        let y = frac * x;
+        let h = all_specific_in_sample(x, y, z);
+        let b = all_specific_in_sample_binomial(x, y, z as f64);
+        prop_assert!(h <= b + 1e-9, "hyper {h} > binom {b}");
+    }
+
+    #[test]
+    fn hypergeom_pmf_is_distribution(pop in 1u64..200, marked_frac in 0.0f64..=1.0,
+                                     sample_frac in 0.0f64..=1.0) {
+        let marked = (pop as f64 * marked_frac) as u64;
+        let sample = (pop as f64 * sample_frac) as u64;
+        let d = HypergeometricDist::new(pop, marked, sample).unwrap();
+        let total: f64 = (d.min_k()..=d.max_k()).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "sums to {total}");
+        let mean: f64 = (d.min_k()..=d.max_k()).map(|k| k as f64 * d.pmf(k)).sum();
+        prop_assert!((mean - d.mean()).abs() < 1e-6 * d.mean().max(1.0));
+    }
+
+    #[test]
+    fn exact_all_drawn_matches_continuous(pop in 2u64..200, marked in 0u64..20,
+                                          sample in 0u64..200) {
+        prop_assume!(marked <= pop && sample <= pop);
+        let d = HypergeometricDist::new(pop, marked, sample).unwrap();
+        let exact = d.all_successes_drawn();
+        let cont = all_specific_in_sample(pop as f64, sample as f64, marked);
+        prop_assert!((exact - cont).abs() < 1e-9, "{exact} vs {cont}");
+    }
+
+    #[test]
+    fn proportional_split_conserves(total in 0u64..100_000,
+                                    weights in prop::collection::vec(0.0f64..100.0, 1..20)) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let split = proportional_split(total, &weights);
+        prop_assert_eq!(split.iter().sum::<u64>(), total);
+        // No bucket deviates from its exact share by a full unit or more.
+        let sum: f64 = weights.iter().sum();
+        for (i, &s) in split.iter().enumerate() {
+            let exact = total as f64 * weights[i] / sum;
+            prop_assert!((s as f64 - exact).abs() < 1.0 + 1e-9,
+                "bucket {i}: {s} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn running_stats_merge_associative(
+        a in prop::collection::vec(-100.0f64..100.0, 0..50),
+        b in prop::collection::vec(-100.0f64..100.0, 0..50),
+    ) {
+        let mut seq = RunningStats::new();
+        for &x in a.iter().chain(&b) {
+            seq.push(x);
+        }
+        let mut left = RunningStats::new();
+        for &x in &a {
+            left.push(x);
+        }
+        let mut right = RunningStats::new();
+        for &x in &b {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), seq.count());
+        if seq.count() > 0 {
+            prop_assert!((left.mean() - seq.mean()).abs() < 1e-9);
+            prop_assert!((left.sample_variance() - seq.sample_variance()).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn wilson_ci_contains_estimate(successes in 0u64..1_000, extra in 0u64..1_000) {
+        let trials = successes + extra.max(1);
+        let ci = proportion_ci(successes, trials, 0.95);
+        prop_assert!(ci.contains(ci.estimate));
+        prop_assert!(ci.lower >= 0.0 && ci.upper <= 1.0);
+        prop_assert!(ci.lower <= ci.upper);
+    }
+
+    #[test]
+    fn quantile_within_range(mut data in prop::collection::vec(-1e6f64..1e6, 1..200),
+                             q in 0.0f64..=1.0) {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let v = quantile(&data, q);
+        prop_assert!(v >= data[0] && v <= data[data.len() - 1]);
+    }
+}

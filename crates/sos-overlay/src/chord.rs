@@ -1,0 +1,476 @@
+//! A Chord distributed hash table (Stoica et al., SIGCOMM 2001).
+//!
+//! The original SOS architecture routes between overlay layers over
+//! Chord: a beacon is "the node whose Chord identifier owns the hash of
+//! the target's name", and every inter-layer message traverses `O(log N)`
+//! Chord hops. The ICDCS analysis abstracts each traversal into a single
+//! logical hop; this module restores the substrate so the simulator can
+//! also measure what the abstraction hides (compromised *intermediate*
+//! hops — the `ablation-chord` experiment).
+//!
+//! The implementation is a faithful, simulation-grade Chord:
+//!
+//! * 64-bit circular identifier space,
+//! * per-node finger tables (`finger[k] = successor(id + 2^k)`),
+//! * successor lists for fault tolerance,
+//! * iterative greedy lookup via closest-preceding-finger,
+//! * failure-aware lookup that routes around dead nodes using fingers
+//!   and successor lists,
+//! * `join` / `leave` membership changes.
+//!
+//! Lookups are performed centrally over the ring state (this is a
+//! simulator, not a networked implementation), but only ever use the
+//! state a real Chord node would have: its own fingers and successor
+//! list.
+
+use crate::node::NodeId;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Bits in the identifier space (and maximum finger-table size).
+pub const ID_BITS: usize = 64;
+
+/// Successor-list length (Chord recommends `Ω(log N)`; 16 covers the
+/// simulation scales used here).
+pub const SUCCESSOR_LIST_LEN: usize = 16;
+
+/// Result of a successful lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The node owning the key (the key's successor on the ring).
+    pub owner: NodeId,
+    /// Nodes visited, starting with the querying node and ending with
+    /// `owner`.
+    pub path: Vec<NodeId>,
+}
+
+impl LookupOutcome {
+    /// Number of hops taken (edges, i.e. `path.len() - 1`).
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// A Chord ring over a set of overlay nodes.
+#[derive(Debug, Clone)]
+pub struct ChordRing {
+    /// Ring positions sorted by identifier.
+    ids: Vec<u64>,
+    /// `members[pos]` is the overlay node at ring position `pos`.
+    members: Vec<NodeId>,
+    position_of: HashMap<NodeId, usize>,
+    /// `fingers[pos][k]` = position of `successor(ids[pos] + 2^k)`.
+    fingers: Vec<Vec<usize>>,
+    /// `successors[pos]` = the next `SUCCESSOR_LIST_LEN` positions.
+    successors: Vec<Vec<usize>>,
+}
+
+impl ChordRing {
+    /// Builds a ring over `members`, assigning each a distinct uniformly
+    /// random 64-bit identifier drawn from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, members: &[NodeId]) -> Self {
+        assert!(!members.is_empty(), "a Chord ring needs at least one node");
+        let unique: HashSet<_> = members.iter().collect();
+        assert_eq!(unique.len(), members.len(), "duplicate members");
+
+        let mut used = HashSet::with_capacity(members.len());
+        let mut pairs: Vec<(u64, NodeId)> = members
+            .iter()
+            .map(|&m| {
+                let mut id = rng.gen::<u64>();
+                while !used.insert(id) {
+                    id = rng.gen::<u64>();
+                }
+                (id, m)
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+
+        let mut ring = ChordRing {
+            ids: pairs.iter().map(|&(id, _)| id).collect(),
+            members: pairs.iter().map(|&(_, m)| m).collect(),
+            position_of: HashMap::new(),
+            fingers: Vec::new(),
+            successors: Vec::new(),
+        };
+        ring.rebuild_tables();
+        ring
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the ring is empty (never true for a built ring, but part
+    /// of the conventional pair with [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The Chord identifier of a member.
+    pub fn id_of(&self, node: NodeId) -> Option<u64> {
+        self.position_of.get(&node).map(|&p| self.ids[p])
+    }
+
+    /// Whether `node` is on the ring.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.position_of.contains_key(&node)
+    }
+
+    /// The node owning `key` — the first node whose identifier is `>=
+    /// key` (wrapping), found by direct successor scan. This is the
+    /// correctness oracle for [`lookup`](Self::lookup).
+    pub fn owner_of(&self, key: u64) -> NodeId {
+        self.members[self.successor_position(key)]
+    }
+
+    /// The immediate ring successor of a member node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not on the ring.
+    pub fn successor(&self, node: NodeId) -> NodeId {
+        let pos = self.position_of[&node];
+        self.members[self.successors[pos][0]]
+    }
+
+    /// Iterative Chord lookup of `key` starting at `from`, assuming all
+    /// nodes are alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not on the ring.
+    pub fn lookup(&self, from: NodeId, key: u64) -> LookupOutcome {
+        self.lookup_avoiding(from, key, |_| true)
+            .expect("lookup with all nodes alive cannot fail")
+    }
+
+    /// Failure-aware lookup: only routes through nodes for which
+    /// `is_alive` returns `true` (the starting node is assumed alive —
+    /// it is the one querying). Returns `None` when every remaining
+    /// route is blocked or the key's owner itself is dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not on the ring.
+    pub fn lookup_avoiding<F>(&self, from: NodeId, key: u64, is_alive: F) -> Option<LookupOutcome>
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let mut pos = *self
+            .position_of
+            .get(&from)
+            .unwrap_or_else(|| panic!("{from} is not on the ring"));
+        let owner_pos = self.successor_position(key);
+        let owner = self.members[owner_pos];
+        if !is_alive(owner) {
+            return None;
+        }
+        let mut path = vec![self.members[pos]];
+        // Greedy routing strictly shrinks clockwise distance to the key,
+        // so n hops is a hard upper bound; the explicit cap also guards
+        // the degenerate everything-dead cases.
+        let max_hops = self.len() + SUCCESSOR_LIST_LEN + 1;
+        for _ in 0..max_hops {
+            if pos == owner_pos {
+                return Some(LookupOutcome { owner, path });
+            }
+            let next = self.best_alive_step(pos, owner_pos, key, &is_alive)?;
+            debug_assert_ne!(next, pos, "routing must make progress");
+            pos = next;
+            path.push(self.members[pos]);
+        }
+        None
+    }
+
+    /// Adds a node with a fresh random identifier and rebuilds routing
+    /// state (the simulation-grade equivalent of join + stabilization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is already on the ring.
+    pub fn join<R: Rng + ?Sized>(&mut self, rng: &mut R, node: NodeId) {
+        assert!(!self.contains(node), "{node} already joined");
+        let mut id = rng.gen::<u64>();
+        while self.ids.binary_search(&id).is_ok() {
+            id = rng.gen::<u64>();
+        }
+        let insert_at = self.ids.partition_point(|&x| x < id);
+        self.ids.insert(insert_at, id);
+        self.members.insert(insert_at, node);
+        self.rebuild_tables();
+    }
+
+    /// Removes a node and rebuilds routing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not on the ring or is the last node.
+    pub fn leave(&mut self, node: NodeId) {
+        let pos = *self
+            .position_of
+            .get(&node)
+            .unwrap_or_else(|| panic!("{node} is not on the ring"));
+        assert!(self.len() > 1, "cannot remove the last ring node");
+        self.ids.remove(pos);
+        self.members.remove(pos);
+        self.rebuild_tables();
+    }
+
+    /// Position of the first node with identifier `>= key` (wrapping).
+    fn successor_position(&self, key: u64) -> usize {
+        let p = self.ids.partition_point(|&x| x < key);
+        if p == self.ids.len() {
+            0
+        } else {
+            p
+        }
+    }
+
+    /// The best alive next hop from `pos` toward `key`.
+    ///
+    /// Classic Chord greedy step: jump straight to the key's owner if it
+    /// is in our routing state; otherwise move to the alive finger or
+    /// successor-list entry that is the closest *preceding* node of the
+    /// key (strictly closer than we are). The clockwise distance to the
+    /// key strictly decreases every step, which guarantees termination.
+    fn best_alive_step<F>(&self, pos: usize, owner_pos: usize, key: u64, is_alive: &F) -> Option<usize>
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let my_dist = clockwise_distance(self.ids[pos], key);
+        let mut best: Option<(u64, usize)> = None;
+        let candidates = self.fingers[pos].iter().chain(self.successors[pos].iter());
+        for &cand in candidates {
+            if cand == pos {
+                continue;
+            }
+            if !is_alive(self.members[cand]) {
+                continue;
+            }
+            // The owner itself lies just past the key; take it directly.
+            if cand == owner_pos {
+                return Some(cand);
+            }
+            let d = clockwise_distance(self.ids[cand], key);
+            if d < my_dist {
+                match best {
+                    Some((bd, _)) if bd <= d => {}
+                    _ => best = Some((d, cand)),
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    fn rebuild_tables(&mut self) {
+        let n = self.len();
+        self.position_of = self
+            .members
+            .iter()
+            .enumerate()
+            .map(|(p, &m)| (m, p))
+            .collect();
+        self.successors = (0..n)
+            .map(|p| {
+                (1..=SUCCESSOR_LIST_LEN.min(n.saturating_sub(1)))
+                    .map(|k| (p + k) % n)
+                    .collect()
+            })
+            .collect();
+        self.fingers = (0..n)
+            .map(|p| {
+                let base = self.ids[p];
+                let mut table = Vec::with_capacity(ID_BITS);
+                for k in 0..ID_BITS {
+                    let target = base.wrapping_add(1u64 << k);
+                    table.push(self.successor_position(target));
+                }
+                table.dedup();
+                table
+            })
+            .collect();
+    }
+}
+
+/// Clockwise distance from `a` to `b` on the 2^64 ring.
+fn clockwise_distance(a: u64, b: u64) -> u64 {
+    b.wrapping_sub(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: u32, seed: u64) -> ChordRing {
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ChordRing::build(&mut rng, &members)
+    }
+
+    #[test]
+    fn build_basics() {
+        let r = ring(100, 1);
+        assert_eq!(r.len(), 100);
+        assert!(!r.is_empty());
+        assert!(r.contains(NodeId(5)));
+        assert!(!r.contains(NodeId(100)));
+        assert!(r.id_of(NodeId(5)).is_some());
+        assert!(r.id_of(NodeId(100)).is_none());
+    }
+
+    #[test]
+    fn ids_are_sorted_and_unique() {
+        let r = ring(500, 2);
+        assert!(r.ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn lookup_matches_naive_owner() {
+        let r = ring(200, 3);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let key = rng.gen::<u64>();
+            let from = NodeId(rng.gen_range(0..200));
+            let out = r.lookup(from, key);
+            assert_eq!(out.owner, r.owner_of(key), "key {key}");
+            assert_eq!(*out.path.first().unwrap(), from);
+            assert_eq!(*out.path.last().unwrap(), out.owner);
+        }
+    }
+
+    #[test]
+    fn lookup_is_logarithmic() {
+        let r = ring(1_024, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut max_hops = 0;
+        for _ in 0..300 {
+            let key = rng.gen::<u64>();
+            let from = NodeId(rng.gen_range(0..1_024));
+            max_hops = max_hops.max(r.lookup(from, key).hops());
+        }
+        // Chord bound: O(log n) w.h.p.; allow generous slack.
+        assert!(max_hops <= 2 * 10, "max hops = {max_hops}");
+        assert!(max_hops >= 2, "suspiciously short paths");
+    }
+
+    #[test]
+    fn lookup_from_owner_is_trivial() {
+        let r = ring(50, 6);
+        let owner = r.owner_of(12345);
+        let key_id = r.id_of(owner).unwrap();
+        let out = r.lookup(owner, key_id);
+        assert_eq!(out.owner, owner);
+        assert_eq!(out.hops(), 0);
+    }
+
+    #[test]
+    fn lookup_avoiding_routes_around_failures() {
+        let r = ring(300, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Kill 30% of nodes (but never the queried owner or source).
+        for trial in 0..100 {
+            let key = rng.gen::<u64>();
+            let owner = r.owner_of(key);
+            let from = NodeId(rng.gen_range(0..300));
+            if from == owner {
+                continue;
+            }
+            let dead: HashSet<NodeId> = (0..300u32)
+                .map(NodeId)
+                .filter(|&n| n != owner && n != from && rng.gen::<f64>() < 0.3)
+                .collect();
+            let out = r.lookup_avoiding(from, key, |n| !dead.contains(&n));
+            let out = out.unwrap_or_else(|| panic!("trial {trial} found no route"));
+            assert_eq!(out.owner, owner);
+            assert!(out.path.iter().all(|n| !dead.contains(n)));
+        }
+    }
+
+    #[test]
+    fn lookup_avoiding_fails_when_owner_dead() {
+        let r = ring(50, 9);
+        let key = 42u64;
+        let owner = r.owner_of(key);
+        let from = r.members.iter().find(|&&m| m != owner).copied().unwrap();
+        assert!(r.lookup_avoiding(from, key, |n| n != owner).is_none());
+    }
+
+    #[test]
+    fn join_inserts_and_keeps_lookups_correct() {
+        let mut r = ring(64, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        for new in 64..96u32 {
+            r.join(&mut rng, NodeId(new));
+        }
+        assert_eq!(r.len(), 96);
+        for _ in 0..200 {
+            let key = rng.gen::<u64>();
+            let from = NodeId(rng.gen_range(0..96));
+            assert_eq!(r.lookup(from, key).owner, r.owner_of(key));
+        }
+    }
+
+    #[test]
+    fn leave_removes_and_keeps_lookups_correct() {
+        let mut r = ring(64, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        for gone in 0..32u32 {
+            r.leave(NodeId(gone));
+        }
+        assert_eq!(r.len(), 32);
+        for _ in 0..200 {
+            let key = rng.gen::<u64>();
+            let from = NodeId(rng.gen_range(32..64));
+            let out = r.lookup(from, key);
+            assert_eq!(out.owner, r.owner_of(key));
+            assert!(out.path.iter().all(|n| n.0 >= 32));
+        }
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let members = [NodeId(7)];
+        let mut rng = StdRng::seed_from_u64(14);
+        let r = ChordRing::build(&mut rng, &members);
+        assert_eq!(r.owner_of(0), NodeId(7));
+        let out = r.lookup(NodeId(7), u64::MAX);
+        assert_eq!(out.owner, NodeId(7));
+        assert_eq!(out.hops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate members")]
+    fn duplicate_members_rejected() {
+        let mut rng = StdRng::seed_from_u64(15);
+        ChordRing::build(&mut rng, &[NodeId(1), NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already joined")]
+    fn double_join_rejected() {
+        let mut r = ring(4, 16);
+        let mut rng = StdRng::seed_from_u64(17);
+        r.join(&mut rng, NodeId(0));
+    }
+
+    #[test]
+    fn successor_wraps_around() {
+        let r = ring(16, 18);
+        // The owner of a key greater than the max id is the smallest id.
+        let max_id = *r.ids.last().unwrap();
+        if max_id < u64::MAX {
+            assert_eq!(r.owner_of(max_id.wrapping_add(1)), r.members[0]);
+        }
+        // successor(last) = first member.
+        let last_member = *r.members.last().unwrap();
+        assert_eq!(r.successor(last_member), r.members[0]);
+    }
+}

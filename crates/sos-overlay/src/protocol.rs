@@ -1,0 +1,662 @@
+//! The Chord *protocol*: join, stabilize, notify, fix-fingers and
+//! failure recovery, simulated message by message.
+//!
+//! [`crate::chord::ChordRing`] is an oracle: a ring built with global
+//! knowledge, correct by construction. Real Chord nodes converge to
+//! that state through periodic maintenance — and while they are
+//! converging (after churn or failures) their pointers are stale, which
+//! is exactly the regime a DDoS attacker exploits. This module
+//! implements the SIGCOMM 2001 maintenance protocol over the
+//! deterministic event engine in `sos-des`:
+//!
+//! * **join** — a node asks any bootstrap node to find its successor
+//!   and splices itself in;
+//! * **stabilize** (periodic) — ask your successor for its predecessor,
+//!   adopt it if it sits between you, refresh the successor list, and
+//!   `notify` the successor of yourself;
+//! * **fix-fingers** (periodic) — round-robin re-lookup of one finger
+//!   per firing;
+//! * **failure recovery** — dead successors are skipped via the
+//!   successor list; dead fingers are skipped during routing and
+//!   eventually repaired by fix-fingers.
+//!
+//! Lookups route iteratively through whatever (possibly stale) state
+//! nodes currently hold, so convergence can be *measured*: see
+//! [`ChordProtocol::is_converged`] and the tests, which compare against
+//! the oracle ring after every scenario.
+
+use crate::node::NodeId;
+use sos_des::{run_until, Scheduler, SimTime, Simulation, StepOutcome};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+
+/// Protocol timing parameters, in simulated ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Interval between stabilize firings per node.
+    pub stabilize_interval: u64,
+    /// Interval between fix-fingers firings per node.
+    pub fix_fingers_interval: u64,
+    /// Successor-list length (fault tolerance).
+    pub successor_list_len: usize,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            stabilize_interval: 10,
+            fix_fingers_interval: 15,
+            successor_list_len: 8,
+        }
+    }
+}
+
+/// Identifier-space size (bits).
+const ID_BITS: usize = 64;
+
+/// One protocol participant's local state.
+#[derive(Debug, Clone)]
+struct ProtoNode {
+    overlay: NodeId,
+    alive: bool,
+    predecessor: Option<u64>,
+    /// Successor list, nearest first. Invariant: non-empty for alive
+    /// nodes that have joined.
+    successors: Vec<u64>,
+    /// `fingers[k] ≈ successor(id + 2^k)`; entries may be stale.
+    fingers: Vec<u64>,
+    next_finger: usize,
+}
+
+/// Maintenance events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceEvent {
+    /// Periodic stabilize at the node with this Chord id.
+    Stabilize(u64),
+    /// Periodic fix-fingers at the node with this Chord id.
+    FixFingers(u64),
+}
+
+/// The protocol simulator: all participants plus their timers.
+#[derive(Debug, Clone)]
+pub struct ChordProtocol {
+    cfg: ProtocolConfig,
+    nodes: BTreeMap<u64, ProtoNode>,
+    id_of_overlay: HashMap<NodeId, u64>,
+    lookups_issued: Cell<u64>,
+}
+
+impl ChordProtocol {
+    /// Creates an empty network.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        ChordProtocol {
+            cfg,
+            nodes: BTreeMap::new(),
+            id_of_overlay: HashMap::new(),
+            lookups_issued: Cell::new(0),
+        }
+    }
+
+    /// Number of alive participants.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.values().filter(|n| n.alive).count()
+    }
+
+    /// Total lookups routed so far (join + fix-finger + client).
+    pub fn lookups_issued(&self) -> u64 {
+        self.lookups_issued.get()
+    }
+
+    /// Bootstraps the very first node (it is its own successor) and
+    /// schedules its timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is non-empty or the id collides.
+    pub fn bootstrap(
+        &mut self,
+        id: u64,
+        overlay: NodeId,
+        sched: &mut Scheduler<MaintenanceEvent>,
+    ) {
+        assert!(self.nodes.is_empty(), "bootstrap requires an empty network");
+        self.nodes.insert(
+            id,
+            ProtoNode {
+                overlay,
+                alive: true,
+                predecessor: None,
+                successors: vec![id],
+                fingers: vec![id; ID_BITS],
+                next_finger: 0,
+            },
+        );
+        self.id_of_overlay.insert(overlay, id);
+        self.schedule_timers(id, sched);
+    }
+
+    /// Joins a new node via an alive bootstrap contact and schedules its
+    /// timers. The successor is found by routing through current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on id collision or a dead/unknown bootstrap.
+    pub fn join(
+        &mut self,
+        id: u64,
+        overlay: NodeId,
+        via: u64,
+        sched: &mut Scheduler<MaintenanceEvent>,
+    ) {
+        assert!(!self.nodes.contains_key(&id), "chord id {id} already joined");
+        assert!(
+            self.nodes.get(&via).map(|n| n.alive).unwrap_or(false),
+            "bootstrap {via} is not an alive member"
+        );
+        // Under heavy churn the join lookup can dead-end in stale
+        // state; join with the bootstrap itself as the approximate
+        // successor in that case — stabilization corrects the position
+        // within a few periods (weakly consistent join, as in Chord's
+        // handling of concurrent operations).
+        let succ = self
+            .route_successor(via, id)
+            .map(|(s, _)| s)
+            .unwrap_or(via);
+        self.nodes.insert(
+            id,
+            ProtoNode {
+                overlay,
+                alive: true,
+                predecessor: None,
+                successors: vec![succ],
+                fingers: vec![succ; ID_BITS],
+                next_finger: 0,
+            },
+        );
+        self.id_of_overlay.insert(overlay, id);
+        self.schedule_timers(id, sched);
+    }
+
+    /// Marks a node dead. Its state freezes; peers discover the failure
+    /// through timeouts (modelled as skipping dead entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn kill(&mut self, id: u64) {
+        self.nodes
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown chord id {id}"))
+            .alive = false;
+    }
+
+    /// The overlay node behind a Chord id, if alive.
+    pub fn overlay_of(&self, id: u64) -> Option<NodeId> {
+        self.nodes.get(&id).filter(|n| n.alive).map(|n| n.overlay)
+    }
+
+    /// The Chord id of an overlay node, if it ever joined (dead nodes
+    /// keep their id; check liveness separately).
+    pub fn chord_id_of(&self, overlay: NodeId) -> Option<u64> {
+        self.id_of_overlay.get(&overlay).copied()
+    }
+
+    /// Ground truth: the alive successor of `key` by global knowledge.
+    pub fn oracle_successor(&self, key: u64) -> Option<u64> {
+        let alive: Vec<u64> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .map(|(&id, _)| id)
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let pos = alive.partition_point(|&x| x < key);
+        Some(if pos == alive.len() { alive[0] } else { alive[pos] })
+    }
+
+    /// Routes a lookup for `key` starting at alive node `from`, using
+    /// only local state (fingers + successor lists), skipping dead
+    /// nodes. Returns the id the protocol currently believes owns the
+    /// key — equal to [`oracle_successor`](Self::oracle_successor) once
+    /// converged.
+    pub fn lookup(&self, from: u64, key: u64) -> Option<u64> {
+        self.route_successor(from, key).map(|(owner, _)| owner)
+    }
+
+    /// Like [`lookup`](Self::lookup) but also reports the hop count the
+    /// iterative routing took.
+    pub fn lookup_with_hops(&self, from: u64, key: u64) -> Option<(u64, usize)> {
+        self.route_successor(from, key)
+    }
+
+    /// Whether every alive node's *immediate* successor pointer
+    /// (`successors[0]`, not the fault-tolerant fallback through the
+    /// list) matches the oracle ring — the strict Chord convergence
+    /// criterion. Routing stays correct through the successor list even
+    /// while this is false; stabilization is what repairs the pointer.
+    pub fn is_converged(&self) -> bool {
+        self.convergence_fraction() == 1.0
+    }
+
+    /// Fraction of alive nodes whose immediate successor pointer is
+    /// correct.
+    pub fn convergence_fraction(&self) -> f64 {
+        let alive: Vec<u64> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .map(|(&id, _)| id)
+            .collect();
+        if alive.len() <= 1 {
+            return 1.0;
+        }
+        let correct = alive
+            .iter()
+            .enumerate()
+            .filter(|&(i, &id)| {
+                self.nodes[&id].successors.first().copied()
+                    == Some(alive[(i + 1) % alive.len()])
+            })
+            .count();
+        correct as f64 / alive.len() as f64
+    }
+
+    fn schedule_timers(&self, id: u64, sched: &mut Scheduler<MaintenanceEvent>) {
+        sched.schedule_in(self.cfg.stabilize_interval, MaintenanceEvent::Stabilize(id));
+        sched.schedule_in(
+            self.cfg.fix_fingers_interval,
+            MaintenanceEvent::FixFingers(id),
+        );
+    }
+
+    fn first_alive_successor(&self, id: u64) -> Option<u64> {
+        let node = self.nodes.get(&id)?;
+        node.successors
+            .iter()
+            .find(|&&s| self.nodes.get(&s).map(|n| n.alive).unwrap_or(false))
+            .copied()
+    }
+
+    /// Emergency repair source when a node's whole successor list has
+    /// died: the alive finger closest clockwise from `id` (the best
+    /// local guess at the new immediate successor). Real Chord recovers
+    /// the same way — successor lists bound the *instant* tolerance,
+    /// fingers rebuild beyond it.
+    fn closest_alive_finger(&self, id: u64) -> Option<u64> {
+        let node = self.nodes.get(&id)?;
+        let mut best: Option<(u64, u64)> = None; // (clockwise distance from id, candidate)
+        for &cand in &node.fingers {
+            if cand == id {
+                continue;
+            }
+            if !self.nodes.get(&cand).map(|n| n.alive).unwrap_or(false) {
+                continue;
+            }
+            let d = cand.wrapping_sub(id);
+            match best {
+                Some((bd, _)) if bd <= d => {}
+                _ => best = Some((d, cand)),
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// Iterative find-successor over current (possibly stale) state.
+    fn route_successor(&self, from: u64, key: u64) -> Option<(u64, usize)> {
+        self.lookups_issued.set(self.lookups_issued.get() + 1);
+        let mut current = from;
+        let mut hops = 0usize;
+        // n nodes is a hard bound for greedy progress; stale pointers can
+        // cause short non-progress bounces, so allow slack.
+        let max_hops = 2 * self.nodes.len() + ID_BITS;
+        for _ in 0..max_hops {
+            match self.first_alive_successor(current) {
+                Some(succ) => {
+                    if in_half_open_interval(current, succ, key) || succ == current {
+                        return Some((succ, hops + 1));
+                    }
+                    match self.closest_preceding_alive(current, key) {
+                        Some(next) if next != current => current = next,
+                        // No finger makes progress: fall through the
+                        // successor.
+                        _ => current = succ,
+                    }
+                }
+                None => {
+                    // The node's successor list died entirely; detour via
+                    // any alive finger (no ownership claim possible from
+                    // a blind node). Progress-toward-key fingers first.
+                    let next = self
+                        .closest_preceding_alive(current, key)
+                        .or_else(|| self.closest_alive_finger(current))?;
+                    if next == current {
+                        return None;
+                    }
+                    current = next;
+                }
+            }
+            hops += 1;
+        }
+        // Routing loop among stale pointers — report the best guess.
+        self.first_alive_successor(current).map(|o| (o, hops))
+    }
+
+    fn closest_preceding_alive(&self, at: u64, key: u64) -> Option<u64> {
+        let node = self.nodes.get(&at)?;
+        let mut best: Option<(u64, u64)> = None; // (distance to key, id)
+        for &cand in node.fingers.iter().chain(node.successors.iter()) {
+            if cand == at {
+                continue;
+            }
+            if !self.nodes.get(&cand).map(|n| n.alive).unwrap_or(false) {
+                continue;
+            }
+            // Candidate must lie strictly between at and key (clockwise).
+            if in_open_interval(at, key, cand) {
+                let d = key.wrapping_sub(cand);
+                match best {
+                    Some((bd, _)) if bd <= d => {}
+                    _ => best = Some((d, cand)),
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    fn stabilize(&mut self, id: u64) {
+        let Some(node) = self.nodes.get(&id) else {
+            return;
+        };
+        if !node.alive {
+            return;
+        }
+        let succ = match self.first_alive_successor(id) {
+            Some(succ) => succ,
+            None => {
+                // Whole successor list dead: re-seed it from the closest
+                // alive finger; the normal mechanism takes over next
+                // round.
+                let Some(rescue) = self.closest_alive_finger(id) else {
+                    return; // fully isolated node
+                };
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    node.successors = vec![rescue];
+                }
+                rescue
+            }
+        };
+        // Adopt the successor's predecessor if it sits between us.
+        let mut new_succ = succ;
+        if let Some(x) = self.nodes.get(&succ).and_then(|s| s.predecessor) {
+            if x != id
+                && self.nodes.get(&x).map(|n| n.alive).unwrap_or(false)
+                && in_open_interval(id, succ, x)
+            {
+                new_succ = x;
+            }
+        }
+        // Refresh the successor list from the (new) successor.
+        let mut list = vec![new_succ];
+        if let Some(s) = self.nodes.get(&new_succ) {
+            for &entry in &s.successors {
+                if entry != id && !list.contains(&entry) {
+                    list.push(entry);
+                }
+                if list.len() >= self.cfg.successor_list_len {
+                    break;
+                }
+            }
+        }
+        if let Some(node) = self.nodes.get_mut(&id) {
+            node.successors = list;
+        }
+        // Notify: tell the successor about ourselves.
+        let adopt = match self.nodes.get(&new_succ).and_then(|s| s.predecessor) {
+            None => true,
+            Some(p) => {
+                !self.nodes.get(&p).map(|n| n.alive).unwrap_or(false)
+                    || in_open_interval(p, new_succ, id)
+            }
+        };
+        if adopt && new_succ != id {
+            if let Some(s) = self.nodes.get_mut(&new_succ) {
+                s.predecessor = Some(id);
+            }
+        }
+    }
+
+    fn fix_fingers(&mut self, id: u64) {
+        let Some(node) = self.nodes.get(&id) else {
+            return;
+        };
+        if !node.alive {
+            return;
+        }
+        let k = node.next_finger;
+        let target = id.wrapping_add(1u64 << k);
+        if let Some((owner, _)) = self.route_successor(id, target) {
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.fingers[k] = owner;
+            }
+        }
+        if let Some(node) = self.nodes.get_mut(&id) {
+            node.next_finger = (k + 1) % ID_BITS;
+        }
+    }
+}
+
+impl Simulation for ChordProtocol {
+    type Event = MaintenanceEvent;
+
+    fn handle(
+        &mut self,
+        _at: SimTime,
+        event: MaintenanceEvent,
+        sched: &mut Scheduler<MaintenanceEvent>,
+    ) {
+        match event {
+            MaintenanceEvent::Stabilize(id) => {
+                if self.nodes.get(&id).map(|n| n.alive).unwrap_or(false) {
+                    self.stabilize(id);
+                    sched.schedule_in(
+                        self.cfg.stabilize_interval,
+                        MaintenanceEvent::Stabilize(id),
+                    );
+                }
+            }
+            MaintenanceEvent::FixFingers(id) => {
+                if self.nodes.get(&id).map(|n| n.alive).unwrap_or(false) {
+                    self.fix_fingers(id);
+                    sched.schedule_in(
+                        self.cfg.fix_fingers_interval,
+                        MaintenanceEvent::FixFingers(id),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs maintenance until `deadline`; returns the step outcome and the
+/// number of maintenance events processed.
+pub fn run_maintenance(
+    protocol: &mut ChordProtocol,
+    sched: &mut Scheduler<MaintenanceEvent>,
+    deadline: SimTime,
+) -> (StepOutcome, u64) {
+    run_until(protocol, sched, deadline)
+}
+
+/// `x ∈ (a, b)` on the ring (exclusive both ends).
+fn in_open_interval(a: u64, b: u64, x: u64) -> bool {
+    x.wrapping_sub(a).wrapping_sub(1) < b.wrapping_sub(a).wrapping_sub(1)
+}
+
+/// `x ∈ (a, b]` on the ring.
+fn in_half_open_interval(a: u64, b: u64, x: u64) -> bool {
+    x.wrapping_sub(a).wrapping_sub(1) <= b.wrapping_sub(a).wrapping_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    fn build_network(
+        n: usize,
+        seed: u64,
+    ) -> (ChordProtocol, Scheduler<MaintenanceEvent>, Vec<u64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut proto = ChordProtocol::new(ProtocolConfig::default());
+        let mut sched = Scheduler::new();
+        let mut ids: Vec<u64> = Vec::new();
+        let mut used = HashSet::new();
+        for i in 0..n {
+            let mut id = rng.gen::<u64>();
+            while !used.insert(id) {
+                id = rng.gen::<u64>();
+            }
+            ids.push(id);
+            if i == 0 {
+                proto.bootstrap(id, NodeId(i as u32), &mut sched);
+            } else {
+                let via = ids[rng.gen_range(0..i)];
+                proto.join(id, NodeId(i as u32), via, &mut sched);
+                // Let maintenance interleave with joins, as in a real
+                // deployment.
+                let now = sched.now();
+                run_maintenance(&mut proto, &mut sched, now + 30);
+            }
+        }
+        (proto, sched, ids)
+    }
+
+    #[test]
+    fn sequential_joins_converge() {
+        let (mut proto, mut sched, _) = build_network(64, 1);
+        let now = sched.now();
+        run_maintenance(&mut proto, &mut sched, now + 2_000);
+        assert!(proto.is_converged(), "ring did not converge after joins");
+        assert_eq!(proto.alive_count(), 64);
+    }
+
+    #[test]
+    fn converged_lookups_match_oracle() {
+        let (mut proto, mut sched, ids) = build_network(48, 2);
+        let now = sched.now();
+        run_maintenance(&mut proto, &mut sched, now + 2_000);
+        assert!(proto.is_converged());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let key = rng.gen::<u64>();
+            let from = ids[rng.gen_range(0..ids.len())];
+            let found = proto.lookup(from, key).unwrap();
+            assert_eq!(
+                found,
+                proto.oracle_successor(key).unwrap(),
+                "lookup({key}) from {from}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_recovers_from_mass_failure() {
+        let (mut proto, mut sched, ids) = build_network(60, 4);
+        let now = sched.now();
+        run_maintenance(&mut proto, &mut sched, now + 2_000);
+        assert!(proto.is_converged());
+        // Kill 25% (below the successor-list tolerance).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut killed = HashSet::new();
+        while killed.len() < 15 {
+            let victim = ids[rng.gen_range(0..ids.len())];
+            if killed.insert(victim) {
+                proto.kill(victim);
+            }
+        }
+        assert!(!proto.is_converged(), "failures must break convergence");
+        let now = sched.now();
+        run_maintenance(&mut proto, &mut sched, now + 5_000);
+        assert!(
+            proto.is_converged(),
+            "stabilization must repair the ring (fraction {})",
+            proto.convergence_fraction()
+        );
+        assert_eq!(proto.alive_count(), 45);
+        // Lookups are correct again among survivors.
+        for _ in 0..100 {
+            let key = rng.gen::<u64>();
+            let from = *ids.iter().find(|id| !killed.contains(id)).unwrap();
+            assert_eq!(proto.lookup(from, key), proto.oracle_successor(key));
+        }
+    }
+
+    #[test]
+    fn convergence_fraction_tracks_recovery() {
+        let (mut proto, mut sched, ids) = build_network(40, 6);
+        let now = sched.now();
+        run_maintenance(&mut proto, &mut sched, now + 2_000);
+        let before = proto.convergence_fraction();
+        assert_eq!(before, 1.0);
+        for &v in ids.iter().take(8) {
+            proto.kill(v);
+        }
+        let broken = proto.convergence_fraction();
+        assert!(broken < 1.0);
+        let now = sched.now();
+        run_maintenance(&mut proto, &mut sched, now + 5_000);
+        assert!(proto.convergence_fraction() > broken);
+        assert_eq!(proto.convergence_fraction(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let (mut proto, mut sched, ids) = build_network(32, seed);
+            let now = sched.now();
+            run_maintenance(&mut proto, &mut sched, now + 1_000);
+            (
+                proto.convergence_fraction(),
+                proto.lookups_issued(),
+                ids,
+                sched.processed(),
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn interval_predicates() {
+        assert!(in_open_interval(10, 20, 15));
+        assert!(!in_open_interval(10, 20, 10));
+        assert!(!in_open_interval(10, 20, 20));
+        // Wraparound.
+        assert!(in_open_interval(u64::MAX - 5, 5, 0));
+        assert!(in_half_open_interval(10, 20, 20));
+        assert!(!in_half_open_interval(10, 20, 10));
+    }
+
+    #[test]
+    fn single_node_network_is_converged() {
+        let mut proto = ChordProtocol::new(ProtocolConfig::default());
+        let mut sched = Scheduler::new();
+        proto.bootstrap(42, NodeId(0), &mut sched);
+        assert!(proto.is_converged());
+        assert_eq!(proto.lookup(42, 7), Some(42));
+        assert_eq!(proto.oracle_successor(7), Some(42));
+        assert_eq!(proto.overlay_of(42), Some(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already joined")]
+    fn duplicate_join_panics() {
+        let mut proto = ChordProtocol::new(ProtocolConfig::default());
+        let mut sched = Scheduler::new();
+        proto.bootstrap(1, NodeId(0), &mut sched);
+        proto.join(1, NodeId(1), 1, &mut sched);
+    }
+}

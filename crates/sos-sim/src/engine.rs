@@ -1,0 +1,634 @@
+//! The Monte Carlo trial runner.
+//!
+//! A *trial* is one attacked overlay: build a fresh overlay from the
+//! scenario, execute the configured attack on it, then fire
+//! `routes_per_trial` client messages through the wreckage and count
+//! deliveries. The empirical `P_S` is the delivery fraction over all
+//! trials; a Wilson interval quantifies the Monte Carlo error.
+//!
+//! Trials are seeded as `seed ⊕ trial-index`, so results are
+//! reproducible and independent of the number of worker threads.
+
+use crate::routing::{route_message, RoutingPolicy};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sos_attack::{OneBurstAttacker, SuccessiveAttacker};
+use sos_core::{AttackConfig, PathEvaluator, Scenario};
+use sos_math::stats::{proportion_ci, ConfidenceInterval, RunningStats, SummaryStats};
+use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
+
+/// Which transport realizes each overlay hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Direct messages — the paper's abstraction.
+    #[default]
+    Direct,
+    /// Chord-routed hops (a fresh ring per trial, covering all overlay
+    /// nodes).
+    Chord,
+}
+
+impl TransportKind {
+    /// Stable label for CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::Direct => "direct",
+            TransportKind::Chord => "chord",
+        }
+    }
+}
+
+/// Configuration of a Monte Carlo estimate.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    scenario: Scenario,
+    attack: AttackConfig,
+    policy: RoutingPolicy,
+    transport: TransportKind,
+    trials: u64,
+    routes_per_trial: u64,
+    seed: u64,
+    monitoring_tap: Option<f64>,
+}
+
+impl SimulationConfig {
+    /// Creates a config with defaults: 100 trials × 100 routes, direct
+    /// transport, random-good routing, seed 0.
+    pub fn new(scenario: Scenario, attack: AttackConfig) -> Self {
+        SimulationConfig {
+            scenario,
+            attack,
+            policy: RoutingPolicy::default(),
+            transport: TransportKind::default(),
+            trials: 100,
+            routes_per_trial: 100,
+            seed: 0,
+            monitoring_tap: None,
+        }
+    }
+
+    /// Upgrades a successive attack to the traffic-monitoring attacker
+    /// (§5 future work) with the given tap probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured attack is not
+    /// [`AttackConfig::Successive`] (the monitoring extension is
+    /// defined on the round-based model) or `tap` is outside `[0, 1]`.
+    pub fn monitoring_tap(mut self, tap: f64) -> Self {
+        assert!(
+            matches!(self.attack, AttackConfig::Successive { .. }),
+            "monitoring requires the successive attack model"
+        );
+        assert!((0.0..=1.0).contains(&tap), "tap probability out of range");
+        self.monitoring_tap = Some(tap);
+        self
+    }
+
+    /// Sets the routing policy.
+    pub fn policy(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the transport kind.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the number of independent attacked overlays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn trials(mut self, trials: u64) -> Self {
+        assert!(trials > 0, "at least one trial is required");
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the number of client messages routed per trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes == 0`.
+    pub fn routes_per_trial(mut self, routes: u64) -> Self {
+        assert!(routes > 0, "at least one route per trial is required");
+        self.routes_per_trial = routes;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The scenario under test.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The attack under test.
+    pub fn attack(&self) -> &AttackConfig {
+        &self.attack
+    }
+}
+
+/// A configured Monte Carlo estimator.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimulationConfig,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Partial {
+    successes: u64,
+    attempts: u64,
+    per_trial: RunningStats,
+    hyper_ps: RunningStats,
+    binom_ps: RunningStats,
+    hops: RunningStats,
+    /// failure_depths[d] = routes that died having reached layer d
+    /// (0 = no usable entry point; L+1 unused — those delivered).
+    failure_depths: Vec<u64>,
+}
+
+impl Partial {
+    fn merge(&mut self, other: &Partial) {
+        self.successes += other.successes;
+        self.attempts += other.attempts;
+        self.per_trial.merge(&other.per_trial);
+        self.hyper_ps.merge(&other.hyper_ps);
+        self.binom_ps.merge(&other.binom_ps);
+        self.hops.merge(&other.hops);
+        if self.failure_depths.len() < other.failure_depths.len() {
+            self.failure_depths.resize(other.failure_depths.len(), 0);
+        }
+        for (i, &v) in other.failure_depths.iter().enumerate() {
+            self.failure_depths[i] += v;
+        }
+    }
+}
+
+impl Simulation {
+    /// Wraps a config.
+    pub fn new(config: SimulationConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// Runs all trials on the calling thread.
+    pub fn run(&self) -> SimulationResult {
+        let partial = self.run_trials(0, self.config.trials);
+        self.finish(partial)
+    }
+
+    /// Runs trials fanned out over `threads` worker threads. Counts are
+    /// identical to [`run`](Self::run) because every trial is seeded
+    /// independently; floating-point aggregates may differ in the last
+    /// few ulps because merge order differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel(&self, threads: usize) -> SimulationResult {
+        assert!(threads > 0, "need at least one thread");
+        let trials = self.config.trials;
+        let chunk = trials.div_ceil(threads as u64);
+        let merged = Mutex::new(Partial::default());
+        crossbeam::thread::scope(|scope| {
+            for t in 0..threads as u64 {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(trials);
+                if start >= end {
+                    continue;
+                }
+                let merged = &merged;
+                scope.spawn(move |_| {
+                    let partial = self.run_trials(start, end);
+                    merged.lock().merge(&partial);
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+        let partial = merged.into_inner();
+        self.finish(partial)
+    }
+
+    /// Runs batches of trials until the 95% Wilson interval on the
+    /// empirical `P_S` is narrower than `half_width`, or `max_trials`
+    /// have been spent. Returns the result plus the number of trials
+    /// actually used.
+    ///
+    /// Deterministic: trial `i` is always seeded identically, so the
+    /// precision stop only decides *how many* trials run, never their
+    /// content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_width` is not in `(0, 0.5)` or `max_trials == 0`.
+    pub fn run_until_precision(
+        &self,
+        half_width: f64,
+        max_trials: u64,
+    ) -> (SimulationResult, u64) {
+        assert!(
+            half_width > 0.0 && half_width < 0.5,
+            "half width must be in (0, 0.5), got {half_width}"
+        );
+        assert!(max_trials > 0, "need at least one trial");
+        let batch = self.config.trials.max(1);
+        let mut partial = Partial::default();
+        let mut done = 0u64;
+        loop {
+            let next = (done + batch).min(max_trials);
+            let batch_partial = self.run_trials(done, next);
+            partial.merge(&batch_partial);
+            done = next;
+            let ci = sos_math::stats::proportion_ci(
+                partial.successes,
+                partial.attempts,
+                0.95,
+            );
+            if ci.half_width() <= half_width || done >= max_trials {
+                return (self.finish(partial), done);
+            }
+        }
+    }
+
+    fn run_trials(&self, start: u64, end: u64) -> Partial {
+        let mut partial = Partial::default();
+        for trial in start..end {
+            self.run_one_trial(trial, &mut partial);
+        }
+        partial
+    }
+
+    fn run_one_trial(&self, trial: u64, partial: &mut Partial) {
+        let cfg = &self.config;
+        // Independent decorrelated streams per trial for overlay
+        // construction, ring construction, and attack+routing — so a
+        // Direct run and a Chord run with the same seed see the *same*
+        // overlay and the same attack (paired comparison).
+        let mut overlay_rng =
+            StdRng::seed_from_u64(cfg.seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut ring_rng =
+            StdRng::seed_from_u64(cfg.seed ^ trial.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ trial.wrapping_mul(0x1656_67B1_9E37_79F9));
+        let mut overlay = Overlay::build(&cfg.scenario, &mut overlay_rng);
+        let transport = match cfg.transport {
+            TransportKind::Direct => Transport::Direct,
+            TransportKind::Chord => {
+                let members: Vec<NodeId> = overlay.overlay_ids().collect();
+                Transport::Chord(ChordRing::build(&mut ring_rng, &members))
+            }
+        };
+
+        match (cfg.attack, cfg.monitoring_tap) {
+            (AttackConfig::OneBurst { budget }, _) => {
+                OneBurstAttacker::new(budget).execute(&mut overlay, &mut rng);
+            }
+            (AttackConfig::Successive { budget, params }, None) => {
+                SuccessiveAttacker::new(budget, params).execute(&mut overlay, &mut rng);
+            }
+            (AttackConfig::Successive { budget, params }, Some(tap)) => {
+                sos_attack::MonitoringAttacker::new(budget, params, tap)
+                    .execute(&mut overlay, &mut rng);
+            }
+        }
+
+        // Price the realized compromise state with both analytical
+        // evaluators (for the evaluator ablation).
+        let state = overlay.compromise_state();
+        let topo = cfg.scenario.topology();
+        partial.hyper_ps.push(
+            PathEvaluator::Hypergeometric
+                .success_probability(topo, &state)
+                .value(),
+        );
+        partial.binom_ps.push(
+            PathEvaluator::Binomial
+                .success_probability(topo, &state)
+                .value(),
+        );
+
+        let depth_slots = cfg.scenario.topology().layer_count() + 1;
+        if partial.failure_depths.len() < depth_slots {
+            partial.failure_depths.resize(depth_slots, 0);
+        }
+        let mut delivered = 0u64;
+        for _ in 0..cfg.routes_per_trial {
+            let result = route_message(&overlay, &transport, cfg.policy, &mut rng);
+            if result.delivered {
+                delivered += 1;
+                partial.hops.push(result.underlay_hops as f64);
+            } else {
+                partial.failure_depths[result.deepest_layer.min(depth_slots - 1)] += 1;
+            }
+        }
+        partial.successes += delivered;
+        partial.attempts += cfg.routes_per_trial;
+        partial
+            .per_trial
+            .push(delivered as f64 / cfg.routes_per_trial as f64);
+    }
+
+    fn finish(&self, partial: Partial) -> SimulationResult {
+        SimulationResult {
+            successes: partial.successes,
+            attempts: partial.attempts,
+            per_trial: partial.per_trial.summary(),
+            realized_ps_hypergeometric: partial.hyper_ps.mean(),
+            realized_ps_binomial: partial.binom_ps.mean(),
+            mean_underlay_hops: partial.hops.mean(),
+            failure_depths: partial.failure_depths,
+        }
+    }
+}
+
+/// Aggregated output of a Monte Carlo estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult {
+    /// Delivered messages over all trials.
+    pub successes: u64,
+    /// Total messages routed.
+    pub attempts: u64,
+    /// Distribution of per-trial delivery fractions.
+    pub per_trial: SummaryStats,
+    /// Mean of equation (1) with the hypergeometric evaluator applied to
+    /// each trial's realized compromise counts.
+    pub realized_ps_hypergeometric: f64,
+    /// Same with the binomial evaluator.
+    pub realized_ps_binomial: f64,
+    /// Mean underlay hops of delivered messages (4 = L+1 layers under
+    /// direct transport with `L = 3`; larger under Chord).
+    pub mean_underlay_hops: f64,
+    /// Failure attribution: `failure_depths[d]` counts routes that died
+    /// having reached 1-based layer `d` at the deepest (`0` = the client
+    /// found no usable entry point). The bottleneck layer is the argmax.
+    pub failure_depths: Vec<u64>,
+}
+
+impl SimulationResult {
+    /// Empirical `P_S`: delivered fraction over all routed messages.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// The layer where failures concentrate (None if every route was
+    /// delivered): the failure-depth histogram's argmax. A message dying
+    /// "at depth d" found no usable neighbor while standing at layer d.
+    pub fn bottleneck_layer(&self) -> Option<usize> {
+        if self.successes == self.attempts {
+            return None;
+        }
+        self.failure_depths
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &count)| count)
+            .map(|(layer, _)| layer)
+    }
+
+    /// Wilson confidence interval on the success rate.
+    ///
+    /// Note: routes within one trial share an overlay, so this interval
+    /// treats the per-route outcomes as exchangeable rather than fully
+    /// independent — use [`per_trial`](Self::per_trial) for the
+    /// between-trial spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no routes were attempted or `level` is not in `(0, 1)`.
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        proportion_ci(self.successes, self.attempts, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_core::{AttackBudget, MappingDegree, SuccessiveParams, SystemParams};
+
+    fn scenario(n: u64, sos: u64, layers: usize, mapping: MappingDegree) -> Scenario {
+        Scenario::builder()
+            .system(SystemParams::new(n, sos, 0.5).unwrap())
+            .layers(layers)
+            .mapping(mapping)
+            .filters(10)
+            .build()
+            .unwrap()
+    }
+
+    fn quick(attack: AttackConfig, mapping: MappingDegree) -> SimulationConfig {
+        SimulationConfig::new(scenario(1_000, 60, 3, mapping), attack)
+            .trials(40)
+            .routes_per_trial(50)
+            .seed(11)
+    }
+
+    #[test]
+    fn no_attack_gives_perfect_delivery() {
+        let cfg = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 0),
+            },
+            MappingDegree::OneTo(2),
+        );
+        let result = Simulation::new(cfg).run();
+        assert_eq!(result.success_rate(), 1.0);
+        assert_eq!(result.realized_ps_binomial, 1.0);
+        assert_eq!(result.realized_ps_hypergeometric, 1.0);
+        assert_eq!(result.mean_underlay_hops, 4.0);
+    }
+
+    #[test]
+    fn congestion_reduces_delivery() {
+        let light = Simulation::new(quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 100),
+            },
+            MappingDegree::ONE_TO_ONE,
+        ))
+        .run();
+        let heavy = Simulation::new(quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 600),
+            },
+            MappingDegree::ONE_TO_ONE,
+        ))
+        .run();
+        assert!(light.success_rate() > heavy.success_rate());
+        assert!(heavy.success_rate() < 0.6);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = quick(
+            AttackConfig::Successive {
+                budget: AttackBudget::new(50, 200),
+                params: SuccessiveParams::paper_default(),
+            },
+            MappingDegree::OneTo(2),
+        );
+        let seq = Simulation::new(cfg.clone()).run();
+        let par = Simulation::new(cfg).run_parallel(4);
+        // Counts are exact; floating aggregates merge in a different
+        // order so allow ulp-level slack.
+        assert_eq!(seq.successes, par.successes);
+        assert_eq!(seq.attempts, par.attempts);
+        assert_eq!(seq.per_trial.count, par.per_trial.count);
+        assert!((seq.per_trial.mean - par.per_trial.mean).abs() < 1e-12);
+        assert!((seq.realized_ps_binomial - par.realized_ps_binomial).abs() < 1e-12);
+        assert!(
+            (seq.realized_ps_hypergeometric - par.realized_ps_hypergeometric).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn simulation_matches_analytic_one_to_one_congestion() {
+        // Pure random congestion with one-to-one mapping: the analytical
+        // model is near-exact, so the simulation must agree closely.
+        let scenario = scenario(1_000, 60, 3, MappingDegree::ONE_TO_ONE);
+        let budget = AttackBudget::new(0, 200);
+        let cfg = SimulationConfig::new(
+            scenario.clone(),
+            AttackConfig::OneBurst { budget },
+        )
+        .trials(150)
+        .routes_per_trial(100)
+        .seed(5);
+        let sim = Simulation::new(cfg).run_parallel(4);
+        let analytic = sos_analysis::OneBurstAnalysis::new(&scenario, budget)
+            .unwrap()
+            .run()
+            .success_probability(PathEvaluator::Binomial)
+            .value();
+        let ci = sim.confidence_interval(0.999);
+        assert!(
+            (sim.success_rate() - analytic).abs() < 0.05,
+            "sim {} vs analytic {analytic} (ci {ci:?})",
+            sim.success_rate()
+        );
+    }
+
+    #[test]
+    fn chord_transport_is_at_most_direct() {
+        let attack = AttackConfig::OneBurst {
+            budget: AttackBudget::new(0, 300),
+        };
+        let direct = Simulation::new(
+            quick(attack, MappingDegree::OneTo(2)).transport(TransportKind::Direct),
+        )
+        .run();
+        let chord = Simulation::new(
+            quick(attack, MappingDegree::OneTo(2)).transport(TransportKind::Chord),
+        )
+        .run();
+        // Chord adds failure modes (intermediate hops) and path length.
+        assert!(chord.success_rate() <= direct.success_rate() + 0.02);
+        assert!(chord.mean_underlay_hops > direct.mean_underlay_hops);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_rate() {
+        let cfg = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 300),
+            },
+            MappingDegree::OneTo(2),
+        );
+        let result = Simulation::new(cfg).run();
+        let ci = result.confidence_interval(0.95);
+        assert!(ci.contains(result.success_rate()));
+    }
+
+    #[test]
+    fn failure_attribution_points_at_the_dead_layer() {
+        // Kill layer 2 outright by congesting enough of the overlay that
+        // one-to-one routing dies early; more precisely, compare where
+        // failures land under a pure congestion attack.
+        let cfg = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 500),
+            },
+            MappingDegree::ONE_TO_ONE,
+        );
+        let result = Simulation::new(cfg).run();
+        assert!(result.successes < result.attempts);
+        let total_failures: u64 = result.failure_depths.iter().sum();
+        assert_eq!(total_failures, result.attempts - result.successes);
+        let bottleneck = result.bottleneck_layer().unwrap();
+        // Uniform 50% damage with one-to-one: most deaths happen early
+        // (at the client or layer 1-2).
+        assert!(bottleneck <= 2, "bottleneck {bottleneck}");
+        // A clean run attributes nothing.
+        let clean = Simulation::new(quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 0),
+            },
+            MappingDegree::ONE_TO_ONE,
+        ))
+        .run();
+        assert_eq!(clean.bottleneck_layer(), None);
+        assert!(clean.failure_depths.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn precision_runner_reaches_target_or_cap() {
+        let cfg = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 300),
+            },
+            MappingDegree::OneTo(2),
+        )
+        .trials(20); // batch size
+        let sim = Simulation::new(cfg);
+        let (result, used) = sim.run_until_precision(0.03, 400);
+        let ci = result.confidence_interval(0.95);
+        assert!(
+            ci.half_width() <= 0.03 || used == 400,
+            "half width {} with {used} trials",
+            ci.half_width()
+        );
+        assert!(used % 20 == 0, "trials spent in whole batches: {used}");
+        // A looser target uses no more trials than a tighter one.
+        let (_, loose) = sim.run_until_precision(0.08, 400);
+        assert!(loose <= used);
+        // Determinism: same precision, same result.
+        let (again, used_again) = sim.run_until_precision(0.03, 400);
+        assert_eq!(used, used_again);
+        assert_eq!(result.successes, again.successes);
+    }
+
+    #[test]
+    #[should_panic(expected = "half width must be in")]
+    fn precision_runner_rejects_bad_width() {
+        let cfg = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 0),
+            },
+            MappingDegree::OneTo(2),
+        );
+        let _ = Simulation::new(cfg).run_until_precision(0.7, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 0),
+            },
+            MappingDegree::OneTo(2),
+        )
+        .trials(0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Monte Carlo simulation engine and experiment harness for SOS
+//! resilience.
+//!
+//! The analytical model (`sos-analysis`) predicts `P_S` from average-case
+//! set sizes; this crate measures it empirically:
+//!
+//! 1. instantiate a concrete overlay ([`sos_overlay::Overlay`]),
+//! 2. execute an attack on it ([`sos_attack`]),
+//! 3. route messages from clients to the target through the damaged
+//!    overlay ([`routing`]),
+//! 4. repeat over many attack instances and seeds, aggregate with
+//!    confidence intervals ([`engine`]).
+//!
+//! The [`engine::Simulation`] runner is deterministic for a fixed seed
+//! and can fan trials out over threads. The [`compare`] module pairs
+//! simulated results with both analytical evaluators — the data behind
+//! the `ablation-evaluator` experiment and the validation tables in
+//! `EXPERIMENTS.md`. The [`repair`] module implements the paper's named
+//! future work (dynamic repair during an on-going attack).
+//!
+//! # Example
+//!
+//! ```
+//! use sos_core::{AttackBudget, AttackConfig, MappingDegree, Scenario, SystemParams};
+//! use sos_sim::engine::{Simulation, SimulationConfig};
+//!
+//! let scenario = Scenario::builder()
+//!     .system(SystemParams::new(1_000, 60, 0.5)?)
+//!     .layers(3)
+//!     .mapping(MappingDegree::OneTo(2))
+//!     .build()?;
+//! let config = SimulationConfig::new(
+//!     scenario,
+//!     AttackConfig::OneBurst { budget: AttackBudget::new(0, 200) },
+//! )
+//! .trials(50)
+//! .routes_per_trial(40)
+//! .seed(7);
+//! let result = Simulation::new(config).run();
+//! // 20% of the overlay congested, one-to-two mapping: most routes hold.
+//! assert!(result.success_rate() > 0.5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod engine;
+pub mod flow;
+pub mod repair;
+pub mod routing;
+pub mod timing;
+
+pub use compare::{ComparisonRow, compare_models};
+pub use engine::{Simulation, SimulationConfig, SimulationResult, TransportKind};
+pub use flow::{FlowModel, FlowResult, FlowSimulation};
+pub use repair::{RepairConfig, RepairSimulation, RepairTimeline};
+pub use routing::{RouteResult, RoutingPolicy};
+pub use timing::{measure_latency, LatencyDistribution};

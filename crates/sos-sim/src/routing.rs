@@ -1,0 +1,401 @@
+//! Routing a message from a client to the target through the layered
+//! overlay.
+//!
+//! A route starts at the client's entry set (`m_1` first-layer nodes),
+//! passes through one node per layer, crosses the filter ring, and — if
+//! every hop finds a usable next node — reaches the target.
+//!
+//! The paper's equation (1) treats the per-layer failure events as
+//! independent: a message at layer `i−1` fails iff *all* `m_i` of the
+//! current node's neighbors are bad. That corresponds to
+//! [`RoutingPolicy::RandomGood`] (pick any good neighbor, never revisit
+//! an earlier choice). [`RoutingPolicy::Backtracking`] instead searches
+//! the whole reachable DAG and succeeds iff *some* fully-good path
+//! exists — an upper bound that quantifies how much the independence
+//! assumption costs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sos_math::sampling::shuffle;
+use sos_overlay::{NodeId, Overlay, Transport};
+use std::collections::HashSet;
+
+/// How a forwarding node chooses among its next-layer neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Pick a uniformly random usable neighbor; give up at a node with
+    /// none. Matches the analytical model's independence assumption.
+    #[default]
+    RandomGood,
+    /// Pick the first usable neighbor in table order. A deterministic
+    /// variant that concentrates traffic (worst for load, identical
+    /// success probability under exchangeable tables).
+    FirstGood,
+    /// Depth-first search with backtracking over the layered DAG;
+    /// succeeds iff any all-good path exists. Upper-bounds both other
+    /// policies.
+    Backtracking,
+}
+
+impl RoutingPolicy {
+    /// Stable label for CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RandomGood => "random-good",
+            RoutingPolicy::FirstGood => "first-good",
+            RoutingPolicy::Backtracking => "backtracking",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of one routing attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteResult {
+    /// Whether the message reached the target (crossed the filter ring).
+    pub delivered: bool,
+    /// Overlay-level path actually taken (entry node … filter); for
+    /// backtracking, the successful path if any, otherwise the deepest
+    /// prefix explored.
+    pub path: Vec<NodeId>,
+    /// Underlay hops consumed (equals `path.len()` segments under direct
+    /// transport; more under Chord transport).
+    pub underlay_hops: usize,
+    /// Deepest 1-based layer from which a usable next hop was found
+    /// (`L+1` means the filter ring was reached).
+    pub deepest_layer: usize,
+}
+
+/// Attempts to route one message from a fresh client through `overlay`.
+///
+/// The client draws `m_1` first-layer contacts, then the chosen policy
+/// walks the layers. A hop from node `v` to neighbor `w` is usable when
+/// `transport` can deliver it (destination good; for Chord transport all
+/// intermediate hops good too).
+pub fn route_message<R: Rng + ?Sized>(
+    overlay: &Overlay,
+    transport: &Transport,
+    policy: RoutingPolicy,
+    rng: &mut R,
+) -> RouteResult {
+    let entries = overlay.sample_entry_points(rng);
+    let last_layer = overlay.layer_count() + 1; // filters
+    match policy {
+        RoutingPolicy::RandomGood | RoutingPolicy::FirstGood => {
+            greedy_route(overlay, transport, policy, entries, last_layer, rng)
+        }
+        RoutingPolicy::Backtracking => {
+            backtracking_route(overlay, transport, entries, last_layer, rng)
+        }
+    }
+}
+
+fn greedy_route<R: Rng + ?Sized>(
+    overlay: &Overlay,
+    transport: &Transport,
+    policy: RoutingPolicy,
+    mut candidates: Vec<NodeId>,
+    last_layer: usize,
+    rng: &mut R,
+) -> RouteResult {
+    let mut path = Vec::new();
+    let mut underlay_hops = 0usize;
+    let mut deepest_layer = 0usize;
+    // `candidates` are the potential nodes at the next layer; the
+    // "client hop" into layer 1 is a plain reachability check (clients
+    // talk to SOAPs directly).
+    let mut current: Option<NodeId> = None;
+    loop {
+        if policy == RoutingPolicy::RandomGood {
+            shuffle(rng, &mut candidates);
+        }
+        let mut next = None;
+        for &cand in &candidates {
+            match current {
+                None => {
+                    // Client → first layer: direct contact.
+                    if overlay.is_good(cand) {
+                        next = Some((cand, 1usize));
+                        break;
+                    }
+                }
+                Some(v) => {
+                    let outcome = transport.deliver(overlay, v, cand);
+                    if let sos_overlay::transport::DeliveryOutcome::Delivered { hops } =
+                        outcome
+                    {
+                        next = Some((cand, hops));
+                        break;
+                    }
+                }
+            }
+        }
+        let Some((node, hops)) = next else {
+            return RouteResult {
+                delivered: false,
+                path,
+                underlay_hops,
+                deepest_layer,
+            };
+        };
+        underlay_hops += hops;
+        path.push(node);
+        let layer = overlay
+            .layer_of(node)
+            .expect("routed nodes are always infrastructure");
+        deepest_layer = layer;
+        if layer == last_layer {
+            return RouteResult {
+                delivered: true,
+                path,
+                underlay_hops,
+                deepest_layer,
+            };
+        }
+        candidates = overlay.neighbors(node).to_vec();
+        current = Some(node);
+    }
+}
+
+fn backtracking_route<R: Rng + ?Sized>(
+    overlay: &Overlay,
+    transport: &Transport,
+    mut entries: Vec<NodeId>,
+    last_layer: usize,
+    rng: &mut R,
+) -> RouteResult {
+    shuffle(rng, &mut entries);
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut best_prefix: Vec<NodeId> = Vec::new();
+    let mut best_prefix_hops = 0usize;
+    let mut deepest_layer = 0usize;
+
+    // Explicit DFS stack; each frame carries the path and its underlay
+    // cost so the delivered result reports the *path's* hops, not the
+    // total exploration cost.
+    struct Frame {
+        node: NodeId,
+        path: Vec<NodeId>,
+        hops: usize,
+    }
+    let mut stack: Vec<Frame> = entries
+        .into_iter()
+        .filter(|&e| overlay.is_good(e))
+        .map(|e| Frame {
+            node: e,
+            path: vec![e],
+            hops: 1, // client → entry contact
+        })
+        .collect();
+
+    while let Some(Frame { node, path, hops }) = stack.pop() {
+        if !visited.insert(node) {
+            continue;
+        }
+        let layer = overlay
+            .layer_of(node)
+            .expect("routed nodes are always infrastructure");
+        if layer > deepest_layer {
+            deepest_layer = layer;
+            best_prefix = path.clone();
+            best_prefix_hops = hops;
+        }
+        if layer == last_layer {
+            return RouteResult {
+                delivered: true,
+                underlay_hops: hops,
+                path,
+                deepest_layer,
+            };
+        }
+        let mut neighbors = overlay.neighbors(node).to_vec();
+        shuffle(rng, &mut neighbors);
+        for next in neighbors {
+            if visited.contains(&next) {
+                continue;
+            }
+            let outcome = transport.deliver(overlay, node, next);
+            if let sos_overlay::transport::DeliveryOutcome::Delivered { hops: edge } =
+                outcome
+            {
+                let mut next_path = path.clone();
+                next_path.push(next);
+                stack.push(Frame {
+                    node: next,
+                    path: next_path,
+                    hops: hops + edge,
+                });
+            }
+        }
+    }
+    RouteResult {
+        delivered: false,
+        path: best_prefix,
+        underlay_hops: best_prefix_hops,
+        deepest_layer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sos_core::{MappingDegree, Scenario, SystemParams};
+    use sos_overlay::NodeStatus;
+
+    fn overlay(mapping: MappingDegree, seed: u64) -> Overlay {
+        let scenario = Scenario::builder()
+            .system(SystemParams::new(500, 45, 0.5).unwrap())
+            .layers(3)
+            .mapping(mapping)
+            .filters(10)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Overlay::build(&scenario, &mut rng)
+    }
+
+    #[test]
+    fn clean_overlay_always_delivers() {
+        let o = overlay(MappingDegree::OneTo(2), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for policy in [
+            RoutingPolicy::RandomGood,
+            RoutingPolicy::FirstGood,
+            RoutingPolicy::Backtracking,
+        ] {
+            for _ in 0..50 {
+                let r = route_message(&o, &Transport::Direct, policy, &mut rng);
+                assert!(r.delivered, "{policy} failed on a clean overlay");
+                // Path: layer1, layer2, layer3, filter.
+                assert_eq!(r.path.len(), 4);
+                assert_eq!(r.deepest_layer, 4);
+                assert_eq!(r.underlay_hops, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_congested_layer_blocks_everything() {
+        let mut o = overlay(MappingDegree::OneTo(2), 3);
+        for &n in o.layer_members(2).to_vec().iter() {
+            o.set_status(n, NodeStatus::Congested);
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        for policy in [
+            RoutingPolicy::RandomGood,
+            RoutingPolicy::FirstGood,
+            RoutingPolicy::Backtracking,
+        ] {
+            for _ in 0..20 {
+                let r = route_message(&o, &Transport::Direct, policy, &mut rng);
+                assert!(!r.delivered, "{policy} slipped through a dead layer");
+                assert!(r.deepest_layer <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn backtracking_dominates_greedy() {
+        // Damage the overlay heavily; backtracking must succeed at least
+        // as often as random-good on the same damage pattern.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut greedy_wins = 0u32;
+        let mut backtrack_wins = 0u32;
+        for seed in 0..30 {
+            let mut o = overlay(MappingDegree::OneTo(3), 100 + seed);
+            // Congest 40% of each SOS layer.
+            for layer in 1..=3 {
+                let members = o.layer_members(layer).to_vec();
+                let k = members.len() * 2 / 5;
+                for &m in &members[..k] {
+                    o.set_status(m, NodeStatus::Congested);
+                }
+            }
+            let mut g = 0u32;
+            let mut b = 0u32;
+            for _ in 0..40 {
+                if route_message(&o, &Transport::Direct, RoutingPolicy::RandomGood, &mut rng)
+                    .delivered
+                {
+                    g += 1;
+                }
+                if route_message(
+                    &o,
+                    &Transport::Direct,
+                    RoutingPolicy::Backtracking,
+                    &mut rng,
+                )
+                .delivered
+                {
+                    b += 1;
+                }
+            }
+            greedy_wins += g;
+            backtrack_wins += b;
+        }
+        assert!(
+            backtrack_wins >= greedy_wins,
+            "backtracking {backtrack_wins} < greedy {greedy_wins}"
+        );
+    }
+
+    #[test]
+    fn random_good_failure_rate_matches_analytic_one_to_one() {
+        // One-to-one mapping, exactly one path per client: P_S per hop is
+        // exactly the good fraction *in ensemble average*; a single
+        // realized overlay deviates (its neighbor assignment is random),
+        // so average over many overlays.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = 0u32;
+        let mut trials = 0u32;
+        for seed in 0..40 {
+            let mut o = overlay(MappingDegree::ONE_TO_ONE, 600 + seed);
+            let members = o.layer_members(2).to_vec();
+            for &m in &members[..5] {
+                o.set_status(m, NodeStatus::Congested);
+            }
+            for _ in 0..200 {
+                trials += 1;
+                if route_message(&o, &Transport::Direct, RoutingPolicy::RandomGood, &mut rng)
+                    .delivered
+                {
+                    hits += 1;
+                }
+            }
+        }
+        let empirical = hits as f64 / trials as f64;
+        let expected = 1.0 - 5.0 / 15.0; // 15 nodes in layer 2, 5 bad
+        assert!(
+            (empirical - expected).abs() < 0.03,
+            "empirical {empirical} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn deepest_layer_reported() {
+        let mut o = overlay(MappingDegree::OneTo(2), 8);
+        // Kill layer 3 entirely: routes should die at depth 2.
+        for &n in o.layer_members(3).to_vec().iter() {
+            o.set_status(n, NodeStatus::Congested);
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = route_message(&o, &Transport::Direct, RoutingPolicy::RandomGood, &mut rng);
+        assert!(!r.delivered);
+        assert_eq!(r.deepest_layer, 2);
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(RoutingPolicy::RandomGood.to_string(), "random-good");
+        assert_eq!(RoutingPolicy::FirstGood.to_string(), "first-good");
+        assert_eq!(RoutingPolicy::Backtracking.to_string(), "backtracking");
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::RandomGood);
+    }
+}

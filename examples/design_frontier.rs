@@ -1,0 +1,94 @@
+//! The latency–resilience frontier and the design optimizer — the
+//! paper's "timely delivery" open issue (§5) turned into a deployment
+//! decision.
+//!
+//! ```text
+//! cargo run --example design_frontier
+//! ```
+
+use sos::analysis::{
+    latency_resilience_frontier, AttackProfile, Constraints, DesignSpace,
+    ForwardingDiscipline, LatencyModel, Objective, Optimizer,
+};
+use sos::core::{
+    AttackBudget, AttackConfig, MappingDegree, NodeDistribution, SuccessiveParams,
+    SystemParams,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = SystemParams::paper_default();
+
+    // --- Pareto frontier: P_S vs expected latency, delay-aware routing. ---
+    let model = LatencyModel {
+        per_hop_mean: 10.0, // ms per overlay hop
+        chord_transport: false,
+        discipline: ForwardingDiscipline::DelayAware,
+    };
+    let points = latency_resilience_frontier(
+        system,
+        NodeDistribution::Even,
+        AttackBudget::paper_default(),
+        SuccessiveParams::paper_default(),
+        model,
+        1..=8,
+        &MappingDegree::paper_named_set(),
+    )?;
+    println!("latency-resilience frontier (successive attack, delay-aware routing):");
+    println!("{:<28} {:>8} {:>12}", "design", "P_S", "latency(ms)");
+    let mut pareto: Vec<_> = points.iter().filter(|p| p.pareto_optimal).collect();
+    pareto.sort_by(|a, b| a.latency.partial_cmp(&b.latency).unwrap());
+    for p in &pareto {
+        println!(
+            "{:<28} {:>8.4} {:>12.1}",
+            format!("L={} {}", p.layers, p.mapping),
+            p.ps,
+            p.latency
+        );
+    }
+    println!(
+        "({} of {} designs are Pareto-optimal)",
+        pareto.len(),
+        points.len()
+    );
+    println!();
+
+    // --- Constrained optimization: best worst-case design that still
+    //     answers within a latency budget. ---
+    let profiles = vec![
+        AttackProfile::new(
+            "flooder",
+            AttackConfig::OneBurst {
+                budget: AttackBudget::congestion_only(6_000),
+            },
+        ),
+        AttackProfile::new(
+            "intruder",
+            AttackConfig::Successive {
+                budget: AttackBudget::new(2_000, 1_000),
+                params: SuccessiveParams::new(5, 0.2)?,
+            },
+        ),
+    ];
+    for max_latency in [None, Some(4.0)] {
+        let label = match max_latency {
+            None => "unconstrained".to_string(),
+            Some(l) => format!("clean latency ≤ {l} hops"),
+        };
+        let ranked = Optimizer::new(system, DesignSpace::paper_grid(), profiles.clone())
+            .objective(Objective::WorstCase)
+            .constraints(Constraints {
+                max_clean_latency: max_latency,
+                min_ps_per_profile: None,
+            })
+            .run()?;
+        println!("best designs ({label}):");
+        for d in ranked.iter().take(3) {
+            println!(
+                "  {d}  [flooder {:.3}, intruder {:.3}]",
+                d.per_profile[0], d.per_profile[1]
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Design-space exploration for an emergency-response service.
+//!
+//! The paper's motivation: emergency and medical services need reliable
+//! communication with a protected target while an intelligent attacker
+//! holds both break-in and congestion resources. This example searches
+//! the generalized design space (layer count × mapping degree × node
+//! distribution) for the configuration that maximizes the *worst-case*
+//! `P_S` over a set of anticipated attack profiles — exactly the kind of
+//! deployment decision the paper argues the original fixed 3-layer,
+//! one-to-all SOS cannot make.
+//!
+//! ```text
+//! cargo run --example emergency_service
+//! ```
+
+use sos::analysis::SuccessiveAnalysis;
+use sos::core::{
+    AttackBudget, MappingDegree, NodeDistribution, PathEvaluator, Scenario,
+    SuccessiveParams, SystemParams,
+};
+
+/// Attack profiles the service anticipates (budget, rounds, prior
+/// knowledge): a botnet that floods, a patient intruder, and a balanced
+/// adversary.
+const PROFILES: [(&str, u64, u64, u32, f64); 3] = [
+    ("flooder", 0, 6_000, 1, 0.0),
+    ("intruder", 2_000, 1_000, 5, 0.2),
+    ("balanced", 500, 3_000, 3, 0.1),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = SystemParams::paper_default();
+    let mut best: Option<(f64, String)> = None;
+
+    println!("design-space sweep: worst-case P_S over {} attack profiles", PROFILES.len());
+    println!("{:<42} {:>9} {:>9} {:>9} {:>10}", "design", "flooder", "intruder", "balanced", "worst");
+
+    for layers in [1usize, 2, 3, 4, 5, 6] {
+        for mapping in [
+            MappingDegree::ONE_TO_ONE,
+            MappingDegree::OneTo(2),
+            MappingDegree::OneTo(5),
+            MappingDegree::OneToHalf,
+            MappingDegree::OneToAll,
+        ] {
+            for distribution in [
+                NodeDistribution::Even,
+                NodeDistribution::Increasing,
+                NodeDistribution::Decreasing,
+            ] {
+                // Multi-layer distributions only differ for L >= 3.
+                if layers < 3 && distribution != NodeDistribution::Even {
+                    continue;
+                }
+                let scenario = Scenario::builder()
+                    .system(system)
+                    .layers(layers)
+                    .distribution(distribution.clone())
+                    .mapping(mapping.clone())
+                    .build()?;
+                let mut scores = Vec::new();
+                for &(_, n_t, n_c, r, p_e) in &PROFILES {
+                    let report = SuccessiveAnalysis::new(
+                        &scenario,
+                        AttackBudget::new(n_t, n_c),
+                        SuccessiveParams::new(r, p_e)?,
+                    )?
+                    .run();
+                    scores.push(
+                        report
+                            .success_probability(PathEvaluator::Binomial)
+                            .value(),
+                    );
+                }
+                let worst = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+                let label = format!("L={layers} {mapping} {distribution}");
+                println!(
+                    "{:<42} {:>9.4} {:>9.4} {:>9.4} {:>10.4}",
+                    label, scores[0], scores[1], scores[2], worst
+                );
+                if best.as_ref().map(|(b, _)| worst > *b).unwrap_or(true) {
+                    best = Some((worst, label));
+                }
+            }
+        }
+    }
+
+    let (score, label) = best.expect("the grid is non-empty");
+    println!();
+    println!("recommended design: {label}  (worst-case P_S = {score:.4})");
+    println!(
+        "original SOS for comparison: L=3 one-to-all even — collapses under the intruder profile"
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: price the paper's default configuration under both
+//! intelligent attack models.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sos::analysis::{OneBurstAnalysis, SuccessiveAnalysis};
+use sos::core::{
+    AttackBudget, MappingDegree, PathEvaluator, Scenario, SuccessiveParams, SystemParams,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's default system: N = 10000 overlay nodes hiding n = 100
+    // SOS nodes, P_B = 0.5, 10 filters, 3 layers, even distribution.
+    let scenario = Scenario::builder()
+        .system(SystemParams::paper_default())
+        .layers(3)
+        .mapping(MappingDegree::OneTo(2))
+        .build()?;
+
+    println!("generalized SOS architecture");
+    println!("  layers:        {:?}", scenario.topology().layer_sizes());
+    println!("  filters:       {}", scenario.topology().filter_count());
+    println!("  mapping m_i:   {:?}", scenario.topology().degrees());
+    println!();
+
+    // Attack 1: one burst of 200 break-in trials, then 2000 congestion
+    // slots (§3.1).
+    let budget = AttackBudget::new(200, 2_000);
+    let one_burst = OneBurstAnalysis::new(&scenario, budget)?.run();
+    println!("one-burst attack (N_T = 200, N_C = 2000)");
+    println!(
+        "  expected broken-in nodes:  {:.2}",
+        one_burst.total_broken
+    );
+    println!(
+        "  expected disclosed nodes:  {:.2}",
+        one_burst.total_disclosed
+    );
+    println!(
+        "  P_S (binomial):            {:.4}",
+        one_burst.success_probability(PathEvaluator::Binomial)
+    );
+    println!(
+        "  P_S (hypergeometric):      {:.4}",
+        one_burst.success_probability(PathEvaluator::Hypergeometric)
+    );
+    println!();
+
+    // Attack 2: the same resources spread over R = 3 rounds with 20%
+    // prior knowledge of the first layer (§3.2) — strictly more
+    // dangerous.
+    let successive =
+        SuccessiveAnalysis::new(&scenario, budget, SuccessiveParams::paper_default())?.run();
+    println!("successive attack (R = 3, P_E = 0.2)");
+    println!("  rounds executed:           {}", successive.rounds_executed());
+    println!(
+        "  expected broken-in nodes:  {:.2}",
+        successive.total_broken
+    );
+    println!(
+        "  expected disclosed nodes:  {:.2}",
+        successive.total_disclosed
+    );
+    println!(
+        "  filters disclosed:         {:.2}",
+        successive.filters_disclosed
+    );
+    println!(
+        "  P_S (binomial):            {:.4}",
+        successive.success_probability(PathEvaluator::Binomial)
+    );
+
+    let loss = one_burst
+        .success_probability(PathEvaluator::Binomial)
+        .value()
+        - successive
+            .success_probability(PathEvaluator::Binomial)
+            .value();
+    println!();
+    println!("intelligence premium (one-burst → successive): {loss:+.4} P_S");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! `sos` — a reproduction of *"Analyzing the Secure Overlay Services
+//! Architecture under Intelligent DDoS Attacks"* (Xuan, Chellappan,
+//! Wang & Wang, ICDCS 2004) as a production-quality Rust workspace.
+//!
+//! This facade re-exports the workspace crates under stable module
+//! names; depend on it to get the whole stack, or on individual crates
+//! for a narrower dependency:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `sos-core` | scenario/topology/mapping/distribution model, `P_S` evaluators |
+//! | [`analysis`] | `sos-analysis` | closed-form one-burst & successive models, baselines, sweeps |
+//! | [`overlay`] | `sos-overlay` | concrete overlays, Chord DHT, transports |
+//! | [`attack`] | `sos-attack` | executable one-burst & successive attackers |
+//! | [`sim`] | `sos-sim` | Monte Carlo engine, model comparison, repair dynamics |
+//! | [`math`] | `sos-math` | special functions, combinatorics, statistics |
+//! | [`des`] | `sos-des` | deterministic discrete-event engine (Chord protocol, flow sims) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sos::core::{AttackBudget, MappingDegree, PathEvaluator, Scenario, SystemParams};
+//! use sos::analysis::OneBurstAnalysis;
+//!
+//! // The paper's default system, 3 layers, one-to-two mapping.
+//! let scenario = Scenario::builder()
+//!     .system(SystemParams::paper_default())
+//!     .layers(3)
+//!     .mapping(MappingDegree::OneTo(2))
+//!     .build()?;
+//!
+//! // A moderate intelligent attack: 200 break-in trials, 2000
+//! // congestion slots.
+//! let report = OneBurstAnalysis::new(&scenario, AttackBudget::new(200, 2_000))?.run();
+//! let ps = report.success_probability(PathEvaluator::Binomial);
+//! assert!(ps.value() > 0.0 && ps.value() < 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use sos_analysis as analysis;
+pub use sos_attack as attack;
+pub use sos_core as core;
+pub use sos_des as des;
+pub use sos_math as math;
+pub use sos_overlay as overlay;
+pub use sos_sim as sim;

@@ -1,0 +1,145 @@
+//! Property-based tests for the executable attackers: resource and
+//! consistency invariants over random configurations and seeds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sos::attack::{MonitoringAttacker, OneBurstAttacker, SuccessiveAttacker};
+use sos::core::{
+    AttackBudget, MappingDegree, NodeDistribution, Scenario, SuccessiveParams,
+    SystemParams,
+};
+use sos::overlay::{NodeStatus, Overlay};
+use std::collections::HashSet;
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        300u64..2_000,
+        30u64..120,
+        1usize..5,
+        prop_oneof![
+            Just(MappingDegree::ONE_TO_ONE),
+            (2u64..6).prop_map(MappingDegree::OneTo),
+            Just(MappingDegree::OneToHalf),
+        ],
+        0.05f64..1.0,
+    )
+        .prop_filter_map("valid scenario", |(n, sos, l, mapping, p_b)| {
+            let system = SystemParams::new(n, sos, p_b).ok()?;
+            Scenario::builder()
+                .system(system)
+                .layers(l)
+                .distribution(NodeDistribution::Even)
+                .mapping(mapping)
+                .filters(8)
+                .build()
+                .ok()
+        })
+}
+
+fn check_invariants(
+    overlay: &Overlay,
+    outcome: &sos::attack::AttackOutcome,
+    budget: AttackBudget,
+) -> Result<(), TestCaseError> {
+    // Budgets respected.
+    prop_assert!(outcome.total_attempts() as u64 <= budget.break_in_trials);
+    prop_assert!(outcome.total_congested() as u64 <= budget.congestion_capacity);
+
+    // No node both broken and congested; outcome lists are duplicate-free.
+    let broken: HashSet<_> = outcome.broken.iter().collect();
+    let congested: HashSet<_> = outcome.congested.iter().collect();
+    prop_assert_eq!(broken.len(), outcome.broken.len());
+    prop_assert_eq!(congested.len(), outcome.congested.len());
+    prop_assert!(broken.is_disjoint(&congested));
+
+    // Outcome statuses agree with the overlay.
+    for &b in &outcome.broken {
+        prop_assert_eq!(overlay.status(b), NodeStatus::Broken);
+    }
+    for &c in &outcome.congested {
+        prop_assert_eq!(overlay.status(c), NodeStatus::Congested);
+    }
+    // Every bad node on the overlay is accounted for.
+    let bad_on_overlay = overlay.total_bad();
+    prop_assert_eq!(bad_on_overlay, outcome.broken.len() + outcome.congested.len());
+
+    // Disclosed nodes are always infrastructure at layer ≥ 1 (never
+    // bystanders — neighbor tables only contain SOS/filters).
+    for &d in &outcome.disclosed {
+        prop_assert!(overlay.layer_of(d).is_some(), "{d} disclosed but bystander");
+    }
+
+    // Attempts never target filters.
+    for &a in &outcome.attempted {
+        prop_assert!(
+            overlay.role(a) != sos::overlay::Role::Filter,
+            "{a} is a filter"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn one_burst_attacker_invariants(
+        scenario in scenario_strategy(),
+        nt_frac in 0.0f64..0.5,
+        nc_frac in 0.0f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        let n = scenario.system().overlay_nodes();
+        let budget = AttackBudget::new(
+            (n as f64 * nt_frac) as u64,
+            (n as f64 * nc_frac) as u64,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut overlay = Overlay::build(&scenario, &mut rng);
+        let outcome = OneBurstAttacker::new(budget).execute(&mut overlay, &mut rng);
+        // One-burst spends the whole break-in budget (uniform over N).
+        prop_assert_eq!(outcome.total_attempts() as u64, budget.break_in_trials);
+        check_invariants(&overlay, &outcome, budget)?;
+    }
+
+    #[test]
+    fn successive_attacker_invariants(
+        scenario in scenario_strategy(),
+        nt in 0u64..300,
+        nc in 0u64..300,
+        rounds in 1u32..6,
+        p_e in 0.0f64..=1.0,
+        seed in 0u64..10_000,
+    ) {
+        let budget = AttackBudget::new(nt, nc);
+        let params = SuccessiveParams::new(rounds, p_e).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut overlay = Overlay::build(&scenario, &mut rng);
+        let outcome =
+            SuccessiveAttacker::new(budget, params).execute(&mut overlay, &mut rng);
+        prop_assert!(outcome.rounds.len() <= rounds as usize);
+        check_invariants(&overlay, &outcome, budget)?;
+    }
+
+    #[test]
+    fn monitoring_attacker_invariants(
+        scenario in scenario_strategy(),
+        nt in 0u64..300,
+        nc in 0u64..300,
+        tap in 0.0f64..=1.0,
+        seed in 0u64..10_000,
+    ) {
+        let budget = AttackBudget::new(nt, nc);
+        let params = SuccessiveParams::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut overlay = Overlay::build(&scenario, &mut rng);
+        let result = MonitoringAttacker::new(budget, params, tap)
+            .execute(&mut overlay, &mut rng);
+        check_invariants(&overlay, &result.outcome, budget)?;
+        // The layering model never invents nodes.
+        prop_assert!(result.layering.mapped_nodes()
+            <= overlay.total_node_count());
+        prop_assert!((0.0..=1.0).contains(&result.layering.accuracy(&overlay)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Integration tests for the beyond-the-paper extensions: exact
+//! congestion analysis, latency/optimizer, traffic monitoring, and
+//! churn dynamics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sos::analysis::{
+    exact_ps, AttackProfile, DesignSpace, ExactCongestionAnalysis, ForwardingDiscipline,
+    LatencyModel, Optimizer,
+};
+use sos::attack::MonitoringAttacker;
+use sos::core::{
+    AttackBudget, AttackConfig, MappingDegree, PathEvaluator, Scenario, SuccessiveParams,
+    SystemParams,
+};
+use sos::overlay::{ChurnModel, Overlay};
+use sos::sim::engine::{Simulation, SimulationConfig};
+use sos::sim::measure_latency;
+use sos::sim::routing::RoutingPolicy;
+use sos::overlay::Transport;
+
+fn small_scenario(mapping: MappingDegree) -> Scenario {
+    Scenario::builder()
+        .system(SystemParams::new(1_000, 100, 0.5).unwrap())
+        .layers(3)
+        .mapping(mapping)
+        .filters(10)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn exact_congestion_matches_simulation_for_high_mapping() {
+    // The whole point of the exact analysis: for one-to-all pure
+    // congestion, where the average-case model saturates at 1, the
+    // exact analysis must track the Monte Carlo ground truth.
+    let scenario = small_scenario(MappingDegree::OneToAll);
+    for n_c in [300u64, 600, 800] {
+        let exact = exact_ps(&scenario, AttackBudget::congestion_only(n_c))
+            .unwrap()
+            .value();
+        let sim = Simulation::new(
+            SimulationConfig::new(
+                scenario.clone(),
+                AttackConfig::OneBurst {
+                    budget: AttackBudget::congestion_only(n_c),
+                },
+            )
+            .trials(120)
+            .routes_per_trial(60)
+            .seed(41),
+        )
+        .run_parallel(8);
+        assert!(
+            (exact - sim.success_rate()).abs() < 0.05,
+            "N_C={n_c}: exact {exact} vs sim {}",
+            sim.success_rate()
+        );
+    }
+}
+
+#[test]
+fn exact_beats_average_case_against_ground_truth() {
+    // Quantify the headline claim of DESIGN.md §1: at one-to-half/heavy
+    // congestion the exact analysis is closer to the simulation than
+    // the average-case hypergeometric form.
+    let scenario = small_scenario(MappingDegree::OneToHalf);
+    let n_c = 700u64;
+    let exact = exact_ps(&scenario, AttackBudget::congestion_only(n_c))
+        .unwrap()
+        .value();
+    let avg = sos::analysis::OneBurstAnalysis::new(
+        &scenario,
+        AttackBudget::congestion_only(n_c),
+    )
+    .unwrap()
+    .run()
+    .success_probability(PathEvaluator::Hypergeometric)
+    .value();
+    let sim = Simulation::new(
+        SimulationConfig::new(
+            scenario,
+            AttackConfig::OneBurst {
+                budget: AttackBudget::congestion_only(n_c),
+            },
+        )
+        .trials(150)
+        .routes_per_trial(60)
+        .seed(43),
+    )
+    .run_parallel(8);
+    let truth = sim.success_rate();
+    assert!(
+        (exact - truth).abs() <= (avg - truth).abs() + 1e-9,
+        "exact {exact} should beat average-case {avg} against truth {truth}"
+    );
+}
+
+#[test]
+fn monitoring_tap_reduces_ps_in_engine() {
+    let scenario = small_scenario(MappingDegree::OneTo(2));
+    let attack = AttackConfig::Successive {
+        budget: AttackBudget::new(100, 300),
+        params: SuccessiveParams::paper_default(),
+    };
+    let base = Simulation::new(
+        SimulationConfig::new(scenario.clone(), attack)
+            .trials(80)
+            .routes_per_trial(60)
+            .seed(47),
+    )
+    .run_parallel(8);
+    let tapped = Simulation::new(
+        SimulationConfig::new(scenario, attack)
+            .trials(80)
+            .routes_per_trial(60)
+            .seed(47)
+            .monitoring_tap(1.0),
+    )
+    .run_parallel(8);
+    assert!(
+        tapped.success_rate() < base.success_rate(),
+        "taps {} should reduce P_S vs base {}",
+        tapped.success_rate(),
+        base.success_rate()
+    );
+}
+
+#[test]
+fn monitoring_layering_model_maps_the_architecture() {
+    let scenario = small_scenario(MappingDegree::OneTo(3));
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut overlay = Overlay::build(&scenario, &mut rng);
+    let result = MonitoringAttacker::new(
+        AttackBudget::new(200, 0),
+        SuccessiveParams::new(4, 0.2).unwrap(),
+        1.0,
+    )
+    .execute(&mut overlay, &mut rng);
+    assert!(result.layering.mapped_nodes() > 10);
+    assert!(result.layering.accuracy(&overlay) > 0.9);
+}
+
+#[test]
+fn optimizer_and_frontier_agree_on_the_winner() {
+    // The optimizer's best unconstrained design must be Pareto-optimal
+    // on the frontier computed for the same (single) attack.
+    let system = SystemParams::paper_default();
+    let budget = AttackBudget::paper_default();
+    let params = SuccessiveParams::paper_default();
+    let profiles = vec![AttackProfile::new(
+        "successive",
+        AttackConfig::Successive { budget, params },
+    )];
+    let space = DesignSpace {
+        layers: (1..=8).collect(),
+        mappings: MappingDegree::paper_named_set(),
+        distributions: vec![sos::core::NodeDistribution::Even],
+        filters: 10,
+    };
+    let ranked = Optimizer::new(system, space, profiles).run().unwrap();
+    let best = &ranked[0];
+
+    let frontier = sos::analysis::latency_resilience_frontier(
+        system,
+        sos::core::NodeDistribution::Even,
+        budget,
+        params,
+        LatencyModel {
+            per_hop_mean: 1.0,
+            chord_transport: false,
+            discipline: ForwardingDiscipline::Oblivious,
+        },
+        1..=8,
+        &MappingDegree::paper_named_set(),
+    )
+    .unwrap();
+    let winner = frontier
+        .iter()
+        .find(|p| p.layers == best.layers && p.mapping == best.mapping.to_string())
+        .expect("winner present on the frontier grid");
+    assert!(
+        winner.pareto_optimal,
+        "the P_S-optimal design must be on the Pareto front: {winner:?}"
+    );
+}
+
+#[test]
+fn churned_overlay_remains_routable() {
+    let scenario = small_scenario(MappingDegree::OneTo(2));
+    let mut rng = StdRng::seed_from_u64(53);
+    let mut overlay = Overlay::build(&scenario, &mut rng);
+    let churn = ChurnModel::new(0.05, true);
+    for _ in 0..20 {
+        churn.step(&mut overlay, &mut rng);
+    }
+    // Still 100 SOS nodes, still fully routable.
+    let total: usize = (1..=3).map(|l| overlay.layer_members(l).len()).sum();
+    assert_eq!(total, 100);
+    let d = measure_latency(
+        &overlay,
+        &Transport::Direct,
+        RoutingPolicy::RandomGood,
+        1.0,
+        500,
+        &mut rng,
+    );
+    assert_eq!(d.failures(), 0, "churned-but-promoted overlay must route");
+    assert_eq!(d.mean_hops(), 4.0);
+}
+
+#[test]
+fn exact_layer_successes_multiply() {
+    let scenario = small_scenario(MappingDegree::OneTo(5));
+    let exact = ExactCongestionAnalysis::new(&scenario, 500).unwrap();
+    let product: f64 = (1..=4).map(|b| exact.layer_success(b)).product();
+    assert!((product - exact.success_probability().value()).abs() < 1e-12);
+}

@@ -1,0 +1,241 @@
+//! Integration tests: every figure regenerates and matches the
+//! qualitative shapes the paper reports (who wins, what declines, where
+//! the collapse happens). Exact magnitudes are recorded in
+//! `EXPERIMENTS.md`, not asserted here.
+
+use sos::math::series::{trend, Trend};
+use sos_bench::figures;
+
+#[test]
+fn fig4a_regenerates_with_expected_grid() {
+    let t = figures::fig4a();
+    assert_eq!(t.title, "fig4a");
+    assert_eq!(t.series.len(), 6, "3 mappings x 2 congestion budgets");
+    for s in &t.series {
+        assert_eq!(s.points.len(), 10, "L = 1..=10");
+        assert!(s.ys().iter().all(|y| (0.0..=1.0).contains(y)));
+    }
+}
+
+#[test]
+fn fig4a_ps_declines_with_layers_under_pure_congestion() {
+    let t = figures::fig4a();
+    for s in &t.series {
+        assert_eq!(
+            trend(&s.ys(), 1e-9),
+            Trend::NonIncreasing,
+            "{} must decline with L",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn fig4a_higher_mapping_degree_wins_without_break_in() {
+    let t = figures::fig4a();
+    for n_c in [2_000, 6_000] {
+        let one = t
+            .series_by_label(&format!("one-to-one N_C={n_c}"))
+            .unwrap();
+        let half = t
+            .series_by_label(&format!("one-to-half N_C={n_c}"))
+            .unwrap();
+        let all = t.series_by_label(&format!("one-to-all N_C={n_c}")).unwrap();
+        for i in 0..10 {
+            assert!(half.points[i].y >= one.points[i].y - 1e-9);
+            assert!(all.points[i].y >= half.points[i].y - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fig4a_heavier_congestion_is_strictly_worse_somewhere() {
+    let t = figures::fig4a();
+    let light = t.series_by_label("one-to-one N_C=2000").unwrap();
+    let heavy = t.series_by_label("one-to-one N_C=6000").unwrap();
+    let mut strict = false;
+    for (l, h) in light.points.iter().zip(&heavy.points) {
+        assert!(h.y <= l.y + 1e-12);
+        if h.y < l.y - 1e-6 {
+            strict = true;
+        }
+    }
+    assert!(strict);
+}
+
+#[test]
+fn fig4b_mapping_ranking_flips_under_break_in() {
+    // The paper's headline: one-to-all dominates under pure congestion
+    // but collapses under break-in.
+    let t = figures::fig4b();
+    let all = t.series_by_label("one-to-all N_T=2000").unwrap();
+    let one = t.series_by_label("one-to-one N_T=2000").unwrap();
+    for (a, o) in all.points.iter().zip(&one.points) {
+        assert!(a.y < 0.05, "one-to-all should be dead at L={}", a.x);
+        assert!(o.y > a.y, "one-to-one must beat one-to-all at L={}", o.x);
+    }
+}
+
+#[test]
+fn fig4b_break_in_intensity_hurts() {
+    let t = figures::fig4b();
+    for mapping in ["one-to-one", "one-to-half", "one-to-all"] {
+        let light = t.series_by_label(&format!("{mapping} N_T=200")).unwrap();
+        let heavy = t.series_by_label(&format!("{mapping} N_T=2000")).unwrap();
+        for (l, h) in light.points.iter().zip(&heavy.points) {
+            assert!(h.y <= l.y + 1e-9, "{mapping} at L={}", l.x);
+        }
+    }
+}
+
+#[test]
+fn fig6a_moderate_mapping_beats_extremes_overall() {
+    // Paper: "the one with L=4 and mapping degree one to two provides
+    // the best overall performance" — assert that some moderate-mapping
+    // configuration beats both extremes' best, and record the argmax.
+    let t = figures::fig6a();
+    let best_of = |label: &str| -> f64 {
+        t.series_by_label(label)
+            .unwrap()
+            .ys()
+            .into_iter()
+            .fold(f64::MIN, f64::max)
+    };
+    let best_two = best_of("one-to-2");
+    assert!(best_two > best_of("one-to-all"));
+    assert!(best_two > best_of("one-to-half"));
+    assert!(best_two > best_of("one-to-one"));
+}
+
+#[test]
+fn fig6a_one_to_two_peaks_at_moderate_layer_count() {
+    let t = figures::fig6a();
+    let s = t.series_by_label("one-to-2").unwrap();
+    let ys = s.ys();
+    let best = sos::math::series::argmax(&ys).unwrap();
+    let best_l = s.points[best].x;
+    assert!(
+        (3.0..=6.0).contains(&best_l),
+        "interior optimum expected near L=4, got L={best_l}"
+    );
+    // And it is an interior optimum: both L=1 and L=10 are worse.
+    assert!(ys[0] < ys[best]);
+    assert!(ys[9] < ys[best]);
+}
+
+#[test]
+fn fig6b_distribution_sensitivity_rises_with_mapping_degree() {
+    let t = figures::fig6b();
+    let spread_at = |mapping: &str| -> f64 {
+        let dists = ["even", "increasing", "decreasing"];
+        let series: Vec<Vec<f64>> = dists
+            .iter()
+            .map(|d| t.series_by_label(&format!("{mapping} {d}")).unwrap().ys())
+            .collect();
+        (0..series[0].len())
+            .map(|i| {
+                let vals: Vec<f64> = series.iter().map(|s| s[i]).collect();
+                vals.iter().cloned().fold(f64::MIN, f64::max)
+                    - vals.iter().cloned().fold(f64::MAX, f64::min)
+            })
+            .fold(0.0, f64::max)
+    };
+    assert!(spread_at("one-to-5") > spread_at("one-to-2"));
+}
+
+#[test]
+fn fig7_more_rounds_hurt_and_layers_protect() {
+    let t = figures::fig7();
+    for s in &t.series {
+        assert_eq!(trend(&s.ys(), 1e-6), Trend::NonIncreasing, "{}", s.label);
+    }
+    // More layers = less sensitivity to R: the drop from R=1 to R=10
+    // shrinks with L.
+    let drop = |label: &str| {
+        let ys = t.series_by_label(label).unwrap().ys();
+        ys[0] - ys[ys.len() - 1]
+    };
+    assert!(
+        drop("L=7") <= drop("L=3") + 1e-9,
+        "L=7 drop {} vs L=3 drop {}",
+        drop("L=7"),
+        drop("L=3")
+    );
+}
+
+#[test]
+fn fig8a_bigger_overlay_dilutes_the_attack() {
+    let t = figures::fig8a();
+    for mapping in ["one-to-2", "one-to-5"] {
+        let small = t.series_by_label(&format!("{mapping} N=10000")).unwrap();
+        let large = t.series_by_label(&format!("{mapping} N=20000")).unwrap();
+        // Strictly better somewhere, never materially worse.
+        let mut strict = false;
+        for (s, l) in small.points.iter().zip(&large.points) {
+            assert!(l.y >= s.y - 1e-9, "{mapping} at N_T={}", s.x);
+            if l.y > s.y + 1e-6 {
+                strict = true;
+            }
+        }
+        assert!(strict, "{mapping}: N=20000 never strictly better");
+    }
+}
+
+#[test]
+fn fig8_shows_stable_plateau_then_decline() {
+    // Paper: "there is a portion of the curve where P_S almost remains
+    // unchanged for increasing N_T" followed by a slide.
+    let t = figures::fig8b();
+    let s = t.series_by_label("one-to-2 L=5").unwrap();
+    let ys = s.ys();
+    assert_eq!(trend(&ys, 1e-6), Trend::NonIncreasing);
+    // Total decline is significant…
+    assert!(ys[0] - ys[ys.len() - 1] > 0.1);
+    // …but some adjacent step is nearly flat (the plateau).
+    let min_step = ys
+        .windows(2)
+        .map(|w| w[0] - w[1])
+        .fold(f64::MAX, f64::min);
+    let max_step = ys
+        .windows(2)
+        .map(|w| w[0] - w[1])
+        .fold(f64::MIN, f64::max);
+    assert!(
+        min_step < max_step / 4.0,
+        "expected a plateau: min step {min_step}, max step {max_step}"
+    );
+}
+
+#[test]
+fn fig8b_higher_mapping_more_sensitive_to_break_in() {
+    let t = figures::fig8b();
+    for l in [3, 5] {
+        let two = t.series_by_label(&format!("one-to-2 L={l}")).unwrap().ys();
+        let five = t.series_by_label(&format!("one-to-5 L={l}")).unwrap().ys();
+        // Relative drop from N_T=0 to the heaviest budget.
+        let rel_drop = |ys: &[f64]| (ys[0] - ys[ys.len() - 1]) / ys[0].max(1e-12);
+        assert!(
+            rel_drop(&five) >= rel_drop(&two) - 1e-9,
+            "L={l}: one-to-5 should be more sensitive"
+        );
+    }
+}
+
+#[test]
+fn all_figures_emit_parseable_csv() {
+    for table in figures::all() {
+        let csv = table.to_string();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), format!("# {}", table.title));
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("series,"));
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), 3, "bad row {line:?}");
+            let y: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&y));
+            rows += 1;
+        }
+        assert!(rows > 0, "{} has no data", table.title);
+    }
+}

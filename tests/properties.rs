@@ -1,0 +1,228 @@
+//! Cross-crate property tests: model invariants over randomized
+//! scenarios and attacks.
+
+use proptest::prelude::*;
+use sos::analysis::{OneBurstAnalysis, SuccessiveAnalysis};
+use sos::core::{
+    AttackBudget, MappingDegree, NodeDistribution, PathEvaluator, Scenario,
+    SuccessiveParams, SystemParams,
+};
+
+/// Strategy: a valid scenario drawn from the space the paper sweeps.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        1_000u64..20_000,     // N
+        50u64..200,           // n
+        1usize..8,            // L
+        prop_oneof![
+            Just(MappingDegree::ONE_TO_ONE),
+            (2u64..10).prop_map(MappingDegree::OneTo),
+            Just(MappingDegree::OneToHalf),
+            Just(MappingDegree::OneToAll),
+        ],
+        prop_oneof![
+            Just(NodeDistribution::Even),
+            Just(NodeDistribution::Increasing),
+            Just(NodeDistribution::Decreasing),
+        ],
+        0.05f64..1.0, // P_B
+        2u64..20,     // filters
+    )
+        .prop_filter_map("valid scenario", |(n, sos, l, mapping, dist, p_b, filters)| {
+            let system = SystemParams::new(n, sos, p_b).ok()?;
+            Scenario::builder()
+                .system(system)
+                .layers(l)
+                .distribution(dist)
+                .mapping(mapping)
+                .filters(filters)
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn one_burst_ps_is_probability(
+        scenario in scenario_strategy(),
+        n_t_frac in 0.0f64..=1.0,
+        n_c_frac in 0.0f64..=1.0,
+    ) {
+        let n = scenario.system().overlay_nodes();
+        let budget = AttackBudget::new(
+            (n as f64 * n_t_frac) as u64,
+            (n as f64 * n_c_frac) as u64,
+        );
+        let report = OneBurstAnalysis::new(&scenario, budget).unwrap().run();
+        for eval in [PathEvaluator::Hypergeometric, PathEvaluator::Binomial] {
+            let ps = report.success_probability(eval).value();
+            prop_assert!((0.0..=1.0).contains(&ps), "{eval}: {ps}");
+        }
+        // Per-layer counts stay within layer sizes.
+        let topo = scenario.topology();
+        for i in 1..=topo.layer_count() + 1 {
+            prop_assert!(report.state.bad(i) <= topo.size_of_layer(i) as f64 + 1e-6);
+            prop_assert!(report.state.bad(i) >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn successive_ps_is_probability(
+        scenario in scenario_strategy(),
+        n_t in 0u64..2_000,
+        n_c in 0u64..2_000,
+        rounds in 1u32..8,
+        p_e in 0.0f64..=1.0,
+    ) {
+        let n = scenario.system().overlay_nodes();
+        let budget = AttackBudget::new(n_t.min(n), n_c.min(n));
+        let params = SuccessiveParams::new(rounds, p_e).unwrap();
+        let report = SuccessiveAnalysis::new(&scenario, budget, params)
+            .unwrap()
+            .run();
+        for eval in [PathEvaluator::Hypergeometric, PathEvaluator::Binomial] {
+            let ps = report.success_probability(eval).value();
+            prop_assert!((0.0..=1.0).contains(&ps));
+        }
+        prop_assert!(report.rounds_executed() >= 1);
+        prop_assert!(report.rounds_executed() <= rounds);
+        prop_assert!(report.total_broken >= -1e-9);
+        prop_assert!(report.filters_disclosed
+            <= scenario.topology().filter_count() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn successive_with_r1_pe0_equals_one_burst(
+        scenario in scenario_strategy(),
+        n_t in 0u64..1_000,
+        n_c in 0u64..1_000,
+    ) {
+        let budget = AttackBudget::new(n_t, n_c);
+        let ob = OneBurstAnalysis::new(&scenario, budget).unwrap().run();
+        let succ = SuccessiveAnalysis::new(
+            &scenario,
+            budget,
+            SuccessiveParams::new(1, 0.0).unwrap(),
+        )
+        .unwrap()
+        .run();
+        let topo = scenario.topology();
+        for i in 1..=topo.layer_count() + 1 {
+            prop_assert!(
+                (ob.state.bad(i) - succ.state.bad(i)).abs() < 1e-6,
+                "layer {i}: one-burst {} vs successive {}",
+                ob.state.bad(i),
+                succ.state.bad(i)
+            );
+        }
+    }
+
+    #[test]
+    fn ps_monotone_in_congestion_budget(
+        scenario in scenario_strategy(),
+        n_t in 0u64..500,
+        base in 0u64..500,
+        extra in 0u64..500,
+    ) {
+        let light = OneBurstAnalysis::new(&scenario, AttackBudget::new(n_t, base))
+            .unwrap()
+            .run()
+            .success_probability(PathEvaluator::Binomial)
+            .value();
+        let heavy = OneBurstAnalysis::new(&scenario, AttackBudget::new(n_t, base + extra))
+            .unwrap()
+            .run()
+            .success_probability(PathEvaluator::Binomial)
+            .value();
+        prop_assert!(heavy <= light + 1e-9, "N_C+{extra}: {heavy} > {light}");
+    }
+
+    #[test]
+    fn ps_monotone_in_break_in_budget_when_congestion_is_ample(
+        scenario in scenario_strategy(),
+        n_c in 300u64..900,
+        base in 0u64..500,
+        extra in 0u64..500,
+    ) {
+        // In the under-provisioned regime (N_C < N_D) the paper's
+        // proportional congestion allocation (eq. (9)) is *not* monotone
+        // in N_T: extra disclosures dilute the congestion of
+        // already-disclosed filters, so P_S can tick up. EXPERIMENTS.md
+        // discusses this artifact. With N_C comfortably above the
+        // largest possible disclosure set (n + filters ≤ 220 here),
+        // every disclosed node is congested and monotonicity holds.
+        let light = OneBurstAnalysis::new(&scenario, AttackBudget::new(base, n_c))
+            .unwrap()
+            .run()
+            .success_probability(PathEvaluator::Binomial)
+            .value();
+        let heavy = OneBurstAnalysis::new(&scenario, AttackBudget::new(base + extra, n_c))
+            .unwrap()
+            .run()
+            .success_probability(PathEvaluator::Binomial)
+            .value();
+        prop_assert!(heavy <= light + 1e-9, "N_T+{extra}: {heavy} > {light}");
+    }
+
+    #[test]
+    fn prior_knowledge_never_helps_the_defender(
+        scenario in scenario_strategy(),
+        p_e in 0.0f64..=1.0,
+    ) {
+        let budget = AttackBudget::new(200, 800.min(scenario.system().overlay_nodes()));
+        let without = SuccessiveAnalysis::new(
+            &scenario,
+            budget,
+            SuccessiveParams::new(3, 0.0).unwrap(),
+        )
+        .unwrap()
+        .run()
+        .success_probability(PathEvaluator::Binomial)
+        .value();
+        let with = SuccessiveAnalysis::new(
+            &scenario,
+            budget,
+            SuccessiveParams::new(3, p_e).unwrap(),
+        )
+        .unwrap()
+        .run()
+        .success_probability(PathEvaluator::Binomial)
+        .value();
+        prop_assert!(with <= without + 1e-6, "P_E={p_e}: {with} > {without}");
+    }
+
+    #[test]
+    fn hypergeometric_never_below_binomial_ps(
+        scenario in scenario_strategy(),
+        n_t in 0u64..500,
+        n_c in 0u64..1_000,
+    ) {
+        // Per-layer failure is smaller under the hypergeometric form
+        // (sampling without replacement), so P_S is larger.
+        let report =
+            OneBurstAnalysis::new(&scenario, AttackBudget::new(n_t, n_c))
+                .unwrap()
+                .run();
+        let hyper = report
+            .success_probability(PathEvaluator::Hypergeometric)
+            .value();
+        let binom = report.success_probability(PathEvaluator::Binomial).value();
+        // Rounding of fractional m can perturb by a hair; allow slack.
+        prop_assert!(hyper >= binom - 0.02, "hyper {hyper} < binom {binom}");
+    }
+
+    #[test]
+    fn zero_budget_attack_is_harmless(scenario in scenario_strategy()) {
+        let report = OneBurstAnalysis::new(&scenario, AttackBudget::new(0, 0))
+            .unwrap()
+            .run();
+        prop_assert_eq!(
+            report
+                .success_probability(PathEvaluator::Binomial)
+                .value(),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration tests for attack traces: consistency between the trace,
+//! the outcome summary and the overlay state.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sos::attack::{
+    AttackEvent, CongestionReason, MonitoringAttacker, OneBurstAttacker,
+    SuccessiveAttacker,
+};
+use sos::core::{AttackBudget, MappingDegree, Scenario, SuccessiveParams, SystemParams};
+use sos::overlay::Overlay;
+
+fn overlay(seed: u64) -> Overlay {
+    let scenario = Scenario::builder()
+        .system(SystemParams::new(1_500, 90, 0.5).unwrap())
+        .layers(3)
+        .mapping(MappingDegree::OneTo(3))
+        .filters(10)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Overlay::build(&scenario, &mut rng)
+}
+
+#[test]
+fn trace_matches_outcome_summary() {
+    let mut o = overlay(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let outcome = SuccessiveAttacker::new(
+        AttackBudget::new(200, 300),
+        SuccessiveParams::paper_default(),
+    )
+    .execute(&mut o, &mut rng);
+
+    // Break-in events match the attempted list exactly, in order.
+    let trace_attempts: Vec<_> = outcome
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            AttackEvent::BreakInAttempt { node, .. } => Some(*node),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(trace_attempts, outcome.attempted);
+
+    // Successful break-in events match the broken list.
+    let trace_broken: Vec<_> = outcome
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            AttackEvent::BreakInAttempt {
+                node,
+                succeeded: true,
+                ..
+            } => Some(*node),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(trace_broken, outcome.broken);
+
+    // Congestion events match the congested list.
+    let trace_congested: Vec<_> = outcome
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            AttackEvent::Congestion { node, .. } => Some(*node),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(trace_congested, outcome.congested);
+
+    // Per-round trace accounting matches the round summaries.
+    let by_round = outcome.trace.break_ins_by_round();
+    for r in &outcome.rounds {
+        let (attempts, captures) = by_round.get(&r.round).copied().unwrap_or((0, 0));
+        assert_eq!(
+            attempts as usize,
+            r.attempted_disclosed + r.attempted_random,
+            "round {}",
+            r.round
+        );
+        assert_eq!(captures as usize, r.broken, "round {}", r.round);
+    }
+}
+
+#[test]
+fn disclosure_cascade_grows_with_rounds() {
+    // P_B = 1 guarantees chains; with 3 rounds + prior knowledge the
+    // cascade should reach depth ≥ 2 (layer1 capture → layer2 → layer3).
+    let scenario = Scenario::builder()
+        .system(SystemParams::new(1_500, 90, 1.0).unwrap())
+        .layers(3)
+        .mapping(MappingDegree::OneTo(3))
+        .filters(10)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut o = Overlay::build(&scenario, &mut rng);
+    let outcome = SuccessiveAttacker::new(
+        AttackBudget::new(200, 0),
+        SuccessiveParams::new(4, 0.3).unwrap(),
+    )
+    .execute(&mut o, &mut rng);
+    assert!(
+        outcome.trace.max_cascade_depth() >= 2,
+        "cascade depth {} too shallow",
+        outcome.trace.max_cascade_depth()
+    );
+}
+
+#[test]
+fn one_burst_trace_uses_single_round_and_random_spill() {
+    let mut o = overlay(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let outcome =
+        OneBurstAttacker::new(AttackBudget::new(100, 400)).execute(&mut o, &mut rng);
+    let rounds = outcome.trace.break_ins_by_round();
+    assert_eq!(rounds.len(), 1);
+    assert!(rounds.contains_key(&1));
+    let (targeted, random) = outcome.trace.congestion_split();
+    assert_eq!((targeted + random) as usize, outcome.congested.len());
+    assert!(random > 0, "one-burst with ample N_C must spill randomly");
+    // Targeted congestion only ever hits disclosed nodes.
+    let disclosed: std::collections::HashSet<_> =
+        outcome.disclosed.iter().collect();
+    for e in outcome.trace.events() {
+        if let AttackEvent::Congestion {
+            node,
+            reason: CongestionReason::Targeted,
+        } = e
+        {
+            assert!(disclosed.contains(node), "{node} targeted but never disclosed");
+        }
+    }
+}
+
+#[test]
+fn monitoring_trace_contains_backward_disclosures() {
+    let mut o = overlay(6);
+    let mut rng = StdRng::seed_from_u64(7);
+    let result = MonitoringAttacker::new(
+        AttackBudget::new(150, 200),
+        SuccessiveParams::paper_default(),
+        1.0,
+    )
+    .execute(&mut o, &mut rng);
+    let disclosures = result
+        .outcome
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, AttackEvent::Disclosure { .. }))
+        .count();
+    assert!(
+        disclosures >= result.backward_disclosed,
+        "trace must contain at least the backward disclosures"
+    );
+    assert!(result.backward_disclosed > 0);
+    // CSV export parses back to the same row count (+1 header).
+    let csv = result.outcome.trace.to_csv();
+    assert_eq!(csv.lines().count(), result.outcome.trace.len() + 1);
+}
