@@ -13,6 +13,8 @@
 //! * [`successive`] — §3.2 / Algorithm 1 executed literally: round-based
 //!   break-ins guided by the previous round's disclosures, seeded by
 //!   prior knowledge of the first layer.
+//! * [`observe`] — replays an [`trace::AttackTrace`] onto the
+//!   `sos-observe` event bus with layer annotations and phase spans.
 //!
 //! The executable attackers are slightly *stronger* than the paper's
 //! algebra in one respect: a node that was randomly attacked (and
@@ -48,12 +50,14 @@
 
 pub mod knowledge;
 pub mod monitoring;
+pub mod observe;
 pub mod one_burst;
 pub mod outcome;
 pub mod successive;
 pub mod trace;
 
 pub use knowledge::AttackerKnowledge;
+pub use observe::emit_attack_events;
 pub use monitoring::{LayeringModel, MonitoringAttacker, MonitoringOutcome};
 pub use one_burst::OneBurstAttacker;
 pub use outcome::{AttackOutcome, RoundSummary};

@@ -171,15 +171,20 @@ impl MonitoringAttacker {
             let pending = knowledge.pending_sorted();
             let x = pending.len();
             let alpha = quotas[(round - 1) as usize] as usize;
-            let (deterministic, random_count, terminal) = if x >= beta {
-                (sample_from(rng, &pending, beta), 0usize, true)
+            let (deterministic, random_count, terminal, case) = if x >= beta {
+                (sample_from(rng, &pending, beta), 0usize, true, 4u8)
             } else if beta <= alpha {
-                (pending.clone(), beta - x, true)
+                (pending.clone(), beta - x, true, 2)
             } else if x < alpha {
-                (pending.clone(), alpha - x, false)
+                (pending.clone(), alpha - x, false, 1)
             } else {
-                (pending.clone(), 0usize, false)
+                (pending.clone(), 0usize, false, 3)
             };
+            outcome.trace.record(AttackEvent::RoundPlan {
+                round,
+                case,
+                known: x as u32,
+            });
 
             let mut broken_this_round = 0usize;
             let mut newly_disclosed = 0usize;

@@ -86,21 +86,26 @@ impl SuccessiveAttacker {
             let alpha = quotas[(round - 1) as usize] as usize;
 
             // Algorithm 1 case selection.
-            let (deterministic_targets, random_count, terminal) = if x >= beta {
+            let (deterministic_targets, random_count, terminal, case) = if x >= beta {
                 // Case 4: more disclosed nodes than budget.
-                (sample_from(rng, &pending, beta), 0usize, true)
+                (sample_from(rng, &pending, beta), 0usize, true, 4u8)
             } else if beta <= alpha {
                 // Case 2: the whole remaining budget fits this round.
-                (pending.clone(), beta - x, true)
+                (pending.clone(), beta - x, true, 2)
             } else if x < alpha {
                 // Case 1: quota covers the disclosed nodes with room to
                 // spare.
-                (pending.clone(), alpha - x, false)
+                (pending.clone(), alpha - x, false, 1)
             } else {
                 // Case 3: disclosed nodes exceed the quota (borrow from
                 // β) but not the whole budget.
-                (pending.clone(), 0usize, false)
+                (pending.clone(), 0usize, false, 3)
             };
+            outcome.trace.record(AttackEvent::RoundPlan {
+                round,
+                case,
+                known: x as u32,
+            });
 
             let mut broken_this_round = 0usize;
             let mut newly_disclosed = 0usize;

@@ -47,6 +47,17 @@ pub enum AttackEvent {
         /// The known node.
         node: NodeId,
     },
+    /// Algorithm 1 chose its branch for a round: which of the four
+    /// cases applied given the disclosed backlog `x`, the round quota
+    /// `α` and the remaining budget `β`.
+    RoundPlan {
+        /// 1-based round number.
+        round: u32,
+        /// Which case (1–4) of Algorithm 1 applied.
+        case: u8,
+        /// Disclosed-but-unattacked nodes entering the round (`x`).
+        known: u32,
+    },
     /// A congestion slot was spent.
     Congestion {
         /// The congested node.
@@ -189,6 +200,11 @@ impl AttackTrace {
                 AttackEvent::PriorKnowledge { node } => {
                     out.push_str(&format!("prior-knowledge,0,{},\n", node.0));
                 }
+                AttackEvent::RoundPlan { round, case, known } => {
+                    // The node column carries the known-backlog count for
+                    // round-plan rows (there is no single node involved).
+                    out.push_str(&format!("round-plan,{round},{known},case-{case}\n"));
+                }
                 AttackEvent::Congestion { node, reason } => {
                     let reason = match reason {
                         CongestionReason::Targeted => "targeted",
@@ -209,6 +225,11 @@ mod tests {
     fn sample_trace() -> AttackTrace {
         let mut t = AttackTrace::new();
         t.record(AttackEvent::PriorKnowledge { node: NodeId(1) });
+        t.record(AttackEvent::RoundPlan {
+            round: 1,
+            case: 1,
+            known: 1,
+        });
         t.record(AttackEvent::BreakInAttempt {
             round: 1,
             node: NodeId(1),
@@ -262,7 +283,7 @@ mod tests {
         assert_eq!(rounds[&1], (1, 1));
         assert_eq!(rounds[&2], (2, 1));
         assert_eq!(t.congestion_split(), (1, 1));
-        assert_eq!(t.len(), 8);
+        assert_eq!(t.len(), 9);
         assert!(!t.is_empty());
     }
 
@@ -283,8 +304,9 @@ mod tests {
         let csv = sample_trace().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "event,round,node,aux");
-        assert_eq!(lines.len(), 9);
+        assert_eq!(lines.len(), 10);
         assert!(lines.iter().any(|l| l.starts_with("disclosure,1,2,1")));
         assert!(lines.iter().any(|l| l.starts_with("congestion,,9,random")));
+        assert!(lines.contains(&"round-plan,1,1,case-1"));
     }
 }

@@ -139,12 +139,50 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.finish();
 }
 
+/// Recorder overhead. `untraced` is the production path (no recorder
+/// attached — zero observability cost by construction, same code as
+/// `monte-carlo/20x50-direct`). `null-recorder` runs the traced runner
+/// with the no-op recorder: the `enabled()` guard skips event
+/// construction but per-trial metrics are still aggregated, which is
+/// the cost of `--metrics-out` alone. `memory-recorder` adds full event
+/// capture.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    use sos_observe::{MemoryRecorder, NullRecorder};
+    let mut group = c.benchmark_group("recorder-overhead");
+    group.sample_size(10);
+    let cfg = SimulationConfig::new(
+        scenario(1_000, 100),
+        AttackConfig::OneBurst {
+            budget: AttackBudget::new(20, 200),
+        },
+    )
+    .trials(20)
+    .routes_per_trial(50)
+    .seed(9);
+    group.bench_function("untraced", |b| {
+        b.iter(|| black_box(Simulation::new(cfg.clone()).run()))
+    });
+    group.bench_function("null-recorder", |b| {
+        b.iter(|| black_box(Simulation::new(cfg.clone()).run_traced(&NullRecorder)))
+    });
+    group.bench_function("memory-recorder", |b| {
+        b.iter(|| {
+            let recorder = MemoryRecorder::new();
+            let out = black_box(Simulation::new(cfg.clone()).run_traced(&recorder));
+            black_box(recorder.take_events());
+            out
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_overlay_build,
     bench_chord,
     bench_attacks,
     bench_routing,
-    bench_monte_carlo
+    bench_monte_carlo,
+    bench_recorder_overhead
 );
 criterion_main!(benches);

@@ -781,8 +781,11 @@ mod tests {
             healed > stale,
             "maintenance must recover delivery: {healed} vs {stale}"
         );
+        // 8 trials leaves ~±0.05 of Monte Carlo noise on both
+        // estimates; 0.08 keeps "tracks the reference" distinguishable
+        // from the stale gap asserted above without a flaky margin.
         assert!(
-            (healed - reference).abs() < 0.05,
+            (healed - reference).abs() < 0.08,
             "healed ring should track the direct reference: {healed} vs {reference}"
         );
     }

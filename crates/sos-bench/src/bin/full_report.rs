@@ -103,6 +103,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         written.push("sensitivity.csv".to_string());
     }
 
+    // Observability artifacts: a traced run of the paper's intelligent
+    // attacker, exported through the standard sinks so the report
+    // bundle carries a replayable event log alongside the aggregates.
+    {
+        use sos_core::{MappingDegree, Scenario, SystemParams, ThreatPreset};
+        use sos_observe::MemoryRecorder;
+        use sos_sim::engine::{Simulation, SimulationConfig};
+        let preset = ThreatPreset::PaperIntelligent;
+        let system = SystemParams::new(10_000, 100, 0.5)?;
+        let scenario = Scenario::builder()
+            .system(system)
+            .layers(3)
+            .mapping(MappingDegree::OneTo(2))
+            .filters(10)
+            .build()?;
+        let cfg = SimulationConfig::new(scenario, preset.attack(&system))
+            .trials(5)
+            .routes_per_trial(opts.routes_per_trial)
+            .seed(opts.seed);
+        let recorder = MemoryRecorder::new();
+        let (_, metrics) = Simulation::new(cfg).run_traced(&recorder);
+        let events = recorder.take_events();
+        fs::write(dir.join("trace-paper-intelligent.jsonl"), sos_observe::write_jsonl(&events))?;
+        written.push("trace-paper-intelligent.jsonl".to_string());
+        fs::write(dir.join("metrics-paper-intelligent.csv"), metrics.to_csv())?;
+        written.push("metrics-paper-intelligent.csv".to_string());
+        eprintln!("wrote trace-paper-intelligent ({} events)", events.len());
+    }
+
     // Manifest.
     let manifest = serde_json::json!({
         "suite": "sos-resilience full report",

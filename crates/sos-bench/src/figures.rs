@@ -275,7 +275,7 @@ pub fn fig8b_with(evaluator: PathEvaluator) -> SweepTable {
 
 /// The analysis the paper omits for space ("we do not report our
 /// analysis on the sensitivity of P_S to N_C; interested readers can
-/// refer [3]" — the technical report): `P_S` vs the congestion budget
+/// refer \[3\]" — the technical report): `P_S` vs the congestion budget
 /// `N_C` under the successive model for `L ∈ {3, 5}` × mappings
 /// {one-to-two, one-to-five}, other parameters at the paper's defaults.
 pub fn supplemental_nc() -> SweepTable {

@@ -19,6 +19,7 @@ USAGE:
 COMMANDS:
     analyze    closed-form P_S for one configuration
     simulate   Monte Carlo P_S for one configuration
+    trace      traced Monte Carlo run: per-trial attack-phase timeline
     compare    closed-form vs Monte Carlo side by side
     figure     regenerate a paper figure (fig4a fig4b fig6a fig6b fig7 fig8a fig8b all)
     optimize   search the design grid for the best worst-case design
@@ -47,6 +48,17 @@ SIMULATE FLAGS:
     --seed S             master seed                   [0]
     --policy P           random-good | first-good | backtracking [random-good]
     --transport T        direct | chord                [direct]
+    --trace-out F        write the event trace as JSONL to file F
+    --metrics-out F      write aggregated metrics as CSV to file F
+                         (either flag switches to the traced single-
+                         thread runner so event order is reproducible)
+
+TRACE FLAGS (plus the shared topology flags and --routes/--seed/
+--policy/--transport/--trace-out/--metrics-out above):
+    --scenario P         attack preset: moderate-flooder | heavy-flooder |
+                         paper-intelligent | patient-intruder | balanced
+                         [paper-intelligent]
+    --trials T           attacked overlays             [3]
 
 OTHER FLAGS:
     --json 1             (analyze) machine-readable output
@@ -61,6 +73,7 @@ OTHER FLAGS:
 EXAMPLES:
     sos analyze --layers 4 --mapping one-to-2
     sos simulate --nt 200 --nc 2000 --trials 200 --seed 7
+    sos trace --scenario paper-intelligent --trace-out trace.jsonl
     sos compare --mapping one-to-all --model one-burst
     sos figure fig6a
     sos optimize --max-latency 5
@@ -99,6 +112,7 @@ where
         }
         Some("analyze") => analyze(&parsed, out),
         Some("simulate") => simulate(&parsed, out),
+        Some("trace") => trace_cmd(&parsed, out),
         Some("compare") => compare(&parsed, out),
         Some("figure") => figure(&parsed, out),
         Some("optimize") => optimize(&parsed, out),
@@ -252,6 +266,43 @@ fn analyze(
     Ok(())
 }
 
+fn parse_policy(raw: &str) -> Result<RoutingPolicy, ArgError> {
+    match raw {
+        "random-good" => Ok(RoutingPolicy::RandomGood),
+        "first-good" => Ok(RoutingPolicy::FirstGood),
+        "backtracking" => Ok(RoutingPolicy::Backtracking),
+        other => Err(ArgError(format!("unknown policy `{other}`"))),
+    }
+}
+
+fn parse_transport(raw: &str) -> Result<TransportKind, ArgError> {
+    match raw {
+        "direct" => Ok(TransportKind::Direct),
+        "chord" => Ok(TransportKind::Chord),
+        other => Err(ArgError(format!("unknown transport `{other}`"))),
+    }
+}
+
+/// Writes the requested observability sinks, reporting each file on
+/// `out`.
+fn write_sinks(
+    out: &mut dyn std::io::Write,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+    events: &[sos_observe::Event],
+    metrics: &sos_observe::MetricsRegistry,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = trace_out {
+        std::fs::write(path, sos_observe::write_jsonl(events))?;
+        writeln!(out, "trace: {} events -> {path}", events.len())?;
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, metrics.to_csv())?;
+        writeln!(out, "metrics: -> {path}")?;
+    }
+    Ok(())
+}
+
 fn simulate(
     args: &ParsedArgs,
     out: &mut dyn std::io::Write,
@@ -260,17 +311,10 @@ fn simulate(
     let trials: u64 = args.get_or("trials", 100)?;
     let routes: u64 = args.get_or("routes", 100)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let policy = match args.get("policy").unwrap_or("random-good") {
-        "random-good" => RoutingPolicy::RandomGood,
-        "first-good" => RoutingPolicy::FirstGood,
-        "backtracking" => RoutingPolicy::Backtracking,
-        other => return Err(ArgError(format!("unknown policy `{other}`")).into()),
-    };
-    let transport = match args.get("transport").unwrap_or("direct") {
-        "direct" => TransportKind::Direct,
-        "chord" => TransportKind::Chord,
-        other => return Err(ArgError(format!("unknown transport `{other}`")).into()),
-    };
+    let policy = parse_policy(args.get("policy").unwrap_or("random-good"))?;
+    let transport = parse_transport(args.get("transport").unwrap_or("direct"))?;
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let metrics_out = args.get("metrics-out").map(str::to_string);
     args.reject_unknown()?;
 
     let sim = Simulation::new(
@@ -281,11 +325,26 @@ fn simulate(
             .policy(policy)
             .transport(transport),
     );
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16);
-    let result = sim.run_parallel(threads);
+    let result = if trace_out.is_some() || metrics_out.is_some() {
+        // Traced runs stay on one thread so the recorded event order is
+        // reproducible run to run; counts are identical either way.
+        let recorder = sos_observe::MemoryRecorder::new();
+        let (result, metrics) = sim.run_traced(&recorder);
+        write_sinks(
+            out,
+            trace_out.as_deref(),
+            metrics_out.as_deref(),
+            &recorder.take_events(),
+            &metrics,
+        )?;
+        result
+    } else {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        sim.run_parallel(threads)
+    };
     let ci = result.confidence_interval(0.95);
     writeln!(out, "model: {}", cfg.attack.model_name())?;
     writeln!(out, "policy: {policy}  transport: {}", transport.label())?;
@@ -311,6 +370,74 @@ fn simulate(
             result.failure_depths.iter().sum::<u64>()
         )?;
     }
+    Ok(())
+}
+
+fn trace_cmd(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use sos_core::ThreatPreset;
+
+    let label = args.get("scenario").unwrap_or("paper-intelligent");
+    let preset = ThreatPreset::parse(label).ok_or_else(|| {
+        ArgError(format!(
+            "unknown scenario `{label}` (moderate-flooder | heavy-flooder | \
+             paper-intelligent | patient-intruder | balanced)"
+        ))
+    })?;
+
+    let overlay_nodes: u64 = args.get_or("overlay-nodes", 10_000)?;
+    let sos_nodes: u64 = args.get_or("sos-nodes", 100)?;
+    let p_b: f64 = args.get_or("pb", 0.5)?;
+    let filters: u64 = args.get_or("filters", 10)?;
+    let layers: usize = args.get_or("layers", 3)?;
+    let mapping = parse_mapping(args.get("mapping").unwrap_or("one-to-2"))?;
+    let distribution = parse_distribution(args.get("distribution").unwrap_or("even"))?;
+    let trials: u64 = args.get_or("trials", 3)?;
+    let routes: u64 = args.get_or("routes", 50)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let policy = parse_policy(args.get("policy").unwrap_or("random-good"))?;
+    let transport = parse_transport(args.get("transport").unwrap_or("direct"))?;
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    args.reject_unknown()?;
+
+    let system = SystemParams::new(overlay_nodes, sos_nodes, p_b)?;
+    let attack = preset.attack(&system);
+    let scenario = Scenario::builder()
+        .system(system)
+        .layers(layers)
+        .distribution(distribution)
+        .mapping(mapping)
+        .filters(filters)
+        .build()?;
+
+    let sim = Simulation::new(
+        SimulationConfig::new(scenario, attack)
+            .trials(trials)
+            .routes_per_trial(routes)
+            .seed(seed)
+            .policy(policy)
+            .transport(transport),
+    );
+    let recorder = sos_observe::MemoryRecorder::new();
+    let (result, metrics) = sim.run_traced(&recorder);
+    let events = recorder.take_events();
+
+    writeln!(out, "scenario: {} ({})", preset.label(), attack.model_name())?;
+    writeln!(out, "trials: {trials}  routes/trial: {routes}  seed: {seed}")?;
+    writeln!(out)?;
+    write!(out, "{}", sos_observe::render_timeline(&events))?;
+    writeln!(out)?;
+    writeln!(out, "empirical P_S: {:.6}", result.success_rate())?;
+    write_sinks(
+        out,
+        trace_out.as_deref(),
+        metrics_out.as_deref(),
+        &events,
+        &metrics,
+    )?;
     Ok(())
 }
 
@@ -595,6 +722,95 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("empirical P_S"), "{out}");
         assert!(out.contains("95% CI"), "{out}");
+    }
+
+    #[test]
+    fn trace_prints_per_trial_timeline() {
+        let (code, out) = run_to_string(&[
+            "trace",
+            "--scenario",
+            "paper-intelligent",
+            "--overlay-nodes",
+            "500",
+            "--sos-nodes",
+            "50",
+            "--trials",
+            "2",
+            "--routes",
+            "10",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("scenario: paper-intelligent"), "{out}");
+        assert!(out.contains("trial 0"), "{out}");
+        assert!(out.contains("trial 1"), "{out}");
+        assert!(out.contains("break-in"), "{out}");
+        assert!(out.contains("routing"), "{out}");
+        assert!(out.contains("empirical P_S"), "{out}");
+    }
+
+    #[test]
+    fn trace_rejects_unknown_scenario() {
+        let (code, out) = run_to_string(&["trace", "--scenario", "nope"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown scenario `nope`"), "{out}");
+    }
+
+    #[test]
+    fn trace_writes_jsonl_and_csv_sinks() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("sos-cli-test-trace.jsonl");
+        let metrics_path = dir.join("sos-cli-test-metrics.csv");
+        let (code, out) = run_to_string(&[
+            "trace",
+            "--overlay-nodes",
+            "500",
+            "--sos-nodes",
+            "50",
+            "--trials",
+            "1",
+            "--routes",
+            "10",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let jsonl = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(jsonl.lines().count() > 10, "trace file too small");
+        assert!(jsonl.contains("\"kind\":\"trial_start\""));
+        let csv = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(csv.starts_with("metric,type,stat,value"), "{csv}");
+        assert!(csv.contains("break_in_attempts,counter"), "{csv}");
+        let _ = std::fs::remove_file(trace_path);
+        let _ = std::fs::remove_file(metrics_path);
+    }
+
+    #[test]
+    fn simulate_with_metrics_out_writes_csv() {
+        let metrics_path = std::env::temp_dir().join("sos-cli-test-sim-metrics.csv");
+        let (code, out) = run_to_string(&[
+            "simulate",
+            "--overlay-nodes",
+            "500",
+            "--sos-nodes",
+            "50",
+            "--trials",
+            "5",
+            "--routes",
+            "10",
+            "--nt",
+            "10",
+            "--nc",
+            "50",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("empirical P_S"), "{out}");
+        let csv = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(csv.contains("trials,counter,value,5"), "{csv}");
+        let _ = std::fs::remove_file(metrics_path);
     }
 
     #[test]

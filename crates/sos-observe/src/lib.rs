@@ -1,0 +1,58 @@
+//! Structured observability for the SOS simulation stack: attack-phase
+//! tracing and per-trial metrics.
+//!
+//! The paper's analysis (Xuan, Chellappan & Wang, ICDCS 2004) divides
+//! an intelligent DDoS attempt into phases — break-in trials against
+//! the overlay's layers, congestion of known nodes, then client routing
+//! through the wreckage. This crate gives each phase a first-class
+//! event stream and a metrics vocabulary, without coupling the
+//! simulation crates to any output format:
+//!
+//! - [`event`] — the [`Event`] type and [`EventKind`] taxonomy: one
+//!   variant per paper-visible decision point (break-in success or
+//!   failure per layer, congestion onset, node repair, route
+//!   attempt/delivery, Chord lookup hop counts, Algorithm 1 round
+//!   cases).
+//! - [`record`] — the [`Recorder`] trait events are emitted through.
+//!   [`NullRecorder`] is a no-op whose `enabled()` returns `false`, so
+//!   instrumented hot paths skip event construction entirely when
+//!   tracing is off.
+//! - [`metrics`] — [`Counter`], [`Gauge`], and fixed-bucket
+//!   [`Histogram`] primitives plus a named [`MetricsRegistry`], all
+//!   with associative `merge` for combining per-worker results.
+//! - [`sink`] — renderers over a recorded event slice: JSONL trace
+//!   export, CSV metrics summary, and the human-readable per-phase
+//!   timeline printed by `sos trace`.
+//!
+//! This crate is dependency-free by design (node identifiers are raw
+//! `u32`s, JSON is emitted by hand): every simulation crate can depend
+//! on it without cycles, and disabling tracing costs one predictable
+//! branch per potential event.
+//!
+//! ```
+//! use sos_observe::{Event, EventKind, MemoryRecorder, Phase, Recorder};
+//!
+//! let recorder = MemoryRecorder::new();
+//! if recorder.enabled() {
+//!     recorder.record(Event::new(0, 0, EventKind::PhaseStart { phase: Phase::BreakIn }));
+//!     recorder.record(Event::new(1, 0, EventKind::BreakInAttempt {
+//!         layer: 1,
+//!         node: 17,
+//!         succeeded: true,
+//!     }));
+//! }
+//! assert_eq!(recorder.take_events().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod record;
+pub mod sink;
+
+pub use event::{Event, EventKind, Phase};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use record::{MemoryRecorder, NullRecorder, Recorder};
+pub use sink::{render_timeline, write_jsonl};

@@ -1,0 +1,437 @@
+//! Metrics primitives: counters, gauges, fixed-bucket histograms, and
+//! the named [`MetricsRegistry`] that aggregates them.
+//!
+//! Everything here supports `merge`, so per-worker registries built on
+//! simulation threads can be combined into one result. Merging is
+//! exactly associative for all integer state (counter values, bucket
+//! counts, sample counts); histogram/gauge *sums* are `f64` additions,
+//! which are associative whenever the recorded samples are
+//! integer-valued — true for every metric this workspace records
+//! (hops, path lengths, logical-tick durations).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A monotone event count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Folds another counter in (addition — associative and
+    /// commutative).
+    pub fn merge(&mut self, other: &Counter) {
+        self.value += other.value;
+    }
+}
+
+/// A point-in-time value.
+///
+/// `merge` **sums** the two values: across workers a gauge therefore
+/// behaves like "total across threads", which fits additive quantities
+/// (time spent in a phase, slots consumed). Don't put non-additive
+/// quantities (a rate, a final probability) in a merged gauge.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&mut self, value: f64) {
+        self.value = value;
+    }
+
+    /// Adds to the value.
+    pub fn add(&mut self, delta: f64) {
+        self.value += delta;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// Folds another gauge in (addition; see the type-level caveat).
+    pub fn merge(&mut self, other: &Gauge) {
+        self.value += other.value;
+    }
+}
+
+/// A fixed-bucket histogram: counts of samples `≤` each upper bound,
+/// plus an overflow bucket.
+///
+/// Bounds are fixed at construction, which is what makes `merge`
+/// trivially associative — two histograms over the same bounds merge
+/// by adding counts bucket-wise.
+///
+/// ```
+/// use sos_observe::Histogram;
+///
+/// // Route latency in underlay hops: buckets ≤2, ≤4, ≤8, overflow.
+/// let mut h = Histogram::new(vec![2.0, 4.0, 8.0]);
+/// for hops in [1.0, 3.0, 3.0, 9.0] {
+///     h.record(hops);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_counts(), &[1, 2, 0, 1]); // last = overflow
+/// assert_eq!(h.mean(), Some(4.0));
+///
+/// // Merging is bucket-wise addition.
+/// let mut other = Histogram::new(vec![2.0, 4.0, 8.0]);
+/// other.record(2.0);
+/// h.merge(&other);
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bucket_counts(), &[2, 2, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Strictly increasing inclusive upper bounds.
+    bounds: Vec<f64>,
+    /// `counts[i]` = samples `≤ bounds[i]` (and `> bounds[i-1]`);
+    /// `counts[bounds.len()]` = overflow.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over inclusive upper `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        let buckets = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; buckets],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// `n` equal-width buckets spanning `[lo, hi]` (plus overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `lo >= hi`.
+    pub fn uniform(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && lo < hi, "need n > 0 and lo < hi");
+        let width = (hi - lo) / n as f64;
+        Histogram::new((1..=n).map(|i| lo + width * i as f64).collect())
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        // partition_point: first bucket whose bound is ≥ value.
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Folds another histogram in (bucket-wise addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// A named collection of metrics with associative merge and CSV export.
+///
+/// Names are free-form; `BTreeMap` storage keeps exports
+/// deterministically ordered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The named counter, created zeroed on first use.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+
+    /// The named gauge, created zeroed on first use.
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        self.gauges.entry(name.to_string()).or_default()
+    }
+
+    /// The named histogram, created over `bounds` on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram exists with different bounds (two call
+    /// sites disagreeing about a metric is a bug worth failing fast
+    /// on).
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> &mut Histogram {
+        let h = self
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()));
+        assert_eq!(h.bounds(), bounds, "histogram `{name}` bounds mismatch");
+        h
+    }
+
+    /// Read-only view of a counter's value, if present.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).map(Counter::get)
+    }
+
+    /// Read-only view of a gauge's value, if present.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).map(Gauge::get)
+    }
+
+    /// Read-only view of a histogram, if present.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry in: metrics present in both merge;
+    /// metrics present only in `other` are copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram name is present in both with different
+    /// bounds.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, c) in &other.counters {
+            self.counters.entry(name.clone()).or_default().merge(c);
+        }
+        for (name, g) in &other.gauges {
+            self.gauges.entry(name.clone()).or_default().merge(g);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Renders every metric as CSV rows `metric,type,stat,value`.
+    ///
+    /// Histograms expand to `count`, `sum`, `mean`, one `le_<bound>`
+    /// row per bucket, and `overflow`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,type,stat,value\n");
+        for (name, c) in &self.counters {
+            let _ = writeln!(out, "{name},counter,value,{}", c.get());
+        }
+        for (name, g) in &self.gauges {
+            let _ = writeln!(out, "{name},gauge,value,{}", g.get());
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "{name},histogram,count,{}", h.count());
+            let _ = writeln!(out, "{name},histogram,sum,{}", h.sum());
+            let _ = writeln!(
+                out,
+                "{name},histogram,mean,{}",
+                h.mean().map_or(String::from("nan"), |m| format!("{m:.6}"))
+            );
+            for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
+                let _ = writeln!(out, "{name},histogram,le_{bound},{count}");
+            }
+            let _ = writeln!(
+                out,
+                "{name},histogram,overflow,{}",
+                h.bucket_counts().last().expect("histogram has buckets")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::default();
+        g.set(2.5);
+        g.add(0.5);
+        assert_eq!(g.get(), 3.0);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.record(1.0); // lands in ≤1.0 (inclusive upper bound)
+        h.record(1.5);
+        h.record(2.0);
+        h.record(2.0001); // overflow
+        assert_eq!(h.bucket_counts(), &[1, 2, 1]);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn uniform_buckets_span_range() {
+        let h = Histogram::uniform(0.0, 10.0, 5);
+        assert_eq!(h.bounds(), &[2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_bounds_rejected() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(vec![1.0]);
+        let b = Histogram::new(vec![2.0]);
+        a.merge(&b);
+    }
+
+    /// Worker registry for the associativity test: distinct metric
+    /// names per worker exercise the union path, shared names the
+    /// combine path.
+    fn worker_registry(seed: u64) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.counter("shared").add(seed + 1);
+        r.counter(&format!("only_{seed}")).inc();
+        r.gauge("level").add(seed as f64 * 0.5);
+        let h = r.histogram("hops", &[2.0, 4.0, 8.0]);
+        for i in 0..=seed {
+            h.record((seed + i) as f64);
+        }
+        r
+    }
+
+    #[test]
+    fn registry_merge_is_associative_and_order_independent() {
+        // Thread fan-in merges worker registries pairwise in whatever
+        // order workers finish; the result must not depend on that
+        // order: ((a ⊕ b) ⊕ c) == (a ⊕ (b ⊕ c)) == ((c ⊕ a) ⊕ b).
+        let (a, b, c) = (worker_registry(0), worker_registry(3), worker_registry(7));
+
+        let mut left = MetricsRegistry::new();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut right_tail = MetricsRegistry::new();
+        right_tail.merge(&b);
+        right_tail.merge(&c);
+        let mut right = MetricsRegistry::new();
+        right.merge(&a);
+        right.merge(&right_tail);
+
+        let mut rotated = MetricsRegistry::new();
+        rotated.merge(&c);
+        rotated.merge(&a);
+        rotated.merge(&b);
+
+        for r in [&right, &rotated] {
+            assert_eq!(r.counter_value("shared"), left.counter_value("shared"));
+            for seed in [0, 3, 7] {
+                assert_eq!(r.counter_value(&format!("only_{seed}")), Some(1));
+            }
+            assert_eq!(r.gauge_value("level"), left.gauge_value("level"));
+            let (h, l) = (
+                r.get_histogram("hops").unwrap(),
+                left.get_histogram("hops").unwrap(),
+            );
+            assert_eq!(h.bucket_counts(), l.bucket_counts());
+            assert_eq!(h.count(), l.count());
+            // Sums of integer-valued samples are exactly associative.
+            assert_eq!(h.sum(), l.sum());
+        }
+        assert_eq!(left.counter_value("shared"), Some(1 + 4 + 8));
+    }
+
+    #[test]
+    fn registry_csv_is_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.counter("zeta").add(3);
+        r.counter("alpha").inc();
+        r.gauge("mid").set(1.5);
+        r.histogram("hops", &[2.0, 4.0]).record(3.0);
+        let csv = r.to_csv();
+        let alpha = csv.find("alpha,counter").unwrap();
+        let zeta = csv.find("zeta,counter").unwrap();
+        assert!(alpha < zeta, "counters sorted by name");
+        assert!(csv.contains("hops,histogram,le_4,1"));
+        assert!(csv.contains("hops,histogram,overflow,0"));
+        assert_eq!(csv, r.to_csv());
+    }
+}

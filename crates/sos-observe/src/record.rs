@@ -1,0 +1,136 @@
+//! The [`Recorder`] trait and its two built-in implementations.
+//!
+//! Instrumented code takes `&dyn Recorder` and guards event
+//! construction on [`Recorder::enabled`]:
+//!
+//! ```
+//! use sos_observe::{Event, EventKind, NullRecorder, Recorder};
+//!
+//! fn instrumented(recorder: &dyn Recorder) {
+//!     // With NullRecorder this is one always-false branch — the
+//!     // event payload is never even built.
+//!     if recorder.enabled() {
+//!         recorder.record(Event::new(0, 0, EventKind::RouteAttempt { route: 0 }));
+//!     }
+//! }
+//!
+//! instrumented(&NullRecorder);
+//! ```
+
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// A sink for trace events.
+///
+/// Implementations must be cheap to call and thread-safe (`Sync`):
+/// the engine hands one recorder to code running inside its trial
+/// loop.
+pub trait Recorder: Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+
+    /// Whether events are wanted at all. Call sites use this to skip
+    /// building event payloads; the default is `true`.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default recorder: drops everything, reports itself disabled.
+///
+/// With `NullRecorder`, an instrumented call site costs exactly one
+/// predictable branch — this is what keeps tracing zero-overhead when
+/// off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn record(&self, _event: Event) {}
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A recorder that buffers every event in memory, in arrival order.
+///
+/// ```
+/// use sos_observe::{Event, EventKind, MemoryRecorder, Recorder};
+///
+/// let recorder = MemoryRecorder::new();
+/// recorder.record(Event::new(3, 1, EventKind::RouteAttempt { route: 0 }));
+/// let events = recorder.take_events();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].trial, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().expect("recorder lock poisoned"))
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recorder lock poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("recorder lock poisoned").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder.enabled());
+        NullRecorder.record(Event::new(0, 0, EventKind::RouteAttempt { route: 0 }));
+    }
+
+    #[test]
+    fn memory_recorder_buffers_in_order() {
+        let rec = MemoryRecorder::new();
+        assert!(rec.enabled());
+        assert!(rec.is_empty());
+        for i in 0..5 {
+            rec.record(Event::new(i, 0, EventKind::RouteAttempt { route: i }));
+        }
+        assert_eq!(rec.len(), 5);
+        let events = rec.take_events();
+        assert!(rec.is_empty());
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn dyn_recorder_is_object_safe() {
+        let rec = MemoryRecorder::new();
+        let as_dyn: &dyn Recorder = &rec;
+        as_dyn.record(Event::new(0, 0, EventKind::RouteAttempt { route: 0 }));
+        assert_eq!(rec.len(), 1);
+    }
+}

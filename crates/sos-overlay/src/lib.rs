@@ -17,6 +17,8 @@
 //!   abstraction the paper analyses) or via Chord routing (which exposes
 //!   the additional failure mode of compromised intermediate hops — the
 //!   `ablation-chord` experiment).
+//! * [`observe`] — translation of churn events and Chord lookups into
+//!   the `sos-observe` event taxonomy.
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@
 pub mod chord;
 pub mod churn;
 pub mod node;
+pub mod observe;
 pub mod overlay;
 pub mod protocol;
 pub mod transport;

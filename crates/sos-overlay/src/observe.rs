@@ -1,0 +1,87 @@
+//! Bridge from overlay dynamics to the `sos-observe` event taxonomy.
+//!
+//! The churn and Chord modules return plain data ([`ChurnEvent`],
+//! [`LookupOutcome`]) rather than talking to a recorder themselves —
+//! the substrate stays observability-free and the caller decides what
+//! to trace. These helpers do the translation: one churn event maps to
+//! its membership events (`node_leave`, and `node_join` when a
+//! bystander was promoted into the vacated slot), and one completed
+//! lookup maps to a `lookup_hops` observation.
+
+use crate::chord::LookupOutcome;
+use crate::churn::ChurnEvent;
+use sos_observe::EventKind;
+
+/// The `sos_observe` event kinds describing one churn event, in
+/// emission order (departure before the replacement join).
+pub fn churn_event_kinds(event: &ChurnEvent) -> Vec<EventKind> {
+    match *event {
+        ChurnEvent::BystanderDeparted(node) => {
+            vec![EventKind::NodeLeave { node: node.0 }]
+        }
+        ChurnEvent::SosReplaced {
+            departed, promoted, ..
+        } => vec![
+            EventKind::NodeLeave { node: departed.0 },
+            EventKind::NodeJoin { node: promoted.0 },
+        ],
+        ChurnEvent::SosLost { departed, .. } => {
+            vec![EventKind::NodeLeave { node: departed.0 }]
+        }
+    }
+}
+
+/// The `sos_observe` observation for one completed Chord lookup.
+pub fn lookup_event_kind(outcome: &LookupOutcome) -> EventKind {
+    EventKind::LookupHops {
+        hops: outcome.hops() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chord::ChordRing;
+    use crate::node::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn churn_events_map_to_membership_kinds() {
+        let left = churn_event_kinds(&ChurnEvent::BystanderDeparted(NodeId(4)));
+        assert_eq!(left, vec![EventKind::NodeLeave { node: 4 }]);
+
+        let replaced = churn_event_kinds(&ChurnEvent::SosReplaced {
+            departed: NodeId(1),
+            promoted: NodeId(2),
+            layer: 3,
+        });
+        assert_eq!(
+            replaced,
+            vec![
+                EventKind::NodeLeave { node: 1 },
+                EventKind::NodeJoin { node: 2 },
+            ]
+        );
+
+        let lost = churn_event_kinds(&ChurnEvent::SosLost {
+            departed: NodeId(9),
+            layer: 2,
+        });
+        assert_eq!(lost, vec![EventKind::NodeLeave { node: 9 }]);
+    }
+
+    #[test]
+    fn lookup_hops_match_outcome() {
+        let members: Vec<NodeId> = (0..64).map(NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ring = ChordRing::build(&mut rng, &members);
+        let outcome = ring.lookup(NodeId(0), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(
+            lookup_event_kind(&outcome),
+            EventKind::LookupHops {
+                hops: outcome.hops() as u32
+            }
+        );
+    }
+}

@@ -12,10 +12,11 @@
 use crate::routing::{route_message, RoutingPolicy};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sos_attack::{OneBurstAttacker, SuccessiveAttacker};
 use sos_core::{AttackConfig, PathEvaluator, Scenario};
 use sos_math::stats::{proportion_ci, ConfidenceInterval, RunningStats, SummaryStats};
+use sos_observe::{Event, EventKind, MetricsRegistry, Phase, Recorder};
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 
 /// Which transport realizes each overlay hop.
@@ -156,6 +157,47 @@ struct Partial {
     failure_depths: Vec<u64>,
 }
 
+/// Per-worker observability state for traced runs: the shared recorder
+/// plus a worker-local metrics registry (merged once at the end, so
+/// workers never contend on metric updates).
+struct Observation<'a> {
+    recorder: &'a dyn Recorder,
+    metrics: MetricsRegistry,
+}
+
+/// Chord lookups sampled per trial in traced runs (drawn from the ring
+/// stream, so the attack/routing stream — and therefore the result —
+/// is identical to an untraced run).
+const TRACED_LOOKUP_SAMPLES: usize = 8;
+
+impl Observation<'_> {
+    /// Records `kind` at tick `*t` and advances the tick. The tick
+    /// advances even when the recorder is disabled so metrics that
+    /// measure phase durations in ticks stay recorder-independent.
+    fn emit(&mut self, t: &mut u64, trial: u64, kind: EventKind) {
+        if self.recorder.enabled() {
+            self.recorder.record(Event::new(*t, trial, kind));
+        }
+        *t += 1;
+    }
+}
+
+/// Bucket upper bounds for hop-count histograms (direct routes take
+/// `L + 1` hops; Chord transport multiplies that by the lookup path).
+fn hop_bounds() -> Vec<f64> {
+    (1..=32).map(|h| h as f64).collect()
+}
+
+/// Bucket upper bounds for per-trial delivery fractions.
+fn delivery_bounds() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Geometric bucket upper bounds for phase durations in logical ticks.
+fn tick_bounds() -> Vec<f64> {
+    (3..=14).map(|p| (1u64 << p) as f64).collect()
+}
+
 impl Partial {
     fn merge(&mut self, other: &Partial) {
         self.successes += other.successes;
@@ -181,8 +223,71 @@ impl Simulation {
 
     /// Runs all trials on the calling thread.
     pub fn run(&self) -> SimulationResult {
-        let partial = self.run_trials(0, self.config.trials);
+        let partial = self.run_trials(0, self.config.trials, None);
         self.finish(partial)
+    }
+
+    /// Runs all trials on the calling thread with observability: every
+    /// instrumented decision point is sent to `recorder` as a
+    /// [`sos_observe::Event`], and per-trial metrics (route hops,
+    /// break-in counts, phase durations, …) are aggregated into the
+    /// returned [`MetricsRegistry`].
+    ///
+    /// Counts in the [`SimulationResult`] are identical to
+    /// [`run`](Self::run): tracing only *observes* the trial streams,
+    /// it never draws from them.
+    pub fn run_traced(&self, recorder: &dyn Recorder) -> (SimulationResult, MetricsRegistry) {
+        let mut obs = Observation {
+            recorder,
+            metrics: MetricsRegistry::new(),
+        };
+        let partial = self.run_trials(0, self.config.trials, Some(&mut obs));
+        (self.finish(partial), obs.metrics)
+    }
+
+    /// [`run_traced`](Self::run_traced) fanned out over `threads`
+    /// workers. Each worker aggregates into a private registry; the
+    /// registries are merged once at the end (counts exact, float sums
+    /// associative up to merge order). Events from different trials
+    /// interleave in `recorder` in worker-completion order — sort by
+    /// `(trial, t)` (as the JSONL/timeline sinks do) to reconstruct
+    /// per-trial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel_traced(
+        &self,
+        threads: usize,
+        recorder: &dyn Recorder,
+    ) -> (SimulationResult, MetricsRegistry) {
+        assert!(threads > 0, "need at least one thread");
+        let trials = self.config.trials;
+        let chunk = trials.div_ceil(threads as u64);
+        let merged = Mutex::new((Partial::default(), MetricsRegistry::new()));
+        crossbeam::thread::scope(|scope| {
+            for t in 0..threads as u64 {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(trials);
+                if start >= end {
+                    continue;
+                }
+                let merged = &merged;
+                scope.spawn(move |_| {
+                    let mut obs = Observation {
+                        recorder,
+                        metrics: MetricsRegistry::new(),
+                    };
+                    let partial = self.run_trials(start, end, Some(&mut obs));
+                    let mut guard = merged.lock();
+                    guard.0.merge(&partial);
+                    guard.1.merge(&obs.metrics);
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+        let (partial, metrics) = merged.into_inner();
+        (self.finish(partial), metrics)
     }
 
     /// Runs trials fanned out over `threads` worker threads. Counts are
@@ -207,7 +312,7 @@ impl Simulation {
                 }
                 let merged = &merged;
                 scope.spawn(move |_| {
-                    let partial = self.run_trials(start, end);
+                    let partial = self.run_trials(start, end, None);
                     merged.lock().merge(&partial);
                 });
             }
@@ -244,7 +349,7 @@ impl Simulation {
         let mut done = 0u64;
         loop {
             let next = (done + batch).min(max_trials);
-            let batch_partial = self.run_trials(done, next);
+            let batch_partial = self.run_trials(done, next, None);
             partial.merge(&batch_partial);
             done = next;
             let ci = sos_math::stats::proportion_ci(
@@ -258,26 +363,31 @@ impl Simulation {
         }
     }
 
-    fn run_trials(&self, start: u64, end: u64) -> Partial {
+    fn run_trials(&self, start: u64, end: u64, mut obs: Option<&mut Observation<'_>>) -> Partial {
         let mut partial = Partial::default();
         for trial in start..end {
-            self.run_one_trial(trial, &mut partial);
+            self.run_one_trial(trial, &mut partial, obs.as_deref_mut());
         }
         partial
     }
 
-    fn run_one_trial(&self, trial: u64, partial: &mut Partial) {
+    fn run_one_trial(
+        &self,
+        trial: u64,
+        partial: &mut Partial,
+        mut obs: Option<&mut Observation<'_>>,
+    ) {
         let cfg = &self.config;
         // Independent decorrelated streams per trial for overlay
         // construction, ring construction, and attack+routing — so a
         // Direct run and a Chord run with the same seed see the *same*
         // overlay and the same attack (paired comparison).
+        let attack_seed = cfg.seed ^ trial.wrapping_mul(0x1656_67B1_9E37_79F9);
         let mut overlay_rng =
             StdRng::seed_from_u64(cfg.seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut ring_rng =
             StdRng::seed_from_u64(cfg.seed ^ trial.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
-        let mut rng =
-            StdRng::seed_from_u64(cfg.seed ^ trial.wrapping_mul(0x1656_67B1_9E37_79F9));
+        let mut rng = StdRng::seed_from_u64(attack_seed);
         let mut overlay = Overlay::build(&cfg.scenario, &mut overlay_rng);
         let transport = match cfg.transport {
             TransportKind::Direct => Transport::Direct,
@@ -287,17 +397,81 @@ impl Simulation {
             }
         };
 
-        match (cfg.attack, cfg.monitoring_tap) {
+        // Logical tick within the trial; only advanced in traced runs.
+        let mut t = 0u64;
+        if let Some(o) = obs.as_deref_mut() {
+            o.emit(&mut t, trial, EventKind::TrialStart { seed: attack_seed });
+            o.metrics.counter("trials").inc();
+            // Sample the transport substrate: a few Chord lookups from
+            // the ring stream (never the attack/routing stream, so the
+            // trial outcome matches an untraced run exactly).
+            if let Transport::Chord(ring) = &transport {
+                let members: Vec<NodeId> = overlay.overlay_ids().collect();
+                let bounds = hop_bounds();
+                for _ in 0..TRACED_LOOKUP_SAMPLES {
+                    let from = members[ring_rng.gen_range(0..members.len())];
+                    let key = ring_rng.gen::<u64>();
+                    let outcome = ring.lookup(from, key);
+                    o.metrics
+                        .histogram("lookup_hops", &bounds)
+                        .record(outcome.hops() as f64);
+                    o.emit(
+                        &mut t,
+                        trial,
+                        sos_overlay::observe::lookup_event_kind(&outcome),
+                    );
+                }
+            }
+        }
+
+        let outcome = match (cfg.attack, cfg.monitoring_tap) {
             (AttackConfig::OneBurst { budget }, _) => {
-                OneBurstAttacker::new(budget).execute(&mut overlay, &mut rng);
+                OneBurstAttacker::new(budget).execute(&mut overlay, &mut rng)
             }
             (AttackConfig::Successive { budget, params }, None) => {
-                SuccessiveAttacker::new(budget, params).execute(&mut overlay, &mut rng);
+                SuccessiveAttacker::new(budget, params).execute(&mut overlay, &mut rng)
             }
             (AttackConfig::Successive { budget, params }, Some(tap)) => {
                 sos_attack::MonitoringAttacker::new(budget, params, tap)
-                    .execute(&mut overlay, &mut rng);
+                    .execute(&mut overlay, &mut rng)
+                    .outcome
             }
+        };
+        if let Some(o) = obs.as_deref_mut() {
+            let attack_start = t;
+            if o.recorder.enabled() {
+                sos_attack::emit_attack_events(
+                    &outcome.trace,
+                    &overlay,
+                    trial,
+                    &mut t,
+                    o.recorder,
+                );
+            } else {
+                // Keep the tick clock honest without replaying: the
+                // bridge emits one tick per trace event plus the 3-4
+                // phase markers; approximate with the event count.
+                t += outcome.trace.len() as u64;
+            }
+            let attack_ticks = t - attack_start;
+            o.metrics
+                .counter("break_in_attempts")
+                .add(outcome.attempted.len() as u64);
+            o.metrics
+                .counter("break_in_successes")
+                .add(outcome.broken.len() as u64);
+            o.metrics
+                .counter("disclosures")
+                .add(outcome.disclosed.len() as u64);
+            o.metrics
+                .counter("congestion_slots")
+                .add(outcome.congested.len() as u64);
+            o.metrics
+                .counter("attack_rounds")
+                .add(outcome.rounds.len() as u64);
+            o.metrics
+                .histogram("attack_phase_ticks", &tick_bounds())
+                .record(attack_ticks as f64);
         }
 
         // Price the realized compromise state with both analytical
@@ -319,9 +493,35 @@ impl Simulation {
         if partial.failure_depths.len() < depth_slots {
             partial.failure_depths.resize(depth_slots, 0);
         }
+        let routing_start = t;
+        if let Some(o) = obs.as_deref_mut() {
+            o.emit(&mut t, trial, EventKind::PhaseStart {
+                phase: Phase::Routing,
+            });
+        }
         let mut delivered = 0u64;
-        for _ in 0..cfg.routes_per_trial {
+        for route in 0..cfg.routes_per_trial {
             let result = route_message(&overlay, &transport, cfg.policy, &mut rng);
+            if let Some(o) = obs.as_deref_mut() {
+                o.emit(&mut t, trial, EventKind::RouteAttempt { route });
+                if result.delivered {
+                    o.emit(&mut t, trial, EventKind::RouteDelivered {
+                        route,
+                        hops: result.underlay_hops as u32,
+                    });
+                    o.metrics
+                        .histogram("route_hops", &hop_bounds())
+                        .record(result.underlay_hops as f64);
+                    o.metrics.counter("routes_delivered").inc();
+                } else {
+                    o.emit(&mut t, trial, EventKind::RouteFailed {
+                        route,
+                        deepest_layer: result.deepest_layer as u32,
+                    });
+                    o.metrics.counter("routes_failed").inc();
+                }
+                o.metrics.counter("routes_attempted").inc();
+            }
             if result.delivered {
                 delivered += 1;
                 partial.hops.push(result.underlay_hops as f64);
@@ -334,6 +534,21 @@ impl Simulation {
         partial
             .per_trial
             .push(delivered as f64 / cfg.routes_per_trial as f64);
+        if let Some(o) = obs {
+            o.emit(&mut t, trial, EventKind::PhaseEnd {
+                phase: Phase::Routing,
+            });
+            o.emit(&mut t, trial, EventKind::TrialEnd {
+                delivered,
+                attempted: cfg.routes_per_trial,
+            });
+            o.metrics
+                .histogram("per_trial_delivery", &delivery_bounds())
+                .record(delivered as f64 / cfg.routes_per_trial as f64);
+            o.metrics
+                .histogram("routing_phase_ticks", &tick_bounds())
+                .record((t - routing_start) as f64);
+        }
     }
 
     fn finish(&self, partial: Partial) -> SimulationResult {
@@ -606,6 +821,71 @@ mod tests {
         let (again, used_again) = sim.run_until_precision(0.03, 400);
         assert_eq!(used, used_again);
         assert_eq!(result.successes, again.successes);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let cfg = quick(
+            AttackConfig::Successive {
+                budget: AttackBudget::new(50, 200),
+                params: SuccessiveParams::paper_default(),
+            },
+            MappingDegree::OneTo(2),
+        );
+        let plain = Simulation::new(cfg.clone()).run();
+        let (traced, metrics) =
+            Simulation::new(cfg.clone()).run_traced(&sos_observe::NullRecorder);
+        // Tracing only observes the trial streams; the result is
+        // bit-identical, not merely statistically equal.
+        assert_eq!(plain, traced);
+        assert_eq!(
+            metrics.counter_value("routes_attempted"),
+            Some(plain.attempts)
+        );
+        assert_eq!(
+            metrics.counter_value("routes_delivered"),
+            Some(plain.successes)
+        );
+        assert_eq!(metrics.counter_value("trials"), Some(40));
+        let hops = metrics.get_histogram("route_hops").unwrap();
+        assert_eq!(hops.count(), plain.successes);
+
+        // Parallel traced: counts exact, registries merge to the same
+        // totals regardless of worker split.
+        let (par, par_metrics) =
+            Simulation::new(cfg).run_parallel_traced(4, &sos_observe::NullRecorder);
+        assert_eq!(par.successes, plain.successes);
+        assert_eq!(par.attempts, plain.attempts);
+        assert_eq!(
+            par_metrics.counter_value("break_in_attempts"),
+            metrics.counter_value("break_in_attempts")
+        );
+        assert_eq!(
+            par_metrics.get_histogram("route_hops").unwrap().count(),
+            hops.count()
+        );
+    }
+
+    #[test]
+    fn traced_chord_run_matches_untraced() {
+        // The traced path samples extra Chord lookups from the ring
+        // stream; that stream is otherwise dead after ring construction,
+        // so the result must still be bit-identical.
+        let cfg = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 300),
+            },
+            MappingDegree::OneTo(2),
+        )
+        .transport(TransportKind::Chord);
+        let plain = Simulation::new(cfg.clone()).run();
+        let (traced, metrics) =
+            Simulation::new(cfg).run_traced(&sos_observe::NullRecorder);
+        assert_eq!(plain, traced);
+        // 8 sampled lookups per trial × 40 trials.
+        let lookups = metrics.get_histogram("lookup_hops").unwrap();
+        assert_eq!(lookups.count(), 8 * 40);
+        assert!(lookups.mean().unwrap() >= 1.0);
     }
 
     #[test]

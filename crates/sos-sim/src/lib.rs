@@ -12,7 +12,11 @@
 //!    confidence intervals ([`engine`]).
 //!
 //! The [`engine::Simulation`] runner is deterministic for a fixed seed
-//! and can fan trials out over threads. The [`compare`] module pairs
+//! and can fan trials out over threads; its
+//! [`run_traced`](engine::Simulation::run_traced) variant additionally
+//! streams every instrumented decision point to a
+//! [`sos_observe::Recorder`] and aggregates per-trial metrics. The
+//! [`compare`] module pairs
 //! simulated results with both analytical evaluators — the data behind
 //! the `ablation-evaluator` experiment and the validation tables in
 //! `EXPERIMENTS.md`. The [`repair`] module implements the paper's named

@@ -74,7 +74,7 @@ fn main() {
         let mut ok = 0;
         for _ in 0..100 {
             let key = rng.gen::<u64>();
-            let from = *ids[25..].get(rng.gen_range(0..75)).unwrap();
+            let from = *ids[25..].get(rng.gen_range(0..75usize)).unwrap();
             if proto.lookup(from, key) == proto.oracle_successor(key) {
                 ok += 1;
             }

@@ -1,0 +1,255 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's bootstrap statistics, the shim runs a short
+//! calibrated timing loop per benchmark and prints the median
+//! per-iteration time. That is enough to (a) keep every bench target
+//! compiling and runnable offline and (b) give comparable
+//! order-of-magnitude numbers between runs on the same machine; it does
+//! not attempt criterion's regression analysis or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (holds run-wide settings).
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Final hook for criterion compatibility (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named benchmark identifier, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and parameter (`name/param`).
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take (criterion-compatible).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.label, bencher.result);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.label, bencher.result);
+        self
+    }
+
+    /// Ends the group (criterion-compatible; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, label: &str, median: Option<Duration>) {
+    match median {
+        Some(d) => println!("{group}/{label:<28} {}", humanize(d)),
+        None => println!("{group}/{label:<28} (no measurement)"),
+    }
+}
+
+fn humanize(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    ///
+    /// Calibrates an iteration count so each sample runs long enough to
+    /// be measurable, then takes `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the per-sample iteration count until one
+        // sample takes ≥ budget / (4 · samples).
+        let target = (self.budget / (4 * self.samples as u32)).max(Duration::from_micros(10));
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 2).max((iters as f64 * target.as_secs_f64()
+                / elapsed.as_secs_f64().max(1e-9)) as u64);
+        }
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort_unstable();
+        self.result = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// Declares a benchmark group function list (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1u64 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("build", 512).label, "build/512");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

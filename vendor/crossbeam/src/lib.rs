@@ -1,0 +1,86 @@
+//! Offline shim for the subset of the `crossbeam` 0.8 API this
+//! workspace uses: [`thread::scope`] with closure-taking
+//! [`thread::Scope::spawn`].
+//!
+//! Implemented over `std::thread::scope` (stable since 1.63), which
+//! crossbeam's scoped threads predate. The only semantic adaptations:
+//! crossbeam's `spawn` passes the scope to the worker closure (so
+//! workers can spawn more workers), and `scope` returns
+//! `Result<R, payload>` instead of propagating worker panics directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread shim matching `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle: workers spawned through it may borrow from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker; the closure receives the scope (crossbeam's
+        /// signature) so it can spawn nested workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed;
+    /// joins all workers before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if any worker panicked (matching
+    /// crossbeam's `Result` API; `std::thread::scope` itself would
+    /// resume the panic).
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let data = vec![1u64, 2, 3, 4];
+        let counter = &counter;
+        let result = super::thread::scope(|scope| {
+            for &x in &data {
+                scope.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::Relaxed);
+                });
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(result, "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline shim for the subset of the `parking_lot` 0.12 API this
+//! workspace uses: [`Mutex`] with panic-free `lock()` and
+//! `into_inner()`.
+//!
+//! Wraps `std::sync::Mutex`; poisoning (which parking_lot does not
+//! have) is erased by unwrapping — a poisoned lock means a worker
+//! already panicked, and propagating that panic matches parking_lot's
+//! observable behavior for this workspace (the panic surfaces through
+//! the thread join either way).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value in a mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(vec![1u32]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

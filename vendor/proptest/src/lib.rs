@@ -1,0 +1,523 @@
+//! Offline shim for the subset of the `proptest` 1.x API this
+//! workspace's property tests use: the [`proptest!`] macro,
+//! [`Strategy`](strategy::Strategy) with `prop_map` /
+//! `prop_filter_map`, [`prop_oneof!`], `Just`, tuple and
+//! `prop::collection::vec` strategies, `prop_assert*` / `prop_assume!`,
+//! and `TestCaseError`.
+//!
+//! Differences from real proptest, deliberate and documented:
+//!
+//! - **No shrinking.** A failing case reports its deterministic case
+//!   seed instead of a minimized counterexample.
+//! - **Deterministic seeding.** Case `i` of test `name` always draws
+//!   from `fnv1a(name) ⊕ i·SPLIT` — runs are reproducible without a
+//!   `proptest-regressions` directory.
+//! - **Rejection budget.** `prop_assume!` / `prop_filter_map`
+//!   rejections retry with fresh draws, capped at 50× the case count;
+//!   exhausting the cap fails the test like upstream.
+//! - Default case count is 64 (upstream: 256) to keep offline CI fast;
+//!   every statistically heavy block in this workspace sets its own
+//!   `ProptestConfig::with_cases` anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Core strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// The generator RNG used for all draws.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of [`Self::Value`].
+    pub trait Strategy {
+        /// The type of value generated.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values `f` maps to `Some`, retrying (with fresh
+        /// draws) otherwise. `whence` names the filter in the
+        /// exhaustion panic.
+        fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe view of [`Strategy`], for heterogeneous unions.
+    pub trait DynStrategy<T> {
+        /// Draws one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn DynStrategy<T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.as_ref().generate_dyn(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally weighted sub-strategies (backs
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map `{}` rejected 10000 draws in a row", self.whence);
+        }
+    }
+
+    /// Builds the generator RNG from a case seed (used by the
+    /// [`proptest!`](crate::proptest) expansion, which cannot assume
+    /// `rand` is in the caller's scope).
+    pub fn rng_from_seed(seed: u64) -> TestRng {
+        <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+    }
+
+    // Numeric ranges are strategies (e.g. `0u64..100`, `0.0f64..=1.0`).
+    // Implemented per type rather than blanket-over-SampleRange so the
+    // impls cannot overlap the combinator impls above.
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A/0);
+    tuple_strategy!(A/0, B/1);
+    tuple_strategy!(A/0, B/1, C/2);
+    tuple_strategy!(A/0, B/1, C/2, D/3);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+}
+
+/// Collection strategies (`prop::collection` in the real crate).
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::{Rng, SampleRange};
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `vec(element, 1..200)`: vectors of 1–199 elements.
+    pub fn vec<S, R>(element: S, size: R) -> VecStrategy<S, R>
+    where
+        S: Strategy,
+        R: SampleRange<usize> + Clone,
+    {
+        VecStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for VecStrategy<S, R>
+    where
+        S: Strategy,
+        R: SampleRange<usize> + Clone,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner types: configuration and case-level error signalling.
+pub mod test_runner {
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the shim halves twice to keep
+            // offline CI fast (workspace-heavy blocks set their own).
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed — the property is violated.
+        Fail(String),
+        /// The case was rejected (`prop_assume!`) — draw another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection (does not count against the property).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+            }
+        }
+    }
+
+    /// FNV-1a hash of a test name — the per-test base seed.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "{} == {} failed: {:?} vs {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "{} != {} failed: both {:?}",
+            stringify!($lhs), stringify!($rhs), lhs
+        );
+    }};
+}
+
+/// Rejects the current case unless the condition holds; rejected cases
+/// are redrawn and do not count toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ::std::boxed::Box::new($strategy) as $crate::strategy::BoxedStrategy<_> ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...)`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches `fn` items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let base_seed = $crate::test_runner::name_seed(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            while accepted < config.cases {
+                if attempt > config.cases as u64 * 50 {
+                    panic!(
+                        "proptest {}: gave up after {} draws ({} accepted of {} wanted)",
+                        stringify!($name), attempt, accepted, config.cases
+                    );
+                }
+                let case_seed = base_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                attempt += 1;
+                let mut proptest_rng = $crate::strategy::rng_from_seed(case_seed);
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__proptest_bind!(proptest_rng, ($($params)*), $body);
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case seed {:#x}: {}",
+                            stringify!($name), case_seed, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds `name in strategy`
+/// parameters, then runs the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, (), $body:block) => { $body };
+    ($rng:ident, (mut $name:ident in $strategy:expr $(, $($rest:tt)*)?), $body:block) => {
+        let mut $name =
+            $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($($rest)*)?), $body)
+    };
+    ($rng:ident, ($name:ident in $strategy:expr $(, $($rest:tt)*)?), $body:block) => {
+        let $name =
+            $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($($rest)*)?), $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::{Strategy, TestRng};
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let x = (3u64..10).generate(&mut rng);
+            assert!((3..10).contains(&x));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let (a, b) = ((0u32..4), (10i64..20)).generate(&mut rng);
+            assert!(a < 4 && (10..20).contains(&b));
+            let v = crate::collection::vec(0u64..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()) && v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_filter_map() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = prop_oneof![
+            Just(0u64),
+            (1u64..5).prop_map(|v| v * 100),
+        ];
+        let mut saw_just = false;
+        let mut saw_mapped = false;
+        for _ in 0..200 {
+            let v: u64 = s.generate(&mut rng);
+            match v {
+                0 => saw_just = true,
+                v if (100..500).contains(&v) && v % 100 == 0 => saw_mapped = true,
+                v => panic!("unexpected {v}"),
+            }
+        }
+        assert!(saw_just && saw_mapped);
+        let evens = (0u64..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        for _ in 0..100 {
+            assert_eq!(evens.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires bindings, assume, and asserts together.
+        fn macro_end_to_end(a in 0u64..50, mut v in prop::collection::vec(0u64..10, 1..6)) {
+            prop_assume!(a != 13);
+            v.push(a);
+            prop_assert!(v.len() >= 2);
+            prop_assert_eq!(*v.last().unwrap(), a);
+            prop_assert_ne!(v.last().unwrap(), &13);
+        }
+    }
+}

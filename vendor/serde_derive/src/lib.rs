@@ -1,0 +1,469 @@
+//! Offline shim for `serde_derive`: hand-written `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` macros targeting the vendored `serde`
+//! shim's `Content` data model.
+//!
+//! The real serde_derive depends on `syn`/`quote`, which cannot be
+//! fetched offline; this shim parses the item's `TokenStream` directly.
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! - named-field structs (no generics)
+//! - tuple structs; single-field newtypes serialize as their inner
+//!   value (serde's newtype behavior, with or without
+//!   `#[serde(transparent)]`)
+//! - enums with unit, newtype, tuple, and struct variants, encoded in
+//!   serde_json's externally-tagged form (`"Variant"`,
+//!   `{"Variant": value}`, `{"Variant": [..]}`, `{"Variant": {..}}`)
+//!
+//! Field-level serde attributes are not supported (none are used in
+//! the workspace); unknown shapes fail the build with a clear
+//! `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item the derive is attached to.
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T, U);` — arity recorded, types irrelevant.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this arity (arity 1 = newtype).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Derives `serde::Serialize` (shim) for structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim) for structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+/// Skips one attribute (`#` + bracket group, or `#!` + group) if the
+/// cursor is on one. Returns true if something was skipped.
+fn skip_attr(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() == '#' {
+            *pos += 1;
+            if let Some(TokenTree::Punct(bang)) = tokens.get(*pos) {
+                if bang.as_char() == '!' {
+                    *pos += 1;
+                }
+            }
+            *pos += 1; // the [...] group
+            return true;
+        }
+    }
+    false
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    while skip_attr(&tokens, &mut pos) {}
+    skip_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive shim: expected struct/enum, got {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive shim: expected item name, got {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive shim: generic item `{name}` is not supported"
+            ));
+        }
+    }
+
+    match (keyword.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_top_level_fields(g.stream()),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        (kw, other) => Err(format!(
+            "derive shim: unsupported item shape `{kw}` followed by {other:?}"
+        )),
+    }
+}
+
+/// Field names of a brace-delimited field list.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        while skip_attr(&tokens, &mut pos) {}
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("derive shim: expected field name, got {other:?}")),
+        }
+        pos += 1; // field name
+        pos += 1; // ':'
+        // Skip the type: everything up to a comma at angle-bracket
+        // depth 0. Parens/brackets are atomic `Group` tokens, so only
+        // `<`/`>` need explicit depth tracking.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a paren-delimited (tuple) field list.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        while skip_attr(&tokens, &mut pos) {}
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("derive shim: expected variant, got {other:?}")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating
+        // comma.
+        while let Some(tok) = tokens.get(pos) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            // Newtype structs serialize as their inner value (serde's
+            // behavior both with and without #[serde(transparent)]).
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Seq(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str({vn:?}.to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Content::Map(vec![({vn:?}.to_string(), ::serde::Serialize::to_content(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![({vn:?}.to_string(), ::serde::Content::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), ::serde::Content::Map(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(::serde::field(entries, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         let entries = content.as_map().ok_or_else(|| ::serde::DeError::new(\
+                             format!(\"{name}: expected map, got {{content:?}}\")))?;\n\
+                         Ok(Self {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok(Self(::serde::Deserialize::from_content(content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         let items = content.as_array().filter(|v| v.len() == {arity})\
+                             .ok_or_else(|| ::serde::DeError::new(\
+                                 format!(\"{name}: expected {arity}-element array\")))?;\n\
+                         Ok(Self({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_content(value)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let items = value.as_array().filter(|v| v.len() == {n})\
+                                         .ok_or_else(|| ::serde::DeError::new(\
+                                             format!(\"{name}::{vn}: expected {n}-element array\")))?;\n\
+                                     return Ok({name}::{vn}({}));\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(::serde::field(entries, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let entries = value.as_map().ok_or_else(|| ::serde::DeError::new(\
+                                         format!(\"{name}::{vn}: expected map\")))?;\n\
+                                     return Ok({name}::{vn} {{ {} }});\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         if let Some(s) = content.as_str() {{\n\
+                             match s {{\n{}\n_ => {{}}\n}}\n\
+                         }}\n\
+                         if let Some(entries) = content.as_map() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, value) = &entries[0];\n\
+                                 let _ = value;\n\
+                                 match tag.as_str() {{\n{}\n_ => {{}}\n}}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::new(format!(\
+                             \"{name}: unrecognized variant encoding {{content:?}}\")))\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}

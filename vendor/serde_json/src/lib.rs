@@ -1,0 +1,520 @@
+//! Offline shim for the subset of the `serde_json` 1.x API this
+//! workspace uses: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`Value`], and the [`json!`] macro.
+//!
+//! Values route through the vendored serde shim's owned `Content` tree
+//! ([`Value`] is an alias for it). The emitted JSON matches real
+//! serde_json for the shapes this workspace serializes: transparent
+//! newtypes emit their inner value, enums use the externally-tagged
+//! encoding, floats with no fractional part print as `1.0`, and maps
+//! preserve field order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Content, Serialize};
+
+/// A parsed/buildable JSON value — the serde shim's owned data model.
+pub type Value = Content;
+
+/// A JSON serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// (The real serde_json returns `Result`; the shim's conversion is
+/// infallible because the data model is owned.)
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible in the shim; the `Result` matches the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible in the shim; the `Result` matches the real API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_content(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_content(&value)?)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        // serde_json refuses non-finite floats; emitting null keeps the
+        // output parseable.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    const STEP: usize = 2;
+    match value {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(item, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b' ' | b'\t' | b'\n' | b'\r')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Content::Null),
+            b't' => self.literal("true", Content::Bool(true)),
+            b'f' => self.literal("false", Content::Bool(false)),
+            b'"' => self.string().map(Content::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(Error::new(format!(
+                "unexpected `{}` at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let c = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this
+                            // workspace's ASCII-ish output.
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                        }
+                        c => {
+                            return Err(Error::new(format!(
+                                "unknown escape `\\{}`",
+                                c as char
+                            )))
+                        }
+                    }
+                }
+                c if c < 0x80 => s.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
+                    s.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+/// Accumulates `json!` object entries; implementation detail of the
+/// macro (a distinct type keeps macro expansions lint-clean).
+#[doc(hidden)]
+#[derive(Default)]
+pub struct MapEntries(pub Vec<(String, Value)>);
+
+impl MapEntries {
+    /// Appends one `"key": value` pair.
+    pub fn push(&mut self, entry: (String, Value)) {
+        self.0.push(entry);
+    }
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports object literals (nested to any depth), array literals of
+/// expressions, `null`, and arbitrary serializable expressions as
+/// values — the subset of the real `json!` grammar this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut entries = $crate::MapEntries::default();
+        $crate::json_internal!(entries $($body)*);
+        $crate::Value::Map(entries.0)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    ($entries:ident) => {};
+    ($entries:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::Value::Null));
+        $( $crate::json_internal!($entries $($rest)*); )?
+    };
+    ($entries:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $( $crate::json_internal!($entries $($rest)*); )?
+    };
+    ($entries:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $( $crate::json_internal!($entries $($rest)*); )?
+    };
+    ($entries:ident $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::to_value(&$value)));
+        $( $crate::json_internal!($entries $($rest)*); )?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_matches_serde_json() {
+        assert_eq!(to_string(&0.375f64).unwrap(), "0.375");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let text = r#"{"a": [1, 2.5, "x"], "b": {"c": true, "d": null}, "e": -7}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"].as_array().unwrap().len(), 3);
+        assert_eq!(v["b"]["c"], Content::Bool(true));
+        assert_eq!(v["e"], Content::I64(-7));
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+        let pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let files = vec!["a.csv".to_string(), "b.csv".to_string()];
+        let doc = json!({
+            "suite": "s",
+            "nested": { "trials": 5u64, "seed": 42u64 },
+            "files": files,
+            "none": null,
+        });
+        assert_eq!(doc["suite"], Content::Str("s".into()));
+        assert_eq!(doc["nested"]["trials"].as_u64(), Some(5));
+        assert_eq!(doc["files"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["none"], Content::Null);
+        assert_eq!(json!(null), Content::Null);
+        assert_eq!(json!([1u32, 2u32]).as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line1\nline2\ttab \"quote\" back\\slash ünïcode";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}
