@@ -14,6 +14,7 @@
 //! | `ext-stabilization`  | Chord protocol pointer recovery after mass failure |
 //! | `ext-staleness`      | SOS delivery while the Chord ring is still converging after the attack |
 //! | `ext-protocol-churn` | Chord lookup correctness under continuous join/leave churn |
+//! | `ext-faults`         | benign message loss on top of a fixed attack: how much `P_S` do hop retries buy back? |
 
 use sos_analysis::sweep::{SweepPoint, SweepSeries, SweepTable};
 use sos_analysis::MultiRoleAnalysis;
@@ -21,6 +22,7 @@ use sos_core::{
     AttackBudget, AttackConfig, MappingDegree, PathEvaluator, Scenario, SuccessiveParams,
     SystemParams,
 };
+use sos_faults::{FaultConfig, RetryPolicy};
 use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
 use sos_sim::repair::{AttackerPersistence, RepairConfig, RepairSimulation};
 use sos_sim::routing::RoutingPolicy;
@@ -198,6 +200,51 @@ pub fn repair_extension(opts: AblationOptions) -> SweepTable {
                     y: s.ps,
                 })
                 .collect(),
+        });
+    }
+    table
+}
+
+/// The loss rates swept by [`fault_sweep`].
+pub const FAULT_SWEEP_LOSS_RATES: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4];
+
+/// `ext-faults`: empirical `P_S` vs benign per-hop loss rate at a fixed
+/// mixed attack budget, with and without hop retries.
+///
+/// Expected shape: both series are non-increasing in the loss rate
+/// (benign faults only remove paths), the `retry` series dominates the
+/// `no-retry` series at every positive rate (losses are transient, so
+/// re-attempts recover them), and both meet at `x = 0` bit-identically
+/// (a zero-fault config never builds a fault plan).
+pub fn fault_sweep(opts: AblationOptions) -> SweepTable {
+    let mut table = SweepTable::new("ext-faults", "loss_rate", "P_S");
+    let policies = [
+        ("no-retry", RetryPolicy::none()),
+        ("retry(4)", RetryPolicy::new(4, 1, 64)),
+    ];
+    for (label, retry) in policies {
+        let mut points = Vec::new();
+        for &loss in &FAULT_SWEEP_LOSS_RATES {
+            let cfg = SimulationConfig::new(
+                ablation_scenario(MappingDegree::OneTo(2)),
+                AttackConfig::OneBurst {
+                    budget: AttackBudget::new(50, 200),
+                },
+            )
+            .faults(FaultConfig::none().loss(loss).seed(opts.seed))
+            .retry(retry)
+            .trials(opts.trials)
+            .routes_per_trial(opts.routes_per_trial)
+            .seed(opts.seed);
+            let result = Simulation::new(cfg).run_parallel(threads());
+            points.push(SweepPoint {
+                x: loss,
+                y: result.success_rate(),
+            });
+        }
+        table.push(SweepSeries {
+            label: label.to_string(),
+            points,
         });
     }
     table
@@ -494,11 +541,7 @@ pub fn staleness_extension_with_trials(trials: u64) -> SweepTable {
         // Attack lands: overlay statuses change and the same nodes die
         // on the ring (a congested node cannot serve Chord either).
         OneBurstAttacker::new(AttackBudget::new(40, 160)).execute(&mut overlay, &mut rng);
-        for (&id, &m) in ids.iter().zip(&members) {
-            if !overlay.is_good(m) {
-                proto.kill(id);
-            }
-        }
+        proto.sync_overlay_damage(&overlay);
 
         // Reference: the paper's direct-hop abstraction on the same
         // damaged overlay.
@@ -788,6 +831,41 @@ mod tests {
             (healed - reference).abs() < 0.08,
             "healed ring should track the direct reference: {healed} vs {reference}"
         );
+    }
+
+    #[test]
+    fn fault_sweep_retries_dominate_and_loss_hurts() {
+        let t = fault_sweep(AblationOptions::quick());
+        let bare = t.series_by_label("no-retry").unwrap();
+        let retried = t.series_by_label("retry(4)").unwrap();
+        assert_eq!(bare.points.len(), FAULT_SWEEP_LOSS_RATES.len());
+        // Zero-fault anchor: both series skip the fault plane entirely
+        // and land on the same bits.
+        assert_eq!(bare.points[0].y, retried.points[0].y);
+        // Retries dominate strictly at every positive loss rate.
+        for (b, r) in bare.points.iter().zip(&retried.points).skip(1) {
+            assert!(
+                r.y > b.y,
+                "retries must improve P_S at loss={}: {} vs {}",
+                b.x,
+                r.y,
+                b.y
+            );
+        }
+        // Benign loss only removes paths: P_S is non-increasing in the
+        // loss rate for both policies.
+        assert_eq!(trend(&bare.ys(), 0.02), Trend::NonIncreasing, "{:?}", bare.ys());
+        assert_eq!(
+            trend(&retried.ys(), 0.02),
+            Trend::NonIncreasing,
+            "{:?}",
+            retried.ys()
+        );
+        // Retries never recover compromises: the retried series stays
+        // below the zero-fault anchor.
+        for r in &retried.points[1..] {
+            assert!(r.y <= retried.points[0].y + 1e-12);
+        }
     }
 
     #[test]

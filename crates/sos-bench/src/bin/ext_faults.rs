@@ -1,0 +1,22 @@
+//! Prints the fault-plane extension (`P_S` vs benign loss rate at a
+//! fixed attack budget, with and without hop retries).
+//!
+//! ```text
+//! cargo run --release -p sos-bench --bin ext_faults [-- --quick]
+//! ```
+//!
+//! `--quick` uses the CI sizing (fewer trials); the output is still
+//! fully deterministic, which the CI replay job exploits by running it
+//! twice and diffing.
+
+use sos_bench::ablations::{fault_sweep, AblationOptions};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        AblationOptions::quick()
+    } else {
+        AblationOptions::default()
+    };
+    print!("{}", fault_sweep(opts));
+}

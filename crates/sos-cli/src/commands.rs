@@ -52,9 +52,16 @@ SIMULATE FLAGS:
     --metrics-out F      write aggregated metrics as CSV to file F
                          (either flag switches to the traced single-
                          thread runner so event order is reproducible)
+    --faults SPEC        deterministic benign-fault plane: a bare loss
+                         rate (0.2) or key=value pairs, e.g.
+                         loss=0.2,delay=0.1,delay-ticks=4,crash=0.01,
+                         slow=0.05,slow-ticks=2,misroute=0.02,seed=7
+    --retry SPEC         per-hop retries when faults are on: a bare
+                         attempt count (4) or attempts=4,backoff=1,
+                         deadline=64 (backoff/deadline in sim ticks)
 
 TRACE FLAGS (plus the shared topology flags and --routes/--seed/
---policy/--transport/--trace-out/--metrics-out above):
+--policy/--transport/--trace-out/--metrics-out/--faults/--retry above):
     --scenario P         attack preset: moderate-flooder | heavy-flooder |
                          paper-intelligent | patient-intruder | balanced
                          [paper-intelligent]
@@ -73,7 +80,9 @@ OTHER FLAGS:
 EXAMPLES:
     sos analyze --layers 4 --mapping one-to-2
     sos simulate --nt 200 --nc 2000 --trials 200 --seed 7
+    sos simulate --faults 0.2 --retry 4 --trials 200
     sos trace --scenario paper-intelligent --trace-out trace.jsonl
+    sos trace --faults loss=0.3,delay=0.1 --retry attempts=3,backoff=2
     sos compare --mapping one-to-all --model one-burst
     sos figure fig6a
     sos optimize --max-latency 5
@@ -283,6 +292,153 @@ fn parse_transport(raw: &str) -> Result<TransportKind, ArgError> {
     }
 }
 
+/// Parses `--faults`: either a bare loss rate (`0.2`) or a comma list
+/// of `key=value` pairs (`loss=0.2,delay=0.1,delay-ticks=4,crash=0.01,
+/// slow=0.05,slow-ticks=2,misroute=0.02,seed=7`).
+fn parse_faults(raw: &str) -> Result<sos_faults::FaultConfig, ArgError> {
+    let mut cfg = sos_faults::FaultConfig::none();
+    if let Ok(loss) = raw.parse::<f64>() {
+        if !(0.0..=1.0).contains(&loss) {
+            return Err(ArgError(format!("--faults: loss rate {loss} not in [0, 1]")));
+        }
+        return Ok(cfg.loss(loss));
+    }
+    let mut delay = (0.0f64, 4u64);
+    let mut slow = (0.0f64, 2u64);
+    for pair in raw.split(',') {
+        let (key, value) = pair.split_once('=').ok_or_else(|| {
+            ArgError(format!(
+                "--faults: expected key=value, got `{pair}` \
+                 (keys: loss delay delay-ticks crash slow slow-ticks misroute seed)"
+            ))
+        })?;
+        let rate = |v: &str| -> Result<f64, ArgError> {
+            let r: f64 = v
+                .parse()
+                .map_err(|e| ArgError(format!("--faults: {key}={v}: {e}")))?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(ArgError(format!("--faults: {key}={r} not in [0, 1]")));
+            }
+            Ok(r)
+        };
+        let ticks = |v: &str| -> Result<u64, ArgError> {
+            v.parse()
+                .map_err(|e| ArgError(format!("--faults: {key}={v}: {e}")))
+        };
+        match key.trim() {
+            "loss" => cfg = cfg.loss(rate(value)?),
+            "delay" => delay.0 = rate(value)?,
+            "delay-ticks" => delay.1 = ticks(value)?,
+            "crash" => cfg = cfg.crash(rate(value)?),
+            "slow" => slow.0 = rate(value)?,
+            "slow-ticks" => slow.1 = ticks(value)?,
+            "misroute" => cfg = cfg.misroute(rate(value)?),
+            "seed" => cfg = cfg.seed(ticks(value)?),
+            other => {
+                return Err(ArgError(format!(
+                    "--faults: unknown key `{other}` \
+                     (keys: loss delay delay-ticks crash slow slow-ticks misroute seed)"
+                )))
+            }
+        }
+    }
+    Ok(cfg.delay(delay.0, delay.1).slow(slow.0, slow.1))
+}
+
+/// Parses `--retry`: either a bare attempt count (`4`) or a comma list
+/// of `key=value` pairs (`attempts=4,backoff=1,deadline=64`).
+fn parse_retry(raw: &str) -> Result<sos_faults::RetryPolicy, ArgError> {
+    if let Ok(attempts) = raw.parse::<u32>() {
+        if attempts == 0 {
+            return Err(ArgError("--retry: need at least one attempt".into()));
+        }
+        return Ok(sos_faults::RetryPolicy::new(attempts, 1, u64::MAX));
+    }
+    let mut attempts = 1u32;
+    let mut backoff = 1u64;
+    let mut deadline = u64::MAX;
+    for pair in raw.split(',') {
+        let (key, value) = pair.split_once('=').ok_or_else(|| {
+            ArgError(format!(
+                "--retry: expected key=value, got `{pair}` (keys: attempts backoff deadline)"
+            ))
+        })?;
+        match key.trim() {
+            "attempts" => {
+                attempts = value
+                    .parse()
+                    .map_err(|e| ArgError(format!("--retry: attempts={value}: {e}")))?;
+                if attempts == 0 {
+                    return Err(ArgError("--retry: need at least one attempt".into()));
+                }
+            }
+            "backoff" => {
+                backoff = value
+                    .parse()
+                    .map_err(|e| ArgError(format!("--retry: backoff={value}: {e}")))?;
+            }
+            "deadline" => {
+                deadline = value
+                    .parse()
+                    .map_err(|e| ArgError(format!("--retry: deadline={value}: {e}")))?;
+            }
+            other => {
+                return Err(ArgError(format!(
+                    "--retry: unknown key `{other}` (keys: attempts backoff deadline)"
+                )))
+            }
+        }
+    }
+    Ok(sos_faults::RetryPolicy::new(attempts, backoff, deadline))
+}
+
+/// Reads the optional fault-plane flags shared by `simulate` and
+/// `trace`.
+fn fault_flags(
+    args: &ParsedArgs,
+) -> Result<(sos_faults::FaultConfig, sos_faults::RetryPolicy), ArgError> {
+    let faults = match args.get("faults") {
+        None => sos_faults::FaultConfig::none(),
+        Some(raw) => parse_faults(raw)?,
+    };
+    let retry = match args.get("retry") {
+        None => sos_faults::RetryPolicy::none(),
+        Some(raw) => parse_retry(raw)?,
+    };
+    Ok((faults, retry))
+}
+
+/// One-line summary of the active fault plane for command output.
+fn describe_faults(faults: &sos_faults::FaultConfig, retry: &sos_faults::RetryPolicy) -> String {
+    let mut parts = Vec::new();
+    if faults.loss_rate > 0.0 {
+        parts.push(format!("loss={}", faults.loss_rate));
+    }
+    if faults.delay_rate > 0.0 {
+        parts.push(format!("delay={}x{}t", faults.delay_rate, faults.delay_ticks));
+    }
+    if faults.crash_rate > 0.0 {
+        parts.push(format!("crash={}", faults.crash_rate));
+    }
+    if faults.slow_rate > 0.0 {
+        parts.push(format!("slow={}x{}t", faults.slow_rate, faults.slow_ticks));
+    }
+    if faults.misroute_rate > 0.0 {
+        parts.push(format!("misroute={}", faults.misroute_rate));
+    }
+    let retry_part = if retry.is_none() {
+        "no retries".to_string()
+    } else if retry.deadline == u64::MAX {
+        format!("retry attempts={} backoff={}", retry.max_attempts, retry.backoff_base)
+    } else {
+        format!(
+            "retry attempts={} backoff={} deadline={}",
+            retry.max_attempts, retry.backoff_base, retry.deadline
+        )
+    };
+    format!("{} ({retry_part})", parts.join(" "))
+}
+
 /// Writes the requested observability sinks, reporting each file on
 /// `out`.
 fn write_sinks(
@@ -313,6 +469,7 @@ fn simulate(
     let seed: u64 = args.get_or("seed", 0)?;
     let policy = parse_policy(args.get("policy").unwrap_or("random-good"))?;
     let transport = parse_transport(args.get("transport").unwrap_or("direct"))?;
+    let (faults, retry) = fault_flags(args)?;
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
     args.reject_unknown()?;
@@ -323,7 +480,9 @@ fn simulate(
             .routes_per_trial(routes)
             .seed(seed)
             .policy(policy)
-            .transport(transport),
+            .transport(transport)
+            .faults(faults)
+            .retry(retry),
     );
     let result = if trace_out.is_some() || metrics_out.is_some() {
         // Traced runs stay on one thread so the recorded event order is
@@ -348,6 +507,9 @@ fn simulate(
     let ci = result.confidence_interval(0.95);
     writeln!(out, "model: {}", cfg.attack.model_name())?;
     writeln!(out, "policy: {policy}  transport: {}", transport.label())?;
+    if !faults.is_none() {
+        writeln!(out, "faults: {}", describe_faults(&faults, &retry))?;
+    }
     writeln!(out, "trials: {trials}  routes/trial: {routes}  seed: {seed}")?;
     writeln!(out, "empirical P_S: {:.6}", result.success_rate())?;
     writeln!(out, "95% CI: [{:.6}, {:.6}]", ci.lower, ci.upper)?;
@@ -399,6 +561,7 @@ fn trace_cmd(
     let seed: u64 = args.get_or("seed", 0)?;
     let policy = parse_policy(args.get("policy").unwrap_or("random-good"))?;
     let transport = parse_transport(args.get("transport").unwrap_or("direct"))?;
+    let (faults, retry) = fault_flags(args)?;
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
     args.reject_unknown()?;
@@ -419,13 +582,18 @@ fn trace_cmd(
             .routes_per_trial(routes)
             .seed(seed)
             .policy(policy)
-            .transport(transport),
+            .transport(transport)
+            .faults(faults)
+            .retry(retry),
     );
     let recorder = sos_observe::MemoryRecorder::new();
     let (result, metrics) = sim.run_traced(&recorder);
     let events = recorder.take_events();
 
     writeln!(out, "scenario: {} ({})", preset.label(), attack.model_name())?;
+    if !faults.is_none() {
+        writeln!(out, "faults: {}", describe_faults(&faults, &retry))?;
+    }
     writeln!(out, "trials: {trials}  routes/trial: {routes}  seed: {seed}")?;
     writeln!(out)?;
     write!(out, "{}", sos_observe::render_timeline(&events))?;
@@ -811,6 +979,128 @@ mod tests {
         let csv = std::fs::read_to_string(&metrics_path).unwrap();
         assert!(csv.contains("trials,counter,value,5"), "{csv}");
         let _ = std::fs::remove_file(metrics_path);
+    }
+
+    #[test]
+    fn simulate_with_faults_and_retries_reports_plane() {
+        let base = [
+            "simulate",
+            "--overlay-nodes",
+            "500",
+            "--sos-nodes",
+            "50",
+            "--trials",
+            "10",
+            "--routes",
+            "20",
+            "--nt",
+            "10",
+            "--nc",
+            "50",
+        ];
+        let faulted: Vec<&str> = base
+            .iter()
+            .chain(["--faults", "0.3"].iter())
+            .copied()
+            .collect();
+        let retried: Vec<&str> = base
+            .iter()
+            .chain(["--faults", "0.3", "--retry", "4"].iter())
+            .copied()
+            .collect();
+        let (code, clean_out) = run_to_string(&base);
+        assert_eq!(code, 0, "{clean_out}");
+        let (code, faulted_out) = run_to_string(&faulted);
+        assert_eq!(code, 0, "{faulted_out}");
+        let (code, retried_out) = run_to_string(&retried);
+        assert_eq!(code, 0, "{retried_out}");
+        assert!(!clean_out.contains("faults:"), "{clean_out}");
+        assert!(faulted_out.contains("faults: loss=0.3 (no retries)"), "{faulted_out}");
+        assert!(retried_out.contains("retry attempts=4"), "{retried_out}");
+        let ps = |s: &str| -> f64 {
+            s.lines()
+                .find_map(|l| l.strip_prefix("empirical P_S: "))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(ps(&faulted_out) < ps(&clean_out));
+        assert!(ps(&retried_out) > ps(&faulted_out));
+    }
+
+    #[test]
+    fn trace_timeline_shows_fault_and_retry_events() {
+        // The capped congestion budget (2 000 onsets) must stay well below
+        // the overlay population so some routes traverse live hops and
+        // actually roll the fault dice.
+        let (code, out) = run_to_string(&[
+            "trace",
+            "--overlay-nodes",
+            "3000",
+            "--sos-nodes",
+            "100",
+            "--trials",
+            "2",
+            "--routes",
+            "20",
+            "--seed",
+            "1",
+            "--faults",
+            "loss=0.4,delay=0.2",
+            "--retry",
+            "attempts=3,backoff=1",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("faults: loss=0.4 delay=0.2x4t"), "{out}");
+        // Acceptance criterion: injected faults and retries surface in
+        // the rendered per-phase timeline, not just in counters.
+        assert!(out.contains("faults injected"), "{out}");
+        assert!(out.contains("retries"), "{out}");
+    }
+
+    #[test]
+    fn trace_jsonl_contains_fault_events() {
+        let trace_path = std::env::temp_dir().join("sos-cli-test-fault-trace.jsonl");
+        let (code, out) = run_to_string(&[
+            "trace",
+            "--overlay-nodes",
+            "3000",
+            "--sos-nodes",
+            "100",
+            "--trials",
+            "2",
+            "--routes",
+            "20",
+            "--seed",
+            "1",
+            "--faults",
+            "0.4",
+            "--retry",
+            "3",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let jsonl = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(jsonl.contains("\"kind\":\"fault_injected\""), "no fault events in trace");
+        assert!(jsonl.contains("\"kind\":\"hop_retry\""), "no retry events in trace");
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn bad_fault_specs_rejected() {
+        let (code, out) = run_to_string(&["simulate", "--faults", "loss=2.0"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("not in [0, 1]"), "{out}");
+        let (code, out) = run_to_string(&["simulate", "--faults", "wibble=0.1"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown key `wibble`"), "{out}");
+        let (code, out) = run_to_string(&["simulate", "--retry", "0"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("at least one attempt"), "{out}");
+        let (code, out) = run_to_string(&["simulate", "--retry", "lots=9"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown key `lots`"), "{out}");
     }
 
     #[test]

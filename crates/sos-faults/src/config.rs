@@ -1,0 +1,151 @@
+//! Per-scenario fault rates.
+
+/// Rates for the five independent fault classes, plus the fault seed.
+///
+/// All rates are probabilities in `[0, 1]`. The builder methods panic on
+/// out-of-range values — a fault configuration is experiment input, so a
+/// bad value is a programming error, not a runtime condition.
+///
+/// [`FaultConfig::none`] (also `Default`) is the paper-faithful
+/// configuration: all rates zero. Callers must check [`is_none`] and skip
+/// building a [`FaultPlan`](crate::FaultPlan) entirely in that case so
+/// the zero-fault code path stays bit-identical to the fault-unaware one.
+///
+/// [`is_none`]: FaultConfig::is_none
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a hop delivery attempt is dropped in flight.
+    pub loss_rate: f64,
+    /// Probability that a hop delivery attempt is delayed (but arrives).
+    pub delay_rate: f64,
+    /// Simulated ticks added by one delay fault.
+    pub delay_ticks: u64,
+    /// Probability that a given node is benignly crashed for the trial.
+    pub crash_rate: f64,
+    /// Probability that a given node is slow for the whole trial.
+    pub slow_rate: f64,
+    /// Simulated ticks a slow node adds to each delivery it serves.
+    pub slow_ticks: u64,
+    /// Probability that a lookup step is misdirected by stale/Byzantine
+    /// routing state.
+    pub misroute_rate: f64,
+    /// Seed for the fault plane, independent of the simulation seed.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// The zero-fault configuration (all rates `0.0`).
+    pub fn none() -> Self {
+        FaultConfig {
+            loss_rate: 0.0,
+            delay_rate: 0.0,
+            delay_ticks: 4,
+            crash_rate: 0.0,
+            slow_rate: 0.0,
+            slow_ticks: 2,
+            misroute_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// `true` when every rate is zero: no [`FaultPlan`](crate::FaultPlan)
+    /// should be constructed and delivery must take the fault-unaware
+    /// path.
+    pub fn is_none(&self) -> bool {
+        self.loss_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.crash_rate == 0.0
+            && self.slow_rate == 0.0
+            && self.misroute_rate == 0.0
+    }
+
+    /// Set the per-attempt message loss probability.
+    pub fn loss(mut self, rate: f64) -> Self {
+        Self::check_rate("loss_rate", rate);
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Set the per-attempt message delay probability and its cost.
+    pub fn delay(mut self, rate: f64, ticks: u64) -> Self {
+        Self::check_rate("delay_rate", rate);
+        self.delay_rate = rate;
+        self.delay_ticks = ticks;
+        self
+    }
+
+    /// Set the per-node benign crash probability.
+    pub fn crash(mut self, rate: f64) -> Self {
+        Self::check_rate("crash_rate", rate);
+        self.crash_rate = rate;
+        self
+    }
+
+    /// Set the per-node slow-down probability and its per-delivery cost.
+    pub fn slow(mut self, rate: f64, ticks: u64) -> Self {
+        Self::check_rate("slow_rate", rate);
+        self.slow_rate = rate;
+        self.slow_ticks = ticks;
+        self
+    }
+
+    /// Set the per-lookup-step Byzantine misroute probability.
+    pub fn misroute(mut self, rate: f64) -> Self {
+        Self::check_rate("misroute_rate", rate);
+        self.misroute_rate = rate;
+        self
+    }
+
+    /// Set the fault-plane seed (independent of the simulation seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn check_rate(name: &str, rate: f64) {
+        assert!(
+            (0.0..=1.0).contains(&rate) && rate.is_finite(),
+            "{name} must be in [0, 1], got {rate}"
+        );
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultConfig::none().is_none());
+        assert!(FaultConfig::default().is_none());
+        // A seed alone does not make a fault plane.
+        assert!(FaultConfig::none().seed(42).is_none());
+    }
+
+    #[test]
+    fn any_rate_makes_it_some() {
+        assert!(!FaultConfig::none().loss(0.1).is_none());
+        assert!(!FaultConfig::none().delay(0.1, 3).is_none());
+        assert!(!FaultConfig::none().crash(0.1).is_none());
+        assert!(!FaultConfig::none().slow(0.1, 2).is_none());
+        assert!(!FaultConfig::none().misroute(0.1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_rate must be in [0, 1]")]
+    fn rejects_out_of_range_rate() {
+        let _ = FaultConfig::none().loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash_rate must be in [0, 1]")]
+    fn rejects_nan_rate() {
+        let _ = FaultConfig::none().crash(f64::NAN);
+    }
+}

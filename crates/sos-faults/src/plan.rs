@@ -1,0 +1,276 @@
+//! One sampled fault schedule for one trial.
+
+use std::cell::Cell;
+
+use crate::FaultConfig;
+
+/// Domain-separation tags for the plan's PRF streams. Each fault class
+/// reads from its own stream so adding a class never shifts another
+/// class's samples.
+const STREAM_CRASH: u64 = 0xC4A5_1101;
+const STREAM_SLOW: u64 = 0xC4A5_1102;
+const STREAM_HOP: u64 = 0xC4A5_1103;
+const STREAM_MISROUTE: u64 = 0xC4A5_1104;
+
+/// Trial-index mixing constant (same spirit as the engine's per-trial
+/// stream derivation, different constant so the streams decorrelate).
+const TRIAL_MIX: u64 = 0xA076_1D64_78BD_642F;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function, used
+/// here as a tiny keyed PRF. Stateless, so node-level queries are
+/// order-independent.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map a PRF output to a uniform float in `[0, 1)` (53-bit mantissa).
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Faults drawn for one hop delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopFault {
+    /// The attempt's message is dropped in flight.
+    pub lost: bool,
+    /// Ticks of in-flight delay (0 = no delay fault).
+    pub delay_ticks: u64,
+}
+
+impl HopFault {
+    /// A fault-free attempt.
+    pub fn clean() -> Self {
+        HopFault { lost: false, delay_ticks: 0 }
+    }
+}
+
+/// The fault schedule for a single trial, sampled from a [`FaultConfig`].
+///
+/// Determinism contract:
+///
+/// - **Node-level faults** ([`is_crashed`], [`slow_penalty`]) are pure
+///   functions of `(config.seed, trial, node)` — query them in any order,
+///   any number of times.
+/// - **Hop-level faults** ([`draw_hop`], [`draw_misroute`]) consume a
+///   counted stream: the *k*-th draw of a given kind is a pure function
+///   of `(config.seed, trial, k)`. Two runs that make the same sequence
+///   of draws see the same faults; observation (tracing) must never draw.
+///
+/// The plan is intentionally `!Sync` (interior counter) — it is built per
+/// trial inside one worker thread, matching the engine's trial-parallel
+/// execution model.
+///
+/// [`is_crashed`]: FaultPlan::is_crashed
+/// [`slow_penalty`]: FaultPlan::slow_penalty
+/// [`draw_hop`]: FaultPlan::draw_hop
+/// [`draw_misroute`]: FaultPlan::draw_misroute
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    /// Per-trial plan seed: `cfg.seed ^ trial * TRIAL_MIX`, pre-mixed.
+    seed: u64,
+    /// Counter for hop-level draws ([`FaultPlan::draw_hop`]).
+    hop_draws: Cell<u64>,
+    /// Counter for misroute draws ([`FaultPlan::draw_misroute`]).
+    misroute_draws: Cell<u64>,
+}
+
+impl FaultPlan {
+    /// Sample the fault schedule for `trial` from `cfg`.
+    ///
+    /// Panics if `cfg.is_none()`: zero-fault runs must not construct a
+    /// plan (that is the bit-identity guarantee, enforced loudly).
+    pub fn new(cfg: &FaultConfig, trial: u64) -> Self {
+        assert!(
+            !cfg.is_none(),
+            "FaultPlan::new on a zero-fault config; check FaultConfig::is_none first"
+        );
+        FaultPlan {
+            cfg: *cfg,
+            seed: splitmix64(cfg.seed ^ trial.wrapping_mul(TRIAL_MIX)),
+            hop_draws: Cell::new(0),
+            misroute_draws: Cell::new(0),
+        }
+    }
+
+    /// The configuration this plan was sampled from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Keyed PRF: one uniform `[0,1)` sample per `(stream, key)` pair.
+    fn sample(&self, stream: u64, key: u64) -> f64 {
+        unit(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(key))))
+    }
+
+    /// Is `node` benignly crashed for this whole trial?
+    ///
+    /// Stateless in the node id — safe to query from liveness closures in
+    /// any order without perturbing other streams.
+    pub fn is_crashed(&self, node: u32) -> bool {
+        self.cfg.crash_rate > 0.0
+            && self.sample(STREAM_CRASH, u64::from(node)) < self.cfg.crash_rate
+    }
+
+    /// Slow-down penalty in ticks that `node` adds to each delivery it
+    /// serves (0 if the node is not slow). Stateless in the node id.
+    pub fn slow_penalty(&self, node: u32) -> u64 {
+        if self.cfg.slow_rate > 0.0
+            && self.sample(STREAM_SLOW, u64::from(node)) < self.cfg.slow_rate
+        {
+            self.cfg.slow_ticks
+        } else {
+            0
+        }
+    }
+
+    /// Draw loss/delay faults for the next hop delivery attempt.
+    ///
+    /// Consumes one position of the hop stream per call (even when both
+    /// rates are zero, so enabling one hop fault class never shifts
+    /// another's schedule).
+    pub fn draw_hop(&self) -> HopFault {
+        let k = self.hop_draws.get();
+        self.hop_draws.set(k + 1);
+        let raw = splitmix64(self.seed ^ splitmix64(STREAM_HOP.wrapping_add(k)));
+        // Two independent sub-samples from one stream position.
+        let lost = self.cfg.loss_rate > 0.0
+            && unit(splitmix64(raw ^ 0x1)) < self.cfg.loss_rate;
+        let delayed = self.cfg.delay_rate > 0.0
+            && unit(splitmix64(raw ^ 0x2)) < self.cfg.delay_rate;
+        HopFault {
+            lost,
+            delay_ticks: if delayed { self.cfg.delay_ticks } else { 0 },
+        }
+    }
+
+    /// Draw a Byzantine misroute decision for the next lookup step.
+    ///
+    /// Consumes one position of the misroute stream per call. Callers
+    /// must only draw when `misroute_rate > 0` is possible for the run —
+    /// the Chord protocol draws once per routing step.
+    pub fn draw_misroute(&self) -> bool {
+        let k = self.misroute_draws.get();
+        self.misroute_draws.set(k + 1);
+        self.cfg.misroute_rate > 0.0
+            && unit(splitmix64(self.seed ^ splitmix64(STREAM_MISROUTE.wrapping_add(k))))
+                < self.cfg.misroute_rate
+    }
+
+    /// Total hop-stream draws made so far (diagnostic).
+    pub fn hop_draws(&self) -> u64 {
+        self.hop_draws.get()
+    }
+
+    /// Total misroute-stream draws made so far (diagnostic).
+    pub fn misroute_draws(&self) -> u64 {
+        self.misroute_draws.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_config() -> FaultConfig {
+        FaultConfig::none()
+            .loss(0.3)
+            .delay(0.2, 5)
+            .crash(0.1)
+            .slow(0.15, 3)
+            .misroute(0.25)
+            .seed(1234)
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-fault config")]
+    fn refuses_zero_fault_plan() {
+        let _ = FaultPlan::new(&FaultConfig::none(), 0);
+    }
+
+    #[test]
+    fn node_faults_are_order_independent() {
+        let cfg = busy_config();
+        let a = FaultPlan::new(&cfg, 7);
+        let b = FaultPlan::new(&cfg, 7);
+        let forward: Vec<_> = (0u32..256).map(|n| a.is_crashed(n)).collect();
+        let backward: Vec<_> = (0u32..256).rev().map(|n| b.is_crashed(n)).collect();
+        let backward: Vec<_> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        // Interleaving hop draws does not shift node-level answers.
+        let _ = b.draw_hop();
+        assert_eq!(a.is_crashed(42), b.is_crashed(42));
+        assert_eq!(a.slow_penalty(42), b.slow_penalty(42));
+    }
+
+    #[test]
+    fn hop_stream_is_reproducible() {
+        let cfg = busy_config();
+        let a = FaultPlan::new(&cfg, 3);
+        let b = FaultPlan::new(&cfg, 3);
+        let sa: Vec<_> = (0..512).map(|_| a.draw_hop()).collect();
+        let sb: Vec<_> = (0..512).map(|_| b.draw_hop()).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(a.hop_draws(), 512);
+    }
+
+    #[test]
+    fn trials_decorrelate() {
+        let cfg = busy_config();
+        let a = FaultPlan::new(&cfg, 0);
+        let b = FaultPlan::new(&cfg, 1);
+        let sa: Vec<_> = (0..256).map(|_| a.draw_hop()).collect();
+        let sb: Vec<_> = (0..256).map(|_| b.draw_hop()).collect();
+        assert_ne!(sa, sb);
+        let ca: Vec<_> = (0u32..1024).map(|n| a.is_crashed(n)).collect();
+        let cb: Vec<_> = (0u32..1024).map(|n| b.is_crashed(n)).collect();
+        assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn rates_hit_expected_frequencies() {
+        let cfg = FaultConfig::none().loss(0.3).crash(0.1).seed(99);
+        let plan = FaultPlan::new(&cfg, 0);
+        let losses = (0..20_000).filter(|_| plan.draw_hop().lost).count();
+        let crashes = (0u32..20_000).filter(|&n| plan.is_crashed(n)).count();
+        let loss_freq = losses as f64 / 20_000.0;
+        let crash_freq = crashes as f64 / 20_000.0;
+        assert!((loss_freq - 0.3).abs() < 0.02, "loss freq {loss_freq}");
+        assert!((crash_freq - 0.1).abs() < 0.02, "crash freq {crash_freq}");
+    }
+
+    #[test]
+    fn disabled_classes_never_fire() {
+        let cfg = FaultConfig::none().loss(1.0).seed(5);
+        let plan = FaultPlan::new(&cfg, 0);
+        for n in 0u32..512 {
+            assert!(!plan.is_crashed(n));
+            assert_eq!(plan.slow_penalty(n), 0);
+        }
+        for _ in 0..512 {
+            let f = plan.draw_hop();
+            assert!(f.lost, "loss_rate = 1.0 drops everything");
+            assert_eq!(f.delay_ticks, 0);
+            assert!(!plan.draw_misroute());
+        }
+    }
+
+    #[test]
+    fn misroute_stream_independent_of_hop_stream() {
+        let cfg = busy_config();
+        let a = FaultPlan::new(&cfg, 11);
+        let b = FaultPlan::new(&cfg, 11);
+        // a interleaves hop draws; b does not. Misroute answers match.
+        let ma: Vec<_> = (0..64)
+            .map(|_| {
+                let _ = a.draw_hop();
+                a.draw_misroute()
+            })
+            .collect();
+        let mb: Vec<_> = (0..64).map(|_| b.draw_misroute()).collect();
+        assert_eq!(ma, mb);
+    }
+}

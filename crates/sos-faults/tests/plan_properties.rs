@@ -1,0 +1,99 @@
+//! Property tests for the fault plane's determinism contract:
+//! same seed + rates ⇒ identical injected fault schedule.
+
+use proptest::prelude::*;
+use sos_faults::{FaultConfig, FaultPlan, RetryPolicy};
+
+fn arb_config() -> impl Strategy<Value = FaultConfig> {
+    (
+        // Loss is kept strictly positive so the config is never the
+        // zero-fault one (FaultPlan::new rejects that by contract).
+        0.01f64..=0.9,
+        0.0f64..=0.9,
+        1u64..=16,
+        0.0f64..=0.5,
+        0.0f64..=0.5,
+        1u64..=16,
+        0.0f64..=0.5,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(loss, delay, dt, crash, slow, st, mis, seed)| {
+            FaultConfig::none()
+                .loss(loss)
+                .delay(delay, dt)
+                .crash(crash)
+                .slow(slow, st)
+                .misroute(mis)
+                .seed(seed)
+        })
+}
+
+/// Replay one fixed query schedule against a plan and record everything
+/// the plan injected.
+fn schedule(plan: &FaultPlan, nodes: u32, hops: u64) -> Vec<(bool, u64, bool, u64, bool)> {
+    let mut out = Vec::new();
+    for k in 0..hops {
+        let node = (k as u32) % nodes.max(1);
+        let hop = plan.draw_hop();
+        out.push((
+            hop.lost,
+            hop.delay_ticks,
+            plan.is_crashed(node),
+            plan.slow_penalty(node),
+            plan.draw_misroute(),
+        ));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed + rates ⇒ bit-identical fault schedule.
+    #[test]
+    fn same_config_same_schedule(cfg in arb_config(), trial in 0u64..1000, hops in 1u64..256) {
+        let a = FaultPlan::new(&cfg, trial);
+        let b = FaultPlan::new(&cfg, trial);
+        prop_assert_eq!(schedule(&a, 64, hops), schedule(&b, 64, hops));
+    }
+
+    /// A different fault seed decorrelates the schedule (for configs with
+    /// a reasonable chance of any fault firing at all).
+    #[test]
+    fn different_seed_different_schedule(seed_a in 0u64..u64::MAX, seed_b in 0u64..u64::MAX) {
+        prop_assume!(seed_a != seed_b);
+        let base = FaultConfig::none().loss(0.5).crash(0.3).misroute(0.4);
+        let a = FaultPlan::new(&base.seed(seed_a), 0);
+        let b = FaultPlan::new(&base.seed(seed_b), 0);
+        prop_assert_ne!(schedule(&a, 64, 512), schedule(&b, 64, 512));
+    }
+
+    /// Node-level faults are pure in the node id: probing extra nodes or
+    /// interleaving hop draws never changes an answer.
+    #[test]
+    fn node_faults_pure(cfg in arb_config(), node in 0u32..u32::MAX) {
+        let a = FaultPlan::new(&cfg, 1);
+        let b = FaultPlan::new(&cfg, 1);
+        // b does unrelated work first.
+        for n in 0u32..64 {
+            let _ = b.is_crashed(n);
+            let _ = b.slow_penalty(n);
+        }
+        let _ = b.draw_hop();
+        let _ = b.draw_misroute();
+        prop_assert_eq!(a.is_crashed(node), b.is_crashed(node));
+        prop_assert_eq!(a.slow_penalty(node), b.slow_penalty(node));
+    }
+
+    /// Backoff is monotone in the attempt number.
+    #[test]
+    fn backoff_monotone(base in 0u64..1024, attempts in 2u32..20) {
+        let p = RetryPolicy::new(attempts, base, u64::MAX);
+        let mut prev = 0;
+        for a in 1..=attempts {
+            let b = p.backoff_before(a);
+            prop_assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

@@ -159,6 +159,88 @@ pub enum EventKind {
         /// The departed node.
         node: u32,
     },
+    /// The fault plane injected a benign fault on a hop (`sos-faults`).
+    FaultInjected {
+        /// Hop sender.
+        from: u32,
+        /// Hop destination.
+        to: u32,
+        /// Which fault class fired.
+        fault: FaultClass,
+        /// Simulated ticks the fault cost (0 for loss/misroute, which
+        /// cost an attempt instead).
+        ticks: u64,
+    },
+    /// The retry loop scheduled another delivery attempt for a hop.
+    HopRetry {
+        /// Hop sender.
+        from: u32,
+        /// Hop destination.
+        to: u32,
+        /// 1-based attempt number being started.
+        attempt: u32,
+        /// Backoff ticks waited before the attempt.
+        backoff: u64,
+    },
+    /// Routing fell back to a degraded delivery mode after a hop
+    /// exhausted its retries.
+    RouteDowngrade {
+        /// Hop sender.
+        from: u32,
+        /// Hop destination the degraded mode aimed at (or abandoned).
+        to: u32,
+        /// Which degradation stage was taken.
+        fallback: FallbackMode,
+        /// Whether the degraded mode delivered the hop.
+        recovered: bool,
+    },
+}
+
+/// Benign fault classes injected by the fault plane (`sos-faults`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Message dropped in flight.
+    Loss,
+    /// Message delayed in flight.
+    Delay,
+    /// Destination (or every route to it) benignly crashed.
+    Crash,
+    /// Destination alive but slow.
+    Slow,
+    /// Lookup step misdirected by Byzantine/stale routing state.
+    Misroute,
+}
+
+impl FaultClass {
+    /// Stable lowercase label used in JSONL and timeline output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Loss => "loss",
+            FaultClass::Delay => "delay",
+            FaultClass::Crash => "crash",
+            FaultClass::Slow => "slow",
+            FaultClass::Misroute => "misroute",
+        }
+    }
+}
+
+/// Graceful-degradation stages reported by [`EventKind::RouteDowngrade`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackMode {
+    /// Successor-list walking instead of finger-table routing.
+    SuccessorWalk,
+    /// An alternate next-layer neighbor instead of the failed one.
+    AlternateNeighbor,
+}
+
+impl FallbackMode {
+    /// Stable label used in JSONL and timeline output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackMode::SuccessorWalk => "successor-walk",
+            FallbackMode::AlternateNeighbor => "alternate-neighbor",
+        }
+    }
 }
 
 impl EventKind {
@@ -181,6 +263,9 @@ impl EventKind {
             EventKind::LookupHops { .. } => "lookup_hops",
             EventKind::NodeJoin { .. } => "node_join",
             EventKind::NodeLeave { .. } => "node_leave",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::HopRetry { .. } => "hop_retry",
+            EventKind::RouteDowngrade { .. } => "route_downgrade",
         }
     }
 }
@@ -230,6 +315,19 @@ mod tests {
             EventKind::LookupHops { hops: 0 },
             EventKind::NodeJoin { node: 0 },
             EventKind::NodeLeave { node: 0 },
+            EventKind::FaultInjected {
+                from: 0,
+                to: 0,
+                fault: FaultClass::Loss,
+                ticks: 0,
+            },
+            EventKind::HopRetry { from: 0, to: 0, attempt: 0, backoff: 0 },
+            EventKind::RouteDowngrade {
+                from: 0,
+                to: 0,
+                fallback: FallbackMode::SuccessorWalk,
+                recovered: false,
+            },
         ];
         let mut tags: Vec<&str> = kinds.iter().map(EventKind::tag).collect();
         tags.sort_unstable();
@@ -243,5 +341,25 @@ mod tests {
             assert!(!phase.label().is_empty());
             assert_eq!(phase.to_string(), phase.label());
         }
+    }
+
+    #[test]
+    fn fault_and_fallback_labels_distinct() {
+        let fault_labels = [
+            FaultClass::Loss,
+            FaultClass::Delay,
+            FaultClass::Crash,
+            FaultClass::Slow,
+            FaultClass::Misroute,
+        ]
+        .map(FaultClass::label);
+        let mut sorted = fault_labels.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), fault_labels.len());
+        assert_ne!(
+            FallbackMode::SuccessorWalk.label(),
+            FallbackMode::AlternateNeighbor.label()
+        );
     }
 }

@@ -52,7 +52,7 @@ pub mod metrics;
 pub mod record;
 pub mod sink;
 
-pub use event::{Event, EventKind, Phase};
+pub use event::{Event, EventKind, FallbackMode, FaultClass, Phase};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use record::{MemoryRecorder, NullRecorder, Recorder};
 pub use sink::{render_timeline, write_jsonl};

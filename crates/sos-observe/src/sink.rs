@@ -81,6 +81,26 @@ pub fn write_jsonl(events: &[Event]) -> String {
             EventKind::LookupHops { hops } => {
                 let _ = write!(out, ",\"hops\":{hops}");
             }
+            EventKind::FaultInjected { from, to, fault, ticks } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":{from},\"to\":{to},\"fault\":\"{}\",\"ticks\":{ticks}",
+                    fault.label()
+                );
+            }
+            EventKind::HopRetry { from, to, attempt, backoff } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":{from},\"to\":{to},\"attempt\":{attempt},\"backoff\":{backoff}"
+                );
+            }
+            EventKind::RouteDowngrade { from, to, fallback, recovered } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":{from},\"to\":{to},\"fallback\":\"{}\",\"recovered\":{recovered}",
+                    fallback.label()
+                );
+            }
         }
         out.push_str("}\n");
     }
@@ -106,6 +126,10 @@ struct SpanStats {
     lookup_hops_sum: u64,
     joins: u64,
     leaves: u64,
+    faults: u64,
+    retries: u64,
+    downgrades: u64,
+    downgrades_recovered: u64,
 }
 
 impl SpanStats {
@@ -142,6 +166,12 @@ impl SpanStats {
             }
             EventKind::NodeJoin { .. } => self.joins += 1,
             EventKind::NodeLeave { .. } => self.leaves += 1,
+            EventKind::FaultInjected { .. } => self.faults += 1,
+            EventKind::HopRetry { .. } => self.retries += 1,
+            EventKind::RouteDowngrade { recovered, .. } => {
+                self.downgrades += 1;
+                self.downgrades_recovered += u64::from(*recovered);
+            }
             _ => {}
         }
     }
@@ -195,6 +225,18 @@ impl SpanStats {
                         "{} lookups, mean {:.1} ring hops",
                         self.lookups,
                         self.lookup_hops_sum as f64 / self.lookups as f64
+                    ));
+                }
+                if self.faults > 0 {
+                    parts.push(format!("{} faults injected", self.faults));
+                }
+                if self.retries > 0 {
+                    parts.push(format!("{} retries", self.retries));
+                }
+                if self.downgrades > 0 {
+                    parts.push(format!(
+                        "{} downgrades ({} recovered)",
+                        self.downgrades, self.downgrades_recovered
                     ));
                 }
             }
@@ -329,6 +371,44 @@ mod tests {
         assert!(timeline.contains("2 onsets (1 targeted, 1 random)"));
         assert!(timeline.contains("2 attempts, 1 delivered"));
         assert!(timeline.contains("mean 4.0 hops"));
+    }
+
+    #[test]
+    fn fault_events_render_in_jsonl_and_timeline() {
+        use crate::event::{FallbackMode, FaultClass};
+        let events = vec![
+            Event::new(0, 0, EventKind::PhaseStart { phase: Phase::Routing }),
+            Event::new(1, 0, EventKind::RouteAttempt { route: 0 }),
+            Event::new(
+                2,
+                0,
+                EventKind::FaultInjected { from: 3, to: 9, fault: FaultClass::Loss, ticks: 0 },
+            ),
+            Event::new(3, 0, EventKind::HopRetry { from: 3, to: 9, attempt: 2, backoff: 4 }),
+            Event::new(
+                4,
+                0,
+                EventKind::RouteDowngrade {
+                    from: 3,
+                    to: 9,
+                    fallback: FallbackMode::SuccessorWalk,
+                    recovered: true,
+                },
+            ),
+            Event::new(5, 0, EventKind::RouteDelivered { route: 0, hops: 7 }),
+            Event::new(6, 0, EventKind::PhaseEnd { phase: Phase::Routing }),
+        ];
+        let jsonl = write_jsonl(&events);
+        assert!(jsonl.contains("\"kind\":\"fault_injected\""));
+        assert!(jsonl.contains("\"fault\":\"loss\""));
+        assert!(jsonl.contains("\"kind\":\"hop_retry\""));
+        assert!(jsonl.contains("\"attempt\":2,\"backoff\":4"));
+        assert!(jsonl.contains("\"fallback\":\"successor-walk\""));
+        assert!(jsonl.contains("\"recovered\":true"));
+        let timeline = render_timeline(&events);
+        assert!(timeline.contains("1 faults injected"));
+        assert!(timeline.contains("1 retries"));
+        assert!(timeline.contains("1 downgrades (1 recovered)"));
     }
 
     #[test]

@@ -188,6 +188,50 @@ impl ChordRing {
         None
     }
 
+    /// Degraded-mode lookup: ignore finger tables entirely and walk
+    /// successor lists clockwise from `from` until the key's owner is
+    /// reached. O(n) hops instead of O(log n), but each step needs only
+    /// one alive entry in the local successor list — the
+    /// graceful-degradation fallback when greedy finger routing is
+    /// blocked. Returns `None` when the owner is dead or a gap of
+    /// `SUCCESSOR_LIST_LEN` consecutive dead nodes severs the walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not on the ring.
+    pub fn successor_walk<F>(&self, from: NodeId, key: u64, is_alive: F) -> Option<LookupOutcome>
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let mut pos = *self
+            .position_of
+            .get(&from)
+            .unwrap_or_else(|| panic!("{from} is not on the ring"));
+        let owner_pos = self.successor_position(key);
+        let owner = self.members[owner_pos];
+        if !is_alive(owner) {
+            return None;
+        }
+        let mut path = vec![self.members[pos]];
+        // Each step advances at least one position clockwise, so n steps
+        // suffice to come full circle.
+        for _ in 0..self.len() {
+            if pos == owner_pos {
+                return Some(LookupOutcome { owner, path });
+            }
+            // First alive successor; because the owner is alive, the
+            // walk can never step past it (the entry *is* the owner when
+            // every position in between is dead).
+            let next = self.successors[pos]
+                .iter()
+                .copied()
+                .find(|&s| s == owner_pos || is_alive(self.members[s]))?;
+            pos = next;
+            path.push(self.members[pos]);
+        }
+        None
+    }
+
     /// Adds a node with a fresh random identifier and rebuilds routing
     /// state (the simulation-grade equivalent of join + stabilization).
     ///

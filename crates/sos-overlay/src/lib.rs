@@ -55,4 +55,4 @@ pub use churn::{ChurnEvent, ChurnModel};
 pub use node::{NodeId, NodeStatus, Role};
 pub use overlay::Overlay;
 pub use protocol::{ChordProtocol, MaintenanceEvent, ProtocolConfig};
-pub use transport::Transport;
+pub use transport::{HopDelivery, Transport};

@@ -26,7 +26,9 @@
 //! the oracle ring after every scenario.
 
 use crate::node::NodeId;
+use crate::overlay::Overlay;
 use sos_des::{run_until, Scheduler, SimTime, Simulation, StepOutcome};
+use sos_faults::FaultPlan;
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 
@@ -190,6 +192,57 @@ impl ChordProtocol {
             .alive = false;
     }
 
+    /// Whether the node with this Chord id is alive on the ring.
+    pub fn is_alive(&self, id: u64) -> bool {
+        self.nodes.get(&id).map(|n| n.alive).unwrap_or(false)
+    }
+
+    /// The current successor list of `id`, nearest first (alive nodes
+    /// only have meaningful lists; dead nodes' state is frozen).
+    pub fn successor_list_of(&self, id: u64) -> Option<&[u64]> {
+        self.nodes.get(&id).map(|n| n.successors.as_slice())
+    }
+
+    /// Chord ids of all alive participants, in ring order.
+    pub fn alive_ids(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Mirrors overlay damage onto the ring: every overlay node that is
+    /// no longer good is killed here (if it joined and is still marked
+    /// alive). Ring damage is one-way — `Overlay::reset_statuses` does
+    /// not resurrect ring nodes, matching real infrastructure where a
+    /// crashed Chord participant must re-join.
+    pub fn sync_overlay_damage(&mut self, overlay: &Overlay) {
+        for node in overlay.overlay_ids() {
+            if !overlay.is_good(node) {
+                if let Some(&id) = self.id_of_overlay.get(&node) {
+                    if let Some(p) = self.nodes.get_mut(&id) {
+                        p.alive = false;
+                    }
+                }
+            }
+        }
+        debug_assert!(self.damage_synced(overlay));
+    }
+
+    /// Whether ring liveness is consistent with overlay damage: no
+    /// overlay node that is not good is still alive on the ring.
+    pub fn damage_synced(&self, overlay: &Overlay) -> bool {
+        overlay.overlay_ids().all(|node| {
+            overlay.is_good(node)
+                || self
+                    .id_of_overlay
+                    .get(&node)
+                    .map(|id| !self.is_alive(*id))
+                    .unwrap_or(true)
+        })
+    }
+
     /// The overlay node behind a Chord id, if alive.
     pub fn overlay_of(&self, id: u64) -> Option<NodeId> {
         self.nodes.get(&id).filter(|n| n.alive).map(|n| n.overlay)
@@ -229,6 +282,50 @@ impl ChordProtocol {
     /// iterative routing took.
     pub fn lookup_with_hops(&self, from: u64, key: u64) -> Option<(u64, usize)> {
         self.route_successor(from, key)
+    }
+
+    /// Fault-aware lookup: like [`lookup_with_hops`], but the fault
+    /// plane is consulted on every routing step. Benignly crashed nodes
+    /// (per [`FaultPlan::is_crashed`]) are treated as dead in addition
+    /// to ring liveness, and each step draws a Byzantine-misroute
+    /// decision — a misrouted step wastes a hop without making progress
+    /// (the query went to the wrong node and must be reissued), so heavy
+    /// misrouting can exhaust the hop budget and fail the lookup.
+    ///
+    /// [`lookup_with_hops`]: Self::lookup_with_hops
+    pub fn lookup_with_hops_faulty(
+        &self,
+        from: u64,
+        key: u64,
+        plan: &FaultPlan,
+    ) -> Option<(u64, usize)> {
+        self.route_successor_with(from, key, Some(plan))
+    }
+
+    /// Degraded-mode delivery: abandon finger-table routing and walk
+    /// successor lists hop by hop until reaching the node that owns
+    /// `key`. Slower (O(n) hops) but immune to stale or Byzantine
+    /// fingers — the graceful-degradation fallback after retries on the
+    /// normal lookup are exhausted. Crashed nodes (fault plane) are
+    /// skipped like dead ones.
+    pub fn successor_walk(
+        &self,
+        from: u64,
+        key: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Option<(u64, usize)> {
+        let mut current = from;
+        let mut hops = 0usize;
+        // Walking strictly clockwise visits each alive node at most once.
+        for _ in 0..=self.nodes.len() {
+            let succ = self.first_usable_successor(current, plan)?;
+            hops += 1;
+            if in_half_open_interval(current, succ, key) || succ == current {
+                return Some((succ, hops));
+            }
+            current = succ;
+        }
+        None
     }
 
     /// Whether every alive node's *immediate* successor pointer
@@ -271,11 +368,27 @@ impl ChordProtocol {
         );
     }
 
+    /// Ring liveness plus (when a fault plan is active) benign-crash
+    /// state: the node must be alive *and* not crashed by the fault
+    /// plane to be used for routing.
+    fn usable(&self, id: u64, plan: Option<&FaultPlan>) -> bool {
+        match self.nodes.get(&id) {
+            Some(n) => {
+                n.alive && plan.is_none_or(|p| !p.is_crashed(n.overlay.0))
+            }
+            None => false,
+        }
+    }
+
     fn first_alive_successor(&self, id: u64) -> Option<u64> {
+        self.first_usable_successor(id, None)
+    }
+
+    fn first_usable_successor(&self, id: u64, plan: Option<&FaultPlan>) -> Option<u64> {
         let node = self.nodes.get(&id)?;
         node.successors
             .iter()
-            .find(|&&s| self.nodes.get(&s).map(|n| n.alive).unwrap_or(false))
+            .find(|&&s| self.usable(s, plan))
             .copied()
     }
 
@@ -285,13 +398,17 @@ impl ChordProtocol {
     /// the same way — successor lists bound the *instant* tolerance,
     /// fingers rebuild beyond it.
     fn closest_alive_finger(&self, id: u64) -> Option<u64> {
+        self.closest_usable_finger(id, None)
+    }
+
+    fn closest_usable_finger(&self, id: u64, plan: Option<&FaultPlan>) -> Option<u64> {
         let node = self.nodes.get(&id)?;
         let mut best: Option<(u64, u64)> = None; // (clockwise distance from id, candidate)
         for &cand in &node.fingers {
             if cand == id {
                 continue;
             }
-            if !self.nodes.get(&cand).map(|n| n.alive).unwrap_or(false) {
+            if !self.usable(cand, plan) {
                 continue;
             }
             let d = cand.wrapping_sub(id);
@@ -305,6 +422,19 @@ impl ChordProtocol {
 
     /// Iterative find-successor over current (possibly stale) state.
     fn route_successor(&self, from: u64, key: u64) -> Option<(u64, usize)> {
+        self.route_successor_with(from, key, None)
+    }
+
+    /// Iterative find-successor, optionally consulting the fault plane
+    /// on every step (crashed nodes unusable; Byzantine misroute wastes
+    /// the step). With `plan = None` this is exactly the fault-unaware
+    /// routing path.
+    fn route_successor_with(
+        &self,
+        from: u64,
+        key: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Option<(u64, usize)> {
         self.lookups_issued.set(self.lookups_issued.get() + 1);
         let mut current = from;
         let mut hops = 0usize;
@@ -312,12 +442,20 @@ impl ChordProtocol {
         // cause short non-progress bounces, so allow slack.
         let max_hops = 2 * self.nodes.len() + ID_BITS;
         for _ in 0..max_hops {
-            match self.first_alive_successor(current) {
+            // Byzantine misroute: the step went to the wrong node and
+            // has to be reissued — a wasted hop, no progress.
+            if let Some(p) = plan {
+                if p.draw_misroute() {
+                    hops += 1;
+                    continue;
+                }
+            }
+            match self.first_usable_successor(current, plan) {
                 Some(succ) => {
                     if in_half_open_interval(current, succ, key) || succ == current {
                         return Some((succ, hops + 1));
                     }
-                    match self.closest_preceding_alive(current, key) {
+                    match self.closest_preceding_usable(current, key, plan) {
                         Some(next) if next != current => current = next,
                         // No finger makes progress: fall through the
                         // successor.
@@ -329,8 +467,8 @@ impl ChordProtocol {
                     // any alive finger (no ownership claim possible from
                     // a blind node). Progress-toward-key fingers first.
                     let next = self
-                        .closest_preceding_alive(current, key)
-                        .or_else(|| self.closest_alive_finger(current))?;
+                        .closest_preceding_usable(current, key, plan)
+                        .or_else(|| self.closest_usable_finger(current, plan))?;
                     if next == current {
                         return None;
                     }
@@ -340,17 +478,22 @@ impl ChordProtocol {
             hops += 1;
         }
         // Routing loop among stale pointers — report the best guess.
-        self.first_alive_successor(current).map(|o| (o, hops))
+        self.first_usable_successor(current, plan).map(|o| (o, hops))
     }
 
-    fn closest_preceding_alive(&self, at: u64, key: u64) -> Option<u64> {
+    fn closest_preceding_usable(
+        &self,
+        at: u64,
+        key: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Option<u64> {
         let node = self.nodes.get(&at)?;
         let mut best: Option<(u64, u64)> = None; // (distance to key, id)
         for &cand in node.fingers.iter().chain(node.successors.iter()) {
             if cand == at {
                 continue;
             }
-            if !self.nodes.get(&cand).map(|n| n.alive).unwrap_or(false) {
+            if !self.usable(cand, plan) {
                 continue;
             }
             // Candidate must lie strictly between at and key (clockwise).
@@ -397,11 +540,18 @@ impl ChordProtocol {
                 new_succ = x;
             }
         }
-        // Refresh the successor list from the (new) successor.
+        // Refresh the successor list from the (new) successor, dropping
+        // entries known dead — copying them forward would keep zombie
+        // pointers circulating between lists long after the failure
+        // (the check is free here; a real node learns the same from its
+        // own timeout cache).
         let mut list = vec![new_succ];
         if let Some(s) = self.nodes.get(&new_succ) {
             for &entry in &s.successors {
-                if entry != id && !list.contains(&entry) {
+                if entry != id
+                    && !list.contains(&entry)
+                    && self.nodes.get(&entry).map(|n| n.alive).unwrap_or(false)
+                {
                     list.push(entry);
                 }
                 if list.len() >= self.cfg.successor_list_len {

@@ -12,6 +12,7 @@ use crate::chord::ChordRing;
 use crate::node::NodeId;
 use crate::overlay::Overlay;
 use crate::protocol::ChordProtocol;
+use sos_faults::{FaultPlan, HopIncident, RetryPolicy};
 
 /// Outcome of delivering one logical hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +34,28 @@ impl DeliveryOutcome {
     }
 }
 
+/// Result of one fault-aware hop delivery
+/// ([`Transport::deliver_with`]): the outcome plus what the fault plane
+/// and the retry loop did along the way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopDelivery {
+    /// Final outcome after all attempts.
+    pub outcome: DeliveryOutcome,
+    /// Delivery attempts made (1 when no fault plan is active).
+    pub attempts: u32,
+    /// Simulated ticks spent on backoff, delays and slow-downs.
+    pub ticks: u64,
+    /// Everything the fault plane injected, in order.
+    pub incidents: Vec<HopIncident>,
+}
+
+impl HopDelivery {
+    /// Whether the hop ultimately succeeded.
+    pub fn is_delivered(&self) -> bool {
+        self.outcome.is_delivered()
+    }
+}
+
 /// Transport used between overlay nodes.
 #[derive(Debug, Clone)]
 pub enum Transport {
@@ -46,9 +69,10 @@ pub enum Transport {
     /// fingers and successor lists) — the transport for measuring what
     /// an attack costs while the ring is still converging. A hop fails
     /// when the protocol's lookup misroutes (stale owner) or dead
-    /// pointers exhaust the successor lists. Callers are responsible
-    /// for mirroring overlay damage onto the protocol via
-    /// [`ChordProtocol::kill`].
+    /// pointers exhaust the successor lists. After damaging the
+    /// overlay, call [`Transport::sync_damage`] to mirror the damage
+    /// onto the protocol ring (it no-ops for the other variants, so it
+    /// is always safe to call unconditionally).
     Protocol(ChordProtocol),
 }
 
@@ -103,6 +127,246 @@ impl Transport {
                     _ => DeliveryOutcome::Blocked,
                 }
             }
+        }
+    }
+
+    /// Fault-aware delivery with retry: like [`deliver`](Self::deliver),
+    /// but every attempt consults the fault plane and failed attempts
+    /// are retried per `retry` (exponential backoff in simulated ticks,
+    /// bounded by the per-route deadline budget).
+    ///
+    /// With `faults = None` this is *exactly* [`deliver`] — one attempt,
+    /// no fault draws, zero ticks — which is how zero-fault runs stay
+    /// bit-identical to the fault-unaware code path.
+    ///
+    /// Fault semantics:
+    ///
+    /// - **Compromised destination** — blocked, no incident (that is the
+    ///   attack, not a fault, and no amount of retrying helps).
+    /// - **Crashed destination / crashed-out route** — blocked; benign
+    ///   but persistent for the trial, so retries are not attempted
+    ///   (resp. only attempted when misrouting makes reattempts vary).
+    /// - **Loss** — transient: the attempt dies, the retry loop backs
+    ///   off and tries again. This is the fault class retries recover.
+    /// - **Delay / slow destination** — the hop succeeds with added
+    ///   simulated ticks.
+    /// - **Misroute** (Protocol transport) — the lookup wastes steps;
+    ///   an exhausted hop budget fails the attempt, and a fresh attempt
+    ///   redraws the misroute schedule.
+    ///
+    /// [`deliver`]: Self::deliver
+    pub fn deliver_with(
+        &self,
+        overlay: &Overlay,
+        from: NodeId,
+        to: NodeId,
+        faults: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+    ) -> HopDelivery {
+        let Some(plan) = faults else {
+            return HopDelivery {
+                outcome: self.deliver(overlay, from, to),
+                attempts: 1,
+                ticks: 0,
+                incidents: Vec::new(),
+            };
+        };
+        let mut incidents = Vec::new();
+        if !overlay.is_good(to) {
+            // Compromised: not a fault, not retryable.
+            return HopDelivery { outcome: DeliveryOutcome::Blocked, attempts: 1, ticks: 0, incidents };
+        }
+        if plan.is_crashed(to.0) {
+            incidents.push(HopIncident::CrashedDestination);
+            return HopDelivery { outcome: DeliveryOutcome::Blocked, attempts: 1, ticks: 0, incidents };
+        }
+        // A blocked substrate route only varies between attempts when
+        // misrouting re-rolls the lookup; otherwise it is deterministic
+        // for the trial and retrying it is pointless.
+        let substrate_retryable = matches!(self, Transport::Protocol(_))
+            && plan.config().misroute_rate > 0.0;
+        let mut ticks = 0u64;
+        let mut attempts = 0u32;
+        while attempts < retry.max_attempts {
+            attempts += 1;
+            if attempts > 1 {
+                let backoff = retry.backoff_before(attempts);
+                if ticks.saturating_add(backoff) > retry.deadline {
+                    incidents.push(HopIncident::DeadlineExhausted { ticks });
+                    break;
+                }
+                ticks += backoff;
+                incidents.push(HopIncident::Retry { attempt: attempts, backoff });
+            }
+            let hop = plan.draw_hop();
+            if hop.delay_ticks > 0 {
+                ticks += hop.delay_ticks;
+                incidents.push(HopIncident::Delay { ticks: hop.delay_ticks });
+            }
+            if hop.lost {
+                incidents.push(HopIncident::Loss { attempt: attempts });
+                continue;
+            }
+            match self.attempt_via_substrate(overlay, from, to, plan) {
+                DeliveryOutcome::Delivered { hops } => {
+                    let slow = plan.slow_penalty(to.0);
+                    if slow > 0 {
+                        ticks += slow;
+                        incidents.push(HopIncident::Slow { ticks: slow });
+                    }
+                    return HopDelivery {
+                        outcome: DeliveryOutcome::Delivered { hops },
+                        attempts,
+                        ticks,
+                        incidents,
+                    };
+                }
+                DeliveryOutcome::Blocked => {
+                    if !substrate_retryable {
+                        incidents.push(HopIncident::CrashedRoute);
+                        break;
+                    }
+                    incidents.push(HopIncident::Misroute { attempt: attempts });
+                }
+            }
+        }
+        HopDelivery { outcome: DeliveryOutcome::Blocked, attempts, ticks, incidents }
+    }
+
+    /// One substrate delivery attempt under the fault plane: the
+    /// fault-unaware [`deliver`](Self::deliver) path with benignly
+    /// crashed nodes additionally excluded from routing, and (Protocol)
+    /// per-step misroute draws. The destination has already been
+    /// checked good and not crashed.
+    fn attempt_via_substrate(
+        &self,
+        overlay: &Overlay,
+        from: NodeId,
+        to: NodeId,
+        plan: &FaultPlan,
+    ) -> DeliveryOutcome {
+        match self {
+            Transport::Direct => DeliveryOutcome::Delivered { hops: 1 },
+            Transport::Chord(ring) => {
+                if overlay.role(to) == crate::node::Role::Filter {
+                    return DeliveryOutcome::Delivered { hops: 1 };
+                }
+                let key = ring
+                    .id_of(to)
+                    .unwrap_or_else(|| panic!("{to} is not on the Chord ring"));
+                let outcome = ring.lookup_avoiding(from, key, |n| {
+                    n == from || (overlay.is_good(n) && !plan.is_crashed(n.0))
+                });
+                match outcome {
+                    Some(out) if out.owner == to => DeliveryOutcome::Delivered {
+                        hops: out.hops().max(1),
+                    },
+                    _ => DeliveryOutcome::Blocked,
+                }
+            }
+            Transport::Protocol(proto) => {
+                if overlay.role(to) == crate::node::Role::Filter {
+                    return DeliveryOutcome::Delivered { hops: 1 };
+                }
+                let (Some(from_id), Some(to_id)) =
+                    (proto.chord_id_of(from), proto.chord_id_of(to))
+                else {
+                    return DeliveryOutcome::Blocked;
+                };
+                match proto.lookup_with_hops_faulty(from_id, to_id, plan) {
+                    Some((owner, hops)) if owner == to_id => {
+                        DeliveryOutcome::Delivered { hops: hops.max(1) }
+                    }
+                    _ => DeliveryOutcome::Blocked,
+                }
+            }
+        }
+    }
+
+    /// Degraded-mode delivery: abandon finger-table routing and walk
+    /// successor lists toward the destination — the first
+    /// graceful-degradation stage after [`deliver_with`] exhausts its
+    /// retries. Slower (O(n) underlay hops) but immune to stale or
+    /// Byzantine fingers. [`Transport::Direct`] has no alternate
+    /// substrate path, so it is always `Blocked` there; filter
+    /// destinations use a direct final hop and likewise cannot be
+    /// walked to.
+    ///
+    /// [`deliver_with`]: Self::deliver_with
+    pub fn deliver_degraded(
+        &self,
+        overlay: &Overlay,
+        from: NodeId,
+        to: NodeId,
+        faults: Option<&FaultPlan>,
+    ) -> DeliveryOutcome {
+        if !overlay.is_good(to) {
+            return DeliveryOutcome::Blocked;
+        }
+        if let Some(plan) = faults {
+            if plan.is_crashed(to.0) {
+                return DeliveryOutcome::Blocked;
+            }
+        }
+        let crashed = |n: NodeId| faults.is_some_and(|p| p.is_crashed(n.0));
+        match self {
+            Transport::Direct => DeliveryOutcome::Blocked,
+            Transport::Chord(ring) => {
+                if overlay.role(to) == crate::node::Role::Filter {
+                    return DeliveryOutcome::Blocked;
+                }
+                let key = ring
+                    .id_of(to)
+                    .unwrap_or_else(|| panic!("{to} is not on the Chord ring"));
+                let outcome = ring.successor_walk(from, key, |n| {
+                    n == from || (overlay.is_good(n) && !crashed(n))
+                });
+                match outcome {
+                    Some(out) if out.owner == to => DeliveryOutcome::Delivered {
+                        hops: out.hops().max(1),
+                    },
+                    _ => DeliveryOutcome::Blocked,
+                }
+            }
+            Transport::Protocol(proto) => {
+                if overlay.role(to) == crate::node::Role::Filter {
+                    return DeliveryOutcome::Blocked;
+                }
+                let (Some(from_id), Some(to_id)) =
+                    (proto.chord_id_of(from), proto.chord_id_of(to))
+                else {
+                    return DeliveryOutcome::Blocked;
+                };
+                match proto.successor_walk(from_id, to_id, faults) {
+                    Some((owner, hops)) if owner == to_id => {
+                        DeliveryOutcome::Delivered { hops: hops.max(1) }
+                    }
+                    _ => DeliveryOutcome::Blocked,
+                }
+            }
+        }
+    }
+
+    /// Mirrors overlay damage onto the transport substrate. For
+    /// [`Transport::Protocol`] this kills every non-good overlay node on
+    /// the protocol ring (the former per-call-site manual
+    /// [`ChordProtocol::kill`] loop); for the other variants it is a
+    /// no-op — their routing reads `Overlay` liveness directly. Always
+    /// safe to call after applying attack or churn damage.
+    pub fn sync_damage(&mut self, overlay: &Overlay) {
+        if let Transport::Protocol(proto) = self {
+            proto.sync_overlay_damage(overlay);
+        }
+        debug_assert!(self.damage_synced(overlay));
+    }
+
+    /// Whether substrate liveness is consistent with overlay damage
+    /// (trivially true for [`Transport::Direct`] and
+    /// [`Transport::Chord`], which consult the overlay directly).
+    pub fn damage_synced(&self, overlay: &Overlay) -> bool {
+        match self {
+            Transport::Protocol(proto) => proto.damage_synced(overlay),
+            _ => true,
         }
     }
 
@@ -250,6 +514,149 @@ mod tests {
             transport.deliver(&overlay, servlet, filter),
             DeliveryOutcome::Delivered { hops: 1 }
         );
+    }
+
+    #[test]
+    fn deliver_with_no_plan_matches_deliver_exactly() {
+        let (mut overlay, ring) = setup(8);
+        let transport = Transport::Chord(ring);
+        let from = overlay.layer_members(1)[0];
+        let to = overlay.neighbors(from)[0];
+        for retry in [RetryPolicy::none(), RetryPolicy::new(5, 2, 100)] {
+            let d = transport.deliver_with(&overlay, from, to, None, &retry);
+            assert_eq!(d.outcome, transport.deliver(&overlay, from, to));
+            assert_eq!(d.attempts, 1);
+            assert_eq!(d.ticks, 0);
+            assert!(d.incidents.is_empty());
+        }
+        overlay.set_status(to, NodeStatus::Congested);
+        let d = transport.deliver_with(&overlay, from, to, None, &RetryPolicy::new(5, 2, 100));
+        assert_eq!(d.outcome, DeliveryOutcome::Blocked);
+        assert!(d.incidents.is_empty(), "compromise is not a fault");
+    }
+
+    #[test]
+    fn retries_recover_transient_loss() {
+        use sos_faults::FaultConfig;
+        let (overlay, _) = setup(9);
+        let from = overlay.layer_members(1)[0];
+        let to = overlay.neighbors(from)[0];
+        let cfg = FaultConfig::none().loss(0.6).seed(17);
+        // Find a trial whose first draw is a loss, so the single-attempt
+        // policy fails where the retrying one succeeds.
+        let transport = Transport::Direct;
+        let mut saw_recovery = false;
+        for trial in 0..64 {
+            let plan = sos_faults::FaultPlan::new(&cfg, trial);
+            let once = transport.deliver_with(&overlay, from, to, Some(&plan), &RetryPolicy::none());
+            let plan = sos_faults::FaultPlan::new(&cfg, trial);
+            let many =
+                transport.deliver_with(&overlay, from, to, Some(&plan), &RetryPolicy::new(8, 1, 10_000));
+            if !once.is_delivered() && many.is_delivered() {
+                assert!(many.attempts > 1);
+                assert!(many.incidents.iter().any(|i| matches!(i, HopIncident::Loss { .. })));
+                assert!(many.incidents.iter().any(|i| matches!(i, HopIncident::Retry { .. })));
+                assert!(many.ticks > 0, "backoff must cost simulated ticks");
+                saw_recovery = true;
+                break;
+            }
+        }
+        assert!(saw_recovery, "60% loss must show a recovered trial in 64");
+    }
+
+    #[test]
+    fn crashed_destination_is_not_retried() {
+        use sos_faults::{FaultConfig, FaultPlan};
+        let (overlay, _) = setup(10);
+        let from = overlay.layer_members(1)[0];
+        let cfg = FaultConfig::none().crash(0.5).seed(3);
+        let plan = FaultPlan::new(&cfg, 0);
+        let to = *overlay
+            .neighbors(from)
+            .iter()
+            .find(|n| plan.is_crashed(n.0))
+            .expect("50% crash rate must hit a neighbor");
+        let d = Transport::Direct.deliver_with(
+            &overlay,
+            from,
+            to,
+            Some(&plan),
+            &RetryPolicy::new(6, 2, 10_000),
+        );
+        assert_eq!(d.outcome, DeliveryOutcome::Blocked);
+        assert_eq!(d.attempts, 1, "persistent fault: retrying is pointless");
+        assert_eq!(d.incidents, vec![HopIncident::CrashedDestination]);
+    }
+
+    #[test]
+    fn deadline_budget_caps_retries() {
+        use sos_faults::{FaultConfig, FaultPlan};
+        let (overlay, _) = setup(11);
+        let from = overlay.layer_members(1)[0];
+        let to = overlay.neighbors(from)[0];
+        let cfg = FaultConfig::none().loss(1.0).seed(1);
+        let plan = FaultPlan::new(&cfg, 0);
+        // Unlimited attempts but a tiny deadline: the budget must stop
+        // the loop long before 1000 attempts.
+        let d = Transport::Direct.deliver_with(
+            &overlay,
+            from,
+            to,
+            Some(&plan),
+            &RetryPolicy::new(1000, 4, 20),
+        );
+        assert_eq!(d.outcome, DeliveryOutcome::Blocked);
+        assert!(d.attempts < 10, "deadline must cap attempts, got {}", d.attempts);
+        assert!(d
+            .incidents
+            .iter()
+            .any(|i| matches!(i, HopIncident::DeadlineExhausted { .. })));
+        assert!(d.ticks <= 20);
+    }
+
+    #[test]
+    fn degraded_walk_survives_finger_blockade() {
+        use sos_faults::{FaultConfig, FaultPlan};
+        let (overlay, ring) = setup(12);
+        let transport = Transport::Chord(ring.clone());
+        let from = overlay.layer_members(1)[0];
+        // A non-filter destination the greedy lookup reaches cleanly.
+        let to = *overlay
+            .neighbors(from)
+            .iter()
+            .find(|&&n| overlay.role(n) != crate::node::Role::Filter)
+            .unwrap();
+        let cfg = FaultConfig::none().loss(0.01).seed(2);
+        let plan = FaultPlan::new(&cfg, 0);
+        let walked = transport.deliver_degraded(&overlay, from, to, Some(&plan));
+        assert!(
+            walked.is_delivered(),
+            "successor walk on a clean overlay must reach {to}"
+        );
+        // Direct transport has no degraded mode.
+        assert_eq!(
+            Transport::Direct.deliver_degraded(&overlay, from, to, Some(&plan)),
+            DeliveryOutcome::Blocked
+        );
+    }
+
+    #[test]
+    fn sync_damage_mirrors_overlay_onto_protocol() {
+        let (mut overlay, _) = setup(13);
+        let proto = protocol_over(&overlay, 130);
+        let mut transport = Transport::Protocol(proto);
+        let from = overlay.layer_members(1)[0];
+        let to = overlay.neighbors(from)[0];
+        overlay.set_status(to, NodeStatus::Broken);
+        assert!(!transport.damage_synced(&overlay));
+        transport.sync_damage(&overlay);
+        assert!(transport.damage_synced(&overlay));
+        let Transport::Protocol(proto) = &transport else { unreachable!() };
+        assert!(!proto.is_alive(proto.chord_id_of(to).unwrap()));
+        // No-op (but still consistent) for the oracle transports.
+        let mut direct = Transport::Direct;
+        direct.sync_damage(&overlay);
+        assert!(direct.damage_synced(&overlay));
     }
 
     #[test]

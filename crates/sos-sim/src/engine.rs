@@ -9,14 +9,15 @@
 //! Trials are seeded as `seed ⊕ trial-index`, so results are
 //! reproducible and independent of the number of worker threads.
 
-use crate::routing::{route_message, RoutingPolicy};
+use crate::routing::{route_message_with, RouteIncident, RouteIncidentKind, RoutingPolicy};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sos_attack::{OneBurstAttacker, SuccessiveAttacker};
 use sos_core::{AttackConfig, PathEvaluator, Scenario};
+use sos_faults::{Fallback, FaultConfig, FaultPlan, HopIncident, RetryPolicy};
 use sos_math::stats::{proportion_ci, ConfidenceInterval, RunningStats, SummaryStats};
-use sos_observe::{Event, EventKind, MetricsRegistry, Phase, Recorder};
+use sos_observe::{Event, EventKind, FallbackMode, FaultClass, MetricsRegistry, Phase, Recorder};
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 
 /// Which transport realizes each overlay hop.
@@ -51,6 +52,8 @@ pub struct SimulationConfig {
     routes_per_trial: u64,
     seed: u64,
     monitoring_tap: Option<f64>,
+    faults: FaultConfig,
+    retry: RetryPolicy,
 }
 
 impl SimulationConfig {
@@ -66,6 +69,8 @@ impl SimulationConfig {
             routes_per_trial: 100,
             seed: 0,
             monitoring_tap: None,
+            faults: FaultConfig::none(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -127,6 +132,22 @@ impl SimulationConfig {
         self
     }
 
+    /// Enables deterministic benign-fault injection (`sos-faults`).
+    ///
+    /// With [`FaultConfig::none`] (the default) the fault plane is never
+    /// built and results are bit-identical to a fault-free build.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the per-hop retry/backoff policy applied when faults are
+    /// enabled. Without faults the policy is inert.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The scenario under test.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
@@ -179,6 +200,50 @@ impl Observation<'_> {
             self.recorder.record(Event::new(*t, trial, kind));
         }
         *t += 1;
+    }
+}
+
+/// Maps one routing-layer fault/retry/downgrade incident onto the
+/// `sos-observe` event taxonomy and the fault-plane metric counters.
+fn emit_incident(o: &mut Observation<'_>, t: &mut u64, trial: u64, incident: &RouteIncident) {
+    let (from, to) = (incident.from, incident.to);
+    let kind = match incident.kind {
+        RouteIncidentKind::Hop(hop) => match hop {
+            HopIncident::Loss { .. } => {
+                Some(EventKind::FaultInjected { from, to, fault: FaultClass::Loss, ticks: 0 })
+            }
+            HopIncident::Delay { ticks } => {
+                Some(EventKind::FaultInjected { from, to, fault: FaultClass::Delay, ticks })
+            }
+            HopIncident::CrashedDestination | HopIncident::CrashedRoute => {
+                Some(EventKind::FaultInjected { from, to, fault: FaultClass::Crash, ticks: 0 })
+            }
+            HopIncident::Slow { ticks } => {
+                Some(EventKind::FaultInjected { from, to, fault: FaultClass::Slow, ticks })
+            }
+            HopIncident::Misroute { .. } => {
+                Some(EventKind::FaultInjected { from, to, fault: FaultClass::Misroute, ticks: 0 })
+            }
+            HopIncident::Retry { attempt, backoff } => {
+                Some(EventKind::HopRetry { from, to, attempt, backoff })
+            }
+            // A spent deadline is already implied by the lack of further
+            // retries; it carries no event of its own.
+            HopIncident::DeadlineExhausted { .. } => None,
+        },
+        RouteIncidentKind::Downgrade { fallback, recovered } => {
+            let fallback = match fallback {
+                Fallback::SuccessorWalk => FallbackMode::SuccessorWalk,
+                Fallback::AlternateNeighbor => FallbackMode::AlternateNeighbor,
+            };
+            Some(EventKind::RouteDowngrade { from, to, fallback, recovered })
+        }
+    };
+    if matches!(kind, Some(EventKind::FaultInjected { .. })) {
+        o.metrics.counter("faults_injected").inc();
+    }
+    if let Some(kind) = kind {
+        o.emit(t, trial, kind);
     }
 }
 
@@ -388,8 +453,12 @@ impl Simulation {
         let mut ring_rng =
             StdRng::seed_from_u64(cfg.seed ^ trial.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
         let mut rng = StdRng::seed_from_u64(attack_seed);
+        // The fault plane draws from its own keyed PRF (never the trial
+        // streams above), so enabling it cannot shift the overlay,
+        // attack, or routing randomness.
+        let plan = (!cfg.faults.is_none()).then(|| FaultPlan::new(&cfg.faults, trial));
         let mut overlay = Overlay::build(&cfg.scenario, &mut overlay_rng);
-        let transport = match cfg.transport {
+        let mut transport = match cfg.transport {
             TransportKind::Direct => Transport::Direct,
             TransportKind::Chord => {
                 let members: Vec<NodeId> = overlay.overlay_ids().collect();
@@ -437,6 +506,11 @@ impl Simulation {
                     .outcome
             }
         };
+        // Mirror attack damage into any protocol-level routing state the
+        // transport keeps (no-op for Direct/Chord, which read the overlay
+        // directly). Skipping this on a stateful transport is the classic
+        // stale-ring footgun — `sync_damage` owns the invariant.
+        transport.sync_damage(&overlay);
         if let Some(o) = obs.as_deref_mut() {
             let attack_start = t;
             if o.recorder.enabled() {
@@ -501,9 +575,25 @@ impl Simulation {
         }
         let mut delivered = 0u64;
         for route in 0..cfg.routes_per_trial {
-            let result = route_message(&overlay, &transport, cfg.policy, &mut rng);
+            let result = route_message_with(
+                &overlay,
+                &transport,
+                cfg.policy,
+                plan.as_ref(),
+                &cfg.retry,
+                &mut rng,
+            );
             if let Some(o) = obs.as_deref_mut() {
                 o.emit(&mut t, trial, EventKind::RouteAttempt { route });
+                for incident in &result.incidents {
+                    emit_incident(o, &mut t, trial, incident);
+                }
+                if result.retries > 0 {
+                    o.metrics.counter("hop_retries").add(result.retries);
+                }
+                if result.downgrades > 0 {
+                    o.metrics.counter("route_downgrades").add(result.downgrades);
+                }
                 if result.delivered {
                     o.emit(&mut t, trial, EventKind::RouteDelivered {
                         route,
@@ -898,6 +988,147 @@ mod tests {
             MappingDegree::OneTo(2),
         );
         let _ = Simulation::new(cfg).run_until_precision(0.7, 10);
+    }
+
+    #[test]
+    fn zero_fault_config_is_bit_identical_to_baseline() {
+        // Acceptance gate for the fault plane: `FaultConfig::none()`
+        // must not merely be statistically equivalent — the exact
+        // result (counts, float aggregates, failure attribution) is
+        // unchanged, because no fault plan is ever built.
+        for transport in [TransportKind::Direct, TransportKind::Chord] {
+            let base = quick(
+                AttackConfig::OneBurst {
+                    budget: AttackBudget::new(60, 250),
+                },
+                MappingDegree::OneTo(2),
+            )
+            .transport(transport);
+            let plain = Simulation::new(base.clone()).run();
+            let gated = Simulation::new(
+                base.faults(sos_faults::FaultConfig::none())
+                    .retry(sos_faults::RetryPolicy::new(8, 2, 512)),
+            )
+            .run();
+            assert_eq!(plain, gated, "zero-fault run diverged ({transport:?})");
+        }
+    }
+
+    #[test]
+    fn retries_strictly_improve_ps_under_loss() {
+        // Loss is transient, so at equal seeds a retrying run dominates
+        // a bare run strictly (acceptance criterion).
+        let faults = sos_faults::FaultConfig::none().loss(0.15).seed(3);
+        let base = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 200),
+            },
+            MappingDegree::OneTo(2),
+        );
+        let bare = Simulation::new(base.clone().faults(faults)).run();
+        let retried = Simulation::new(
+            base.clone()
+                .faults(faults)
+                .retry(sos_faults::RetryPolicy::new(4, 1, 64)),
+        )
+        .run();
+        let clean = Simulation::new(base).run();
+        assert!(
+            bare.success_rate() < clean.success_rate(),
+            "loss faults must cost deliveries: {} vs clean {}",
+            bare.success_rate(),
+            clean.success_rate()
+        );
+        assert!(
+            retried.success_rate() > bare.success_rate(),
+            "retries must strictly improve P_S: {} vs {}",
+            retried.success_rate(),
+            bare.success_rate()
+        );
+        // Retries recover only transient faults, never compromises: the
+        // retried run cannot beat the fault-free run.
+        assert!(retried.success_rate() <= clean.success_rate());
+    }
+
+    #[test]
+    fn faulty_traced_run_matches_untraced() {
+        // Satellite: tracing must stay a pure observer with the fault
+        // plane active — the incident events draw nothing from the
+        // trial streams.
+        let cfg = quick(
+            AttackConfig::Successive {
+                budget: AttackBudget::new(50, 200),
+                params: SuccessiveParams::paper_default(),
+            },
+            MappingDegree::OneTo(2),
+        )
+        .faults(
+            sos_faults::FaultConfig::none()
+                .loss(0.2)
+                .delay(0.1, 4)
+                .crash(0.02)
+                .seed(17),
+        )
+        .retry(sos_faults::RetryPolicy::new(3, 1, 128));
+        let plain = Simulation::new(cfg.clone()).run();
+        let (traced, metrics) =
+            Simulation::new(cfg.clone()).run_traced(&sos_observe::NullRecorder);
+        assert_eq!(plain, traced);
+        assert!(
+            metrics.counter_value("faults_injected").unwrap_or(0) > 0,
+            "20% loss over 2000 routes must inject faults"
+        );
+        assert!(metrics.counter_value("hop_retries").unwrap_or(0) > 0);
+
+        let (par, par_metrics) =
+            Simulation::new(cfg).run_parallel_traced(4, &sos_observe::NullRecorder);
+        // Counts exact; float aggregates merge in worker order, so
+        // allow ulp-level slack (same contract as the untraced runner).
+        assert_eq!(par.successes, plain.successes);
+        assert_eq!(par.attempts, plain.attempts);
+        assert_eq!(par.failure_depths, plain.failure_depths);
+        assert!((par.per_trial.mean - plain.per_trial.mean).abs() < 1e-12);
+        assert_eq!(
+            par_metrics.counter_value("faults_injected"),
+            metrics.counter_value("faults_injected")
+        );
+        assert_eq!(
+            par_metrics.counter_value("hop_retries"),
+            metrics.counter_value("hop_retries")
+        );
+        assert_eq!(
+            par_metrics.counter_value("route_downgrades"),
+            metrics.counter_value("route_downgrades")
+        );
+    }
+
+    #[test]
+    fn fault_events_surface_in_the_recorder() {
+        // Acceptance: every retry/downgrade is visible as a structured
+        // event, not just a counter.
+        let cfg = quick(
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(0, 200),
+            },
+            MappingDegree::OneTo(2),
+        )
+        .trials(5)
+        .faults(sos_faults::FaultConfig::none().loss(0.3).seed(29))
+        .retry(sos_faults::RetryPolicy::new(3, 1, 64));
+        let recorder = sos_observe::MemoryRecorder::new();
+        let (_, metrics) = Simulation::new(cfg).run_traced(&recorder);
+        let events = recorder.take_events();
+        let faults = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FaultInjected { .. }))
+            .count() as u64;
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::HopRetry { .. }))
+            .count() as u64;
+        assert_eq!(Some(faults), metrics.counter_value("faults_injected"));
+        assert_eq!(Some(retries), metrics.counter_value("hop_retries"));
+        assert!(faults > 0 && retries > 0, "{faults} faults, {retries} retries");
     }
 
     #[test]

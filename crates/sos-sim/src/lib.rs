@@ -22,6 +22,14 @@
 //! `EXPERIMENTS.md`. The [`repair`] module implements the paper's named
 //! future work (dynamic repair during an on-going attack).
 //!
+//! Orthogonally to the attack, every hop can be subjected to *benign*
+//! faults (loss, delay, crash, slow-down, misroute) via a deterministic
+//! [`sos_faults::FaultPlan`]: pass a [`sos_faults::FaultConfig`] to
+//! [`SimulationConfig::faults`](engine::SimulationConfig::faults) and a
+//! [`sos_faults::RetryPolicy`] to control per-hop retries; routing then
+//! degrades gracefully (successor-list walking, alternate next-layer
+//! neighbors) and reports every incident through `sos-observe` events.
+//!
 //! # Example
 //!
 //! ```
@@ -60,5 +68,8 @@ pub use compare::{ComparisonRow, compare_models};
 pub use engine::{Simulation, SimulationConfig, SimulationResult, TransportKind};
 pub use flow::{FlowModel, FlowResult, FlowSimulation};
 pub use repair::{RepairConfig, RepairSimulation, RepairTimeline};
-pub use routing::{RouteResult, RoutingPolicy};
+pub use routing::{
+    route_message, route_message_with, RouteIncident, RouteIncidentKind, RouteResult,
+    RoutingPolicy,
+};
 pub use timing::{measure_latency, LatencyDistribution};

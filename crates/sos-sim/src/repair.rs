@@ -15,11 +15,12 @@
 //!   repaired node it knows about (knowledge stays valid); only
 //!   randomly-congested repairs stick, so `P_S(t)` plateaus.
 
-use crate::routing::{route_message, RoutingPolicy};
+use crate::routing::{route_message_with, RoutingPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sos_attack::{OneBurstAttacker, SuccessiveAttacker};
 use sos_core::{AttackConfig, Scenario};
+use sos_faults::{FaultConfig, FaultPlan, RetryPolicy};
 use sos_math::sampling::{sample_from, shuffle};
 use sos_math::stats::RunningStats;
 use sos_overlay::{NodeId, NodeStatus, Overlay, Transport};
@@ -124,6 +125,8 @@ pub struct RepairSimulation {
     trials: u64,
     routes_per_step: u64,
     seed: u64,
+    faults: FaultConfig,
+    retry: RetryPolicy,
 }
 
 impl RepairSimulation {
@@ -149,7 +152,24 @@ impl RepairSimulation {
             trials,
             routes_per_step,
             seed,
+            faults: FaultConfig::none(),
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Enables deterministic benign-fault injection on the measurement
+    /// routes. [`FaultConfig::none`] (the default) keeps the timeline
+    /// bit-identical to a fault-free build.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the per-hop retry/backoff policy applied when faults are
+    /// enabled.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Runs all trials and averages `P_S(t)` per step.
@@ -162,6 +182,7 @@ impl RepairSimulation {
             let mut rng = StdRng::seed_from_u64(
                 self.seed ^ trial.wrapping_mul(0xD134_2543_DE82_EF95),
             );
+            let plan = (!self.faults.is_none()).then(|| FaultPlan::new(&self.faults, trial));
             let mut overlay = Overlay::build(&self.scenario, &mut rng);
             let disclosed: HashSet<NodeId> = match self.attack {
                 AttackConfig::OneBurst { budget } => {
@@ -181,10 +202,12 @@ impl RepairSimulation {
                 // Measure.
                 let mut delivered = 0u64;
                 for _ in 0..self.routes_per_step {
-                    if route_message(
+                    if route_message_with(
                         &overlay,
                         &Transport::Direct,
                         RoutingPolicy::RandomGood,
+                        plan.as_ref(),
+                        &self.retry,
                         &mut rng,
                     )
                     .delivered

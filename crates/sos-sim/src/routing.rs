@@ -16,6 +16,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use sos_faults::{Fallback, FaultPlan, HopIncident, RetryPolicy};
 use sos_math::sampling::shuffle;
 use sos_overlay::{NodeId, Overlay, Transport};
 use std::collections::HashSet;
@@ -54,6 +55,33 @@ impl std::fmt::Display for RoutingPolicy {
     }
 }
 
+/// One fault-plane or degradation incident on a route, with the hop it
+/// struck (raw `u32` node ids, matching `sos-observe`'s convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteIncident {
+    /// Hop sender.
+    pub from: u32,
+    /// Hop destination.
+    pub to: u32,
+    /// What happened.
+    pub kind: RouteIncidentKind,
+}
+
+/// The incident payload: a hop-level fault/retry event or a
+/// graceful-degradation downgrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteIncidentKind {
+    /// A fault-plane or retry-loop incident on a delivery attempt.
+    Hop(HopIncident),
+    /// Routing fell back to a degraded mode for this hop.
+    Downgrade {
+        /// Which degradation stage was taken.
+        fallback: Fallback,
+        /// Whether the degraded mode delivered the hop.
+        recovered: bool,
+    },
+}
+
 /// Outcome of one routing attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteResult {
@@ -69,6 +97,30 @@ pub struct RouteResult {
     /// Deepest 1-based layer from which a usable next hop was found
     /// (`L+1` means the filter ring was reached).
     pub deepest_layer: usize,
+    /// Extra delivery attempts spent by hop retries (0 without faults).
+    pub retries: u64,
+    /// Graceful-degradation downgrades taken (0 without faults).
+    pub downgrades: u64,
+    /// Simulated ticks spent on backoff, delays and slow-downs.
+    pub fault_ticks: u64,
+    /// Every fault/retry/downgrade incident, in hop order (empty — and
+    /// unallocated — without faults).
+    pub incidents: Vec<RouteIncident>,
+}
+
+impl RouteResult {
+    fn clean(delivered: bool, path: Vec<NodeId>, underlay_hops: usize, deepest_layer: usize) -> Self {
+        RouteResult {
+            delivered,
+            path,
+            underlay_hops,
+            deepest_layer,
+            retries: 0,
+            downgrades: 0,
+            fault_ticks: 0,
+            incidents: Vec::new(),
+        }
+    }
 }
 
 /// Attempts to route one message from a fresh client through `overlay`.
@@ -83,29 +135,51 @@ pub fn route_message<R: Rng + ?Sized>(
     policy: RoutingPolicy,
     rng: &mut R,
 ) -> RouteResult {
+    route_message_with(overlay, transport, policy, None, &RetryPolicy::none(), rng)
+}
+
+/// Fault-aware routing: like [`route_message`], but every hop is
+/// delivered through the fault plane with the given retry policy, and
+/// fault-caused hop failures degrade gracefully — first to
+/// successor-list walking on the substrate, then to an alternate
+/// next-layer neighbor — with every incident recorded in
+/// [`RouteResult::incidents`].
+///
+/// With `faults = None` this is *exactly* [`route_message`]: no fault
+/// draws, no degradation paths, no incident allocation — the bit-for-bit
+/// zero-fault guarantee.
+pub fn route_message_with<R: Rng + ?Sized>(
+    overlay: &Overlay,
+    transport: &Transport,
+    policy: RoutingPolicy,
+    faults: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    rng: &mut R,
+) -> RouteResult {
     let entries = overlay.sample_entry_points(rng);
     let last_layer = overlay.layer_count() + 1; // filters
     match policy {
         RoutingPolicy::RandomGood | RoutingPolicy::FirstGood => {
-            greedy_route(overlay, transport, policy, entries, last_layer, rng)
+            greedy_route(overlay, transport, policy, entries, last_layer, faults, retry, rng)
         }
         RoutingPolicy::Backtracking => {
-            backtracking_route(overlay, transport, entries, last_layer, rng)
+            backtracking_route(overlay, transport, entries, last_layer, faults, retry, rng)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn greedy_route<R: Rng + ?Sized>(
     overlay: &Overlay,
     transport: &Transport,
     policy: RoutingPolicy,
     mut candidates: Vec<NodeId>,
     last_layer: usize,
+    faults: Option<&FaultPlan>,
+    retry: &RetryPolicy,
     rng: &mut R,
 ) -> RouteResult {
-    let mut path = Vec::new();
-    let mut underlay_hops = 0usize;
-    let mut deepest_layer = 0usize;
+    let mut result = RouteResult::clean(false, Vec::new(), 0, 0);
     // `candidates` are the potential nodes at the next layer; the
     // "client hop" into layer 1 is a plain reachability check (clients
     // talk to SOAPs directly).
@@ -115,58 +189,123 @@ fn greedy_route<R: Rng + ?Sized>(
             shuffle(rng, &mut candidates);
         }
         let mut next = None;
+        // Set when the previous candidate at this layer failed for a
+        // *fault* (not a compromise): trying the next candidate is the
+        // alternate-neighbor degradation stage and is recorded as such.
+        let mut fault_failed_prev = false;
         for &cand in &candidates {
             match current {
                 None => {
-                    // Client → first layer: direct contact.
-                    if overlay.is_good(cand) {
+                    // Client → first layer: direct contact. Benign
+                    // crashes make the contact unreachable; loss/delay
+                    // are modelled only on overlay hops.
+                    if overlay.is_good(cand)
+                        && faults.is_none_or(|p| !p.is_crashed(cand.0))
+                    {
                         next = Some((cand, 1usize));
                         break;
                     }
                 }
                 Some(v) => {
-                    let outcome = transport.deliver(overlay, v, cand);
+                    let hop = transport.deliver_with(overlay, v, cand, faults, retry);
+                    result.retries += u64::from(hop.attempts.saturating_sub(1));
+                    result.fault_ticks += hop.ticks;
+                    for incident in &hop.incidents {
+                        result.incidents.push(RouteIncident {
+                            from: v.0,
+                            to: cand.0,
+                            kind: RouteIncidentKind::Hop(*incident),
+                        });
+                    }
                     if let sos_overlay::transport::DeliveryOutcome::Delivered { hops } =
-                        outcome
+                        hop.outcome
                     {
+                        if fault_failed_prev {
+                            result.downgrades += 1;
+                            result.incidents.push(RouteIncident {
+                                from: v.0,
+                                to: cand.0,
+                                kind: RouteIncidentKind::Downgrade {
+                                    fallback: Fallback::AlternateNeighbor,
+                                    recovered: true,
+                                },
+                            });
+                        }
                         next = Some((cand, hops));
                         break;
+                    }
+                    // Hop failed. Degradation only applies to *fault*
+                    // failures (destination good and not crashed) and
+                    // only when the fault plane is active at all.
+                    let fault_failure = faults.is_some_and(|p| {
+                        overlay.is_good(cand) && !p.is_crashed(cand.0)
+                    });
+                    if fault_failure {
+                        // Stage 1: successor-list walking.
+                        let walked = transport.deliver_degraded(overlay, v, cand, faults);
+                        let recovered = walked.is_delivered();
+                        result.downgrades += 1;
+                        result.incidents.push(RouteIncident {
+                            from: v.0,
+                            to: cand.0,
+                            kind: RouteIncidentKind::Downgrade {
+                                fallback: Fallback::SuccessorWalk,
+                                recovered,
+                            },
+                        });
+                        if let sos_overlay::transport::DeliveryOutcome::Delivered { hops } =
+                            walked
+                        {
+                            next = Some((cand, hops));
+                            break;
+                        }
+                        // Stage 2: the loop's next candidate is the
+                        // alternate next-layer neighbor.
+                        fault_failed_prev = true;
                     }
                 }
             }
         }
+        if next.is_none() && fault_failed_prev {
+            // Every alternate neighbor was exhausted too.
+            result.downgrades += 1;
+            if let Some(v) = current {
+                result.incidents.push(RouteIncident {
+                    from: v.0,
+                    to: v.0,
+                    kind: RouteIncidentKind::Downgrade {
+                        fallback: Fallback::AlternateNeighbor,
+                        recovered: false,
+                    },
+                });
+            }
+        }
         let Some((node, hops)) = next else {
-            return RouteResult {
-                delivered: false,
-                path,
-                underlay_hops,
-                deepest_layer,
-            };
+            return result;
         };
-        underlay_hops += hops;
-        path.push(node);
+        result.underlay_hops += hops;
+        result.path.push(node);
         let layer = overlay
             .layer_of(node)
             .expect("routed nodes are always infrastructure");
-        deepest_layer = layer;
+        result.deepest_layer = layer;
         if layer == last_layer {
-            return RouteResult {
-                delivered: true,
-                path,
-                underlay_hops,
-                deepest_layer,
-            };
+            result.delivered = true;
+            return result;
         }
         candidates = overlay.neighbors(node).to_vec();
         current = Some(node);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn backtracking_route<R: Rng + ?Sized>(
     overlay: &Overlay,
     transport: &Transport,
     mut entries: Vec<NodeId>,
     last_layer: usize,
+    faults: Option<&FaultPlan>,
+    retry: &RetryPolicy,
     rng: &mut R,
 ) -> RouteResult {
     shuffle(rng, &mut entries);
@@ -174,10 +313,15 @@ fn backtracking_route<R: Rng + ?Sized>(
     let mut best_prefix: Vec<NodeId> = Vec::new();
     let mut best_prefix_hops = 0usize;
     let mut deepest_layer = 0usize;
+    let mut retries = 0u64;
+    let mut fault_ticks = 0u64;
+    let mut incidents: Vec<RouteIncident> = Vec::new();
 
     // Explicit DFS stack; each frame carries the path and its underlay
     // cost so the delivered result reports the *path's* hops, not the
-    // total exploration cost.
+    // total exploration cost. The DFS explores alternate neighbors by
+    // construction, so no explicit degradation stages apply here —
+    // retries still do, per edge.
     struct Frame {
         node: NodeId,
         path: Vec<NodeId>,
@@ -185,7 +329,9 @@ fn backtracking_route<R: Rng + ?Sized>(
     }
     let mut stack: Vec<Frame> = entries
         .into_iter()
-        .filter(|&e| overlay.is_good(e))
+        .filter(|&e| {
+            overlay.is_good(e) && faults.is_none_or(|p| !p.is_crashed(e.0))
+        })
         .map(|e| Frame {
             node: e,
             path: vec![e],
@@ -211,6 +357,10 @@ fn backtracking_route<R: Rng + ?Sized>(
                 underlay_hops: hops,
                 path,
                 deepest_layer,
+                retries,
+                downgrades: 0,
+                fault_ticks,
+                incidents,
             };
         }
         let mut neighbors = overlay.neighbors(node).to_vec();
@@ -219,9 +369,18 @@ fn backtracking_route<R: Rng + ?Sized>(
             if visited.contains(&next) {
                 continue;
             }
-            let outcome = transport.deliver(overlay, node, next);
+            let hop = transport.deliver_with(overlay, node, next, faults, retry);
+            retries += u64::from(hop.attempts.saturating_sub(1));
+            fault_ticks += hop.ticks;
+            for incident in &hop.incidents {
+                incidents.push(RouteIncident {
+                    from: node.0,
+                    to: next.0,
+                    kind: RouteIncidentKind::Hop(*incident),
+                });
+            }
             if let sos_overlay::transport::DeliveryOutcome::Delivered { hops: edge } =
-                outcome
+                hop.outcome
             {
                 let mut next_path = path.clone();
                 next_path.push(next);
@@ -238,6 +397,10 @@ fn backtracking_route<R: Rng + ?Sized>(
         path: best_prefix,
         underlay_hops: best_prefix_hops,
         deepest_layer,
+        retries,
+        downgrades: 0,
+        fault_ticks,
+        incidents,
     }
 }
 
@@ -247,6 +410,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sos_core::{MappingDegree, Scenario, SystemParams};
+    use sos_faults::FaultConfig;
     use sos_overlay::NodeStatus;
 
     fn overlay(mapping: MappingDegree, seed: u64) -> Overlay {
@@ -397,5 +561,144 @@ mod tests {
         assert_eq!(RoutingPolicy::FirstGood.to_string(), "first-good");
         assert_eq!(RoutingPolicy::Backtracking.to_string(), "backtracking");
         assert_eq!(RoutingPolicy::default(), RoutingPolicy::RandomGood);
+    }
+
+    #[test]
+    fn no_plan_is_exactly_the_clean_path() {
+        // `route_message_with(…, None, …)` must be bit-identical to
+        // `route_message` — same rng consumption, same result, zero
+        // fault bookkeeping — even with an aggressive retry policy.
+        let o = overlay(MappingDegree::OneTo(2), 21);
+        for policy in [
+            RoutingPolicy::RandomGood,
+            RoutingPolicy::FirstGood,
+            RoutingPolicy::Backtracking,
+        ] {
+            let mut a = StdRng::seed_from_u64(22);
+            let mut b = StdRng::seed_from_u64(22);
+            for _ in 0..30 {
+                let plain = route_message(&o, &Transport::Direct, policy, &mut a);
+                let faulted = route_message_with(
+                    &o,
+                    &Transport::Direct,
+                    policy,
+                    None,
+                    &RetryPolicy::new(8, 2, 1_000),
+                    &mut b,
+                );
+                assert_eq!(plain, faulted);
+                assert_eq!(faulted.retries, 0);
+                assert_eq!(faulted.downgrades, 0);
+                assert_eq!(faulted.fault_ticks, 0);
+                assert!(faulted.incidents.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn loss_faults_hurt_and_retries_recover() {
+        // On a clean overlay every failure is fault-caused, so delivery
+        // under loss without retries must drop below 1, and retries at
+        // the same seeds must strictly recover deliveries.
+        let o = overlay(MappingDegree::OneTo(2), 23);
+        let cfg = FaultConfig::none().loss(0.4).seed(7);
+        let count = |retry: RetryPolicy| {
+            let mut rng = StdRng::seed_from_u64(24);
+            let mut delivered = 0u32;
+            let mut retries = 0u64;
+            for trial in 0..120u64 {
+                let plan = FaultPlan::new(&cfg, trial);
+                let r = route_message_with(
+                    &o,
+                    &Transport::Direct,
+                    RoutingPolicy::FirstGood,
+                    Some(&plan),
+                    &retry,
+                    &mut rng,
+                );
+                delivered += u32::from(r.delivered);
+                retries += r.retries;
+            }
+            (delivered, retries)
+        };
+        let (bare, r0) = count(RetryPolicy::none());
+        let (retried, r1) = count(RetryPolicy::new(6, 1, 256));
+        assert_eq!(r0, 0);
+        assert!(r1 > 0, "retry policy should spend retries under loss");
+        assert!(bare < 120, "40% loss must fail some routes: {bare}");
+        assert!(
+            retried > bare,
+            "retries must recover transient losses: {retried} vs {bare}"
+        );
+    }
+
+    #[test]
+    fn fault_incidents_and_downgrades_are_recorded() {
+        let o = overlay(MappingDegree::OneTo(3), 25);
+        let cfg = FaultConfig::none().loss(0.5).delay(0.5, 3).seed(11);
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut saw_loss = false;
+        let mut saw_delay = false;
+        let mut saw_downgrade = false;
+        for trial in 0..60u64 {
+            let plan = FaultPlan::new(&cfg, trial);
+            let r = route_message_with(
+                &o,
+                &Transport::Direct,
+                RoutingPolicy::RandomGood,
+                Some(&plan),
+                &RetryPolicy::none(),
+                &mut rng,
+            );
+            for i in &r.incidents {
+                match i.kind {
+                    RouteIncidentKind::Hop(HopIncident::Loss { .. }) => saw_loss = true,
+                    RouteIncidentKind::Hop(HopIncident::Delay { ticks }) => {
+                        saw_delay = true;
+                        assert_eq!(ticks, 3);
+                    }
+                    RouteIncidentKind::Downgrade { .. } => saw_downgrade = true,
+                    _ => {}
+                }
+            }
+            assert_eq!(
+                r.downgrades,
+                r.incidents
+                    .iter()
+                    .filter(|i| matches!(i.kind, RouteIncidentKind::Downgrade { .. }))
+                    .count() as u64,
+            );
+            if r.fault_ticks > 0 {
+                saw_delay = true;
+            }
+        }
+        assert!(saw_loss, "50% loss should surface Loss incidents");
+        assert!(saw_delay, "50% delay should surface Delay incidents");
+        // Direct transport has no successor lists, so a lost hop walks
+        // the degradation ladder to the alternate-neighbor stage.
+        assert!(saw_downgrade, "losses without retries should downgrade");
+    }
+
+    #[test]
+    fn crashed_entry_points_are_avoided() {
+        // Crash faults make nodes unreachable for routing; with every
+        // entry crashed no route can start.
+        let o = overlay(MappingDegree::OneTo(2), 27);
+        let cfg = FaultConfig::none().crash(1.0).seed(13);
+        let plan = FaultPlan::new(&cfg, 0);
+        let mut rng = StdRng::seed_from_u64(28);
+        for policy in [RoutingPolicy::RandomGood, RoutingPolicy::Backtracking] {
+            let r = route_message_with(
+                &o,
+                &Transport::Direct,
+                policy,
+                Some(&plan),
+                &RetryPolicy::new(4, 1, 64),
+                &mut rng,
+            );
+            assert!(!r.delivered);
+            assert_eq!(r.deepest_layer, 0);
+            assert_eq!(r.retries, 0, "crashes are permanent, never retried");
+        }
     }
 }
