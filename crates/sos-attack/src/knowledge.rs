@@ -1,9 +1,17 @@
 //! The attacker's evolving view of the system.
 
-use sos_overlay::NodeId;
-use std::collections::HashSet;
+use sos_overlay::{NodeBitSet, NodeId};
 
 /// Bookkeeping of everything the attacker has learned or done.
+///
+/// Backed by [`NodeBitSet`]s rather than hash sets: membership probes
+/// are one bit test, and resetting knowledge between trials costs
+/// O(words) with no allocation — the representation the zero-rebuild
+/// trial engine needs. Iteration over a bitset is naturally in
+/// ascending id order, which is exactly the deterministic ordering
+/// [`pending_sorted`](AttackerKnowledge::pending_sorted) and
+/// [`congestion_targets`](AttackerKnowledge::congestion_targets)
+/// guarantee.
 ///
 /// Invariants maintained by the mutators:
 ///
@@ -16,10 +24,10 @@ use std::collections::HashSet;
 ///   attacker has not yet acted on (Algorithm 1's `X_j`).
 #[derive(Debug, Clone, Default)]
 pub struct AttackerKnowledge {
-    attempted: HashSet<NodeId>,
-    broken: HashSet<NodeId>,
-    known_sos: HashSet<NodeId>,
-    pending: HashSet<NodeId>,
+    attempted: NodeBitSet,
+    broken: NodeBitSet,
+    known_sos: NodeBitSet,
+    pending: NodeBitSet,
 }
 
 impl AttackerKnowledge {
@@ -32,7 +40,7 @@ impl AttackerKnowledge {
     /// already attempted stay out of the pending queue.
     pub fn disclose(&mut self, node: NodeId) {
         self.known_sos.insert(node);
-        if !self.attempted.contains(&node) {
+        if !self.attempted.contains(node) {
             self.pending.insert(node);
         }
     }
@@ -56,7 +64,7 @@ impl AttackerKnowledge {
             self.attempted.insert(node),
             "{node} was attempted twice"
         );
-        self.pending.remove(&node);
+        self.pending.remove(node);
         if succeeded {
             self.broken.insert(node);
         }
@@ -64,26 +72,26 @@ impl AttackerKnowledge {
 
     /// Whether the attacker has already attempted this node.
     pub fn has_attempted(&self, node: NodeId) -> bool {
-        self.attempted.contains(&node)
+        self.attempted.contains(node)
     }
 
     /// Whether the attacker knows this node is part of the architecture.
     pub fn knows(&self, node: NodeId) -> bool {
-        self.known_sos.contains(&node)
+        self.known_sos.contains(node)
     }
 
     /// Nodes attempted so far (successfully or not).
-    pub fn attempted(&self) -> &HashSet<NodeId> {
+    pub fn attempted(&self) -> &NodeBitSet {
         &self.attempted
     }
 
     /// Nodes broken into.
-    pub fn broken(&self) -> &HashSet<NodeId> {
+    pub fn broken(&self) -> &NodeBitSet {
         &self.broken
     }
 
     /// Disclosed nodes not yet attacked (`X_j`).
-    pub fn pending(&self) -> &HashSet<NodeId> {
+    pub fn pending(&self) -> &NodeBitSet {
         &self.pending
     }
 
@@ -92,22 +100,17 @@ impl AttackerKnowledge {
     /// the queue when they are attempted via
     /// [`record_attempt`](Self::record_attempt).
     pub fn pending_sorted(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self.pending.iter().copied().collect();
-        nodes.sort_unstable();
-        nodes
+        self.pending.to_sorted_vec()
     }
 
     /// The congestion-phase target list: every known node that was not
     /// broken into (the attacker never congests a node it controls),
     /// sorted for determinism.
     pub fn congestion_targets(&self) -> Vec<NodeId> {
-        let mut targets: Vec<NodeId> = self
-            .known_sos
-            .difference(&self.broken)
-            .copied()
-            .collect();
-        targets.sort_unstable();
-        targets
+        self.known_sos
+            .iter()
+            .filter(|&n| !self.broken.contains(n))
+            .collect()
     }
 }
 
@@ -132,7 +135,7 @@ mod tests {
         k.record_attempt(NodeId(1), false);
         assert!(k.pending().is_empty());
         assert!(k.has_attempted(NodeId(1)));
-        assert!(!k.broken().contains(&NodeId(1)));
+        assert!(!k.broken().contains(NodeId(1)));
     }
 
     #[test]
@@ -159,5 +162,62 @@ mod tests {
         let mut k = AttackerKnowledge::new();
         k.record_attempt(NodeId(1), false);
         k.record_attempt(NodeId(1), true);
+    }
+
+    #[test]
+    fn bitset_knowledge_matches_reference_hashset_model() {
+        // Drive the knowledge API and an independent HashSet model with
+        // the same operation stream and demand identical observable
+        // state throughout — the NodeBitSet-vs-HashSet churn guarantee.
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashSet;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut k = AttackerKnowledge::new();
+        let mut attempted: HashSet<NodeId> = HashSet::new();
+        let mut broken: HashSet<NodeId> = HashSet::new();
+        let mut known: HashSet<NodeId> = HashSet::new();
+        let mut pending: HashSet<NodeId> = HashSet::new();
+        for _ in 0..4_000 {
+            let node = NodeId(rng.gen_range(0..600u32));
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    k.disclose(node);
+                    known.insert(node);
+                    if !attempted.contains(&node) {
+                        pending.insert(node);
+                    }
+                }
+                1 => {
+                    k.disclose_unbreakable(node);
+                    known.insert(node);
+                }
+                _ => {
+                    if attempted.contains(&node) {
+                        assert!(k.has_attempted(node));
+                        continue;
+                    }
+                    let succeeded = rng.gen::<bool>();
+                    k.record_attempt(node, succeeded);
+                    attempted.insert(node);
+                    pending.remove(&node);
+                    if succeeded {
+                        broken.insert(node);
+                    }
+                }
+            }
+            assert_eq!(k.attempted().len(), attempted.len());
+            assert_eq!(k.broken().len(), broken.len());
+            assert_eq!(k.pending().len(), pending.len());
+        }
+        let sorted = |s: &HashSet<NodeId>| {
+            let mut v: Vec<NodeId> = s.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(k.pending_sorted(), sorted(&pending));
+        assert_eq!(k.attempted().to_sorted_vec(), sorted(&attempted));
+        assert_eq!(k.broken().to_sorted_vec(), sorted(&broken));
+        let expect_targets = sorted(&known.difference(&broken).copied().collect());
+        assert_eq!(k.congestion_targets(), expect_targets);
     }
 }

@@ -1,0 +1,287 @@
+//! Machine-readable perf baseline for the zero-rebuild trial engine.
+//!
+//! Measures identical Monte Carlo workloads two ways:
+//!
+//! * **before** — the allocating reference path: a fresh
+//!   [`Overlay::build`] and exhaustive [`ChordRing::build_reference`]
+//!   per trial, plus the allocating `route_message_with` entry point
+//!   (the engine as it stood before the scratch-reuse rework);
+//! * **after** — the production engine ([`Simulation::run`]), whose
+//!   per-worker scratch rebuilds the overlay/ring/route buffers in
+//!   place.
+//!
+//! Both sides replay the same per-trial seed schedule, so their
+//! delivery counts must match exactly — asserted on every workload;
+//! the comparison measures allocation strategy, never different work.
+//!
+//! Output: `BENCH_trials.json` (or `--out PATH`) with trials/sec,
+//! ns/trial and peak RSS per workload. `--check PATH` additionally
+//! compares the freshly measured speedups against a committed baseline
+//! and exits non-zero when any workload's speedup (after/before — a
+//! machine-portable ratio, unlike raw trials/sec) regressed by more
+//! than 25%.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sos_attack::OneBurstAttacker;
+use sos_core::{
+    AttackBudget, AttackConfig, MappingDegree, PathEvaluator, Scenario, SystemParams,
+};
+use sos_faults::RetryPolicy;
+use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
+use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
+use sos_sim::routing::{route_message_with, RoutingPolicy};
+use std::time::Instant;
+
+/// Per-trial seed-stream constants — must match `sos_sim::engine`'s
+/// schedule exactly or the before/after count assertion fails.
+const OVERLAY_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+const RING_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const ATTACK_STREAM: u64 = 0x1656_67B1_9E37_79F9;
+
+const ROUTES_PER_TRIAL: u64 = 50;
+const SEED: u64 = 13;
+
+/// Budget scaled to the overlay: 10% of the population congested plus
+/// 100 break-in attempts, so routing does comparable work per size.
+fn budget(overlay_nodes: u64) -> AttackBudget {
+    AttackBudget::new(100, overlay_nodes / 10)
+}
+
+struct Workload {
+    name: &'static str,
+    overlay_nodes: u64,
+    transport: TransportKind,
+    trials: u64,
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload { name: "direct-1k", overlay_nodes: 1_000, transport: TransportKind::Direct, trials: 60 },
+    Workload { name: "direct-10k", overlay_nodes: 10_000, transport: TransportKind::Direct, trials: 12 },
+    Workload { name: "chord-1k", overlay_nodes: 1_000, transport: TransportKind::Chord, trials: 60 },
+    Workload { name: "chord-10k", overlay_nodes: 10_000, transport: TransportKind::Chord, trials: 12 },
+];
+
+fn scenario(big_n: u64) -> Scenario {
+    Scenario::builder()
+        .system(SystemParams::new(big_n, 100, 0.5).expect("valid"))
+        .layers(3)
+        .mapping(MappingDegree::OneTo(5))
+        .filters(10)
+        .build()
+        .expect("valid")
+}
+
+/// The pre-rework trial loop: every structure built fresh, the ring
+/// via the exhaustive reference construction. Returns delivered routes.
+fn reference_run(
+    scenario: &Scenario,
+    transport: TransportKind,
+    trials: u64,
+    budget: AttackBudget,
+) -> u64 {
+    let mut successes = 0u64;
+    for trial in 0..trials {
+        let mut overlay_rng =
+            StdRng::seed_from_u64(SEED ^ trial.wrapping_mul(OVERLAY_STREAM));
+        let mut ring_rng = StdRng::seed_from_u64(SEED ^ trial.wrapping_mul(RING_STREAM));
+        let mut rng = StdRng::seed_from_u64(SEED ^ trial.wrapping_mul(ATTACK_STREAM));
+        let mut overlay = Overlay::build(scenario, &mut overlay_rng);
+        let mut transport = match transport {
+            TransportKind::Direct => Transport::Direct,
+            TransportKind::Chord => {
+                let members: Vec<NodeId> = overlay.overlay_ids().collect();
+                Transport::Chord(ChordRing::build_reference(&mut ring_rng, &members))
+            }
+        };
+        OneBurstAttacker::new(budget).execute(&mut overlay, &mut rng);
+        transport.sync_damage(&overlay);
+        // The engine prices both analytical evaluators per trial; the
+        // reference does the same so only allocation strategy differs.
+        let state = overlay.compromise_state();
+        let topo = scenario.topology();
+        std::hint::black_box(
+            PathEvaluator::Hypergeometric
+                .success_probability(topo, &state)
+                .value(),
+        );
+        std::hint::black_box(
+            PathEvaluator::Binomial
+                .success_probability(topo, &state)
+                .value(),
+        );
+        for _ in 0..ROUTES_PER_TRIAL {
+            let result = route_message_with(
+                &overlay,
+                &transport,
+                RoutingPolicy::default(),
+                None,
+                &RetryPolicy::none(),
+                &mut rng,
+            );
+            if result.delivered {
+                successes += 1;
+            }
+        }
+    }
+    successes
+}
+
+fn engine_run(
+    scenario: &Scenario,
+    transport: TransportKind,
+    trials: u64,
+    budget: AttackBudget,
+) -> u64 {
+    let cfg = SimulationConfig::new(scenario.clone(), AttackConfig::OneBurst { budget })
+    .trials(trials)
+    .routes_per_trial(ROUTES_PER_TRIAL)
+    .seed(SEED)
+    .transport(transport);
+    Simulation::new(cfg).run().successes
+}
+
+/// Peak resident set (VmHWM) in bytes, when the platform exposes it.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn side_json(seconds: f64, trials: u64) -> serde_json::Value {
+    serde_json::json!({
+        "seconds": seconds,
+        "trials_per_sec": trials as f64 / seconds,
+        "ns_per_trial": seconds * 1e9 / trials as f64,
+    })
+}
+
+fn check_against(path: &str, fresh: &serde_json::Value) -> Result<(), String> {
+    let committed = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let committed: serde_json::Value =
+        serde_json::from_str(&committed).map_err(|e| format!("bad baseline JSON: {e:?}"))?;
+    let find = |v: &serde_json::Value, name: &str| -> Option<f64> {
+        v["workloads"]
+            .as_array()?
+            .iter()
+            .find(|w| w["name"].as_str() == Some(name))
+            .and_then(|w| w["speedup"].as_f64())
+    };
+    let mut failures = Vec::new();
+    for w in WORKLOADS {
+        let (Some(old), Some(new)) = (find(&committed, w.name), find(fresh, w.name)) else {
+            continue;
+        };
+        // Speedup (after/before on the same machine, same run) is the
+        // portable metric; raw trials/sec tracks the host CPU.
+        if new < 0.75 * old {
+            failures.push(format!(
+                "{}: speedup {new:.2}x vs committed {old:.2}x (>25% regression)",
+                w.name
+            ));
+        } else {
+            println!("check {}: speedup {new:.2}x vs committed {old:.2}x — ok", w.name);
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_trials.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--check" => {
+                check_path = Some(args.get(i + 1).expect("--check needs a path").clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other} (supported: --out PATH, --check PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for w in WORKLOADS {
+        let s = scenario(w.overlay_nodes);
+        let b = budget(w.overlay_nodes);
+        // Warm both paths (page cache, allocator) outside the timers;
+        // the engine is then timed *first* so the reference gets the
+        // warmer allocator — any bias is against the reported speedup.
+        engine_run(&s, w.transport, 2, b);
+        reference_run(&s, w.transport, 2, b);
+        let (after_successes, after_secs) =
+            timed(|| engine_run(&s, w.transport, w.trials, b));
+        let (before_successes, before_secs) =
+            timed(|| reference_run(&s, w.transport, w.trials, b));
+        assert_eq!(
+            before_successes, after_successes,
+            "{}: reference and engine runs diverged — not measuring the same work",
+            w.name
+        );
+        let speedup = before_secs / after_secs;
+        println!(
+            "{:11} before {:8.1} trials/s  after {:8.1} trials/s  speedup {:.2}x",
+            w.name,
+            w.trials as f64 / before_secs,
+            w.trials as f64 / after_secs,
+            speedup
+        );
+        rows.push(serde_json::json!({
+            "name": w.name,
+            "transport": match w.transport {
+                TransportKind::Direct => "direct",
+                TransportKind::Chord => "chord",
+            },
+            "overlay_nodes": w.overlay_nodes,
+            "trials": w.trials,
+            "routes_per_trial": ROUTES_PER_TRIAL,
+            "delivered": after_successes,
+            "before": side_json(before_secs, w.trials),
+            "after": side_json(after_secs, w.trials),
+            "speedup": speedup,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "suite": "zero-rebuild trial engine baseline",
+        "generated_by": "bench_baseline",
+        "seed": SEED,
+        "attack": "one-burst nt=100 nc=N/10",
+        "peak_rss_bytes": peak_rss_bytes(),
+        "workloads": rows,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, pretty)
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("baseline written to {out_path}");
+
+    if let Some(path) = check_path {
+        match check_against(&path, &report) {
+            Ok(()) => println!("regression check against {path}: ok"),
+            Err(msg) => {
+                eprintln!("regression check against {path} FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -48,10 +48,12 @@ SIMULATE FLAGS:
     --seed S             master seed                   [0]
     --policy P           random-good | first-good | backtracking [random-good]
     --transport T        direct | chord                [direct]
+    --threads N          worker threads                [all cores, max 16]
     --trace-out F        write the event trace as JSONL to file F
     --metrics-out F      write aggregated metrics as CSV to file F
-                         (either flag switches to the traced single-
-                         thread runner so event order is reproducible)
+                         (either flag switches to the traced runner,
+                         single-threaded unless --threads is given, so
+                         event order is reproducible by default)
     --faults SPEC        deterministic benign-fault plane: a bare loss
                          rate (0.2) or key=value pairs, e.g.
                          loss=0.2,delay=0.1,delay-ticks=4,crash=0.01,
@@ -61,7 +63,8 @@ SIMULATE FLAGS:
                          deadline=64 (backoff/deadline in sim ticks)
 
 TRACE FLAGS (plus the shared topology flags and --routes/--seed/
---policy/--transport/--trace-out/--metrics-out/--faults/--retry above):
+--policy/--transport/--threads/--trace-out/--metrics-out/--faults/
+--retry above):
     --scenario P         attack preset: moderate-flooder | heavy-flooder |
                          paper-intelligent | patient-intruder | balanced
                          [paper-intelligent]
@@ -459,6 +462,25 @@ fn write_sinks(
     Ok(())
 }
 
+/// Parses the `--threads` flag: `Some(n)` when given explicitly,
+/// `None` when absent (callers pick the context-appropriate default —
+/// [`sos_sim::num_threads`] for untraced runs, one thread for traced
+/// runs so the recorded event order stays reproducible).
+fn threads_flag(args: &ParsedArgs) -> Result<Option<usize>, ArgError> {
+    match args.get("threads") {
+        None => Ok(None),
+        Some(raw) => {
+            let n: usize = raw
+                .parse()
+                .map_err(|e| ArgError(format!("flag --threads: cannot parse {raw:?}: {e}")))?;
+            if n == 0 {
+                return Err(ArgError("flag --threads: need at least one thread".into()));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
 fn simulate(
     args: &ParsedArgs,
     out: &mut dyn std::io::Write,
@@ -472,6 +494,7 @@ fn simulate(
     let (faults, retry) = fault_flags(args)?;
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
+    let threads = threads_flag(args)?;
     args.reject_unknown()?;
 
     let sim = Simulation::new(
@@ -485,10 +508,15 @@ fn simulate(
             .retry(retry),
     );
     let result = if trace_out.is_some() || metrics_out.is_some() {
-        // Traced runs stay on one thread so the recorded event order is
-        // reproducible run to run; counts are identical either way.
+        // Traced runs default to one thread so the recorded event order
+        // is reproducible run to run; an explicit --threads opts into
+        // the parallel traced runner (counts identical, event order in
+        // worker-completion order — the sinks sort by trial and tick).
         let recorder = sos_observe::MemoryRecorder::new();
-        let (result, metrics) = sim.run_traced(&recorder);
+        let (result, metrics) = match threads {
+            Some(t) if t > 1 => sim.run_parallel_traced(t, &recorder),
+            _ => sim.run_traced(&recorder),
+        };
         write_sinks(
             out,
             trace_out.as_deref(),
@@ -498,11 +526,7 @@ fn simulate(
         )?;
         result
     } else {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(16);
-        sim.run_parallel(threads)
+        sim.run_parallel(threads.unwrap_or_else(sos_sim::num_threads))
     };
     let ci = result.confidence_interval(0.95);
     writeln!(out, "model: {}", cfg.attack.model_name())?;
@@ -564,6 +588,7 @@ fn trace_cmd(
     let (faults, retry) = fault_flags(args)?;
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
+    let threads = threads_flag(args)?;
     args.reject_unknown()?;
 
     let system = SystemParams::new(overlay_nodes, sos_nodes, p_b)?;
@@ -587,7 +612,12 @@ fn trace_cmd(
             .retry(retry),
     );
     let recorder = sos_observe::MemoryRecorder::new();
-    let (result, metrics) = sim.run_traced(&recorder);
+    // One thread by default for a reproducible event stream; --threads
+    // opts into the work-stealing traced runner (counts identical).
+    let (result, metrics) = match threads {
+        Some(t) if t > 1 => sim.run_parallel_traced(t, &recorder),
+        _ => sim.run_traced(&recorder),
+    };
     let events = recorder.take_events();
 
     writeln!(out, "scenario: {} ({})", preset.label(), attack.model_name())?;
@@ -890,6 +920,39 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("empirical P_S"), "{out}");
         assert!(out.contains("95% CI"), "{out}");
+    }
+
+    #[test]
+    fn simulate_threads_flag_does_not_change_counts() {
+        let base = [
+            "simulate",
+            "--overlay-nodes",
+            "500",
+            "--sos-nodes",
+            "50",
+            "--trials",
+            "10",
+            "--routes",
+            "20",
+            "--nt",
+            "10",
+            "--nc",
+            "50",
+            "--seed",
+            "9",
+        ];
+        let mut outputs = Vec::new();
+        for threads in ["1", "2", "7"] {
+            let args: Vec<&str> = base.iter().chain(&["--threads", threads]).copied().collect();
+            let (code, out) = run_to_string(&args);
+            assert_eq!(code, 0, "{out}");
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1], "thread count changed the result");
+        assert_eq!(outputs[0], outputs[2], "thread count changed the result");
+        let (code, out) = run_to_string(&["simulate", "--threads", "0"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("at least one thread"), "{out}");
     }
 
     #[test]

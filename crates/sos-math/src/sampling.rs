@@ -155,6 +155,84 @@ pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
     items.shuffle(rng);
 }
 
+/// Allocation-reusing counterpart to [`sample_indices`] / [`sample_from`].
+///
+/// Draws the same partial Fisher–Yates sequence as the free functions —
+/// byte-for-byte identical RNG consumption — but keeps the sparse swap map
+/// alive between calls so steady-state sampling performs no heap
+/// allocation. Hot loops (the zero-rebuild trial engine) hold one sampler
+/// per worker.
+#[derive(Debug, Default, Clone)]
+pub struct IndexSampler {
+    swaps: std::collections::HashMap<usize, usize>,
+}
+
+impl IndexSampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws `k` distinct indices uniformly from `0..n` into `out`
+    /// (cleared first), reusing this sampler's scratch space.
+    ///
+    /// The RNG draw sequence is identical to [`sample_indices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        n: usize,
+        k: usize,
+        out: &mut Vec<usize>,
+    ) {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        self.swaps.clear();
+        out.clear();
+        out.reserve(k);
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            let vi = *self.swaps.get(&i).unwrap_or(&i);
+            let vj = *self.swaps.get(&j).unwrap_or(&j);
+            out.push(vj);
+            self.swaps.insert(j, vi);
+            self.swaps.insert(i, vj);
+        }
+    }
+
+    /// Draws `k` distinct elements from `items` without replacement into
+    /// `out` (cleared first), cloning the chosen elements.
+    ///
+    /// The RNG draw sequence is identical to [`sample_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > items.len()`.
+    pub fn sample_from_into<R: Rng + ?Sized, T: Clone>(
+        &mut self,
+        rng: &mut R,
+        items: &[T],
+        k: usize,
+        out: &mut Vec<T>,
+    ) {
+        let n = items.len();
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        self.swaps.clear();
+        out.clear();
+        out.reserve(k);
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            let vi = *self.swaps.get(&i).unwrap_or(&i);
+            let vj = *self.swaps.get(&j).unwrap_or(&j);
+            out.push(items[vj].clone());
+            self.swaps.insert(j, vi);
+            self.swaps.insert(i, vj);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +343,34 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         assert!(!bernoulli(&mut rng, 0.0));
         assert!(bernoulli(&mut rng, 1.0));
+    }
+
+    #[test]
+    fn sampler_matches_free_functions_bit_for_bit() {
+        let mut sampler = IndexSampler::new();
+        let mut idx_buf = Vec::new();
+        let mut items_buf: Vec<char> = Vec::new();
+        let items: Vec<char> = ('a'..='z').collect();
+        for seed in 0..64u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let n = 1 + (seed as usize * 7) % 120;
+            let k = (seed as usize * 3) % (n + 1);
+            sampler.sample_indices_into(&mut b, n, k, &mut idx_buf);
+            assert_eq!(sample_indices(&mut a, n, k), idx_buf);
+            let kk = (seed as usize) % (items.len() + 1);
+            sampler.sample_from_into(&mut b, &items, kk, &mut items_buf);
+            assert_eq!(sample_from(&mut a, &items, kk), items_buf);
+            // Both RNGs must also be left in the same state.
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sampler_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        IndexSampler::new().sample_indices_into(&mut rng, 3, 4, &mut out);
     }
 }

@@ -1,0 +1,234 @@
+//! Compact per-node membership set.
+//!
+//! The attacker, transport, and routing fallback paths all track
+//! per-node state (attempted / broken / known / visited). The naive
+//! representation — `HashSet<NodeId>` — allocates on insert, hashes on
+//! every membership probe, and costs O(len) to clear between trials.
+//! [`NodeBitSet`] packs the same information into `u64` words: O(1)
+//! branch-free membership tests, O(words) clear, and zero steady-state
+//! allocation once the backing vector has grown to the overlay size.
+//!
+//! Iteration order is ascending [`NodeId`], which matches the
+//! `pending_sorted()` / `congestion_targets()` ordering contract the
+//! attack models rely on for reproducibility.
+
+use crate::node::NodeId;
+
+const WORD_BITS: usize = 64;
+
+/// A set of [`NodeId`]s backed by a dense bit vector.
+///
+/// Grows automatically on insert; `clear` keeps the allocation so a
+/// per-worker scratch set reaches a zero-allocation steady state after
+/// the first trial.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeBitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set pre-sized for ids `0..capacity` so inserts
+    /// within that range never allocate.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(id: NodeId) -> (usize, u64) {
+        let idx = id.index();
+        (idx / WORD_BITS, 1u64 << (idx % WORD_BITS))
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present
+    /// (mirroring `HashSet::insert`).
+    #[inline]
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let (word, mask) = Self::slot(id);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `id`; returns `true` if it was present (mirroring
+    /// `HashSet::remove`).
+    #[inline]
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let (word, mask) = Self::slot(id);
+        match self.words.get_mut(word) {
+            Some(w) if *w & mask != 0 => {
+                *w &= !mask;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `id` is in the set.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let (word, mask) = Self::slot(id);
+        self.words.get(word).is_some_and(|w| w & mask != 0)
+    }
+
+    /// Number of ids in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the set in O(words) while keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates the members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * WORD_BITS) as u32;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Collects the members into a sorted `Vec` (ascending id).
+    pub fn to_sorted_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<NodeId> for NodeBitSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = Self::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for NodeBitSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+/// Iterator over the set bits of one word.
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(NodeId(self.base + bit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut set = NodeBitSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(NodeId(3)));
+        assert!(!set.insert(NodeId(3)), "double insert reports stale");
+        assert!(set.insert(NodeId(200)));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(NodeId(3)));
+        assert!(set.contains(NodeId(200)));
+        assert!(!set.contains(NodeId(4)));
+        assert!(set.remove(NodeId(3)));
+        assert!(!set.remove(NodeId(3)), "double remove reports absent");
+        assert!(!set.remove(NodeId(5)), "removing a non-member is a no-op");
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted_ascending() {
+        let ids = [7u32, 0, 511, 64, 63, 65, 130];
+        let set: NodeBitSet = ids.iter().map(|&i| NodeId(i)).collect();
+        let mut expect: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+        expect.sort_unstable();
+        assert_eq!(set.to_sorted_vec(), expect);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut set = NodeBitSet::with_capacity(1000);
+        let words_before = set.words.len();
+        for i in 0..1000 {
+            set.insert(NodeId(i));
+        }
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.words.len(), words_before);
+        assert!(!set.contains(NodeId(500)));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut set = NodeBitSet::new();
+        for i in [63u32, 64, 127, 128] {
+            assert!(set.insert(NodeId(i)));
+            assert!(set.contains(NodeId(i)));
+        }
+        assert_eq!(set.len(), 4);
+        assert_eq!(
+            set.to_sorted_vec(),
+            vec![NodeId(63), NodeId(64), NodeId(127), NodeId(128)]
+        );
+    }
+
+    #[test]
+    fn matches_reference_hashset_under_churn() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashSet;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut set = NodeBitSet::new();
+        let mut reference: HashSet<NodeId> = HashSet::new();
+        for _ in 0..5_000 {
+            let id = NodeId(rng.gen_range(0..700u32));
+            match rng.gen_range(0..3u8) {
+                0 => assert_eq!(set.insert(id), reference.insert(id)),
+                1 => assert_eq!(set.remove(id), reference.remove(&id)),
+                _ => assert_eq!(set.contains(id), reference.contains(&id)),
+            }
+            assert_eq!(set.len(), reference.len());
+        }
+        let mut expect: Vec<NodeId> = reference.into_iter().collect();
+        expect.sort_unstable();
+        assert_eq!(set.to_sorted_vec(), expect);
+    }
+}

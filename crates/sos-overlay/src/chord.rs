@@ -25,7 +25,7 @@
 
 use crate::node::NodeId;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Bits in the identifier space (and maximum finger-table size).
 pub const ID_BITS: usize = 64;
@@ -58,11 +58,16 @@ pub struct ChordRing {
     ids: Vec<u64>,
     /// `members[pos]` is the overlay node at ring position `pos`.
     members: Vec<NodeId>,
-    position_of: HashMap<NodeId, usize>,
+    /// `position_of[node.index()]` = ring position, `u32::MAX` when the
+    /// node is not on the ring (dense map: members are overlay ids).
+    position_of: Vec<u32>,
     /// `fingers[pos][k]` = position of `successor(ids[pos] + 2^k)`.
     fingers: Vec<Vec<usize>>,
     /// `successors[pos]` = the next `SUCCESSOR_LIST_LEN` positions.
     successors: Vec<Vec<usize>>,
+    /// Identifier-draw scratch reused by [`ChordRing::build_into`].
+    used_ids: HashSet<u64>,
+    pairs: Vec<(u64, NodeId)>,
 }
 
 impl ChordRing {
@@ -73,32 +78,50 @@ impl ChordRing {
     ///
     /// Panics if `members` is empty or contains duplicates.
     pub fn build<R: Rng + ?Sized>(rng: &mut R, members: &[NodeId]) -> Self {
-        assert!(!members.is_empty(), "a Chord ring needs at least one node");
-        let unique: HashSet<_> = members.iter().collect();
-        assert_eq!(unique.len(), members.len(), "duplicate members");
-
-        let mut used = HashSet::with_capacity(members.len());
-        let mut pairs: Vec<(u64, NodeId)> = members
-            .iter()
-            .map(|&m| {
-                let mut id = rng.gen::<u64>();
-                while !used.insert(id) {
-                    id = rng.gen::<u64>();
-                }
-                (id, m)
-            })
-            .collect();
-        pairs.sort_unstable_by_key(|&(id, _)| id);
-
         let mut ring = ChordRing {
-            ids: pairs.iter().map(|&(id, _)| id).collect(),
-            members: pairs.iter().map(|&(_, m)| m).collect(),
-            position_of: HashMap::new(),
+            ids: Vec::new(),
+            members: Vec::new(),
+            position_of: Vec::new(),
             fingers: Vec::new(),
             successors: Vec::new(),
+            used_ids: HashSet::new(),
+            pairs: Vec::new(),
         };
-        ring.rebuild_tables();
+        ring.build_into(rng, members);
         ring
+    }
+
+    /// Rebuilds this ring in place over `members`, reusing every existing
+    /// allocation (identifier table, finger tables, successor lists,
+    /// draw scratch).
+    ///
+    /// Consumes the RNG identically to [`ChordRing::build`], so a reused
+    /// ring is indistinguishable from a freshly built one at the same RNG
+    /// state — the zero-rebuild trial engine relies on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn build_into<R: Rng + ?Sized>(&mut self, rng: &mut R, members: &[NodeId]) {
+        assert!(!members.is_empty(), "a Chord ring needs at least one node");
+
+        self.used_ids.clear();
+        self.pairs.clear();
+        self.pairs.reserve(members.len());
+        for &m in members {
+            let mut id = rng.gen::<u64>();
+            while !self.used_ids.insert(id) {
+                id = rng.gen::<u64>();
+            }
+            self.pairs.push((id, m));
+        }
+        self.pairs.sort_unstable_by_key(|&(id, _)| id);
+
+        self.ids.clear();
+        self.ids.extend(self.pairs.iter().map(|&(id, _)| id));
+        self.members.clear();
+        self.members.extend(self.pairs.iter().map(|&(_, m)| m));
+        self.rebuild_tables();
     }
 
     /// Number of nodes on the ring.
@@ -112,14 +135,22 @@ impl ChordRing {
         self.ids.is_empty()
     }
 
+    /// Ring position of `node`, if it is on the ring.
+    #[inline]
+    fn position(&self, node: NodeId) -> Option<usize> {
+        self.position_of
+            .get(node.index())
+            .and_then(|&p| (p != u32::MAX).then_some(p as usize))
+    }
+
     /// The Chord identifier of a member.
     pub fn id_of(&self, node: NodeId) -> Option<u64> {
-        self.position_of.get(&node).map(|&p| self.ids[p])
+        self.position(node).map(|p| self.ids[p])
     }
 
     /// Whether `node` is on the ring.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.position_of.contains_key(&node)
+        self.position(node).is_some()
     }
 
     /// The node owning `key` — the first node whose identifier is `>=
@@ -135,7 +166,9 @@ impl ChordRing {
     ///
     /// Panics if `node` is not on the ring.
     pub fn successor(&self, node: NodeId) -> NodeId {
-        let pos = self.position_of[&node];
+        let pos = self
+            .position(node)
+            .unwrap_or_else(|| panic!("{node} is not on the ring"));
         self.members[self.successors[pos][0]]
     }
 
@@ -162,9 +195,8 @@ impl ChordRing {
     where
         F: Fn(NodeId) -> bool,
     {
-        let mut pos = *self
-            .position_of
-            .get(&from)
+        let mut pos = self
+            .position(from)
             .unwrap_or_else(|| panic!("{from} is not on the ring"));
         let owner_pos = self.successor_position(key);
         let owner = self.members[owner_pos];
@@ -188,6 +220,44 @@ impl ChordRing {
         None
     }
 
+    /// Allocation-free variant of [`ChordRing::lookup_avoiding`] for hot
+    /// paths that only need the owner and hop count: returns
+    /// `(owner, hops)` without materializing the visited path. Takes the
+    /// same routing decisions, so `lookup_avoiding_hops(..) ==
+    /// lookup_avoiding(..).map(|o| (o.owner, o.hops()))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not on the ring.
+    pub fn lookup_avoiding_hops<F>(
+        &self,
+        from: NodeId,
+        key: u64,
+        is_alive: F,
+    ) -> Option<(NodeId, usize)>
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let mut pos = self
+            .position(from)
+            .unwrap_or_else(|| panic!("{from} is not on the ring"));
+        let owner_pos = self.successor_position(key);
+        let owner = self.members[owner_pos];
+        if !is_alive(owner) {
+            return None;
+        }
+        let max_hops = self.len() + SUCCESSOR_LIST_LEN + 1;
+        for hops in 0..max_hops {
+            if pos == owner_pos {
+                return Some((owner, hops));
+            }
+            let next = self.best_alive_step(pos, owner_pos, key, &is_alive)?;
+            debug_assert_ne!(next, pos, "routing must make progress");
+            pos = next;
+        }
+        None
+    }
+
     /// Degraded-mode lookup: ignore finger tables entirely and walk
     /// successor lists clockwise from `from` until the key's owner is
     /// reached. O(n) hops instead of O(log n), but each step needs only
@@ -203,9 +273,8 @@ impl ChordRing {
     where
         F: Fn(NodeId) -> bool,
     {
-        let mut pos = *self
-            .position_of
-            .get(&from)
+        let mut pos = self
+            .position(from)
             .unwrap_or_else(|| panic!("{from} is not on the ring"));
         let owner_pos = self.successor_position(key);
         let owner = self.members[owner_pos];
@@ -228,6 +297,42 @@ impl ChordRing {
                 .find(|&s| s == owner_pos || is_alive(self.members[s]))?;
             pos = next;
             path.push(self.members[pos]);
+        }
+        None
+    }
+
+    /// Allocation-free variant of [`ChordRing::successor_walk`] for hot
+    /// paths that only need the owner and hop count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not on the ring.
+    pub fn successor_walk_hops<F>(
+        &self,
+        from: NodeId,
+        key: u64,
+        is_alive: F,
+    ) -> Option<(NodeId, usize)>
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let mut pos = self
+            .position(from)
+            .unwrap_or_else(|| panic!("{from} is not on the ring"));
+        let owner_pos = self.successor_position(key);
+        let owner = self.members[owner_pos];
+        if !is_alive(owner) {
+            return None;
+        }
+        for hops in 0..self.len() {
+            if pos == owner_pos {
+                return Some((owner, hops));
+            }
+            let next = self.successors[pos]
+                .iter()
+                .copied()
+                .find(|&s| s == owner_pos || is_alive(self.members[s]))?;
+            pos = next;
         }
         None
     }
@@ -256,9 +361,8 @@ impl ChordRing {
     ///
     /// Panics if `node` is not on the ring or is the last node.
     pub fn leave(&mut self, node: NodeId) {
-        let pos = *self
-            .position_of
-            .get(&node)
+        let pos = self
+            .position(node)
             .unwrap_or_else(|| panic!("{node} is not on the ring"));
         assert!(self.len() > 1, "cannot remove the last ring node");
         self.ids.remove(pos);
@@ -268,12 +372,7 @@ impl ChordRing {
 
     /// Position of the first node with identifier `>= key` (wrapping).
     fn successor_position(&self, key: u64) -> usize {
-        let p = self.ids.partition_point(|&x| x < key);
-        if p == self.ids.len() {
-            0
-        } else {
-            p
-        }
+        successor_position_in(&self.ids, key)
     }
 
     /// The best alive next hop from `pos` toward `key`.
@@ -312,33 +411,153 @@ impl ChordRing {
         best.map(|(_, p)| p)
     }
 
+    /// Rebuilds position, successor-list and finger-table state from
+    /// `ids`/`members`, reusing existing allocations.
+    ///
+    /// Finger tables are built with a successor-gap shortcut: for node
+    /// `p` at clockwise distance `d1` from its ring successor, every
+    /// finger target `ids[p] + 2^k` with `2^k <= d1` still lies within
+    /// that gap, so all those fingers resolve to the successor and
+    /// collapse to a single deduplicated entry. Only the remaining
+    /// `ID_BITS - (64 - d1.leading_zeros())` targets need a binary
+    /// search — at simulation scales (gap ≈ `2^64 / n`) that skips the
+    /// large majority of the 64 searches per node. The result is
+    /// identical to the exhaustive per-`k` scan (see
+    /// [`ChordRing::build_reference`] and the oracle tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` contains duplicates.
     fn rebuild_tables(&mut self) {
         let n = self.len();
-        self.position_of = self
-            .members
+
+        // Dense position map (u32::MAX = absent). Refill from scratch;
+        // the table is sized to the largest member id.
+        let max_index = self.members.iter().map(|m| m.index()).max().unwrap_or(0);
+        self.position_of.clear();
+        self.position_of.resize(max_index + 1, u32::MAX);
+        for (p, &m) in self.members.iter().enumerate() {
+            let slot = &mut self.position_of[m.index()];
+            assert_eq!(*slot, u32::MAX, "duplicate members");
+            *slot = p as u32;
+        }
+
+        for list in &mut self.successors {
+            list.clear();
+        }
+        self.successors.resize_with(n, Vec::new);
+        let list_len = SUCCESSOR_LIST_LEN.min(n.saturating_sub(1));
+        for (p, list) in self.successors.iter_mut().enumerate() {
+            list.extend((1..=list_len).map(|k| (p + k) % n));
+        }
+
+        for table in &mut self.fingers {
+            table.clear();
+        }
+        self.fingers.resize_with(n, Vec::new);
+        let ids = &self.ids;
+        for (p, table) in self.fingers.iter_mut().enumerate() {
+            if n == 1 {
+                table.push(0);
+                continue;
+            }
+            let base = ids[p];
+            let next = (p + 1) % n;
+            // Clockwise gap to the ring successor; nonzero because ids
+            // are distinct.
+            let d1 = ids[next].wrapping_sub(base);
+            // Number of finger indices k with 2^k <= d1; they all
+            // resolve to `next` and dedup to one entry.
+            let k0 = ID_BITS - d1.leading_zeros() as usize;
+            table.push(next);
+            for k in k0..ID_BITS {
+                let target = base.wrapping_add(1u64 << k);
+                let s = successor_position_in(ids, target);
+                if *table.last().expect("table is non-empty") != s {
+                    table.push(s);
+                }
+            }
+        }
+    }
+
+    /// Exhaustive reference construction: identical RNG consumption and
+    /// output to [`ChordRing::build`], but finger tables are built with
+    /// the original per-`k` binary-search scan and all routing state is
+    /// freshly allocated. Kept as the correctness oracle for the
+    /// gap-shortcut construction and as the "before" cost model for the
+    /// perf baseline.
+    #[doc(hidden)]
+    pub fn build_reference<R: Rng + ?Sized>(rng: &mut R, members: &[NodeId]) -> Self {
+        assert!(!members.is_empty(), "a Chord ring needs at least one node");
+        let unique: HashSet<_> = members.iter().collect();
+        assert_eq!(unique.len(), members.len(), "duplicate members");
+
+        let mut used = HashSet::with_capacity(members.len());
+        let mut pairs: Vec<(u64, NodeId)> = members
+            .iter()
+            .map(|&m| {
+                let mut id = rng.gen::<u64>();
+                while !used.insert(id) {
+                    id = rng.gen::<u64>();
+                }
+                (id, m)
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+
+        let ids: Vec<u64> = pairs.iter().map(|&(id, _)| id).collect();
+        let members: Vec<NodeId> = pairs.iter().map(|&(_, m)| m).collect();
+        let n = ids.len();
+        // The pre-optimization implementation kept a hash position map.
+        let position_map: std::collections::HashMap<NodeId, usize> = members
             .iter()
             .enumerate()
             .map(|(p, &m)| (m, p))
             .collect();
-        self.successors = (0..n)
+        let max_index = members.iter().map(|m| m.index()).max().unwrap_or(0);
+        let mut position_of = vec![u32::MAX; max_index + 1];
+        for (&m, &p) in &position_map {
+            position_of[m.index()] = p as u32;
+        }
+        let successors: Vec<Vec<usize>> = (0..n)
             .map(|p| {
                 (1..=SUCCESSOR_LIST_LEN.min(n.saturating_sub(1)))
                     .map(|k| (p + k) % n)
                     .collect()
             })
             .collect();
-        self.fingers = (0..n)
+        let fingers: Vec<Vec<usize>> = (0..n)
             .map(|p| {
-                let base = self.ids[p];
+                let base = ids[p];
                 let mut table = Vec::with_capacity(ID_BITS);
                 for k in 0..ID_BITS {
                     let target = base.wrapping_add(1u64 << k);
-                    table.push(self.successor_position(target));
+                    table.push(successor_position_in(&ids, target));
                 }
                 table.dedup();
                 table
             })
             .collect();
+
+        ChordRing {
+            ids,
+            members,
+            position_of,
+            fingers,
+            successors,
+            used_ids: HashSet::new(),
+            pairs: Vec::new(),
+        }
+    }
+}
+
+/// Position of the first id `>= key` in the sorted `ids` (wrapping).
+fn successor_position_in(ids: &[u64], key: u64) -> usize {
+    let p = ids.partition_point(|&x| x < key);
+    if p == ids.len() {
+        0
+    } else {
+        p
     }
 }
 
@@ -503,6 +722,63 @@ mod tests {
         let mut r = ring(4, 16);
         let mut rng = StdRng::seed_from_u64(17);
         r.join(&mut rng, NodeId(0));
+    }
+
+    fn assert_same_ring(a: &ChordRing, b: &ChordRing) {
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.position_of, b.position_of);
+        assert_eq!(a.successors, b.successors);
+        assert_eq!(a.fingers, b.fingers);
+    }
+
+    #[test]
+    fn gap_shortcut_matches_reference_construction() {
+        for (n, seed) in [(1u32, 0u64), (2, 1), (3, 2), (17, 3), (64, 4), (500, 5)] {
+            let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let fast = ChordRing::build(&mut rng_a, &members);
+            let reference = ChordRing::build_reference(&mut rng_b, &members);
+            assert_same_ring(&fast, &reference);
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn build_into_reuse_matches_fresh_build() {
+        // Dirty the reused ring with a different membership first.
+        let mut reused = ring(300, 42);
+        for (n, seed) in [(1u32, 6u64), (64, 7), (200, 8), (512, 9)] {
+            let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let fresh = ChordRing::build(&mut rng_a, &members);
+            reused.build_into(&mut rng_b, &members);
+            assert_same_ring(&fresh, &reused);
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn hops_variants_match_path_variants() {
+        let r = ring(300, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..200 {
+            let key = rng.gen::<u64>();
+            let from = NodeId(rng.gen_range(0..300));
+            let dead: HashSet<NodeId> = (0..300u32)
+                .map(NodeId)
+                .filter(|&n| n != from && rng.gen::<f64>() < 0.3)
+                .collect();
+            let alive = |n: NodeId| !dead.contains(&n);
+            let full = r.lookup_avoiding(from, key, alive);
+            let lean = r.lookup_avoiding_hops(from, key, alive);
+            assert_eq!(full.as_ref().map(|o| (o.owner, o.hops())), lean);
+            let full = r.successor_walk(from, key, alive);
+            let lean = r.successor_walk_hops(from, key, alive);
+            assert_eq!(full.as_ref().map(|o| (o.owner, o.hops())), lean);
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitset;
 pub mod chord;
 pub mod churn;
 pub mod node;
@@ -50,6 +51,7 @@ pub mod overlay;
 pub mod protocol;
 pub mod transport;
 
+pub use bitset::NodeBitSet;
 pub use chord::{ChordRing, LookupOutcome};
 pub use churn::{ChurnEvent, ChurnModel};
 pub use node::{NodeId, NodeStatus, Role};

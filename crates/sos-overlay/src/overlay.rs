@@ -8,10 +8,11 @@
 //! degree (fractional degrees are realized by unbiased stochastic
 //! rounding so ensemble averages match the analytical model).
 
+use crate::bitset::NodeBitSet;
 use crate::node::{NodeId, NodeStatus, Role};
 use rand::Rng;
 use sos_core::{CompromiseState, Scenario};
-use sos_math::sampling::{sample_from, sample_indices, stochastic_round};
+use sos_math::sampling::{sample_from, stochastic_round, IndexSampler};
 
 /// A concrete overlay instance. See the module docs for the layout.
 #[derive(Debug, Clone)]
@@ -19,9 +20,16 @@ pub struct Overlay {
     scenario: Scenario,
     roles: Vec<Role>,
     statuses: Vec<NodeStatus>,
+    /// Dense index of bad (broken/congested) nodes, kept in lockstep
+    /// with `statuses` so the routing hot path tests liveness with one
+    /// bit probe and trial resets cost O(words).
+    bad: NodeBitSet,
     neighbors: Vec<Vec<NodeId>>,
     /// `layers[0]` = layer 1, …, `layers[L]` = filter layer.
     layers: Vec<Vec<NodeId>>,
+    /// Sampling scratch reused by [`Overlay::build_into`].
+    sampler: IndexSampler,
+    picks: Vec<usize>,
 }
 
 impl Overlay {
@@ -30,54 +38,84 @@ impl Overlay {
     ///
     /// Rebuilding with the same seed yields the identical overlay.
     pub fn build<R: Rng + ?Sized>(scenario: &Scenario, rng: &mut R) -> Self {
+        let mut overlay = Overlay {
+            scenario: scenario.clone(),
+            roles: Vec::new(),
+            statuses: Vec::new(),
+            bad: NodeBitSet::new(),
+            neighbors: Vec::new(),
+            layers: Vec::new(),
+            sampler: IndexSampler::new(),
+            picks: Vec::new(),
+        };
+        overlay.build_into(scenario, rng);
+        overlay
+    }
+
+    /// Rebuilds this overlay in place for `scenario`, reusing every
+    /// existing allocation (role/status tables, layer lists, neighbor
+    /// tables, sampling scratch).
+    ///
+    /// Consumes the RNG identically to [`Overlay::build`], so
+    /// `a.build_into(s, rng)` on any prior overlay yields a result
+    /// indistinguishable from `Overlay::build(s, rng)` at the same RNG
+    /// state — the zero-rebuild trial engine relies on this.
+    pub fn build_into<R: Rng + ?Sized>(&mut self, scenario: &Scenario, rng: &mut R) {
+        self.scenario.clone_from(scenario);
         let big_n = scenario.system().overlay_nodes() as usize;
         let topo = scenario.topology();
         let l = topo.layer_count();
         let filter_count = topo.filter_count() as usize;
+        let total = big_n + filter_count;
 
-        let mut roles = vec![Role::Bystander; big_n + filter_count];
-        let mut layers: Vec<Vec<NodeId>> = vec![Vec::new(); l + 1];
+        self.roles.clear();
+        self.roles.resize(total, Role::Bystander);
+        self.statuses.clear();
+        self.statuses.resize(total, NodeStatus::Good);
+        self.bad.clear();
+        for layer in &mut self.layers {
+            layer.clear();
+        }
+        self.layers.resize_with(l + 1, Vec::new);
+        for table in &mut self.neighbors {
+            table.clear();
+        }
+        self.neighbors.resize_with(total, Vec::new);
 
         // Pick the SOS nodes uniformly from the overlay population and
         // deal them into layers.
         let sos_total = scenario.system().sos_nodes() as usize;
-        let picks = sample_indices(rng, big_n, sos_total);
+        self.sampler
+            .sample_indices_into(rng, big_n, sos_total, &mut self.picks);
         let mut cursor = 0usize;
         for (layer_idx, &size) in topo.layer_sizes().iter().enumerate() {
             for _ in 0..size {
-                let node = picks[cursor];
+                let node = self.picks[cursor];
                 cursor += 1;
-                roles[node] = Role::Sos {
+                self.roles[node] = Role::Sos {
                     layer: (layer_idx + 1) as u16,
                 };
-                layers[layer_idx].push(NodeId(node as u32));
+                self.layers[layer_idx].push(NodeId(node as u32));
             }
         }
         for f in 0..filter_count {
-            roles[big_n + f] = Role::Filter;
-            layers[l].push(NodeId((big_n + f) as u32));
+            self.roles[big_n + f] = Role::Filter;
+            self.layers[l].push(NodeId((big_n + f) as u32));
         }
 
         // Neighbor tables: layer i → layer i+1 (servlets → filters).
-        let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); big_n + filter_count];
+        let layers = &self.layers;
+        let neighbors = &mut self.neighbors;
+        let sampler = &mut self.sampler;
         for layer_idx in 0..l {
             let next: &[NodeId] = &layers[layer_idx + 1];
             let boundary = layer_idx + 2; // mapping degree m_{i+1}
             let degree = topo.degree(boundary);
-            let members: Vec<NodeId> = layers[layer_idx].clone();
-            for node in members {
+            for &node in &layers[layer_idx] {
                 let k = stochastic_round(rng, degree)
                     .clamp(1, next.len() as u64) as usize;
-                neighbors[node.index()] = sample_from(rng, next, k);
+                sampler.sample_from_into(rng, next, k, &mut neighbors[node.index()]);
             }
-        }
-
-        Overlay {
-            scenario: scenario.clone(),
-            roles,
-            statuses: vec![NodeStatus::Good; big_n + filter_count],
-            neighbors,
-            layers,
         }
     }
 
@@ -141,12 +179,18 @@ impl Overlay {
     /// Panics if `id` is out of range.
     pub fn set_status(&mut self, id: NodeId, status: NodeStatus) {
         self.statuses[id.index()] = status;
+        if status.is_bad() {
+            self.bad.insert(id);
+        } else {
+            self.bad.remove(id);
+        }
     }
 
     /// Restores every node to [`NodeStatus::Good`] (new attack trial on
     /// the same topology).
     pub fn reset_statuses(&mut self) {
         self.statuses.fill(NodeStatus::Good);
+        self.bad.clear();
     }
 
     /// The next-layer neighbor table of a node (empty for bystanders and
@@ -182,9 +226,26 @@ impl Overlay {
         sample_from(rng, first, k)
     }
 
+    /// Allocation-reusing variant of [`Overlay::sample_entry_points`]:
+    /// fills `out` using the caller's sampling scratch, consuming the
+    /// RNG identically.
+    pub fn sample_entry_points_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sampler: &mut IndexSampler,
+        out: &mut Vec<NodeId>,
+    ) {
+        let first = self.layer_members(1);
+        let degree = self.scenario.topology().degree(1);
+        let k = stochastic_round(rng, degree).clamp(1, first.len() as u64) as usize;
+        sampler.sample_from_into(rng, first, k, out);
+    }
+
     /// Whether the node is a good (routable) node.
+    #[inline]
     pub fn is_good(&self, id: NodeId) -> bool {
-        self.statuses[id.index()].is_good()
+        debug_assert!(id.index() < self.statuses.len(), "{id} out of range");
+        !self.bad.contains(id)
     }
 
     /// Snapshot of per-layer broken/congested counts as a
@@ -208,7 +269,7 @@ impl Overlay {
 
     /// Count of bad nodes among all overlay nodes and filters.
     pub fn total_bad(&self) -> usize {
-        self.statuses.iter().filter(|s| s.is_bad()).count()
+        self.bad.len()
     }
 
     /// Iterator over all overlay-node ids (`0..N`, filters excluded) —
@@ -232,6 +293,7 @@ impl Overlay {
         let layer = layer as usize;
         self.roles[node.index()] = Role::Bystander;
         self.statuses[node.index()] = NodeStatus::Good;
+        self.bad.remove(node);
         self.neighbors[node.index()].clear();
         self.layers[layer - 1].retain(|&m| m != node);
         for table in &mut self.neighbors {
@@ -268,11 +330,13 @@ impl Overlay {
         // Swap membership.
         self.roles[departed.index()] = Role::Bystander;
         self.statuses[departed.index()] = NodeStatus::Good;
+        self.bad.remove(departed);
         self.neighbors[departed.index()].clear();
         self.roles[promoted.index()] = Role::Sos {
             layer: layer as u16,
         };
         self.statuses[promoted.index()] = NodeStatus::Good;
+        self.bad.remove(promoted);
         let members = &mut self.layers[layer - 1];
         let pos = members
             .iter()
@@ -466,5 +530,97 @@ mod tests {
         let a = overlay(MappingDegree::OneTo(2), 1);
         let b = overlay(MappingDegree::OneTo(2), 2);
         assert_ne!(a.layer_members(1), b.layer_members(1));
+    }
+
+    fn assert_same_overlay(a: &Overlay, b: &Overlay) {
+        assert_eq!(a.total_node_count(), b.total_node_count());
+        assert_eq!(a.layer_count(), b.layer_count());
+        for layer in 1..=a.layer_count() + 1 {
+            assert_eq!(a.layer_members(layer), b.layer_members(layer));
+        }
+        for i in 0..a.total_node_count() {
+            let id = NodeId(i as u32);
+            assert_eq!(a.role(id), b.role(id));
+            assert_eq!(a.status(id), b.status(id));
+            assert_eq!(a.neighbors(id), b.neighbors(id));
+        }
+    }
+
+    #[test]
+    fn build_into_reuse_matches_fresh_build() {
+        let s = scenario(MappingDegree::OneTo(3));
+        // Dirty the reused overlay first: different mapping, plus damage.
+        let mut reused = overlay(MappingDegree::OneTo(2), 99);
+        let victim = reused.layer_members(2)[3];
+        reused.set_status(victim, NodeStatus::Congested);
+        for trial_seed in [0u64, 5, 81] {
+            let mut rng_a = StdRng::seed_from_u64(trial_seed);
+            let mut rng_b = StdRng::seed_from_u64(trial_seed);
+            let fresh = Overlay::build(&s, &mut rng_a);
+            reused.build_into(&s, &mut rng_b);
+            assert_same_overlay(&fresh, &reused);
+            // Both RNGs consumed the same number of draws.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+            assert_eq!(reused.total_bad(), 0, "rebuild clears damage");
+        }
+    }
+
+    #[test]
+    fn build_into_shrinks_to_smaller_scenario() {
+        let big = scenario(MappingDegree::OneTo(2));
+        let small = Scenario::builder()
+            .system(SystemParams::new(200, 12, 0.5).unwrap())
+            .layers(2)
+            .mapping(MappingDegree::OneTo(2))
+            .filters(4)
+            .build()
+            .unwrap();
+        let mut reused = overlay(MappingDegree::OneTo(2), 1);
+        assert_eq!(reused.total_node_count(), 1_010);
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        reused.build_into(&small, &mut rng_a);
+        let fresh = Overlay::build(&small, &mut rng_b);
+        assert_same_overlay(&fresh, &reused);
+        assert_eq!(reused.total_node_count(), 204);
+        // And back up to the larger scenario again.
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        reused.build_into(&big, &mut rng_a);
+        assert_same_overlay(&Overlay::build(&big, &mut rng_b), &reused);
+    }
+
+    #[test]
+    fn bad_bitset_tracks_statuses() {
+        let mut o = overlay(MappingDegree::OneTo(2), 8);
+        let a = o.layer_members(1)[0];
+        let b = o.layer_members(2)[1];
+        o.set_status(a, NodeStatus::Broken);
+        o.set_status(b, NodeStatus::Congested);
+        assert!(!o.is_good(a));
+        assert!(!o.is_good(b));
+        assert_eq!(o.total_bad(), 2);
+        o.set_status(b, NodeStatus::Good);
+        assert!(o.is_good(b));
+        assert_eq!(o.total_bad(), 1);
+        o.reset_statuses();
+        assert!(o.is_good(a));
+        assert_eq!(o.total_bad(), 0);
+    }
+
+    #[test]
+    fn entry_points_into_matches_allocating_variant() {
+        use sos_math::sampling::IndexSampler;
+        let o = overlay(MappingDegree::OneTo(2), 6);
+        let mut sampler = IndexSampler::new();
+        let mut buf = Vec::new();
+        for seed in 0..20u64 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let fresh = o.sample_entry_points(&mut rng_a);
+            o.sample_entry_points_into(&mut rng_b, &mut sampler, &mut buf);
+            assert_eq!(fresh, buf);
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
     }
 }

@@ -101,12 +101,12 @@ impl Transport {
                 let key = ring
                     .id_of(to)
                     .unwrap_or_else(|| panic!("{to} is not on the Chord ring"));
-                let outcome = ring.lookup_avoiding(from, key, |n| {
+                let outcome = ring.lookup_avoiding_hops(from, key, |n| {
                     n == from || overlay.is_good(n)
                 });
                 match outcome {
-                    Some(out) if out.owner == to => DeliveryOutcome::Delivered {
-                        hops: out.hops().max(1),
+                    Some((owner, hops)) if owner == to => DeliveryOutcome::Delivered {
+                        hops: hops.max(1),
                     },
                     _ => DeliveryOutcome::Blocked,
                 }
@@ -254,12 +254,12 @@ impl Transport {
                 let key = ring
                     .id_of(to)
                     .unwrap_or_else(|| panic!("{to} is not on the Chord ring"));
-                let outcome = ring.lookup_avoiding(from, key, |n| {
+                let outcome = ring.lookup_avoiding_hops(from, key, |n| {
                     n == from || (overlay.is_good(n) && !plan.is_crashed(n.0))
                 });
                 match outcome {
-                    Some(out) if out.owner == to => DeliveryOutcome::Delivered {
-                        hops: out.hops().max(1),
+                    Some((owner, hops)) if owner == to => DeliveryOutcome::Delivered {
+                        hops: hops.max(1),
                     },
                     _ => DeliveryOutcome::Blocked,
                 }
@@ -318,12 +318,12 @@ impl Transport {
                 let key = ring
                     .id_of(to)
                     .unwrap_or_else(|| panic!("{to} is not on the Chord ring"));
-                let outcome = ring.successor_walk(from, key, |n| {
+                let outcome = ring.successor_walk_hops(from, key, |n| {
                     n == from || (overlay.is_good(n) && !crashed(n))
                 });
                 match outcome {
-                    Some(out) if out.owner == to => DeliveryOutcome::Delivered {
-                        hops: out.hops().max(1),
+                    Some((owner, hops)) if owner == to => DeliveryOutcome::Delivered {
+                        hops: hops.max(1),
                     },
                     _ => DeliveryOutcome::Blocked,
                 }

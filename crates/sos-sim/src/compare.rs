@@ -2,7 +2,7 @@
 //! Carlo ground truth — the data behind the `ablation-evaluator`
 //! experiment and the validation tables in `EXPERIMENTS.md`.
 
-use crate::engine::{Simulation, SimulationConfig};
+use crate::engine::{num_threads, Simulation, SimulationConfig};
 use sos_analysis::{OneBurstAnalysis, SuccessiveAnalysis};
 use sos_core::{AttackConfig, ConfigError, PathEvaluator, Scenario};
 
@@ -111,13 +111,6 @@ pub fn compare_models(
         simulated_hi: ci.upper,
         trials,
     })
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
 }
 
 #[cfg(test)]

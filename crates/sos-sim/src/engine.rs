@@ -8,11 +8,24 @@
 //!
 //! Trials are seeded as `seed ⊕ trial-index`, so results are
 //! reproducible and independent of the number of worker threads.
+//!
+//! The runner is *zero-rebuild*: each worker owns a `TrialScratch`
+//! whose overlay, Chord ring, member list and route buffers are built
+//! once and then rebuilt in place ([`Overlay::build_into`],
+//! [`ChordRing::build_into`]) — the steady-state trial loop performs no
+//! overlay/ring/routing heap allocation. Parallel runs pull trial
+//! batches from an atomic work-stealing queue (`TrialQueue`) instead
+//! of pre-chunking, so a worker that lands cheap trials steals more
+//! work instead of idling; seeding stays per-trial, so the result is
+//! bit-identical at any thread count.
 
-use crate::routing::{route_message_with, RouteIncident, RouteIncidentKind, RoutingPolicy};
+use crate::routing::{
+    route_message_into, RouteIncident, RouteIncidentKind, RouteScratch, RoutingPolicy,
+};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use sos_attack::{OneBurstAttacker, SuccessiveAttacker};
 use sos_core::{AttackConfig, PathEvaluator, Scenario};
 use sos_faults::{Fallback, FaultConfig, FaultPlan, HopIncident, RetryPolicy};
@@ -263,6 +276,82 @@ fn tick_bounds() -> Vec<f64> {
     (3..=14).map(|p| (1u64 << p) as f64).collect()
 }
 
+/// Default worker count for parallel runs: the machine's available
+/// parallelism, clamped to 16 (beyond that the merge mutex and memory
+/// bandwidth dominate), falling back to 4 when it cannot be queried.
+///
+/// Shared by the CLI (`--threads` default) and [`compare_models`]
+/// (which has no thread knob of its own).
+///
+/// [`compare_models`]: crate::compare::compare_models
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Per-worker reusable trial state: the overlay, the transport (with
+/// its Chord ring, when configured), the ring-membership list and the
+/// routing buffers. Built on the first trial, rebuilt in place on every
+/// subsequent one — the allocations survive, the contents do not.
+///
+/// The remaining per-trial allocations are the attacker's knowledge and
+/// trace (owned by the attack outcome, which outlives the trial for
+/// observability) and backtracking path frames; everything on the
+/// overlay/ring/routing hot path is reused.
+struct TrialScratch {
+    overlay: Option<Overlay>,
+    transport: Transport,
+    members: Vec<NodeId>,
+    route: RouteScratch,
+}
+
+impl TrialScratch {
+    fn new() -> Self {
+        TrialScratch {
+            overlay: None,
+            transport: Transport::Direct,
+            members: Vec::new(),
+            route: RouteScratch::new(),
+        }
+    }
+}
+
+/// Atomic work-stealing trial dispenser: workers repeatedly claim the
+/// next unclaimed batch of trial indices until none remain. Replaces
+/// the old fixed `trials / threads` pre-chunking, whose slowest chunk
+/// bounded the wall clock; here a worker that draws cheap trials simply
+/// comes back for more.
+///
+/// Batches are contiguous index ranges, so per-trial seeding (and thus
+/// every result bit) is untouched by who executes what.
+struct TrialQueue {
+    next: AtomicU64,
+    trials: u64,
+    batch: u64,
+}
+
+impl TrialQueue {
+    /// Sizes batches so each worker sees ~8 of them (amortizing the
+    /// atomic claim) while staying responsive, clamped to `[1, 64]`.
+    fn new(trials: u64, threads: usize) -> Self {
+        let batch = (trials / (threads as u64 * 8)).clamp(1, 64);
+        TrialQueue {
+            next: AtomicU64::new(0),
+            trials,
+            batch,
+        }
+    }
+
+    /// Claims the next `[start, end)` batch, or `None` when the trial
+    /// space is exhausted.
+    fn next_batch(&self) -> Option<(u64, u64)> {
+        let start = self.next.fetch_add(self.batch, Ordering::Relaxed);
+        (start < self.trials).then(|| (start, (start + self.batch).min(self.trials)))
+    }
+}
+
 impl Partial {
     fn merge(&mut self, other: &Partial) {
         self.successes += other.successes;
@@ -288,7 +377,8 @@ impl Simulation {
 
     /// Runs all trials on the calling thread.
     pub fn run(&self) -> SimulationResult {
-        let partial = self.run_trials(0, self.config.trials, None);
+        let mut scratch = TrialScratch::new();
+        let partial = self.run_trials(0, self.config.trials, &mut scratch, None);
         self.finish(partial)
     }
 
@@ -306,17 +396,18 @@ impl Simulation {
             recorder,
             metrics: MetricsRegistry::new(),
         };
-        let partial = self.run_trials(0, self.config.trials, Some(&mut obs));
+        let mut scratch = TrialScratch::new();
+        let partial = self.run_trials(0, self.config.trials, &mut scratch, Some(&mut obs));
         (self.finish(partial), obs.metrics)
     }
 
     /// [`run_traced`](Self::run_traced) fanned out over `threads`
-    /// workers. Each worker aggregates into a private registry; the
-    /// registries are merged once at the end (counts exact, float sums
-    /// associative up to merge order). Events from different trials
-    /// interleave in `recorder` in worker-completion order — sort by
-    /// `(trial, t)` (as the JSONL/timeline sinks do) to reconstruct
-    /// per-trial order.
+    /// workers pulling trial batches from a shared work-stealing queue.
+    /// Each worker aggregates into a private registry; the registries
+    /// are merged once at the end (counts exact, float sums associative
+    /// up to merge order). Events from different trials interleave in
+    /// `recorder` in worker-completion order — sort by `(trial, t)` (as
+    /// the JSONL/timeline sinks do) to reconstruct per-trial order.
     ///
     /// # Panics
     ///
@@ -327,23 +418,24 @@ impl Simulation {
         recorder: &dyn Recorder,
     ) -> (SimulationResult, MetricsRegistry) {
         assert!(threads > 0, "need at least one thread");
-        let trials = self.config.trials;
-        let chunk = trials.div_ceil(threads as u64);
+        let queue = TrialQueue::new(self.config.trials, threads);
         let merged = Mutex::new((Partial::default(), MetricsRegistry::new()));
         crossbeam::thread::scope(|scope| {
-            for t in 0..threads as u64 {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(trials);
-                if start >= end {
-                    continue;
-                }
+            for _ in 0..threads {
+                let queue = &queue;
                 let merged = &merged;
                 scope.spawn(move |_| {
                     let mut obs = Observation {
                         recorder,
                         metrics: MetricsRegistry::new(),
                     };
-                    let partial = self.run_trials(start, end, Some(&mut obs));
+                    let mut scratch = TrialScratch::new();
+                    let mut partial = Partial::default();
+                    while let Some((start, end)) = queue.next_batch() {
+                        for trial in start..end {
+                            self.run_one_trial(trial, &mut partial, &mut scratch, Some(&mut obs));
+                        }
+                    }
                     let mut guard = merged.lock();
                     guard.0.merge(&partial);
                     guard.1.merge(&obs.metrics);
@@ -355,29 +447,32 @@ impl Simulation {
         (self.finish(partial), metrics)
     }
 
-    /// Runs trials fanned out over `threads` worker threads. Counts are
-    /// identical to [`run`](Self::run) because every trial is seeded
-    /// independently; floating-point aggregates may differ in the last
-    /// few ulps because merge order differs.
+    /// Runs trials fanned out over `threads` worker threads pulling
+    /// batches from a shared work-stealing queue (no worker idles while
+    /// trials remain). Counts are identical to [`run`](Self::run)
+    /// because every trial is seeded independently of which worker runs
+    /// it; floating-point aggregates may differ in the last few ulps
+    /// because merge order differs.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn run_parallel(&self, threads: usize) -> SimulationResult {
         assert!(threads > 0, "need at least one thread");
-        let trials = self.config.trials;
-        let chunk = trials.div_ceil(threads as u64);
+        let queue = TrialQueue::new(self.config.trials, threads);
         let merged = Mutex::new(Partial::default());
         crossbeam::thread::scope(|scope| {
-            for t in 0..threads as u64 {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(trials);
-                if start >= end {
-                    continue;
-                }
+            for _ in 0..threads {
+                let queue = &queue;
                 let merged = &merged;
                 scope.spawn(move |_| {
-                    let partial = self.run_trials(start, end, None);
+                    let mut scratch = TrialScratch::new();
+                    let mut partial = Partial::default();
+                    while let Some((start, end)) = queue.next_batch() {
+                        for trial in start..end {
+                            self.run_one_trial(trial, &mut partial, &mut scratch, None);
+                        }
+                    }
                     merged.lock().merge(&partial);
                 });
             }
@@ -410,11 +505,12 @@ impl Simulation {
         );
         assert!(max_trials > 0, "need at least one trial");
         let batch = self.config.trials.max(1);
+        let mut scratch = TrialScratch::new();
         let mut partial = Partial::default();
         let mut done = 0u64;
         loop {
             let next = (done + batch).min(max_trials);
-            let batch_partial = self.run_trials(done, next, None);
+            let batch_partial = self.run_trials(done, next, &mut scratch, None);
             partial.merge(&batch_partial);
             done = next;
             let ci = sos_math::stats::proportion_ci(
@@ -428,10 +524,16 @@ impl Simulation {
         }
     }
 
-    fn run_trials(&self, start: u64, end: u64, mut obs: Option<&mut Observation<'_>>) -> Partial {
+    fn run_trials(
+        &self,
+        start: u64,
+        end: u64,
+        scratch: &mut TrialScratch,
+        mut obs: Option<&mut Observation<'_>>,
+    ) -> Partial {
         let mut partial = Partial::default();
         for trial in start..end {
-            self.run_one_trial(trial, &mut partial, obs.as_deref_mut());
+            self.run_one_trial(trial, &mut partial, scratch, obs.as_deref_mut());
         }
         partial
     }
@@ -440,6 +542,7 @@ impl Simulation {
         &self,
         trial: u64,
         partial: &mut Partial,
+        scratch: &mut TrialScratch,
         mut obs: Option<&mut Observation<'_>>,
     ) {
         let cfg = &self.config;
@@ -457,14 +560,33 @@ impl Simulation {
         // streams above), so enabling it cannot shift the overlay,
         // attack, or routing randomness.
         let plan = (!cfg.faults.is_none()).then(|| FaultPlan::new(&cfg.faults, trial));
-        let mut overlay = Overlay::build(&cfg.scenario, &mut overlay_rng);
-        let mut transport = match cfg.transport {
-            TransportKind::Direct => Transport::Direct,
+        // First trial on this worker builds the scratch state; every
+        // later trial rebuilds in place (`build_into` is bit-identical
+        // to a fresh build, it only reuses the allocations).
+        let TrialScratch {
+            overlay: overlay_slot,
+            transport,
+            members,
+            route: route_scratch,
+        } = scratch;
+        if let Some(o) = overlay_slot.as_mut() {
+            o.build_into(&cfg.scenario, &mut overlay_rng);
+        } else {
+            *overlay_slot = Some(Overlay::build(&cfg.scenario, &mut overlay_rng));
+        }
+        let overlay = overlay_slot.as_mut().expect("overlay just built");
+        match cfg.transport {
+            TransportKind::Direct => *transport = Transport::Direct,
             TransportKind::Chord => {
-                let members: Vec<NodeId> = overlay.overlay_ids().collect();
-                Transport::Chord(ChordRing::build(&mut ring_rng, &members))
+                members.clear();
+                members.extend(overlay.overlay_ids());
+                if let Transport::Chord(ring) = transport {
+                    ring.build_into(&mut ring_rng, members);
+                } else {
+                    *transport = Transport::Chord(ChordRing::build(&mut ring_rng, members));
+                }
             }
-        };
+        }
 
         // Logical tick within the trial; only advanced in traced runs.
         let mut t = 0u64;
@@ -473,9 +595,9 @@ impl Simulation {
             o.metrics.counter("trials").inc();
             // Sample the transport substrate: a few Chord lookups from
             // the ring stream (never the attack/routing stream, so the
-            // trial outcome matches an untraced run exactly).
-            if let Transport::Chord(ring) = &transport {
-                let members: Vec<NodeId> = overlay.overlay_ids().collect();
+            // trial outcome matches an untraced run exactly). `members`
+            // was already collected for ring construction.
+            if let Transport::Chord(ring) = &*transport {
                 let bounds = hop_bounds();
                 for _ in 0..TRACED_LOOKUP_SAMPLES {
                     let from = members[ring_rng.gen_range(0..members.len())];
@@ -495,14 +617,14 @@ impl Simulation {
 
         let outcome = match (cfg.attack, cfg.monitoring_tap) {
             (AttackConfig::OneBurst { budget }, _) => {
-                OneBurstAttacker::new(budget).execute(&mut overlay, &mut rng)
+                OneBurstAttacker::new(budget).execute(overlay, &mut rng)
             }
             (AttackConfig::Successive { budget, params }, None) => {
-                SuccessiveAttacker::new(budget, params).execute(&mut overlay, &mut rng)
+                SuccessiveAttacker::new(budget, params).execute(overlay, &mut rng)
             }
             (AttackConfig::Successive { budget, params }, Some(tap)) => {
                 sos_attack::MonitoringAttacker::new(budget, params, tap)
-                    .execute(&mut overlay, &mut rng)
+                    .execute(overlay, &mut rng)
                     .outcome
             }
         };
@@ -510,13 +632,13 @@ impl Simulation {
         // transport keeps (no-op for Direct/Chord, which read the overlay
         // directly). Skipping this on a stateful transport is the classic
         // stale-ring footgun — `sync_damage` owns the invariant.
-        transport.sync_damage(&overlay);
+        transport.sync_damage(overlay);
         if let Some(o) = obs.as_deref_mut() {
             let attack_start = t;
             if o.recorder.enabled() {
                 sos_attack::emit_attack_events(
                     &outcome.trace,
-                    &overlay,
+                    overlay,
                     trial,
                     &mut t,
                     o.recorder,
@@ -575,13 +697,14 @@ impl Simulation {
         }
         let mut delivered = 0u64;
         for route in 0..cfg.routes_per_trial {
-            let result = route_message_with(
-                &overlay,
-                &transport,
+            let result = route_message_into(
+                overlay,
+                transport,
                 cfg.policy,
                 plan.as_ref(),
                 &cfg.retry,
                 &mut rng,
+                route_scratch,
             );
             if let Some(o) = obs.as_deref_mut() {
                 o.emit(&mut t, trial, EventKind::RouteAttempt { route });
@@ -1129,6 +1252,61 @@ mod tests {
         assert_eq!(Some(faults), metrics.counter_value("faults_injected"));
         assert_eq!(Some(retries), metrics.counter_value("hop_retries"));
         assert!(faults > 0 && retries > 0, "{faults} faults, {retries} retries");
+    }
+
+    #[test]
+    fn work_stealing_is_bit_identical_at_any_thread_count() {
+        // The scheduler decides *who* runs a trial, never *what* the
+        // trial is: counts must match the serial run exactly at every
+        // thread count, including more threads than batches.
+        for transport in [TransportKind::Direct, TransportKind::Chord] {
+            let cfg = quick(
+                AttackConfig::Successive {
+                    budget: AttackBudget::new(50, 200),
+                    params: SuccessiveParams::paper_default(),
+                },
+                MappingDegree::OneTo(2),
+            )
+            .transport(transport);
+            let serial = Simulation::new(cfg.clone()).run();
+            for threads in [1, 2, 4, 8] {
+                let par = Simulation::new(cfg.clone()).run_parallel(threads);
+                assert_eq!(serial.successes, par.successes, "{threads} threads");
+                assert_eq!(serial.attempts, par.attempts, "{threads} threads");
+                assert_eq!(serial.failure_depths, par.failure_depths, "{threads} threads");
+                assert_eq!(serial.per_trial.count, par.per_trial.count);
+                assert!((serial.per_trial.mean - par.per_trial.mean).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trial_queue_partitions_trials_evenly() {
+        // Deterministic model of the work-stealing queue: round-robin
+        // workers drain it; every trial is handed out exactly once and
+        // no two workers' totals differ by more than one batch.
+        for (trials, threads) in [(1u64, 4usize), (7, 4), (40, 4), (1_000, 8), (1_000, 3)] {
+            let queue = TrialQueue::new(trials, threads);
+            let mut counts = vec![0u64; threads];
+            let mut seen = vec![false; trials as usize];
+            let mut worker = 0;
+            while let Some((start, end)) = queue.next_batch() {
+                assert!(start < end && end <= trials);
+                for t in start..end {
+                    assert!(!seen[t as usize], "trial {t} handed out twice");
+                    seen[t as usize] = true;
+                }
+                counts[worker] += end - start;
+                worker = (worker + 1) % threads;
+            }
+            assert!(seen.iter().all(|&s| s), "every trial handed out");
+            let spread = counts.iter().max().unwrap() - counts.iter().min().unwrap();
+            assert!(
+                spread <= queue.batch,
+                "worker totals {counts:?} spread {spread} > batch {}",
+                queue.batch
+            );
+        }
     }
 
     #[test]

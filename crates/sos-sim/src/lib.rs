@@ -65,7 +65,7 @@ pub mod routing;
 pub mod timing;
 
 pub use compare::{ComparisonRow, compare_models};
-pub use engine::{Simulation, SimulationConfig, SimulationResult, TransportKind};
+pub use engine::{num_threads, Simulation, SimulationConfig, SimulationResult, TransportKind};
 pub use flow::{FlowModel, FlowResult, FlowSimulation};
 pub use repair::{RepairConfig, RepairSimulation, RepairTimeline};
 pub use routing::{

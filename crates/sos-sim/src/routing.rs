@@ -17,9 +17,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sos_faults::{Fallback, FaultPlan, HopIncident, RetryPolicy};
-use sos_math::sampling::shuffle;
-use sos_overlay::{NodeId, Overlay, Transport};
-use std::collections::HashSet;
+use sos_math::sampling::{shuffle, IndexSampler};
+use sos_overlay::{NodeBitSet, NodeId, Overlay, Transport};
 
 /// How a forwarding node chooses among its next-layer neighbors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -83,7 +82,7 @@ pub enum RouteIncidentKind {
 }
 
 /// Outcome of one routing attempt.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouteResult {
     /// Whether the message reached the target (crossed the filter ring).
     pub delivered: bool,
@@ -109,17 +108,41 @@ pub struct RouteResult {
 }
 
 impl RouteResult {
-    fn clean(delivered: bool, path: Vec<NodeId>, underlay_hops: usize, deepest_layer: usize) -> Self {
-        RouteResult {
-            delivered,
-            path,
-            underlay_hops,
-            deepest_layer,
-            retries: 0,
-            downgrades: 0,
-            fault_ticks: 0,
-            incidents: Vec::new(),
-        }
+    /// Resets to the empty (undelivered) state while keeping the `path`
+    /// and `incidents` allocations for reuse.
+    fn reset(&mut self) {
+        self.delivered = false;
+        self.path.clear();
+        self.underlay_hops = 0;
+        self.deepest_layer = 0;
+        self.retries = 0;
+        self.downgrades = 0;
+        self.fault_ticks = 0;
+        self.incidents.clear();
+    }
+}
+
+/// Reusable routing buffers: entry/candidate lists, the visited set for
+/// backtracking, the sampling scratch, and the [`RouteResult`] itself.
+///
+/// One `RouteScratch` per worker lets the steady-state route loop run
+/// without heap allocation under the greedy policies
+/// ([`RoutingPolicy::RandomGood`] / [`RoutingPolicy::FirstGood`]);
+/// backtracking still allocates its DFS frames, which is inherent to
+/// reporting full exploration paths.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    sampler: IndexSampler,
+    candidates: Vec<NodeId>,
+    neighbors_buf: Vec<NodeId>,
+    visited: NodeBitSet,
+    result: RouteResult,
+}
+
+impl RouteScratch {
+    /// Fresh, empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -156,16 +179,55 @@ pub fn route_message_with<R: Rng + ?Sized>(
     retry: &RetryPolicy,
     rng: &mut R,
 ) -> RouteResult {
-    let entries = overlay.sample_entry_points(rng);
+    let mut scratch = RouteScratch::new();
+    route_message_into(overlay, transport, policy, faults, retry, rng, &mut scratch).clone()
+}
+
+/// Allocation-reusing routing: identical semantics and RNG consumption
+/// to [`route_message_with`], but all buffers (entry sampling,
+/// candidate lists, visited set, the result itself) live in the
+/// caller-owned [`RouteScratch`]. The returned reference points into the
+/// scratch and is valid until the next call.
+#[allow(clippy::too_many_arguments)]
+pub fn route_message_into<'a, R: Rng + ?Sized>(
+    overlay: &Overlay,
+    transport: &Transport,
+    policy: RoutingPolicy,
+    faults: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    rng: &mut R,
+    scratch: &'a mut RouteScratch,
+) -> &'a RouteResult {
     let last_layer = overlay.layer_count() + 1; // filters
-    match policy {
-        RoutingPolicy::RandomGood | RoutingPolicy::FirstGood => {
-            greedy_route(overlay, transport, policy, entries, last_layer, faults, retry, rng)
-        }
-        RoutingPolicy::Backtracking => {
-            backtracking_route(overlay, transport, entries, last_layer, faults, retry, rng)
+    {
+        let RouteScratch {
+            sampler,
+            candidates,
+            neighbors_buf,
+            visited,
+            result,
+        } = scratch;
+        overlay.sample_entry_points_into(rng, sampler, candidates);
+        result.reset();
+        match policy {
+            RoutingPolicy::RandomGood | RoutingPolicy::FirstGood => greedy_route(
+                overlay, transport, policy, candidates, last_layer, faults, retry, rng, result,
+            ),
+            RoutingPolicy::Backtracking => backtracking_route(
+                overlay,
+                transport,
+                candidates,
+                neighbors_buf,
+                visited,
+                last_layer,
+                faults,
+                retry,
+                rng,
+                result,
+            ),
         }
     }
+    &scratch.result
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -173,27 +235,27 @@ fn greedy_route<R: Rng + ?Sized>(
     overlay: &Overlay,
     transport: &Transport,
     policy: RoutingPolicy,
-    mut candidates: Vec<NodeId>,
+    candidates: &mut Vec<NodeId>,
     last_layer: usize,
     faults: Option<&FaultPlan>,
     retry: &RetryPolicy,
     rng: &mut R,
-) -> RouteResult {
-    let mut result = RouteResult::clean(false, Vec::new(), 0, 0);
-    // `candidates` are the potential nodes at the next layer; the
-    // "client hop" into layer 1 is a plain reachability check (clients
-    // talk to SOAPs directly).
+    result: &mut RouteResult,
+) {
+    // `candidates` are the potential nodes at the next layer (initially
+    // the client's entry set); the "client hop" into layer 1 is a plain
+    // reachability check (clients talk to SOAPs directly).
     let mut current: Option<NodeId> = None;
     loop {
         if policy == RoutingPolicy::RandomGood {
-            shuffle(rng, &mut candidates);
+            shuffle(rng, candidates);
         }
         let mut next = None;
         // Set when the previous candidate at this layer failed for a
         // *fault* (not a compromise): trying the next candidate is the
         // alternate-neighbor degradation stage and is recorded as such.
         let mut fault_failed_prev = false;
-        for &cand in &candidates {
+        for &cand in candidates.iter() {
             match current {
                 None => {
                     // Client → first layer: direct contact. Benign
@@ -281,7 +343,7 @@ fn greedy_route<R: Rng + ?Sized>(
             }
         }
         let Some((node, hops)) = next else {
-            return result;
+            return;
         };
         result.underlay_hops += hops;
         result.path.push(node);
@@ -291,9 +353,10 @@ fn greedy_route<R: Rng + ?Sized>(
         result.deepest_layer = layer;
         if layer == last_layer {
             result.delivered = true;
-            return result;
+            return;
         }
-        candidates = overlay.neighbors(node).to_vec();
+        candidates.clear();
+        candidates.extend_from_slice(overlay.neighbors(node));
         current = Some(node);
     }
 }
@@ -302,20 +365,18 @@ fn greedy_route<R: Rng + ?Sized>(
 fn backtracking_route<R: Rng + ?Sized>(
     overlay: &Overlay,
     transport: &Transport,
-    mut entries: Vec<NodeId>,
+    entries: &mut Vec<NodeId>,
+    neighbors_buf: &mut Vec<NodeId>,
+    visited: &mut NodeBitSet,
     last_layer: usize,
     faults: Option<&FaultPlan>,
     retry: &RetryPolicy,
     rng: &mut R,
-) -> RouteResult {
-    shuffle(rng, &mut entries);
-    let mut visited: HashSet<NodeId> = HashSet::new();
-    let mut best_prefix: Vec<NodeId> = Vec::new();
+    result: &mut RouteResult,
+) {
+    shuffle(rng, entries);
+    visited.clear();
     let mut best_prefix_hops = 0usize;
-    let mut deepest_layer = 0usize;
-    let mut retries = 0u64;
-    let mut fault_ticks = 0u64;
-    let mut incidents: Vec<RouteIncident> = Vec::new();
 
     // Explicit DFS stack; each frame carries the path and its underlay
     // cost so the delivered result reports the *path's* hops, not the
@@ -328,7 +389,7 @@ fn backtracking_route<R: Rng + ?Sized>(
         hops: usize,
     }
     let mut stack: Vec<Frame> = entries
-        .into_iter()
+        .drain(..)
         .filter(|&e| {
             overlay.is_good(e) && faults.is_none_or(|p| !p.is_crashed(e.0))
         })
@@ -346,34 +407,31 @@ fn backtracking_route<R: Rng + ?Sized>(
         let layer = overlay
             .layer_of(node)
             .expect("routed nodes are always infrastructure");
-        if layer > deepest_layer {
-            deepest_layer = layer;
-            best_prefix = path.clone();
+        if layer > result.deepest_layer {
+            result.deepest_layer = layer;
+            result.path.clear();
+            result.path.extend_from_slice(&path);
             best_prefix_hops = hops;
         }
         if layer == last_layer {
-            return RouteResult {
-                delivered: true,
-                underlay_hops: hops,
-                path,
-                deepest_layer,
-                retries,
-                downgrades: 0,
-                fault_ticks,
-                incidents,
-            };
+            result.delivered = true;
+            result.underlay_hops = hops;
+            result.path.clear();
+            result.path.extend_from_slice(&path);
+            return;
         }
-        let mut neighbors = overlay.neighbors(node).to_vec();
-        shuffle(rng, &mut neighbors);
-        for next in neighbors {
-            if visited.contains(&next) {
+        neighbors_buf.clear();
+        neighbors_buf.extend_from_slice(overlay.neighbors(node));
+        shuffle(rng, neighbors_buf);
+        for &next in neighbors_buf.iter() {
+            if visited.contains(next) {
                 continue;
             }
             let hop = transport.deliver_with(overlay, node, next, faults, retry);
-            retries += u64::from(hop.attempts.saturating_sub(1));
-            fault_ticks += hop.ticks;
+            result.retries += u64::from(hop.attempts.saturating_sub(1));
+            result.fault_ticks += hop.ticks;
             for incident in &hop.incidents {
-                incidents.push(RouteIncident {
+                result.incidents.push(RouteIncident {
                     from: node.0,
                     to: next.0,
                     kind: RouteIncidentKind::Hop(*incident),
@@ -392,16 +450,7 @@ fn backtracking_route<R: Rng + ?Sized>(
             }
         }
     }
-    RouteResult {
-        delivered: false,
-        path: best_prefix,
-        underlay_hops: best_prefix_hops,
-        deepest_layer,
-        retries,
-        downgrades: 0,
-        fault_ticks,
-        incidents,
-    }
+    result.underlay_hops = best_prefix_hops;
 }
 
 #[cfg(test)]
@@ -677,6 +726,53 @@ mod tests {
         // Direct transport has no successor lists, so a lost hop walks
         // the degradation ladder to the alternate-neighbor stage.
         assert!(saw_downgrade, "losses without retries should downgrade");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_routing() {
+        // One reused RouteScratch across many routes, policies, damage
+        // patterns and fault plans must consume the RNG and produce
+        // results exactly like the allocating entry point.
+        let mut o = overlay(MappingDegree::OneTo(2), 31);
+        for &n in o.layer_members(2).to_vec()[..5].iter() {
+            o.set_status(n, NodeStatus::Congested);
+        }
+        let cfg = FaultConfig::none().loss(0.3).delay(0.2, 2).seed(5);
+        let mut scratch = RouteScratch::new();
+        for policy in [
+            RoutingPolicy::RandomGood,
+            RoutingPolicy::FirstGood,
+            RoutingPolicy::Backtracking,
+        ] {
+            let mut a = StdRng::seed_from_u64(32);
+            let mut b = StdRng::seed_from_u64(32);
+            for trial in 0..40u64 {
+                // The plan's draw counters are stateful (interior
+                // mutability), so each side gets its own copy.
+                let plan_a = (trial % 2 == 0).then(|| FaultPlan::new(&cfg, trial));
+                let plan_b = (trial % 2 == 0).then(|| FaultPlan::new(&cfg, trial));
+                let retry = RetryPolicy::new(3, 1, 128);
+                let fresh = route_message_with(
+                    &o,
+                    &Transport::Direct,
+                    policy,
+                    plan_a.as_ref(),
+                    &retry,
+                    &mut a,
+                );
+                let reused = route_message_into(
+                    &o,
+                    &Transport::Direct,
+                    policy,
+                    plan_b.as_ref(),
+                    &retry,
+                    &mut b,
+                    &mut scratch,
+                );
+                assert_eq!(&fresh, reused, "{policy} trial {trial}");
+                assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+            }
+        }
     }
 
     #[test]
