@@ -23,10 +23,10 @@ use sos_core::{
     SystemParams,
 };
 use sos_faults::{FaultConfig, RetryPolicy};
-use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
+use sos_sim::engine::{SimulationConfig, TransportKind};
 use sos_sim::repair::{AttackerPersistence, RepairConfig, RepairSimulation};
 use sos_sim::routing::RoutingPolicy;
-use sos_sim::{compare_models, ComparisonRow};
+use sos_sim::{compare_models, run_sweep, ComparisonRow};
 
 /// Monte Carlo sizing shared by the ablations.
 #[derive(Debug, Clone, Copy)]
@@ -110,32 +110,40 @@ pub fn evaluator_ablation(opts: AblationOptions) -> Vec<ComparisonRow> {
 pub fn routing_ablation(opts: AblationOptions) -> SweepTable {
     let mut table = SweepTable::new("ablation-routing", "N_C", "P_S");
     let budgets = [0u64, 100, 200, 300, 400, 500];
-    for policy in [
+    let policies = [
         RoutingPolicy::RandomGood,
         RoutingPolicy::FirstGood,
         RoutingPolicy::Backtracking,
-    ] {
-        let mut points = Vec::new();
-        for &n_c in &budgets {
-            let cfg = SimulationConfig::new(
-                ablation_scenario(MappingDegree::OneTo(2)),
-                AttackConfig::OneBurst {
-                    budget: AttackBudget::new(100, n_c),
-                },
-            )
-            .policy(policy)
-            .trials(opts.trials)
-            .routes_per_trial(opts.routes_per_trial)
-            .seed(opts.seed);
-            let result = Simulation::new(cfg).run_parallel(threads());
-            points.push(SweepPoint {
-                x: n_c as f64,
-                y: result.success_rate(),
-            });
-        }
+    ];
+    let configs: Vec<SimulationConfig> = policies
+        .iter()
+        .flat_map(|&policy| {
+            budgets.iter().map(move |&n_c| {
+                SimulationConfig::new(
+                    ablation_scenario(MappingDegree::OneTo(2)),
+                    AttackConfig::OneBurst {
+                        budget: AttackBudget::new(100, n_c),
+                    },
+                )
+                .policy(policy)
+                .trials(opts.trials)
+                .routes_per_trial(opts.routes_per_trial)
+                .seed(opts.seed)
+            })
+        })
+        .collect();
+    let results = run_sweep(&configs);
+    for (policy, chunk) in policies.iter().zip(results.chunks(budgets.len())) {
         table.push(SweepSeries {
             label: policy.to_string(),
-            points,
+            points: budgets
+                .iter()
+                .zip(chunk)
+                .map(|(&n_c, result)| SweepPoint {
+                    x: n_c as f64,
+                    y: result.success_rate(),
+                })
+                .collect(),
         });
     }
     table
@@ -146,28 +154,36 @@ pub fn routing_ablation(opts: AblationOptions) -> SweepTable {
 pub fn chord_ablation(opts: AblationOptions) -> SweepTable {
     let mut table = SweepTable::new("ablation-chord", "N_C", "P_S");
     let budgets = [0u64, 100, 200, 300, 400];
-    for transport in [TransportKind::Direct, TransportKind::Chord] {
-        let mut points = Vec::new();
-        for &n_c in &budgets {
-            let cfg = SimulationConfig::new(
-                ablation_scenario(MappingDegree::OneTo(2)),
-                AttackConfig::OneBurst {
-                    budget: AttackBudget::new(0, n_c),
-                },
-            )
-            .transport(transport)
-            .trials(opts.trials)
-            .routes_per_trial(opts.routes_per_trial)
-            .seed(opts.seed);
-            let result = Simulation::new(cfg).run_parallel(threads());
-            points.push(SweepPoint {
-                x: n_c as f64,
-                y: result.success_rate(),
-            });
-        }
+    let transports = [TransportKind::Direct, TransportKind::Chord];
+    let configs: Vec<SimulationConfig> = transports
+        .iter()
+        .flat_map(|&transport| {
+            budgets.iter().map(move |&n_c| {
+                SimulationConfig::new(
+                    ablation_scenario(MappingDegree::OneTo(2)),
+                    AttackConfig::OneBurst {
+                        budget: AttackBudget::new(0, n_c),
+                    },
+                )
+                .transport(transport)
+                .trials(opts.trials)
+                .routes_per_trial(opts.routes_per_trial)
+                .seed(opts.seed)
+            })
+        })
+        .collect();
+    let results = run_sweep(&configs);
+    for (transport, chunk) in transports.iter().zip(results.chunks(budgets.len())) {
         table.push(SweepSeries {
             label: transport.label().to_string(),
-            points,
+            points: budgets
+                .iter()
+                .zip(chunk)
+                .map(|(&n_c, result)| SweepPoint {
+                    x: n_c as f64,
+                    y: result.success_rate(),
+                })
+                .collect(),
         });
     }
     table
@@ -222,29 +238,39 @@ pub fn fault_sweep(opts: AblationOptions) -> SweepTable {
         ("no-retry", RetryPolicy::none()),
         ("retry(4)", RetryPolicy::new(4, 1, 64)),
     ];
-    for (label, retry) in policies {
-        let mut points = Vec::new();
-        for &loss in &FAULT_SWEEP_LOSS_RATES {
-            let cfg = SimulationConfig::new(
-                ablation_scenario(MappingDegree::OneTo(2)),
-                AttackConfig::OneBurst {
-                    budget: AttackBudget::new(50, 200),
-                },
-            )
-            .faults(FaultConfig::none().loss(loss).seed(opts.seed))
-            .retry(retry)
-            .trials(opts.trials)
-            .routes_per_trial(opts.routes_per_trial)
-            .seed(opts.seed);
-            let result = Simulation::new(cfg).run_parallel(threads());
-            points.push(SweepPoint {
-                x: loss,
-                y: result.success_rate(),
-            });
-        }
+    let configs: Vec<SimulationConfig> = policies
+        .iter()
+        .flat_map(|&(_, retry)| {
+            FAULT_SWEEP_LOSS_RATES.iter().map(move |&loss| {
+                SimulationConfig::new(
+                    ablation_scenario(MappingDegree::OneTo(2)),
+                    AttackConfig::OneBurst {
+                        budget: AttackBudget::new(50, 200),
+                    },
+                )
+                .faults(FaultConfig::none().loss(loss).seed(opts.seed))
+                .retry(retry)
+                .trials(opts.trials)
+                .routes_per_trial(opts.routes_per_trial)
+                .seed(opts.seed)
+            })
+        })
+        .collect();
+    let results = run_sweep(&configs);
+    for ((label, _), chunk) in policies
+        .iter()
+        .zip(results.chunks(FAULT_SWEEP_LOSS_RATES.len()))
+    {
         table.push(SweepSeries {
             label: label.to_string(),
-            points,
+            points: FAULT_SWEEP_LOSS_RATES
+                .iter()
+                .zip(chunk)
+                .map(|(&loss, result)| SweepPoint {
+                    x: loss,
+                    y: result.success_rate(),
+                })
+                .collect(),
         });
     }
     table
@@ -317,27 +343,35 @@ pub fn monitoring_extension(opts: AblationOptions) -> SweepTable {
         budget: AttackBudget::new(100, 300),
         params: SuccessiveParams::paper_default(),
     };
-    let mut points = Vec::new();
-    for tap in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
-        let mut cfg = SimulationConfig::new(
-            ablation_scenario(MappingDegree::OneTo(2)),
-            attack,
-        )
-        .trials(opts.trials)
-        .routes_per_trial(opts.routes_per_trial)
-        .seed(opts.seed);
-        if tap > 0.0 {
-            cfg = cfg.monitoring_tap(tap);
-        }
-        let result = Simulation::new(cfg).run_parallel(threads());
-        points.push(SweepPoint {
-            x: tap,
-            y: result.success_rate(),
-        });
-    }
+    let taps = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let configs: Vec<SimulationConfig> = taps
+        .iter()
+        .map(|&tap| {
+            let cfg = SimulationConfig::new(
+                ablation_scenario(MappingDegree::OneTo(2)),
+                attack,
+            )
+            .trials(opts.trials)
+            .routes_per_trial(opts.routes_per_trial)
+            .seed(opts.seed);
+            if tap > 0.0 {
+                cfg.monitoring_tap(tap)
+            } else {
+                cfg
+            }
+        })
+        .collect();
+    let results = run_sweep(&configs);
     table.push(SweepSeries {
         label: "monitoring successive".to_string(),
-        points,
+        points: taps
+            .iter()
+            .zip(&results)
+            .map(|(&tap, result)| SweepPoint {
+                x: tap,
+                y: result.success_rate(),
+            })
+            .collect(),
     });
     table
 }
@@ -392,13 +426,14 @@ pub fn flow_extension(opts: AblationOptions) -> SweepTable {
         points,
     });
     // Binary reference line (same value at every x).
-    let binary = Simulation::new(
-        SimulationConfig::new(ablation_scenario(MappingDegree::OneTo(2)), attack)
-            .trials(opts.trials)
-            .routes_per_trial(opts.routes_per_trial)
-            .seed(opts.seed),
+    let binary = run_sweep(&[SimulationConfig::new(
+        ablation_scenario(MappingDegree::OneTo(2)),
+        attack,
     )
-    .run_parallel(threads());
+    .trials(opts.trials)
+    .routes_per_trial(opts.routes_per_trial)
+    .seed(opts.seed)])
+    .remove(0);
     table.push(SweepSeries {
         label: "binary model".to_string(),
         points: [0.1, 0.3, 1.0, 3.0, 10.0, 100.0, 1e6]
@@ -678,13 +713,6 @@ pub fn protocol_churn_extension() -> SweepTable {
         points,
     });
     table
-}
-
-fn threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
 }
 
 #[cfg(test)]

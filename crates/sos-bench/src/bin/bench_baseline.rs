@@ -14,6 +14,13 @@
 //! delivery counts must match exactly — asserted on every workload;
 //! the comparison measures allocation strategy, never different work.
 //!
+//! A fifth workload measures the cross-scenario *sweep executor*: an
+//! ablation-shaped grid of many small simulation points run once as a
+//! loop of per-point `run_parallel` calls (the pre-executor shape: one
+//! thread-pool spawn/join and one cold scratch per point) and once
+//! through a cache-cold [`sos_sim::SweepExecutor`] at the same thread
+//! count. Per-point delivery counts are asserted equal.
+//!
 //! Output: `BENCH_trials.json` (or `--out PATH`) with trials/sec,
 //! ns/trial and peak RSS per workload. `--check PATH` additionally
 //! compares the freshly measured speedups against a committed baseline
@@ -27,10 +34,11 @@ use sos_attack::OneBurstAttacker;
 use sos_core::{
     AttackBudget, AttackConfig, MappingDegree, PathEvaluator, Scenario, SystemParams,
 };
-use sos_faults::RetryPolicy;
+use sos_faults::{FaultConfig, RetryPolicy};
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
 use sos_sim::routing::{route_message_with, RoutingPolicy};
+use sos_sim::SweepExecutor;
 use std::time::Instant;
 
 /// Per-trial seed-stream constants — must match `sos_sim::engine`'s
@@ -141,6 +149,61 @@ fn engine_run(
     Simulation::new(cfg).run().successes
 }
 
+/// The sweep workload: three overlapping ablation-style panels over one
+/// small scenario — the shape every figure family has. Panels overlap
+/// deliberately (panel 2's direct series equals panel 1's random-good
+/// series; panel 3's zero-loss series equals both), exactly as real
+/// figure families share their baseline points, so the executor's
+/// intra-run dedup is part of what this workload measures.
+fn sweep_configs() -> Vec<SimulationConfig> {
+    let budgets = [0u64, 40, 80, 120, 160, 200];
+    // Chord transport: the substrate every figure family pays the most
+    // scratch-construction for, and therefore where per-point cold
+    // starts hurt the most.
+    let base = |n_c: u64| {
+        SimulationConfig::new(
+            scenario(1_000),
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(60, n_c),
+            },
+        )
+        .transport(TransportKind::Chord)
+        .trials(2)
+        .routes_per_trial(20)
+        .seed(SEED)
+    };
+    let mut configs = Vec::new();
+    for policy in [
+        RoutingPolicy::RandomGood,
+        RoutingPolicy::FirstGood,
+        RoutingPolicy::Backtracking,
+    ] {
+        for &n_c in &budgets {
+            configs.push(base(n_c).policy(policy));
+        }
+    }
+    for transport in [TransportKind::Direct, TransportKind::Chord] {
+        for &n_c in &budgets {
+            configs.push(base(n_c).transport(transport));
+        }
+    }
+    for loss in [0.0, 0.2] {
+        for &n_c in &budgets {
+            configs.push(base(n_c).faults(FaultConfig::none().loss(loss).seed(SEED)));
+        }
+    }
+    configs
+}
+
+/// The pre-executor sweep shape: one `run_parallel` call per point,
+/// each paying its own thread spawn/join and cold scratch.
+fn sweep_reference_run(configs: &[SimulationConfig], threads: usize) -> Vec<u64> {
+    configs
+        .iter()
+        .map(|cfg| Simulation::new(cfg.clone()).run_parallel(threads).successes)
+        .collect()
+}
+
 /// Peak resident set (VmHWM) in bytes, when the platform exposes it.
 fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -175,20 +238,23 @@ fn check_against(path: &str, fresh: &serde_json::Value) -> Result<(), String> {
             .find(|w| w["name"].as_str() == Some(name))
             .and_then(|w| w["speedup"].as_f64())
     };
+    let names: Vec<&str> = fresh["workloads"]
+        .as_array()
+        .map(|rows| rows.iter().filter_map(|w| w["name"].as_str()).collect())
+        .unwrap_or_default();
     let mut failures = Vec::new();
-    for w in WORKLOADS {
-        let (Some(old), Some(new)) = (find(&committed, w.name), find(fresh, w.name)) else {
+    for name in names {
+        let (Some(old), Some(new)) = (find(&committed, name), find(fresh, name)) else {
             continue;
         };
         // Speedup (after/before on the same machine, same run) is the
         // portable metric; raw trials/sec tracks the host CPU.
         if new < 0.75 * old {
             failures.push(format!(
-                "{}: speedup {new:.2}x vs committed {old:.2}x (>25% regression)",
-                w.name
+                "{name}: speedup {new:.2}x vs committed {old:.2}x (>25% regression)"
             ));
         } else {
-            println!("check {}: speedup {new:.2}x vs committed {old:.2}x — ok", w.name);
+            println!("check {name}: speedup {new:.2}x vs committed {old:.2}x — ok");
         }
     }
     if failures.is_empty() {
@@ -258,6 +324,61 @@ fn main() {
             "delivered": after_successes,
             "before": side_json(before_secs, w.trials),
             "after": side_json(after_secs, w.trials),
+            "speedup": speedup,
+        }));
+    }
+
+    // Sweep-executor workload: many small points, before = one
+    // run_parallel call per point, after = one cache-cold executor run
+    // at the same thread count.
+    {
+        let threads = sos_sim::num_threads();
+        let configs = sweep_configs();
+        let total_trials: u64 = configs.iter().map(|c| c.configured_trials()).sum();
+        // Warm both paths outside the timers; the executor (after) is
+        // timed first so the reference inherits the warmer allocator —
+        // any bias is against the reported speedup. Warm-up uses its
+        // own executor so the timed one starts cache-cold.
+        sweep_reference_run(&configs[..2], threads);
+        SweepExecutor::with_threads(threads).run(&configs[..2]);
+        let (after_successes, after_secs) = timed(|| {
+            let mut exec = SweepExecutor::with_threads(threads);
+            let results = exec.run(&configs);
+            let stats = exec.stats();
+            (
+                results.iter().map(|r| r.successes).collect::<Vec<u64>>(),
+                stats,
+            )
+        });
+        let (before_successes, before_secs) =
+            timed(|| sweep_reference_run(&configs, threads));
+        let (after_successes, stats) = after_successes;
+        assert_eq!(
+            before_successes, after_successes,
+            "sweep-ablation: per-point counts diverged — executor is not \
+             running the same points"
+        );
+        let speedup = before_secs / after_secs;
+        println!(
+            "{:11} before {:8.1} trials/s  after {:8.1} trials/s  speedup {:.2}x \
+             ({} points, {} executed, {} dedup hits)",
+            "sweep-ablation",
+            total_trials as f64 / before_secs,
+            total_trials as f64 / after_secs,
+            speedup,
+            stats.points,
+            stats.points_executed,
+            stats.dedup_hits,
+        );
+        rows.push(serde_json::json!({
+            "name": "sweep-ablation",
+            "points": stats.points,
+            "points_executed": stats.points_executed,
+            "dedup_hits": stats.dedup_hits,
+            "trials": total_trials,
+            "threads": threads,
+            "before": side_json(before_secs, total_trials),
+            "after": side_json(after_secs, total_trials),
             "speedup": speedup,
         }));
     }

@@ -3,12 +3,16 @@
 //! tornado, as CSV files plus a JSON manifest.
 //!
 //! ```text
-//! cargo run --release -p sos-bench --bin full_report [-- <output-dir>]
+//! cargo run --release -p sos-bench --bin full_report [-- <output-dir>] [--cache <file>]
 //! ```
 //!
 //! Defaults to `./data`. Monte Carlo experiments use the default
 //! ablation sizing (100 trials × 100 routes, seed 42), so the whole
-//! run finishes in a few minutes and is reproducible bit for bit.
+//! run finishes in a few minutes and is reproducible bit for bit. All
+//! Monte Carlo sweeps go through `sos_sim::run_sweep`; with `--cache`
+//! (or `SOS_SWEEP_CACHE`) pointing at a persistent cache file, a re-run
+//! after an analytic-only change reuses every simulated point and the
+//! CSVs stay byte-identical.
 
 use sos_bench::ablations::{self, AblationOptions};
 use sos_bench::figures;
@@ -17,10 +21,22 @@ use std::fs;
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir: PathBuf = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "data".to_string())
-        .into();
+    let mut dir: PathBuf = PathBuf::from("data");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--cache" {
+            let path = args
+                .next()
+                .ok_or("--cache expects a file path")?;
+            let loaded = sos_sim::set_global_cache(&path)?;
+            eprintln!("sweep cache {path}: {loaded} entries loaded");
+        } else if let Some(path) = arg.strip_prefix("--cache=") {
+            let loaded = sos_sim::set_global_cache(path)?;
+            eprintln!("sweep cache {path}: {loaded} entries loaded");
+        } else {
+            dir = arg.into();
+        }
+    }
     fs::create_dir_all(&dir)?;
     let opts = AblationOptions::default();
     let mut written: Vec<String> = Vec::new();
@@ -66,6 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("ablation-multirole", ablations::multirole_ablation()),
         ("ext-repair", ablations::repair_extension(opts)),
         ("ext-monitoring", ablations::monitoring_extension(opts)),
+        ("ext-faults", ablations::fault_sweep(opts)),
         ("ext-flow", ablations::flow_extension(opts)),
         ("ext-stabilization", ablations::stabilization_extension()),
         ("ext-staleness", ablations::staleness_extension()),
@@ -132,11 +149,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("wrote trace-paper-intelligent ({} events)", events.len());
     }
 
-    // Manifest.
+    // Manifest, including how much work the sweep executor actually
+    // did vs answered from its cache/dedup layers.
+    let sweep = sos_sim::sweep_stats();
+    eprintln!(
+        "sweep executor: {} points ({} executed, {} cache hits, {} dedup hits), {} trials run",
+        sweep.points,
+        sweep.points_executed,
+        sweep.cache_hits,
+        sweep.dedup_hits,
+        sweep.trials_executed,
+    );
     let manifest = serde_json::json!({
         "suite": "sos-resilience full report",
         "paper": "Analyzing the Secure Overlay Services Architecture under Intelligent DDoS Attacks (ICDCS 2004)",
         "monte_carlo": { "trials": opts.trials, "routes_per_trial": opts.routes_per_trial, "seed": opts.seed },
+        "sweep": {
+            "points": sweep.points,
+            "points_executed": sweep.points_executed,
+            "cache_hits": sweep.cache_hits,
+            "dedup_hits": sweep.dedup_hits,
+            "trials_executed": sweep.trials_executed,
+            "pool_batches": sweep.pool_batches,
+        },
         "files": written,
     });
     fs::write(

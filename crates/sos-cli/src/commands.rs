@@ -22,6 +22,8 @@ COMMANDS:
     trace      traced Monte Carlo run: per-trial attack-phase timeline
     compare    closed-form vs Monte Carlo side by side
     figure     regenerate a paper figure (fig4a fig4b fig6a fig6b fig7 fig8a fig8b all)
+               or a Monte Carlo family (ablation-routing ablation-chord
+               ext-faults ext-monitoring)
     optimize   search the design grid for the best worst-case design
     frontier   latency-resilience Pareto frontier over the design grid
     tornado    parameter-sensitivity analysis around an operating point
@@ -70,6 +72,15 @@ TRACE FLAGS (plus the shared topology flags and --routes/--seed/
                          [paper-intelligent]
     --trials T           attacked overlays             [3]
 
+FIGURE FLAGS:
+    --cache F            persistent sweep-result cache file: Monte Carlo
+                         families answer repeated points from F instead
+                         of re-simulating (byte-identical CSV output);
+                         created on first use (env: SOS_SWEEP_CACHE)
+    --trials T           (Monte Carlo families) attacked overlays [100]
+    --routes K           (Monte Carlo families) routes per trial  [100]
+    --seed S             (Monte Carlo families) master seed       [42]
+
 OTHER FLAGS:
     --json 1             (analyze) machine-readable output
     --top K              (optimize) rows to print            [10]
@@ -88,6 +99,7 @@ EXAMPLES:
     sos trace --faults loss=0.3,delay=0.1 --retry attempts=3,backoff=2
     sos compare --mapping one-to-all --model one-burst
     sos figure fig6a
+    sos figure ext-faults --cache sweep.json --trials 30 --routes 40
     sos optimize --max-latency 5
     sos tornado --mapping one-to-5
     sos advise --mapping one-to-all
@@ -832,13 +844,28 @@ fn figure(
     args: &ParsedArgs,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    let cache = args.get("cache").map(str::to_string);
+    let trials = args.get_or("trials", 100u64)?;
+    let routes = args.get_or("routes", 100u64)?;
+    let seed = args.get_or("seed", 42u64)?;
     args.reject_unknown()?;
     let which = args
         .positionals()
         .get(1)
         .map(String::as_str)
         .ok_or_else(|| ArgError("figure requires a name (e.g. `sos figure fig4a`)".into()))?;
-    use sos_bench::figures;
+    if let Some(path) = cache {
+        // Stderr, not `out`: the CSV on stdout must stay byte-identical
+        // between cold and warm cache runs (CI asserts exactly that).
+        let loaded = sos_sim::set_global_cache(&path)?;
+        eprintln!("sweep cache {path}: {loaded} entries loaded");
+    }
+    use sos_bench::{ablations, figures};
+    let opts = ablations::AblationOptions {
+        trials,
+        routes_per_trial: routes,
+        seed,
+    };
     let tables = match which {
         "fig4a" => vec![figures::fig4a()],
         "fig4b" => vec![figures::fig4b()],
@@ -848,6 +875,12 @@ fn figure(
         "fig8a" => vec![figures::fig8a()],
         "fig8b" => vec![figures::fig8b()],
         "all" => figures::all(),
+        // Monte Carlo families, routed through the sweep executor (so
+        // --cache makes repeat runs instant).
+        "ablation-routing" => vec![ablations::routing_ablation(opts)],
+        "ablation-chord" => vec![ablations::chord_ablation(opts)],
+        "ext-faults" => vec![ablations::fault_sweep(opts)],
+        "ext-monitoring" => vec![ablations::monitoring_extension(opts)],
         other => return Err(ArgError(format!("unknown figure `{other}`")).into()),
     };
     for t in tables {

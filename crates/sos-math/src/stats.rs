@@ -124,7 +124,11 @@ impl RunningStats {
 }
 
 /// Immutable snapshot of a [`RunningStats`] accumulator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable so downstream result types (e.g. `sos-sim`'s
+/// `SimulationResult`) can be persisted to sweep caches and reloaded
+/// bit-for-bit (JSON float output is shortest-round-trip).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SummaryStats {
     /// Number of observations.
     pub count: u64,

@@ -2,7 +2,7 @@
 //! Carlo ground truth — the data behind the `ablation-evaluator`
 //! experiment and the validation tables in `EXPERIMENTS.md`.
 
-use crate::engine::{num_threads, Simulation, SimulationConfig};
+use crate::engine::SimulationConfig;
 use sos_analysis::{OneBurstAnalysis, SuccessiveAnalysis};
 use sos_core::{AttackConfig, ConfigError, PathEvaluator, Scenario};
 
@@ -94,13 +94,15 @@ pub fn compare_models(
             )
         }
     };
-    let sim = Simulation::new(
-        SimulationConfig::new(scenario.clone(), attack)
-            .trials(trials)
-            .routes_per_trial(routes_per_trial)
-            .seed(seed),
-    )
-    .run_parallel(num_threads());
+    // Through the sweep executor rather than a one-off run_parallel:
+    // evaluator-ablation grids call this once per cell, and the shared
+    // cache turns repeated cells (across figure families or warm CLI
+    // runs) into lookups.
+    let sim = crate::sweep::run_sweep(&[SimulationConfig::new(scenario.clone(), attack)
+        .trials(trials)
+        .routes_per_trial(routes_per_trial)
+        .seed(seed)])
+    .remove(0);
     let ci = sim.confidence_interval(0.95);
     Ok(ComparisonRow {
         label: label.into(),

@@ -55,18 +55,21 @@ impl TransportKind {
 }
 
 /// Configuration of a Monte Carlo estimate.
+///
+/// Fields are crate-visible so the sweep executor ([`crate::sweep`])
+/// can fingerprint a config without round-tripping through builders.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
-    scenario: Scenario,
-    attack: AttackConfig,
-    policy: RoutingPolicy,
-    transport: TransportKind,
-    trials: u64,
-    routes_per_trial: u64,
-    seed: u64,
-    monitoring_tap: Option<f64>,
-    faults: FaultConfig,
-    retry: RetryPolicy,
+    pub(crate) scenario: Scenario,
+    pub(crate) attack: AttackConfig,
+    pub(crate) policy: RoutingPolicy,
+    pub(crate) transport: TransportKind,
+    pub(crate) trials: u64,
+    pub(crate) routes_per_trial: u64,
+    pub(crate) seed: u64,
+    pub(crate) monitoring_tap: Option<f64>,
+    pub(crate) faults: FaultConfig,
+    pub(crate) retry: RetryPolicy,
 }
 
 impl SimulationConfig {
@@ -170,6 +173,11 @@ impl SimulationConfig {
     pub fn attack(&self) -> &AttackConfig {
         &self.attack
     }
+
+    /// The configured number of independent attacked overlays.
+    pub fn configured_trials(&self) -> u64 {
+        self.trials
+    }
 }
 
 /// A configured Monte Carlo estimator.
@@ -179,7 +187,7 @@ pub struct Simulation {
 }
 
 #[derive(Debug, Default, Clone)]
-struct Partial {
+pub(crate) struct Partial {
     successes: u64,
     attempts: u64,
     per_trial: RunningStats,
@@ -194,7 +202,7 @@ struct Partial {
 /// Per-worker observability state for traced runs: the shared recorder
 /// plus a worker-local metrics registry (merged once at the end, so
 /// workers never contend on metric updates).
-struct Observation<'a> {
+pub(crate) struct Observation<'a> {
     recorder: &'a dyn Recorder,
     metrics: MetricsRegistry,
 }
@@ -300,7 +308,7 @@ pub fn num_threads() -> usize {
 /// trace (owned by the attack outcome, which outlives the trial for
 /// observability) and backtracking path frames; everything on the
 /// overlay/ring/routing hot path is reused.
-struct TrialScratch {
+pub(crate) struct TrialScratch {
     overlay: Option<Overlay>,
     transport: Transport,
     members: Vec<NodeId>,
@@ -308,7 +316,7 @@ struct TrialScratch {
 }
 
 impl TrialScratch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         TrialScratch {
             overlay: None,
             transport: Transport::Direct,
@@ -326,7 +334,7 @@ impl TrialScratch {
 ///
 /// Batches are contiguous index ranges, so per-trial seeding (and thus
 /// every result bit) is untouched by who executes what.
-struct TrialQueue {
+pub(crate) struct TrialQueue {
     next: AtomicU64,
     trials: u64,
     batch: u64,
@@ -335,7 +343,7 @@ struct TrialQueue {
 impl TrialQueue {
     /// Sizes batches so each worker sees ~8 of them (amortizing the
     /// atomic claim) while staying responsive, clamped to `[1, 64]`.
-    fn new(trials: u64, threads: usize) -> Self {
+    pub(crate) fn new(trials: u64, threads: usize) -> Self {
         let batch = (trials / (threads as u64 * 8)).clamp(1, 64);
         TrialQueue {
             next: AtomicU64::new(0),
@@ -346,14 +354,14 @@ impl TrialQueue {
 
     /// Claims the next `[start, end)` batch, or `None` when the trial
     /// space is exhausted.
-    fn next_batch(&self) -> Option<(u64, u64)> {
+    pub(crate) fn next_batch(&self) -> Option<(u64, u64)> {
         let start = self.next.fetch_add(self.batch, Ordering::Relaxed);
         (start < self.trials).then(|| (start, (start + self.batch).min(self.trials)))
     }
 }
 
 impl Partial {
-    fn merge(&mut self, other: &Partial) {
+    pub(crate) fn merge(&mut self, other: &Partial) {
         self.successes += other.successes;
         self.attempts += other.attempts;
         self.per_trial.merge(&other.per_trial);
@@ -373,6 +381,11 @@ impl Simulation {
     /// Wraps a config.
     pub fn new(config: SimulationConfig) -> Self {
         Simulation { config }
+    }
+
+    /// The configuration under test.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
     }
 
     /// Runs all trials on the calling thread.
@@ -487,9 +500,16 @@ impl Simulation {
     /// have been spent. Returns the result plus the number of trials
     /// actually used.
     ///
+    /// Each batch is fanned out over the shared persistent worker pool
+    /// (`crate::pool`), so adaptive-precision runs parallelize like
+    /// [`run_parallel`](Self::run_parallel) instead of spending all
+    /// batches on one thread.
+    ///
     /// Deterministic: trial `i` is always seeded identically, so the
     /// precision stop only decides *how many* trials run, never their
-    /// content.
+    /// content — and the stopping rule itself reads only the integer
+    /// success/attempt counts, which are exact at any thread count, so
+    /// the decision is identical to a single-threaded run.
     ///
     /// # Panics
     ///
@@ -505,13 +525,24 @@ impl Simulation {
         );
         assert!(max_trials > 0, "need at least one trial");
         let batch = self.config.trials.max(1);
-        let mut scratch = TrialScratch::new();
+        let sim = std::sync::Arc::new(self.clone());
+        // Hold the pool for the whole adaptive loop: batches are
+        // data-dependent (each stopping decision needs the previous
+        // counts), so interleaving another caller's jobs between
+        // batches would only add latency here.
+        let mut pool = crate::pool::global_pool()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let mut partial = Partial::default();
         let mut done = 0u64;
         loop {
             let next = (done + batch).min(max_trials);
-            let batch_partial = self.run_trials(done, next, &mut scratch, None);
-            partial.merge(&batch_partial);
+            let (mut batch_partials, _) = pool.run(vec![crate::pool::RangeJob {
+                sim: sim.clone(),
+                start: done,
+                end: next,
+            }]);
+            partial.merge(&batch_partials.remove(0));
             done = next;
             let ci = sos_math::stats::proportion_ci(
                 partial.successes,
@@ -538,7 +569,7 @@ impl Simulation {
         partial
     }
 
-    fn run_one_trial(
+    pub(crate) fn run_one_trial(
         &self,
         trial: u64,
         partial: &mut Partial,
@@ -764,7 +795,7 @@ impl Simulation {
         }
     }
 
-    fn finish(&self, partial: Partial) -> SimulationResult {
+    pub(crate) fn finish(&self, partial: Partial) -> SimulationResult {
         SimulationResult {
             successes: partial.successes,
             attempts: partial.attempts,
@@ -778,7 +809,11 @@ impl Simulation {
 }
 
 /// Aggregated output of a Monte Carlo estimate.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the sweep executor ([`crate::sweep`]) can persist
+/// results in its content-addressed cache; all floats survive a JSON
+/// round trip exactly (shortest-round-trip printing).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimulationResult {
     /// Delivered messages over all trials.
     pub successes: u64,

@@ -15,8 +15,12 @@
 //! and can fan trials out over threads; its
 //! [`run_traced`](engine::Simulation::run_traced) variant additionally
 //! streams every instrumented decision point to a
-//! [`sos_observe::Recorder`] and aggregates per-trial metrics. The
-//! [`compare`] module pairs
+//! [`sos_observe::Recorder`] and aggregates per-trial metrics. Multi-point
+//! experiments (figure families, ablations, parameter sweeps) go through
+//! the [`sweep`] executor — a persistent worker pool with interleaved
+//! trial scheduling plus a content-addressed result cache
+//! ([`run_sweep`], [`set_global_cache`]) — instead of one
+//! `run_parallel` call per point. The [`compare`] module pairs
 //! simulated results with both analytical evaluators — the data behind
 //! the `ablation-evaluator` experiment and the validation tables in
 //! `EXPERIMENTS.md`. The [`repair`] module implements the paper's named
@@ -60,12 +64,17 @@
 pub mod compare;
 pub mod engine;
 pub mod flow;
+pub(crate) mod pool;
 pub mod repair;
 pub mod routing;
+pub mod sweep;
 pub mod timing;
 
 pub use compare::{ComparisonRow, compare_models};
 pub use engine::{num_threads, Simulation, SimulationConfig, SimulationResult, TransportKind};
+pub use sweep::{
+    run_sweep, run_sweep_traced, set_global_cache, sweep_stats, SweepExecutor, SweepStats,
+};
 pub use flow::{FlowModel, FlowResult, FlowSimulation};
 pub use repair::{RepairConfig, RepairSimulation, RepairTimeline};
 pub use routing::{

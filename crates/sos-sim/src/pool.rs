@@ -1,0 +1,436 @@
+//! Persistent worker pool for trial execution.
+//!
+//! [`Simulation::run_parallel`] spins up a fresh `crossbeam` scope —
+//! and fresh per-worker [`TrialScratch`] state — for every call. That
+//! is fine for one big simulation, but a *sweep* (dozens to hundreds of
+//! small `SimulationConfig` points, the shape behind every figure
+//! family) pays the spawn/join and scratch-construction cost once per
+//! point. This module keeps one long-lived pool per process instead:
+//!
+//! * workers are spawned once and live for the process; each owns a
+//!   [`TrialScratch`] that is rebuilt in place across *scenarios*, not
+//!   just across trials of one scenario;
+//! * a run is a list of [`RangeJob`]s (one per sweep point); workers
+//!   pull trial batches through a two-level discipline — scan jobs from
+//!   a shared head cursor, claim the next batch from the first job that
+//!   still has unclaimed trials — so batches from neighboring sweep
+//!   points interleave and a small tail point never leaves workers
+//!   idle;
+//! * the *calling* thread participates as a full worker (with a
+//!   pool-owned scratch of its own), so a 1-thread pool executes
+//!   entirely inline with no cross-thread handoff at all.
+//!
+//! Determinism: the pool decides only *who* runs a trial, never *what*
+//! the trial is. Per-trial seeding makes every integer count
+//! bit-identical to [`Simulation::run`]; float aggregates may differ in
+//! the last ulps because partials merge in batch-completion order (the
+//! same contract as `run_parallel`). The merge stays per-job: each
+//! [`RangeJob`] accumulates into its own [`Partial`], so sweep points
+//! never mix.
+//!
+//! [`Simulation::run_parallel`]: crate::engine::Simulation::run_parallel
+
+use crate::engine::{num_threads, Partial, Simulation, TrialQueue, TrialScratch};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// One unit of pool work: run trials `start..end` of `sim` and merge
+/// them into a single [`Partial`].
+pub(crate) struct RangeJob {
+    /// The simulation the trials belong to.
+    pub sim: Arc<Simulation>,
+    /// First trial index (inclusive).
+    pub start: u64,
+    /// Last trial index (exclusive); must be `> start`.
+    pub end: u64,
+}
+
+/// Per-job execution state: the job's own work-stealing queue (over the
+/// *local* index space `0..len`, offset by `base` at execution time)
+/// and its private merge target.
+struct JobSlot {
+    sim: Arc<Simulation>,
+    base: u64,
+    queue: TrialQueue,
+    partial: Mutex<Partial>,
+}
+
+/// Completion state of one `run` call, updated under [`RunState::done`].
+struct RunDone {
+    /// Trials not yet merged into their job's partial.
+    remaining: u64,
+    /// Set when a worker thread panicked mid-run.
+    poisoned: bool,
+}
+
+/// Shared state of one `run` call. Workers hold an `Arc` to it for the
+/// duration of their participation, so a straggler can finish scanning
+/// after the caller has already collected the results.
+struct RunState {
+    jobs: Vec<JobSlot>,
+    /// Index of the first job that may still have unclaimed batches;
+    /// monotonically advanced as job queues drain. A scan hint, not a
+    /// claim: correctness only needs it to never skip an undrained job.
+    head: AtomicUsize,
+    /// Batches executed (for pool metrics).
+    batches: AtomicU64,
+    done: Mutex<RunDone>,
+    done_cv: Condvar,
+}
+
+/// Pool-level coordination state, guarded by [`PoolShared::lock`].
+struct PoolState {
+    /// Bumped once per `run` call; workers use it to tell a new run
+    /// from the one they just finished.
+    epoch: u64,
+    shutdown: bool,
+    run: Option<Arc<RunState>>,
+}
+
+struct PoolShared {
+    lock: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// Locks a std mutex, ignoring poisoning (the pool carries its own
+/// panic flag; a poisoned coordination lock must not mask it).
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A long-lived pool of trial workers; see the module docs.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Scratch for the calling thread's participation — owned by the
+    /// pool so it, too, is reused across scenarios and across runs.
+    caller_scratch: TrialScratch,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` total workers: `threads - 1`
+    /// background threads plus the calling thread, which participates
+    /// in every [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub(crate) fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one pool thread");
+        let shared = Arc::new(PoolShared {
+            lock: Mutex::new(PoolState {
+                epoch: 0,
+                shutdown: false,
+                run: None,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            caller_scratch: TrialScratch::new(),
+            threads,
+        }
+    }
+
+    /// Executes every job and returns `(partials, batches)`: one merged
+    /// [`Partial`] per job, in job order, plus the number of trial
+    /// batches executed (for queue metrics). Blocks until all trials
+    /// are merged; the calling thread works the queues alongside the
+    /// background workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `RangeJob` has an empty range, or if a worker
+    /// thread panicked while executing a trial.
+    pub(crate) fn run(&mut self, jobs: Vec<RangeJob>) -> (Vec<Partial>, u64) {
+        if jobs.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let mut total = 0u64;
+        let slots: Vec<JobSlot> = jobs
+            .into_iter()
+            .map(|job| {
+                assert!(job.end > job.start, "empty trial range");
+                let len = job.end - job.start;
+                total += len;
+                JobSlot {
+                    queue: TrialQueue::new(len, self.threads),
+                    base: job.start,
+                    sim: job.sim,
+                    partial: Mutex::new(Partial::default()),
+                }
+            })
+            .collect();
+        let run = Arc::new(RunState {
+            jobs: slots,
+            head: AtomicUsize::new(0),
+            batches: AtomicU64::new(0),
+            done: Mutex::new(RunDone {
+                remaining: total,
+                poisoned: false,
+            }),
+            done_cv: Condvar::new(),
+        });
+
+        if !self.workers.is_empty() {
+            let mut state = lock_ignore_poison(&self.shared.lock);
+            state.epoch += 1;
+            state.run = Some(run.clone());
+            drop(state);
+            self.shared.work_ready.notify_all();
+        }
+
+        // The caller is a full worker: with a 1-thread pool this is the
+        // entire run, inline, with zero synchronization beyond the
+        // uncontended per-job locks.
+        drain(&run, &mut self.caller_scratch);
+
+        // Wait for background stragglers to merge their last batches.
+        let mut done = lock_ignore_poison(&run.done);
+        while done.remaining > 0 && !done.poisoned {
+            done = run
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        let poisoned = done.poisoned;
+        drop(done);
+        if !self.workers.is_empty() {
+            lock_ignore_poison(&self.shared.lock).run = None;
+        }
+        assert!(!poisoned, "simulation worker panicked");
+
+        // All trials merged and no queue has unclaimed batches, so no
+        // worker will touch a partial again — taking them is safe even
+        // if a straggler still holds the Arc while scanning.
+        let partials = run
+            .jobs
+            .iter()
+            .map(|slot| std::mem::take(&mut *lock_ignore_poison(&slot.partial)))
+            .collect();
+        (partials, run.batches.load(Ordering::Relaxed))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock_ignore_poison(&self.shared.lock).shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Marks the run poisoned if the worker unwinds mid-drain, so the
+/// caller fails loudly instead of waiting forever on `remaining`.
+struct PoisonGuard<'a> {
+    run: &'a RunState,
+    armed: bool,
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock_ignore_poison(&self.run.done).poisoned = true;
+            self.run.done_cv.notify_all();
+        }
+    }
+}
+
+/// Works the run's job queues until no unclaimed batch remains
+/// anywhere. Shared by background workers and the calling thread.
+fn drain(run: &RunState, scratch: &mut TrialScratch) {
+    loop {
+        let head = run.head.load(Ordering::Acquire);
+        let mut claimed = None;
+        for (i, slot) in run.jobs.iter().enumerate().skip(head) {
+            if let Some((start, end)) = slot.queue.next_batch() {
+                claimed = Some((slot, start, end));
+                break;
+            }
+            if i == head {
+                // This job's queue is fully claimed; advance the scan
+                // hint so later workers skip it. CAS failure just means
+                // someone else advanced it first.
+                let _ = run.head.compare_exchange(
+                    i,
+                    i + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+        }
+        let Some((slot, start, end)) = claimed else {
+            return;
+        };
+        let mut partial = Partial::default();
+        for trial in start..end {
+            slot.sim
+                .run_one_trial(slot.base + trial, &mut partial, scratch, None);
+        }
+        lock_ignore_poison(&slot.partial).merge(&partial);
+        run.batches.fetch_add(1, Ordering::Relaxed);
+        let mut done = lock_ignore_poison(&run.done);
+        done.remaining -= end - start;
+        if done.remaining == 0 {
+            run.done_cv.notify_all();
+        }
+    }
+}
+
+/// Background worker: wait for a new run epoch, participate, repeat.
+/// The scratch lives for the thread's lifetime — overlay/ring/route
+/// allocations are reused across every scenario the pool ever runs.
+fn worker_loop(shared: &PoolShared) {
+    let mut scratch = TrialScratch::new();
+    let mut last_epoch = 0u64;
+    loop {
+        let run = {
+            let mut state = lock_ignore_poison(&shared.lock);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != last_epoch {
+                    if let Some(run) = &state.run {
+                        last_epoch = state.epoch;
+                        break run.clone();
+                    }
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let mut guard = PoisonGuard {
+            run: &run,
+            armed: true,
+        };
+        drain(&run, &mut scratch);
+        guard.armed = false;
+    }
+}
+
+/// The process-wide pool used by the sweep executor and
+/// [`Simulation::run_until_precision`], sized by
+/// [`num_threads`](crate::engine::num_threads). Created on first use;
+/// callers serialize on the mutex (runs are internally parallel, so
+/// back-to-back runs beat interleaved ones).
+///
+/// [`Simulation::run_until_precision`]: crate::engine::Simulation::run_until_precision
+pub(crate) fn global_pool() -> &'static Mutex<WorkerPool> {
+    static POOL: OnceLock<Mutex<WorkerPool>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(WorkerPool::new(num_threads())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_core::{
+        AttackBudget, AttackConfig, MappingDegree, Scenario, SystemParams,
+    };
+    use crate::engine::SimulationConfig;
+
+    fn sim(seed: u64, trials: u64) -> Arc<Simulation> {
+        let scenario = Scenario::builder()
+            .system(SystemParams::new(500, 40, 0.5).unwrap())
+            .layers(3)
+            .mapping(MappingDegree::OneTo(2))
+            .filters(10)
+            .build()
+            .unwrap();
+        Arc::new(Simulation::new(
+            SimulationConfig::new(
+                scenario,
+                AttackConfig::OneBurst {
+                    budget: AttackBudget::new(20, 100),
+                },
+            )
+            .trials(trials)
+            .routes_per_trial(20)
+            .seed(seed),
+        ))
+    }
+
+    #[test]
+    fn pool_matches_run_parallel_at_any_thread_count() {
+        let sims: Vec<Arc<Simulation>> = (0..5).map(|s| sim(s, 12)).collect();
+        let reference: Vec<_> = sims
+            .iter()
+            .map(|s| s.run_parallel(2))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let mut pool = WorkerPool::new(threads);
+            let jobs = sims
+                .iter()
+                .map(|s| RangeJob {
+                    sim: s.clone(),
+                    start: 0,
+                    end: 12,
+                })
+                .collect();
+            let (partials, batches) = pool.run(jobs);
+            assert!(batches > 0);
+            for ((partial, s), reference) in
+                partials.into_iter().zip(&sims).zip(&reference)
+            {
+                let result = s.finish(partial);
+                assert_eq!(result.successes, reference.successes, "{threads} threads");
+                assert_eq!(result.attempts, reference.attempts);
+                assert_eq!(result.failure_depths, reference.failure_depths);
+                assert!((result.per_trial.mean - reference.per_trial.mean).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_runs() {
+        let mut pool = WorkerPool::new(2);
+        let s = sim(9, 8);
+        let (first, _) = pool.run(vec![RangeJob { sim: s.clone(), start: 0, end: 8 }]);
+        let (second, _) = pool.run(vec![RangeJob { sim: s.clone(), start: 0, end: 8 }]);
+        let a = s.finish(first.into_iter().next().unwrap());
+        let b = s.finish(second.into_iter().next().unwrap());
+        assert_eq!(a.successes, b.successes);
+        assert_eq!(a.attempts, b.attempts);
+    }
+
+    #[test]
+    fn disjoint_ranges_of_one_simulation_sum_to_the_whole() {
+        // run_until_precision's shape: the same simulation split into
+        // consecutive ranges must reproduce the full run's counts.
+        let s = sim(4, 30);
+        let whole = s.run_parallel(1);
+        let mut pool = WorkerPool::new(3);
+        let (parts, _) = pool.run(vec![
+            RangeJob { sim: s.clone(), start: 0, end: 10 },
+            RangeJob { sim: s.clone(), start: 10, end: 30 },
+        ]);
+        let mut merged = Partial::default();
+        for part in &parts {
+            merged.merge(part);
+        }
+        let result = s.finish(merged);
+        assert_eq!(result.successes, whole.successes);
+        assert_eq!(result.attempts, whole.attempts);
+        assert_eq!(result.failure_depths, whole.failure_depths);
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let mut pool = WorkerPool::new(2);
+        let (partials, batches) = pool.run(Vec::new());
+        assert!(partials.is_empty());
+        assert_eq!(batches, 0);
+    }
+}

@@ -1,0 +1,624 @@
+//! Cross-scenario sweep executor: persistent pool + content-addressed
+//! result cache.
+//!
+//! Every figure family in `sos-bench` is a *sweep*: dozens of small
+//! [`SimulationConfig`] points that differ in one or two knobs. Running
+//! them as independent [`Simulation::run_parallel`] calls pays three
+//! avoidable costs per point — thread spawn/join, cold per-worker
+//! [`TrialScratch`](crate::engine) state, and re-running points that an
+//! overlapping panel already computed (e.g. every budget sweep shares
+//! its zero-budget baseline). The [`SweepExecutor`] removes all three:
+//!
+//! * all points of a sweep are submitted to the persistent
+//!   `crate::pool` as one job list, so workers interleave trial
+//!   batches across sweep points and reuse their scratch across
+//!   *scenarios*, not just trials;
+//! * each config is reduced to a content fingerprint (a stable 64-bit
+//!   hash of every behavior-relevant field); identical points are
+//!   executed once per process (*dedup*), and — with a cache file
+//!   attached — once ever (*cache*);
+//! * results are returned in input order and are the same values
+//!   [`Simulation::run_parallel`] produces: integer counts bit-identical
+//!   at any thread count, float aggregates within merge-order ulps.
+//!
+//! Cache semantics: the cache is keyed by content, not by call site, so
+//! it is safe to share one cache file across figure families, CLI runs
+//! and report builds. A cache hit returns the stored
+//! [`SimulationResult`] verbatim (bit-for-bit: JSON floats round-trip
+//! exactly), so warm runs reproduce cold CSV output byte-identically.
+//! The fingerprint folds in the master seed, trial/route counts, and
+//! the full fault/retry configuration — any change to an experiment's
+//! inputs misses the cache rather than aliasing a stale entry. Inert
+//! knobs are canonicalized away (a no-fault config fingerprints
+//! identically regardless of its fault seed or retry policy, which are
+//! unobservable without faults).
+//!
+//! Use the process-global executor via [`run_sweep`] /
+//! [`set_global_cache`] (or the `SOS_SWEEP_CACHE` environment
+//! variable), or construct a private [`SweepExecutor`] for isolated
+//! thread counts and caches (as `bench_baseline` and the tests do).
+//!
+//! [`Simulation::run_parallel`]: crate::engine::Simulation::run_parallel
+
+use crate::engine::{Simulation, SimulationConfig, SimulationResult};
+use crate::pool::{global_pool, RangeJob, WorkerPool};
+use sos_observe::{Event, EventKind, MetricsRegistry, Recorder};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cumulative executor counters, exposed for benchmarks and the CLI's
+/// `--cache` reporting (and mirrored into `sos-observe` metrics by
+/// [`SweepExecutor::run_traced`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Sweep points requested (one per input config, duplicates
+    /// included).
+    pub points: u64,
+    /// Points answered from the cache (loaded file entries or results
+    /// computed by an earlier run of this executor).
+    pub cache_hits: u64,
+    /// Points answered by another point of the *same* run with an equal
+    /// fingerprint.
+    pub dedup_hits: u64,
+    /// Points actually executed.
+    pub points_executed: u64,
+    /// Trials actually executed.
+    pub trials_executed: u64,
+    /// Trial batches pulled from the pool's queues (scheduling
+    /// granularity; at least one per executed point).
+    pub pool_batches: u64,
+}
+
+/// FNV-1a 64-bit over the canonical byte encoding of a config.
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Content fingerprint of a config: equal fingerprints ⇒ equal
+/// simulation behavior (same result for the same engine version).
+///
+/// Scenario, attack and policy are folded in via their canonical JSON
+/// encoding (stable field order — serde derives emit fields in
+/// declaration order); scalar knobs are folded in as exact bit
+/// patterns, so float knobs that differ in the last ulp still get
+/// distinct fingerprints.
+fn fingerprint(config: &SimulationConfig) -> u64 {
+    let mut canon = String::new();
+    canon.push_str(
+        &serde_json::to_string(&config.scenario).expect("scenario serializes"),
+    );
+    canon.push('|');
+    canon.push_str(&serde_json::to_string(&config.attack).expect("attack serializes"));
+    canon.push('|');
+    canon.push_str(&serde_json::to_string(&config.policy).expect("policy serializes"));
+    canon.push('|');
+    canon.push_str(config.transport.label());
+    canon.push_str(&format!(
+        "|{}|{}|{}",
+        config.trials, config.routes_per_trial, config.seed
+    ));
+    match config.monitoring_tap {
+        // Bit pattern, not decimal: fingerprints must separate taps that
+        // differ below printing precision.
+        Some(tap) => canon.push_str(&format!("|tap:{:016x}", tap.to_bits())),
+        None => canon.push_str("|tap:none"),
+    }
+    if config.faults.is_none() {
+        // No fault plane is built, so the fault seed and the retry
+        // policy are unobservable — canonicalize them away so
+        // equivalent configs share a cache entry (`sos-faults` tests
+        // pin this invariant).
+        canon.push_str("|faults:none");
+    } else {
+        let f = &config.faults;
+        canon.push_str(&format!(
+            "|faults:{:016x},{:016x},{},{:016x},{:016x},{},{:016x},{}",
+            f.loss_rate.to_bits(),
+            f.delay_rate.to_bits(),
+            f.delay_ticks,
+            f.crash_rate.to_bits(),
+            f.slow_rate.to_bits(),
+            f.slow_ticks,
+            f.misroute_rate.to_bits(),
+            f.seed,
+        ));
+        let r = &config.retry;
+        canon.push_str(&format!(
+            "|retry:{},{},{}",
+            r.max_attempts, r.backoff_base, r.deadline
+        ));
+    }
+    fnv1a(canon.as_bytes(), 0xCBF2_9CE4_8422_2325)
+}
+
+/// On-disk cache layout (JSON). Fingerprints are hex strings because
+/// JSON numbers cannot carry 64 bits losslessly through every tool.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CacheFile {
+    version: u32,
+    entries: Vec<CacheEntry>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CacheEntry {
+    fingerprint: String,
+    result: SimulationResult,
+}
+
+const CACHE_VERSION: u32 = 1;
+
+/// The pool a [`SweepExecutor`] schedules on: the process-global pool
+/// (shared scratch, shared threads) or a private one (benchmarks and
+/// tests that must control the thread count).
+enum PoolHandle {
+    Global,
+    Owned(Box<WorkerPool>),
+}
+
+/// Executes sweeps of [`SimulationConfig`] points; see the module docs.
+pub struct SweepExecutor {
+    pool: PoolHandle,
+    /// fingerprint → result, for every point this executor has answered
+    /// (loaded from the cache file or executed).
+    memory: HashMap<u64, SimulationResult>,
+    cache_path: Option<PathBuf>,
+    stats: SweepStats,
+}
+
+impl SweepExecutor {
+    /// An executor on the process-global worker pool (sized by
+    /// [`num_threads`](crate::engine::num_threads)).
+    pub fn new() -> Self {
+        SweepExecutor {
+            pool: PoolHandle::Global,
+            memory: HashMap::new(),
+            cache_path: None,
+            stats: SweepStats::default(),
+        }
+    }
+
+    /// An executor with a *private* pool of exactly `threads` workers —
+    /// for benchmarks and determinism tests that pin the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        SweepExecutor {
+            pool: PoolHandle::Owned(Box::new(WorkerPool::new(threads))),
+            ..SweepExecutor::new()
+        }
+    }
+
+    /// Attaches a persistent cache file and loads any existing entries.
+    /// Returns the number of entries loaded (0 when the file does not
+    /// exist yet — that is a cold cache, not an error). Subsequent runs
+    /// that execute new points rewrite the file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file exists but cannot be read or parsed, or if its
+    /// version is unknown — a corrupt cache should be deleted
+    /// deliberately, not silently recomputed over.
+    pub fn attach_cache(&mut self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let path = path.as_ref();
+        let loaded = match std::fs::read_to_string(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+            Ok(text) => {
+                let file: CacheFile = serde_json::from_str(&text).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed sweep cache {}: {e}", path.display()),
+                    )
+                })?;
+                if file.version != CACHE_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "sweep cache {} has version {}, expected {CACHE_VERSION}",
+                            path.display(),
+                            file.version
+                        ),
+                    ));
+                }
+                let mut loaded = 0usize;
+                for entry in file.entries {
+                    let fp = u64::from_str_radix(&entry.fingerprint, 16).map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "malformed fingerprint {:?} in sweep cache {}",
+                                entry.fingerprint,
+                                path.display()
+                            ),
+                        )
+                    })?;
+                    self.memory.insert(fp, entry.result);
+                    loaded += 1;
+                }
+                loaded
+            }
+        };
+        self.cache_path = Some(path.to_path_buf());
+        Ok(loaded)
+    }
+
+    /// Counters accumulated over this executor's lifetime.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    /// Runs every config (answering from cache/dedup where possible)
+    /// and returns results in input order.
+    pub fn run(&mut self, configs: &[SimulationConfig]) -> Vec<SimulationResult> {
+        self.run_inner(configs, None)
+    }
+
+    /// [`run`](Self::run) with observability: emits one
+    /// [`EventKind::SweepPointStart`] per executed point and one
+    /// [`EventKind::SweepPointCached`] per cache/dedup hit (the event's
+    /// `trial` field carries the point index), and mirrors the
+    /// [`SweepStats`] deltas into `metrics` counters (`sweep_points`,
+    /// `sweep_cache_hits`, `sweep_dedup_hits`, `sweep_points_executed`,
+    /// `sweep_trials_executed`, `pool_batches`).
+    pub fn run_traced(
+        &mut self,
+        configs: &[SimulationConfig],
+        recorder: &dyn Recorder,
+        metrics: &mut MetricsRegistry,
+    ) -> Vec<SimulationResult> {
+        let before = self.stats;
+        let results = self.run_inner(configs, Some(recorder));
+        let delta = |field: fn(&SweepStats) -> u64| field(&self.stats) - field(&before);
+        metrics.counter("sweep_points").add(delta(|s| s.points));
+        metrics.counter("sweep_cache_hits").add(delta(|s| s.cache_hits));
+        metrics.counter("sweep_dedup_hits").add(delta(|s| s.dedup_hits));
+        metrics
+            .counter("sweep_points_executed")
+            .add(delta(|s| s.points_executed));
+        metrics
+            .counter("sweep_trials_executed")
+            .add(delta(|s| s.trials_executed));
+        metrics.counter("pool_batches").add(delta(|s| s.pool_batches));
+        results
+    }
+
+    fn run_inner(
+        &mut self,
+        configs: &[SimulationConfig],
+        recorder: Option<&dyn Recorder>,
+    ) -> Vec<SimulationResult> {
+        self.stats.points += configs.len() as u64;
+        let fingerprints: Vec<u64> = configs.iter().map(fingerprint).collect();
+
+        // Plan: first occurrence of an uncached fingerprint becomes a
+        // job; later occurrences are dedup hits, cached ones cache hits.
+        let mut emit_t = 0u64;
+        let mut emit = |point: u64, kind: EventKind| {
+            if let Some(r) = recorder {
+                r.record(Event::new(emit_t, point, kind));
+                emit_t += 1;
+            }
+        };
+        let mut planned: Vec<u64> = Vec::new();
+        let mut sims: Vec<Arc<Simulation>> = Vec::new();
+        for (point, (config, &fp)) in configs.iter().zip(&fingerprints).enumerate() {
+            if self.memory.contains_key(&fp) {
+                self.stats.cache_hits += 1;
+                emit(point as u64, EventKind::SweepPointCached { point: point as u64, fingerprint: fp });
+            } else if planned.contains(&fp) {
+                self.stats.dedup_hits += 1;
+                emit(point as u64, EventKind::SweepPointCached { point: point as u64, fingerprint: fp });
+            } else {
+                planned.push(fp);
+                sims.push(Arc::new(Simulation::new(config.clone())));
+                self.stats.points_executed += 1;
+                self.stats.trials_executed += config.trials;
+                emit(point as u64, EventKind::SweepPointStart {
+                    point: point as u64,
+                    fingerprint: fp,
+                    trials: config.trials,
+                });
+            }
+        }
+
+        if !sims.is_empty() {
+            let jobs: Vec<RangeJob> = sims
+                .iter()
+                .map(|sim| RangeJob {
+                    sim: sim.clone(),
+                    start: 0,
+                    end: sim.config().trials,
+                })
+                .collect();
+            let (partials, batches) = match &mut self.pool {
+                PoolHandle::Owned(pool) => pool.run(jobs),
+                PoolHandle::Global => global_pool()
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .run(jobs),
+            };
+            self.stats.pool_batches += batches;
+            for ((fp, sim), partial) in planned.iter().zip(&sims).zip(partials) {
+                self.memory.insert(*fp, sim.finish(partial));
+            }
+            self.save_cache();
+        }
+
+        fingerprints
+            .iter()
+            .map(|fp| self.memory[fp].clone())
+            .collect()
+    }
+
+    /// Rewrites the attached cache file (no-op without one). Entries
+    /// are sorted by fingerprint so the file is deterministic for a
+    /// given content set.
+    fn save_cache(&self) {
+        let Some(path) = &self.cache_path else {
+            return;
+        };
+        let mut entries: Vec<CacheEntry> = self
+            .memory
+            .iter()
+            .map(|(fp, result)| CacheEntry {
+                fingerprint: format!("{fp:016x}"),
+                result: result.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        let file = CacheFile { version: CACHE_VERSION, entries };
+        let text = serde_json::to_string_pretty(&file).expect("cache serializes");
+        if let Err(e) = std::fs::write(path, text) {
+            // A read-only cache location should not kill a run whose
+            // results are already in memory.
+            eprintln!("warning: failed to write sweep cache {}: {e}", path.display());
+        }
+    }
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        SweepExecutor::new()
+    }
+}
+
+/// The process-global executor behind [`run_sweep`]: shares the global
+/// worker pool and accumulates cache/dedup state for the process
+/// lifetime, so every figure family and CLI command benefits from every
+/// earlier one.
+fn global_executor() -> &'static Mutex<SweepExecutor> {
+    static EXECUTOR: OnceLock<Mutex<SweepExecutor>> = OnceLock::new();
+    EXECUTOR.get_or_init(|| {
+        let mut exec = SweepExecutor::new();
+        if let Ok(path) = std::env::var("SOS_SWEEP_CACHE") {
+            if !path.is_empty() {
+                match exec.attach_cache(&path) {
+                    Ok(n) => eprintln!("sweep cache {path}: {n} entries loaded"),
+                    Err(e) => eprintln!(
+                        "warning: ignoring sweep cache {path}: {e} (running cold)"
+                    ),
+                }
+            }
+        }
+        Mutex::new(exec)
+    })
+}
+
+/// Runs a sweep on the process-global executor (global pool, global
+/// cache). Results come back in input order; equal configs are
+/// executed once. This is the call every experiment family routes
+/// through — replace a loop of `run_parallel(num_threads())` calls with
+/// one `run_sweep(&configs)`.
+pub fn run_sweep(configs: &[SimulationConfig]) -> Vec<SimulationResult> {
+    global_executor()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .run(configs)
+}
+
+/// [`run_sweep`] with observability (see
+/// [`SweepExecutor::run_traced`]).
+pub fn run_sweep_traced(
+    configs: &[SimulationConfig],
+    recorder: &dyn Recorder,
+    metrics: &mut MetricsRegistry,
+) -> Vec<SimulationResult> {
+    global_executor()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .run_traced(configs, recorder, metrics)
+}
+
+/// Attaches a persistent cache file to the process-global executor
+/// (the `--cache` flag); returns the number of entries loaded. See
+/// [`SweepExecutor::attach_cache`] for error semantics.
+pub fn set_global_cache(path: impl AsRef<Path>) -> io::Result<usize> {
+    global_executor()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .attach_cache(path)
+}
+
+/// Counters of the process-global executor so far.
+pub fn sweep_stats() -> SweepStats {
+    global_executor()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TransportKind;
+    use crate::routing::RoutingPolicy;
+    use sos_core::{AttackBudget, AttackConfig, MappingDegree, Scenario, SystemParams};
+    use sos_faults::{FaultConfig, RetryPolicy};
+
+    fn config(budget: u64, seed: u64) -> SimulationConfig {
+        let scenario = Scenario::builder()
+            .system(SystemParams::new(500, 40, 0.5).unwrap())
+            .layers(3)
+            .mapping(MappingDegree::OneTo(2))
+            .filters(10)
+            .build()
+            .unwrap();
+        SimulationConfig::new(
+            scenario,
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(10, budget),
+            },
+        )
+        .trials(8)
+        .routes_per_trial(15)
+        .seed(seed)
+    }
+
+    #[test]
+    fn executor_matches_per_point_run_parallel() {
+        let configs = vec![config(0, 1), config(100, 1), config(200, 2)];
+        let mut exec = SweepExecutor::with_threads(2);
+        let swept = exec.run(&configs);
+        for (cfg, swept) in configs.iter().zip(&swept) {
+            let reference = Simulation::new(cfg.clone()).run_parallel(2);
+            assert_eq!(swept.successes, reference.successes);
+            assert_eq!(swept.attempts, reference.attempts);
+            assert_eq!(swept.failure_depths, reference.failure_depths);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_dedup_within_a_run() {
+        let configs = vec![config(100, 7), config(100, 7), config(100, 7)];
+        let mut exec = SweepExecutor::with_threads(1);
+        let results = exec.run(&configs);
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        let stats = exec.stats();
+        assert_eq!(stats.points, 3);
+        assert_eq!(stats.points_executed, 1);
+        assert_eq!(stats.dedup_hits, 2);
+        assert_eq!(stats.trials_executed, 8);
+        assert!(stats.pool_batches >= 1);
+    }
+
+    #[test]
+    fn repeat_runs_hit_the_in_memory_cache() {
+        let configs = vec![config(100, 3)];
+        let mut exec = SweepExecutor::with_threads(1);
+        let cold = exec.run(&configs);
+        let warm = exec.run(&configs);
+        assert_eq!(cold, warm);
+        let stats = exec.stats();
+        assert_eq!(stats.points_executed, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_knob() {
+        let base = config(100, 3);
+        let variants = [
+            base.clone().seed(4),
+            base.clone().trials(9),
+            base.clone().routes_per_trial(16),
+            base.clone().policy(RoutingPolicy::FirstGood),
+            base.clone().transport(TransportKind::Chord),
+            base.clone().faults(FaultConfig::none().loss(0.1)),
+        ];
+        let fp = fingerprint(&base);
+        for variant in &variants {
+            assert_ne!(fingerprint(variant), fp, "{variant:?}");
+        }
+        assert_eq!(fingerprint(&base), fingerprint(&base.clone()));
+    }
+
+    #[test]
+    fn inert_fault_knobs_are_canonicalized() {
+        // Without faults, the retry policy and the fault seed are
+        // unobservable — configs differing only there must share one
+        // cache entry.
+        let base = config(100, 3);
+        let retry = base.clone().retry(RetryPolicy::new(4, 1, 64));
+        let seeded = base
+            .clone()
+            .faults(FaultConfig { seed: 99, ..FaultConfig::none() });
+        assert_eq!(fingerprint(&base), fingerprint(&retry));
+        assert_eq!(fingerprint(&base), fingerprint(&seeded));
+        // With faults on, retry *does* matter.
+        let faulty = base.clone().faults(FaultConfig::none().loss(0.2));
+        let faulty_retry = faulty.clone().retry(RetryPolicy::new(4, 1, 64));
+        assert_ne!(fingerprint(&faulty), fingerprint(&faulty_retry));
+    }
+
+    #[test]
+    fn cache_file_round_trips_bit_for_bit() {
+        let dir = std::env::temp_dir().join("sos-sweep-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("cache-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let configs = vec![config(100, 5), config(300, 5)];
+        let mut cold = SweepExecutor::with_threads(1);
+        assert_eq!(cold.attach_cache(&path).unwrap(), 0);
+        let cold_results = cold.run(&configs);
+        drop(cold);
+
+        let mut warm = SweepExecutor::with_threads(1);
+        let loaded = warm.attach_cache(&path).unwrap();
+        assert_eq!(loaded, 2);
+        let warm_results = warm.run(&configs);
+        assert_eq!(warm.stats().points_executed, 0);
+        assert_eq!(warm.stats().cache_hits, 2);
+        // Byte-equal through JSON: the cache must reproduce CSVs
+        // bit-for-bit, not just approximately.
+        assert_eq!(
+            serde_json::to_string(&cold_results).unwrap(),
+            serde_json::to_string(&warm_results).unwrap(),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_cache_is_an_error() {
+        let dir = std::env::temp_dir().join("sos-sweep-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("bad-{}.json", std::process::id()));
+        std::fs::write(&path, "{not json").unwrap();
+        let mut exec = SweepExecutor::with_threads(1);
+        assert!(exec.attach_cache(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn traced_run_emits_events_and_counters() {
+        use sos_observe::MemoryRecorder;
+        let configs = vec![config(100, 9), config(100, 9), config(200, 9)];
+        let mut exec = SweepExecutor::with_threads(1);
+        let recorder = MemoryRecorder::new();
+        let mut metrics = MetricsRegistry::new();
+        exec.run_traced(&configs, &recorder, &mut metrics);
+        let events = recorder.take_events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SweepPointStart { .. }))
+            .count();
+        let cached = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SweepPointCached { .. }))
+            .count();
+        assert_eq!(starts, 2);
+        assert_eq!(cached, 1);
+        assert_eq!(metrics.counter_value("sweep_points"), Some(3));
+        assert_eq!(metrics.counter_value("sweep_points_executed"), Some(2));
+        assert_eq!(metrics.counter_value("sweep_dedup_hits"), Some(1));
+        assert_eq!(metrics.counter_value("sweep_trials_executed"), Some(16));
+    }
+}
