@@ -26,6 +26,7 @@ use crate::trace::AttackEvent;
 use rand::Rng;
 use sos_core::{AttackBudget, SuccessiveParams};
 use sos_math::sampling::{bernoulli, proportional_split, sample_from, stochastic_round};
+use sos_observe::telemetry::{PhaseKind, PhaseTimer};
 use sos_overlay::{NodeId, Overlay, Role};
 use std::collections::HashMap;
 
@@ -148,6 +149,7 @@ impl MonitoringAttacker {
         let mut outcome = AttackOutcome::default();
         let mut layering = LayeringModel::default();
         let mut backward_disclosed = 0usize;
+        let mut timer = PhaseTimer::start();
 
         // Prior knowledge of the first layer (known to be layer 1).
         let first_layer = overlay.layer_members(1).to_vec();
@@ -275,6 +277,7 @@ impl MonitoringAttacker {
         }
 
         outcome.leftover_disclosed = knowledge.pending().len();
+        timer.lap(PhaseKind::BreakIn);
         execute_congestion_phase(
             overlay,
             &knowledge,
@@ -282,6 +285,7 @@ impl MonitoringAttacker {
             rng,
             &mut outcome,
         );
+        timer.lap(PhaseKind::Congestion);
         MonitoringOutcome {
             outcome,
             layering,

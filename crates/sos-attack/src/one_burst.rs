@@ -5,6 +5,7 @@ use crate::outcome::{AttackOutcome, RoundSummary};
 use crate::trace::{AttackEvent, CongestionReason};
 use rand::Rng;
 use sos_core::AttackBudget;
+use sos_observe::telemetry::{PhaseKind, PhaseTimer};
 use sos_math::sampling::{bernoulli, sample_from, sample_indices};
 use sos_overlay::{NodeId, NodeStatus, Overlay, Role};
 
@@ -47,6 +48,7 @@ impl OneBurstAttacker {
 
         let mut knowledge = AttackerKnowledge::new();
         let mut outcome = AttackOutcome::default();
+        let mut timer = PhaseTimer::start();
 
         // Break-in phase: N_T distinct uniform targets.
         let targets: Vec<NodeId> = sample_indices(rng, big_n, n_t)
@@ -66,6 +68,7 @@ impl OneBurstAttacker {
             broken: outcome.broken.len(),
             newly_disclosed,
         });
+        timer.lap(PhaseKind::BreakIn);
 
         // Congestion phase.
         execute_congestion_phase(
@@ -75,6 +78,7 @@ impl OneBurstAttacker {
             rng,
             &mut outcome,
         );
+        timer.lap(PhaseKind::Congestion);
         outcome
     }
 }

@@ -7,6 +7,7 @@ use crate::outcome::{AttackOutcome, RoundSummary};
 use crate::trace::AttackEvent;
 use rand::Rng;
 use sos_core::{AttackBudget, SuccessiveParams};
+use sos_observe::telemetry::{PhaseKind, PhaseTimer};
 use sos_math::sampling::{proportional_split, sample_from, stochastic_round};
 use sos_overlay::{NodeId, Overlay};
 
@@ -61,6 +62,7 @@ impl SuccessiveAttacker {
 
         let mut knowledge = AttackerKnowledge::new();
         let mut outcome = AttackOutcome::default();
+        let mut timer = PhaseTimer::start();
 
         // Prior knowledge: the attacker knows ~n_1 · P_E first-layer
         // nodes before the attack (the paper's round-0 "disclosure").
@@ -151,6 +153,7 @@ impl SuccessiveAttacker {
         }
 
         outcome.leftover_disclosed = knowledge.pending().len();
+        timer.lap(PhaseKind::BreakIn);
         execute_congestion_phase(
             overlay,
             &knowledge,
@@ -158,6 +161,7 @@ impl SuccessiveAttacker {
             rng,
             &mut outcome,
         );
+        timer.lap(PhaseKind::Congestion);
         outcome
     }
 }

@@ -73,6 +73,55 @@ pub fn ablation_scenario(mapping: MappingDegree) -> Scenario {
         .expect("valid scenario")
 }
 
+/// The 42-point profiling grid: three overlapping ablation-style
+/// panels over one small scenario — the shape every figure family has.
+///
+/// Panels overlap deliberately (panel 2's direct series equals panel
+/// 1's random-good series; panel 3's zero-loss series equals both),
+/// exactly as real figure families share their baseline points, so the
+/// sweep executor's intra-run dedup is exercised. Shared by
+/// `bench_baseline`'s sweep workload and `sos profile`'s `grid`
+/// workload, so the profiled shape is the benchmarked shape.
+pub fn profile_grid(opts: AblationOptions) -> Vec<SimulationConfig> {
+    let budgets = [0u64, 40, 80, 120, 160, 200];
+    // Chord transport: the substrate every figure family pays the most
+    // scratch-construction for, and therefore where per-point cold
+    // starts hurt the most.
+    let base = |n_c: u64| {
+        SimulationConfig::new(
+            ablation_scenario(MappingDegree::OneTo(5)),
+            AttackConfig::OneBurst {
+                budget: AttackBudget::new(60, n_c),
+            },
+        )
+        .transport(TransportKind::Chord)
+        .trials(opts.trials)
+        .routes_per_trial(opts.routes_per_trial)
+        .seed(opts.seed)
+    };
+    let mut configs = Vec::new();
+    for policy in [
+        RoutingPolicy::RandomGood,
+        RoutingPolicy::FirstGood,
+        RoutingPolicy::Backtracking,
+    ] {
+        for &n_c in &budgets {
+            configs.push(base(n_c).policy(policy));
+        }
+    }
+    for transport in [TransportKind::Direct, TransportKind::Chord] {
+        for &n_c in &budgets {
+            configs.push(base(n_c).transport(transport));
+        }
+    }
+    for loss in [0.0, 0.2] {
+        for &n_c in &budgets {
+            configs.push(base(n_c).faults(FaultConfig::none().loss(loss).seed(opts.seed)));
+        }
+    }
+    configs
+}
+
 /// `ablation-evaluator`: closed-form vs Monte Carlo `P_S` across the
 /// Fig. 4(a)-style grid (pure congestion and mixed attacks, three
 /// mappings).

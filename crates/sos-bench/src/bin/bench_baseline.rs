@@ -21,6 +21,14 @@
 //! through a cache-cold [`sos_sim::SweepExecutor`] at the same thread
 //! count. Per-point delivery counts are asserted equal.
 //!
+//! A sixth workload measures the *live telemetry plane*: the same
+//! sweep grid with `sos_observe::telemetry` off (before) and on
+//! (after). Per-point counts are asserted equal — telemetry observes
+//! but never steers — and its speedup (≈1.0 when the relaxed-atomic
+//! slots are cheap) rides the same regression gate, so a future change
+//! that makes telemetry expensive fails CI. The report also embeds the
+//! snapshot's per-phase profile summary under `"profile"`.
+//!
 //! Output: `BENCH_trials.json` (or `--out PATH`) with trials/sec,
 //! ns/trial and peak RSS per workload. `--check PATH` additionally
 //! compares the freshly measured speedups against a committed baseline
@@ -31,10 +39,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sos_attack::OneBurstAttacker;
+use sos_bench::ablations::AblationOptions;
 use sos_core::{
     AttackBudget, AttackConfig, MappingDegree, PathEvaluator, Scenario, SystemParams,
 };
-use sos_faults::{FaultConfig, RetryPolicy};
+use sos_faults::RetryPolicy;
+use sos_observe::telemetry;
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
 use sos_sim::routing::{route_message_with, RoutingPolicy};
@@ -149,50 +159,16 @@ fn engine_run(
     Simulation::new(cfg).run().successes
 }
 
-/// The sweep workload: three overlapping ablation-style panels over one
-/// small scenario — the shape every figure family has. Panels overlap
-/// deliberately (panel 2's direct series equals panel 1's random-good
-/// series; panel 3's zero-loss series equals both), exactly as real
-/// figure families share their baseline points, so the executor's
-/// intra-run dedup is part of what this workload measures.
+/// The sweep workload: the shared ablation-shaped profiling grid
+/// ([`sos_bench::ablations::profile_grid`]) at bench sizing — the same
+/// 42 points `sos profile --workload grid` measures, so the profiled
+/// shape is the benchmarked shape.
 fn sweep_configs() -> Vec<SimulationConfig> {
-    let budgets = [0u64, 40, 80, 120, 160, 200];
-    // Chord transport: the substrate every figure family pays the most
-    // scratch-construction for, and therefore where per-point cold
-    // starts hurt the most.
-    let base = |n_c: u64| {
-        SimulationConfig::new(
-            scenario(1_000),
-            AttackConfig::OneBurst {
-                budget: AttackBudget::new(60, n_c),
-            },
-        )
-        .transport(TransportKind::Chord)
-        .trials(2)
-        .routes_per_trial(20)
-        .seed(SEED)
-    };
-    let mut configs = Vec::new();
-    for policy in [
-        RoutingPolicy::RandomGood,
-        RoutingPolicy::FirstGood,
-        RoutingPolicy::Backtracking,
-    ] {
-        for &n_c in &budgets {
-            configs.push(base(n_c).policy(policy));
-        }
-    }
-    for transport in [TransportKind::Direct, TransportKind::Chord] {
-        for &n_c in &budgets {
-            configs.push(base(n_c).transport(transport));
-        }
-    }
-    for loss in [0.0, 0.2] {
-        for &n_c in &budgets {
-            configs.push(base(n_c).faults(FaultConfig::none().loss(loss).seed(SEED)));
-        }
-    }
-    configs
+    sos_bench::ablations::profile_grid(AblationOptions {
+        trials: 2,
+        routes_per_trial: 20,
+        seed: SEED,
+    })
 }
 
 /// The pre-executor sweep shape: one `run_parallel` call per point,
@@ -383,6 +359,57 @@ fn main() {
         }));
     }
 
+    // Telemetry-overhead workload: the same sweep grid with the live
+    // telemetry plane off (before) and on (after). Per-point counts
+    // must match exactly — telemetry observes but never steers — and
+    // the speedup (≈1.0 when the relaxed-atomic slots are cheap) rides
+    // the same >25% regression gate as every other workload.
+    let profile_snapshot;
+    {
+        let threads = sos_sim::num_threads();
+        let configs = sweep_configs();
+        let total_trials: u64 = configs.iter().map(|c| c.configured_trials()).sum();
+        let run_once = || {
+            let mut exec = SweepExecutor::with_threads(threads);
+            exec.run(&configs)
+                .iter()
+                .map(|r| r.successes)
+                .collect::<Vec<u64>>()
+        };
+        // Warm both paths outside the timers.
+        telemetry::set_enabled(false);
+        run_once();
+        telemetry::set_enabled(true);
+        run_once();
+        let (on_successes, on_secs) = timed(run_once);
+        profile_snapshot = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        let (off_successes, off_secs) = timed(run_once);
+        assert_eq!(
+            off_successes, on_successes,
+            "telemetry-overhead: counts diverged — telemetry must never steer results"
+        );
+        let speedup = off_secs / on_secs;
+        println!(
+            "{:11} before {:8.1} trials/s  after {:8.1} trials/s  speedup {:.2}x \
+             (telemetry off vs on)",
+            "telemetry",
+            total_trials as f64 / off_secs,
+            total_trials as f64 / on_secs,
+            speedup,
+        );
+        rows.push(serde_json::json!({
+            "name": "telemetry",
+            "trials": total_trials,
+            "threads": threads,
+            "before": side_json(off_secs, total_trials),
+            "after": side_json(on_secs, total_trials),
+            "speedup": speedup,
+        }));
+    }
+    let profile: serde_json::Value = serde_json::from_str(&profile_snapshot.to_json())
+        .expect("telemetry snapshot JSON parses");
+
     let report = serde_json::json!({
         "suite": "zero-rebuild trial engine baseline",
         "generated_by": "bench_baseline",
@@ -390,6 +417,7 @@ fn main() {
         "attack": "one-burst nt=100 nc=N/10",
         "peak_rss_bytes": peak_rss_bytes(),
         "workloads": rows,
+        "profile": profile,
     });
     let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, pretty)

@@ -38,6 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     fs::create_dir_all(&dir)?;
+    // Live telemetry for the whole suite: the manifest embeds the
+    // per-phase profile so every report records where its wall-clock
+    // went. Telemetry observes but never steers — the CSVs stay
+    // byte-identical with it on or off.
+    sos_observe::telemetry::set_enabled(true);
     let opts = AblationOptions::default();
     let mut written: Vec<String> = Vec::new();
 
@@ -173,6 +178,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "pool_batches": sweep.pool_batches,
         },
         "files": written,
+        "profile": serde_json::from_str::<serde_json::Value>(
+            &sos_observe::telemetry::snapshot().to_json(),
+        )?,
     });
     fs::write(
         dir.join("manifest.json"),

@@ -19,6 +19,10 @@ USAGE:
 COMMANDS:
     analyze    closed-form P_S for one configuration
     simulate   Monte Carlo P_S for one configuration
+    profile    run a workload under the live telemetry plane and print
+               the per-phase wall-clock profile (build | break-in |
+               congestion | routing), p50/p95/p99, trials/s, worker
+               utilization and sweep-cache hits
     trace      traced Monte Carlo run: per-trial attack-phase timeline
     compare    closed-form vs Monte Carlo side by side
     figure     regenerate a paper figure (fig4a fig4b fig6a fig6b fig7 fig8a fig8b all)
@@ -63,6 +67,27 @@ SIMULATE FLAGS:
     --retry SPEC         per-hop retries when faults are on: a bare
                          attempt count (4) or attempts=4,backoff=1,
                          deadline=64 (backoff/deadline in sim ticks)
+    --progress 1         live progress line on stderr (points, trials,
+                         trials/s, worker utilization, cache hits, ETA)
+    --telemetry-out F    periodic machine-readable telemetry snapshots:
+                         `.prom`/`.txt` = Prometheus text exposition
+                         rewritten in place, anything else = one JSON
+                         line appended per interval (JSONL)
+
+PROFILE FLAGS (plus --progress/--telemetry-out/--threads and, for the
+simulate workload, every shared + simulate flag above):
+    --workload W         grid | simulate: the 42-point ablation-shaped
+                         sweep grid (the bench_baseline sweep workload)
+                         or a single simulate-shaped run   [grid]
+    --trials T           (grid) attacked overlays per point [2]
+    --routes K           (grid) routes per trial            [20]
+    --seed S             (grid) master seed                 [13]
+    --interval-ms MS     reporter snapshot interval         [500]
+    --telemetry 0        disable the telemetry plane (reference run:
+                         results must be byte-identical)    [1]
+    --results-out F      write the workload's numeric results to F
+                         (diff against a --telemetry 0 run)
+    --cache F            (grid) persistent sweep cache, as `figure`
 
 TRACE FLAGS (plus the shared topology flags and --routes/--seed/
 --policy/--transport/--threads/--trace-out/--metrics-out/--faults/
@@ -94,6 +119,9 @@ OTHER FLAGS:
 EXAMPLES:
     sos analyze --layers 4 --mapping one-to-2
     sos simulate --nt 200 --nc 2000 --trials 200 --seed 7
+    sos simulate --trials 500 --progress 1 --telemetry-out telemetry.prom
+    sos profile --workload grid --telemetry-out profile.prom
+    sos profile --workload simulate --trials 200 --threads 8
     sos simulate --faults 0.2 --retry 4 --trials 200
     sos trace --scenario paper-intelligent --trace-out trace.jsonl
     sos trace --faults loss=0.3,delay=0.1 --retry attempts=3,backoff=2
@@ -136,6 +164,7 @@ where
         }
         Some("analyze") => analyze(&parsed, out),
         Some("simulate") => simulate(&parsed, out),
+        Some("profile") => profile(&parsed, out),
         Some("trace") => trace_cmd(&parsed, out),
         Some("compare") => compare(&parsed, out),
         Some("figure") => figure(&parsed, out),
@@ -493,6 +522,153 @@ fn threads_flag(args: &ParsedArgs) -> Result<Option<usize>, ArgError> {
     }
 }
 
+/// Reads the live-telemetry flags shared by `simulate` and `profile`:
+/// `--progress`, `--telemetry-out`, `--interval-ms`. Returns `Some`
+/// reporter options when either output is requested (`--progress 0`
+/// and `--telemetry-out` alone still start the reporter for the sink).
+fn reporter_flags(args: &ParsedArgs) -> Result<Option<sos_observe::ReporterOptions>, ArgError> {
+    let progress = args.get("progress").is_some_and(|v| v != "0");
+    let telemetry_out = args.get("telemetry-out").map(std::path::PathBuf::from);
+    let interval_ms: u64 = args.get_or("interval-ms", 500)?;
+    if !progress && telemetry_out.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(sos_observe::ReporterOptions {
+        interval: std::time::Duration::from_millis(interval_ms.max(1)),
+        progress,
+        out: telemetry_out,
+    }))
+}
+
+/// Renders one `SimulationResult` as a stable CSV row (used by
+/// `profile` so telemetry-on and telemetry-off runs can be diffed
+/// byte for byte).
+fn result_csv_row(point: usize, r: &sos_sim::engine::SimulationResult) -> String {
+    format!(
+        "{point},{},{},{:.6},{:.6},{:.6},{:.2}",
+        r.successes,
+        r.attempts,
+        r.success_rate(),
+        r.realized_ps_hypergeometric,
+        r.realized_ps_binomial,
+        r.mean_underlay_hops,
+    )
+}
+
+fn profile(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use sos_observe::{ProgressReporter, ReporterOptions};
+
+    let workload = args.get("workload").unwrap_or("grid").to_string();
+    let telemetry_on: u64 = args.get_or("telemetry", 1)?;
+    let results_out = args.get("results-out").map(str::to_string);
+    let reporter_opts = reporter_flags(args)?;
+    let threads = threads_flag(args)?;
+
+    // The reporter starts before the workload so the interval sink
+    // sees it live; `--telemetry 0` gives the reference run whose
+    // numeric results must be byte-identical.
+    let reporter = if telemetry_on != 0 {
+        Some(ProgressReporter::start(
+            reporter_opts.clone().unwrap_or(ReporterOptions {
+                progress: false,
+                ..ReporterOptions::default()
+            }),
+        ))
+    } else {
+        sos_observe::telemetry::set_enabled(false);
+        None
+    };
+
+    let results = match workload.as_str() {
+        "grid" => {
+            let trials: u64 = args.get_or("trials", 2)?;
+            let routes: u64 = args.get_or("routes", 20)?;
+            let seed: u64 = args.get_or("seed", 13)?;
+            let cache = args.get("cache").map(str::to_string);
+            args.reject_unknown()?;
+            let configs = sos_bench::ablations::profile_grid(sos_bench::ablations::AblationOptions {
+                trials,
+                routes_per_trial: routes,
+                seed,
+            });
+            let results = if let Some(path) = cache {
+                let loaded = sos_sim::set_global_cache(&path)?;
+                eprintln!("sweep cache {path}: {loaded} entries loaded");
+                sos_sim::run_sweep(&configs)
+            } else if let Some(t) = threads {
+                sos_sim::SweepExecutor::with_threads(t).run(&configs)
+            } else {
+                sos_sim::run_sweep(&configs)
+            };
+            let mut text = String::from(
+                "point,successes,attempts,ps,realized_hypergeometric,realized_binomial,mean_hops\n",
+            );
+            for (i, r) in results.iter().enumerate() {
+                text.push_str(&result_csv_row(i, r));
+                text.push('\n');
+            }
+            text
+        }
+        "simulate" => {
+            let cfg = common_config(args)?;
+            let trials: u64 = args.get_or("trials", 100)?;
+            let routes: u64 = args.get_or("routes", 100)?;
+            let seed: u64 = args.get_or("seed", 0)?;
+            let policy = parse_policy(args.get("policy").unwrap_or("random-good"))?;
+            let transport = parse_transport(args.get("transport").unwrap_or("direct"))?;
+            let (faults, retry) = fault_flags(args)?;
+            args.reject_unknown()?;
+            let result = Simulation::new(
+                SimulationConfig::new(cfg.scenario, cfg.attack)
+                    .trials(trials)
+                    .routes_per_trial(routes)
+                    .seed(seed)
+                    .policy(policy)
+                    .transport(transport)
+                    .faults(faults)
+                    .retry(retry),
+            )
+            .run_parallel(threads.unwrap_or_else(sos_sim::num_threads));
+            let mut text = String::from(
+                "point,successes,attempts,ps,realized_hypergeometric,realized_binomial,mean_hops\n",
+            );
+            text.push_str(&result_csv_row(0, &result));
+            text.push('\n');
+            text
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown workload `{other}` (grid | simulate)"
+            ))
+            .into())
+        }
+    };
+
+    write!(out, "{results}")?;
+    if let Some(path) = results_out {
+        std::fs::write(&path, &results)?;
+        writeln!(out, "results: -> {path}")?;
+    }
+    match reporter {
+        Some(reporter) => {
+            let sink = reporter.sink_path();
+            let snap = reporter.finish();
+            writeln!(out)?;
+            write!(out, "{}", snap.profile_table())?;
+            if let Some(path) = sink {
+                writeln!(out, "telemetry: -> {}", path.display())?;
+            }
+        }
+        None => {
+            writeln!(out, "telemetry disabled (--telemetry 0): reference run, no profile")?;
+        }
+    }
+    Ok(())
+}
+
 fn simulate(
     args: &ParsedArgs,
     out: &mut dyn std::io::Write,
@@ -507,8 +683,12 @@ fn simulate(
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
     let threads = threads_flag(args)?;
+    let reporter_opts = reporter_flags(args)?;
     args.reject_unknown()?;
 
+    // Live telemetry observes but never steers: counts are identical
+    // with the reporter on or off.
+    let reporter = reporter_opts.map(sos_observe::ProgressReporter::start);
     let sim = Simulation::new(
         SimulationConfig::new(cfg.scenario, cfg.attack)
             .trials(trials)
@@ -540,6 +720,9 @@ fn simulate(
     } else {
         sim.run_parallel(threads.unwrap_or_else(sos_sim::num_threads))
     };
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
     let ci = result.confidence_interval(0.95);
     writeln!(out, "model: {}", cfg.attack.model_name())?;
     writeln!(out, "policy: {policy}  transport: {}", transport.label())?;
@@ -1197,6 +1380,143 @@ mod tests {
         let (code, out) = run_to_string(&["simulate", "--retry", "lots=9"]);
         assert_eq!(code, 1);
         assert!(out.contains("unknown key `lots`"), "{out}");
+    }
+
+    #[test]
+    fn profile_grid_results_identical_with_telemetry_off() {
+        let dir = std::env::temp_dir();
+        let on_path = dir.join("sos-cli-test-profile-on.csv");
+        let off_path = dir.join("sos-cli-test-profile-off.csv");
+        let prom_path = dir.join("sos-cli-test-profile.prom");
+        let (code, on_out) = run_to_string(&[
+            "profile",
+            "--workload",
+            "grid",
+            "--trials",
+            "1",
+            "--routes",
+            "5",
+            "--telemetry-out",
+            prom_path.to_str().unwrap(),
+            "--results-out",
+            on_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{on_out}");
+        let (code, off_out) = run_to_string(&[
+            "profile",
+            "--workload",
+            "grid",
+            "--trials",
+            "1",
+            "--routes",
+            "5",
+            "--telemetry",
+            "0",
+            "--results-out",
+            off_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{off_out}");
+        // Telemetry observes but never steers: the numeric results of
+        // the on and off runs must be byte-identical.
+        let on = std::fs::read_to_string(&on_path).unwrap();
+        let off = std::fs::read_to_string(&off_path).unwrap();
+        assert_eq!(on, off, "telemetry changed the workload's results");
+        assert!(on.lines().count() == 43, "42 points + header: {on}");
+        // The profile table names every phase with quantile columns.
+        for needle in ["phase", "p50", "p95", "p99", "build", "break-in", "congestion", "routing"] {
+            assert!(on_out.contains(needle), "missing {needle} in {on_out}");
+        }
+        assert!(off_out.contains("reference run, no profile"), "{off_out}");
+        // The exposition sink parses as Prometheus text format: every
+        // non-comment line is `name[{labels}] value`.
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        let mut series = 0usize;
+        for line in prom.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample has name and value");
+            assert!(value.parse::<f64>().is_ok(), "bad sample value: {line}");
+            assert!(!name.is_empty());
+            series += 1;
+        }
+        assert!(series >= 10, "too few series in exposition:\n{prom}");
+        for required in [
+            "sos_trials_total",
+            "sos_routes_total",
+            "sos_sweep_points_done",
+            "sos_phase_seconds_total{phase=\"build\"}",
+            "sos_phase_ns{phase=\"routing\",quantile=\"0.95\"}",
+            "sos_worker_trials_total",
+        ] {
+            assert!(prom.contains(required), "missing {required} in\n{prom}");
+        }
+        for p in [on_path, off_path, prom_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn profile_simulate_workload_and_bad_workload() {
+        let (code, out) = run_to_string(&[
+            "profile",
+            "--workload",
+            "simulate",
+            "--overlay-nodes",
+            "500",
+            "--sos-nodes",
+            "50",
+            "--trials",
+            "5",
+            "--routes",
+            "10",
+            "--nt",
+            "10",
+            "--nc",
+            "50",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("point,successes"), "{out}");
+        assert!(out.contains("routing"), "{out}");
+        let (code, out) = run_to_string(&["profile", "--workload", "nope"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown workload"), "{out}");
+    }
+
+    #[test]
+    fn simulate_with_progress_flag_keeps_counts() {
+        let base = [
+            "simulate",
+            "--overlay-nodes",
+            "500",
+            "--sos-nodes",
+            "50",
+            "--trials",
+            "10",
+            "--routes",
+            "20",
+            "--nt",
+            "10",
+            "--nc",
+            "50",
+            "--seed",
+            "4",
+        ];
+        let (code, plain) = run_to_string(&base);
+        assert_eq!(code, 0, "{plain}");
+        let jsonl = std::env::temp_dir().join("sos-cli-test-sim-telemetry.jsonl");
+        let with_reporter: Vec<&str> = base
+            .iter()
+            .chain(["--progress", "1", "--telemetry-out", jsonl.to_str().unwrap()].iter())
+            .copied()
+            .collect();
+        let (code, reported) = run_to_string(&with_reporter);
+        assert_eq!(code, 0, "{reported}");
+        assert_eq!(plain, reported, "telemetry changed simulate's output");
+        let sink = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(sink.lines().count() >= 1, "no snapshot lines in sink");
+        assert!(sink.lines().next().unwrap().starts_with('{'), "{sink}");
+        let _ = std::fs::remove_file(jsonl);
     }
 
     #[test]

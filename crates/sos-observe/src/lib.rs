@@ -23,6 +23,12 @@
 //! - [`sink`] — renderers over a recorded event slice: JSONL trace
 //!   export, CSV metrics summary, and the human-readable per-phase
 //!   timeline printed by `sos trace`.
+//! - [`telemetry`] — the *live* side: lock-free per-worker runtime
+//!   counters and wall-clock phase timers
+//!   ([`telemetry::TelemetrySlot`], [`PhaseTimer`]), a snapshot/diff
+//!   API, and the background [`ProgressReporter`] behind `--progress`,
+//!   `--telemetry-out`, and `sos profile`. Telemetry observes but never
+//!   steers: results are bit-identical with it on or off.
 //!
 //! This crate is dependency-free by design (node identifiers are raw
 //! `u32`s, JSON is emitted by hand): every simulation crate can depend
@@ -51,8 +57,12 @@ pub mod event;
 pub mod metrics;
 pub mod record;
 pub mod sink;
+pub mod telemetry;
 
 pub use event::{Event, EventKind, FallbackMode, FaultClass, Phase};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use record::{MemoryRecorder, NullRecorder, Recorder};
 pub use sink::{render_timeline, write_jsonl};
+pub use telemetry::{
+    PhaseKind, PhaseTimer, ProgressReporter, ReporterOptions, TelemetrySnapshot,
+};

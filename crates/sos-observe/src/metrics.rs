@@ -109,6 +109,10 @@ pub struct Histogram {
     counts: Vec<u64>,
     sum: f64,
     count: u64,
+    /// NaN samples rejected by [`record`](Self::record) — kept out of
+    /// every bucket and out of `sum`/`count` so they cannot poison the
+    /// mean or the quantiles.
+    invalid: u64,
 }
 
 impl Histogram {
@@ -129,7 +133,30 @@ impl Histogram {
             counts: vec![0; buckets],
             sum: 0.0,
             count: 0,
+            invalid: 0,
         }
+    }
+
+    /// Reconstructs a histogram from raw parts: `counts` must hold one
+    /// entry per bound plus the overflow bucket. Used by the telemetry
+    /// plane to turn atomically-accumulated bucket counts into a
+    /// queryable histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are invalid (see [`new`](Self::new)) or
+    /// `counts.len() != bounds.len() + 1`.
+    pub fn from_parts(bounds: Vec<f64>, counts: Vec<u64>, sum: f64) -> Self {
+        let mut h = Histogram::new(bounds);
+        assert_eq!(
+            counts.len(),
+            h.counts.len(),
+            "need one count per bound plus overflow"
+        );
+        h.count = counts.iter().sum();
+        h.counts = counts;
+        h.sum = sum;
+        h
     }
 
     /// `n` equal-width buckets spanning `[lo, hi]` (plus overflow).
@@ -144,7 +171,16 @@ impl Histogram {
     }
 
     /// Records one sample.
+    ///
+    /// A NaN sample is counted in [`invalid_count`](Self::invalid_count)
+    /// and otherwise ignored: `partition_point` with NaN (every
+    /// comparison false) would land it in the *first* bucket and poison
+    /// `sum`/`mean`, so NaN never reaches a bucket or the sum.
     pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            self.invalid += 1;
+            return;
+        }
         // partition_point: first bucket whose bound is ≥ value.
         let idx = self.bounds.partition_point(|&b| b < value);
         self.counts[idx] += 1;
@@ -177,6 +213,59 @@ impl Histogram {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
 
+    /// NaN samples rejected by [`record`](Self::record).
+    pub fn invalid_count(&self) -> u64 {
+        self.invalid
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) estimated by linear
+    /// interpolation within the containing bucket, or `None` if the
+    /// histogram is empty. The first bucket interpolates from `0` (all
+    /// workspace metrics are non-negative); a quantile landing in the
+    /// overflow bucket clamps to the last finite bound — the histogram
+    /// carries no upper edge to interpolate toward.
+    ///
+    /// ```
+    /// use sos_observe::Histogram;
+    ///
+    /// // 100 samples uniform over (0, 100]: ten per decade bucket.
+    /// let mut h = Histogram::uniform(0.0, 100.0, 10);
+    /// for v in 1..=100 {
+    ///     h.record(v as f64);
+    /// }
+    /// assert_eq!(h.quantile(0.5), Some(50.0));
+    /// assert_eq!(h.quantile(0.95), Some(95.0));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut below = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let through = below + c as f64;
+            if c > 0 && through >= target {
+                let last = *self.bounds.last().expect("histogram has bounds");
+                if i == self.bounds.len() {
+                    return Some(last); // overflow bucket: clamp
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = ((target - below) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+            below = through;
+        }
+        // count > 0 guarantees some bucket satisfied `through >= target`
+        // (target ≤ count); unreachable, but stay total.
+        self.bounds.last().copied()
+    }
+
     /// Folds another histogram in (bucket-wise addition).
     ///
     /// # Panics
@@ -192,6 +281,7 @@ impl Histogram {
         }
         self.sum += other.sum;
         self.count += other.count;
+        self.invalid += other.invalid;
     }
 }
 
@@ -310,6 +400,7 @@ impl MetricsRegistry {
                 "{name},histogram,overflow,{}",
                 h.bucket_counts().last().expect("histogram has buckets")
             );
+            let _ = writeln!(out, "{name},histogram,invalid,{}", h.invalid_count());
         }
         out
     }
@@ -352,6 +443,115 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unordered_bounds_rejected() {
         Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn nan_samples_go_to_the_invalid_counter() {
+        // Regression: `partition_point(|&b| b < NaN)` is 0 (every
+        // comparison false), so NaN used to land in the *first* bucket
+        // and drive `sum`/`mean` to NaN. It must never reach a bucket.
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.record(f64::NAN);
+        h.record(1.5);
+        h.record(f64::NAN);
+        assert_eq!(h.invalid_count(), 2);
+        assert_eq!(h.count(), 1, "NaN must not count as a sample");
+        assert_eq!(h.bucket_counts(), &[0, 1, 0], "NaN must not fill a bucket");
+        assert_eq!(h.mean(), Some(1.5), "NaN must not poison the mean");
+        assert_eq!(h.sum(), 1.5);
+
+        // Invalid counts survive a merge.
+        let mut other = Histogram::new(vec![1.0, 2.0]);
+        other.record(f64::NAN);
+        h.merge(&other);
+        assert_eq!(h.invalid_count(), 3);
+        assert_eq!(h.count(), 1);
+        assert!(h.to_csv_row_smoke());
+    }
+
+    impl Histogram {
+        /// Test helper: the registry CSV must expose the invalid count.
+        fn to_csv_row_smoke(&self) -> bool {
+            let mut r = MetricsRegistry::new();
+            *r.histogram("h", self.bounds()) = self.clone();
+            r.to_csv().contains(&format!("h,histogram,invalid,{}", self.invalid_count()))
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // Uniform integers 1..=100 over decade buckets: quantile(q)
+        // should land at ~100q exactly (each bucket holds 10 samples
+        // spread over a width of 10).
+        let mut h = Histogram::uniform(0.0, 100.0, 10);
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.95), Some(95.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        // q = 0 interpolates to the lower edge of the first occupied
+        // bucket (0 for bucket zero).
+        assert_eq!(h.quantile(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_handles_point_masses_and_overflow() {
+        // All mass in one bucket: every quantile stays inside it.
+        let mut h = Histogram::new(vec![10.0, 20.0, 30.0]);
+        for _ in 0..4 {
+            h.record(15.0);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((10.0..=20.0).contains(&p50), "p50 {p50}");
+        // Overflow mass clamps to the last finite bound.
+        let mut o = Histogram::new(vec![10.0]);
+        o.record(99.0);
+        o.record(500.0);
+        assert_eq!(o.quantile(0.99), Some(10.0));
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::new(vec![1.0]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_matches_known_skewed_distribution() {
+        // 90 fast samples (≤ 8) and 10 slow ones (in (64, 128]): the
+        // p50 must sit in the fast bucket, the p95/p99 in the slow one.
+        let bounds: Vec<f64> = (0..8).map(|p| (1u64 << (p + 3)) as f64).collect();
+        let mut h = Histogram::new(bounds);
+        for _ in 0..90 {
+            h.record(6.0);
+        }
+        for _ in 0..10 {
+            h.record(100.0);
+        }
+        assert!(h.quantile(0.5).unwrap() <= 8.0);
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((64.0..=128.0).contains(&p95), "p95 {p95}");
+        assert!(h.quantile(0.99).unwrap() > p95);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = Histogram::new(vec![1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new(vec![2.0, 4.0]);
+        h.record(1.0);
+        h.record(3.0);
+        h.record(9.0);
+        let rebuilt = Histogram::from_parts(
+            h.bounds().to_vec(),
+            h.bucket_counts().to_vec(),
+            h.sum(),
+        );
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.mean(), h.mean());
+        assert_eq!(rebuilt.quantile(0.5), h.quantile(0.5));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::event::{Event, EventKind, Phase};
+use crate::metrics::Histogram;
 
 /// Renders events as JSON Lines: one flat object per event, with `t`,
 /// `trial`, `kind`, and the kind's payload fields.
@@ -266,17 +267,28 @@ impl SpanStats {
     }
 }
 
+/// Geometric bucket bounds for phase-span durations in logical ticks.
+fn span_tick_bounds() -> Vec<f64> {
+    (1..=16).map(|p| (1u64 << p) as f64).collect()
+}
+
 /// Renders a human-readable per-trial, per-phase timeline.
 ///
 /// Each trial shows its seed and delivery ratio, then one line per
 /// phase span with the logical-tick interval and phase-appropriate
-/// aggregates — the view printed by `sos trace`.
+/// aggregates — the view printed by `sos trace`. When more than one
+/// trial is present, a trailing summary reports the p50/p95/p99
+/// distribution of each phase's span length (in logical ticks) across
+/// trials.
 pub fn render_timeline(events: &[Event]) -> String {
     let mut by_trial: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
     for event in events {
         by_trial.entry(event.trial).or_default().push(event);
     }
 
+    // Phase label → span-length histogram across all trials.
+    let mut span_ticks: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    let trial_count = by_trial.len();
     let mut out = String::new();
     for (trial, trial_events) in &by_trial {
         let mut seed = None;
@@ -328,6 +340,24 @@ pub fn render_timeline(events: &[Event]) -> String {
                 "  {interval:<width$}  {:<10}  {}",
                 phase.label(),
                 stats.describe(*phase)
+            );
+            span_ticks
+                .entry(phase.label())
+                .or_insert_with(|| Histogram::new(span_tick_bounds()))
+                .record((end - start) as f64);
+        }
+    }
+    if trial_count > 1 && !span_ticks.is_empty() {
+        out.push_str("phase-span summary (logical ticks across trials):\n");
+        for (label, hist) in &span_ticks {
+            let q = |q: f64| hist.quantile(q).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  {label:<10}  p50 {:>7.1}  p95 {:>7.1}  p99 {:>7.1}  ({} spans)",
+                q(0.50),
+                q(0.95),
+                q(0.99),
+                hist.count()
             );
         }
     }
@@ -437,5 +467,33 @@ mod tests {
         let timeline = render_timeline(&events);
         assert!(timeline.contains("trial 0"));
         assert!(timeline.contains("trial 1"));
+    }
+
+    #[test]
+    fn multi_trial_timeline_appends_span_quantiles() {
+        // One trial: no summary (a single span has no distribution).
+        let single = render_timeline(&sample_events());
+        assert!(!single.contains("phase-span summary"));
+
+        // Three trials: the summary reports per-phase p50/p95/p99 of
+        // span lengths. Every sample span is 4 ticks (t 1..5, 6..9,
+        // 10..15 → 4, 3, 5), so quantiles stay within those bounds.
+        let mut events = Vec::new();
+        for trial in 0..3 {
+            events.extend(sample_events().into_iter().map(|mut e| {
+                e.trial = trial;
+                e
+            }));
+        }
+        let timeline = render_timeline(&events);
+        assert!(timeline.contains("phase-span summary"));
+        for phase in ["break-in", "congestion", "routing"] {
+            let line = timeline
+                .lines()
+                .find(|l| l.trim_start().starts_with(phase) && l.contains("p50"))
+                .unwrap_or_else(|| panic!("no summary line for {phase}:\n{timeline}"));
+            assert!(line.contains("p95") && line.contains("p99"), "{line}");
+            assert!(line.contains("(3 spans)"), "{line}");
+        }
     }
 }

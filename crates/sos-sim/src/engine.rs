@@ -30,6 +30,7 @@ use sos_attack::{OneBurstAttacker, SuccessiveAttacker};
 use sos_core::{AttackConfig, PathEvaluator, Scenario};
 use sos_faults::{Fallback, FaultConfig, FaultPlan, HopIncident, RetryPolicy};
 use sos_math::stats::{proportion_ci, ConfidenceInterval, RunningStats, SummaryStats};
+use sos_observe::telemetry::{self, PhaseKind, PhaseTimer};
 use sos_observe::{Event, EventKind, FallbackMode, FaultClass, MetricsRegistry, Phase, Recorder};
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 
@@ -390,6 +391,7 @@ impl Simulation {
 
     /// Runs all trials on the calling thread.
     pub fn run(&self) -> SimulationResult {
+        telemetry::add_expected_trials(self.config.trials);
         let mut scratch = TrialScratch::new();
         let partial = self.run_trials(0, self.config.trials, &mut scratch, None);
         self.finish(partial)
@@ -405,6 +407,7 @@ impl Simulation {
     /// [`run`](Self::run): tracing only *observes* the trial streams,
     /// it never draws from them.
     pub fn run_traced(&self, recorder: &dyn Recorder) -> (SimulationResult, MetricsRegistry) {
+        telemetry::add_expected_trials(self.config.trials);
         let mut obs = Observation {
             recorder,
             metrics: MetricsRegistry::new(),
@@ -431,6 +434,7 @@ impl Simulation {
         recorder: &dyn Recorder,
     ) -> (SimulationResult, MetricsRegistry) {
         assert!(threads > 0, "need at least one thread");
+        telemetry::add_expected_trials(self.config.trials);
         let queue = TrialQueue::new(self.config.trials, threads);
         let merged = Mutex::new((Partial::default(), MetricsRegistry::new()));
         crossbeam::thread::scope(|scope| {
@@ -445,6 +449,9 @@ impl Simulation {
                     let mut scratch = TrialScratch::new();
                     let mut partial = Partial::default();
                     while let Some((start, end)) = queue.next_batch() {
+                        if let Some(slot) = telemetry::slot() {
+                            slot.add_batch();
+                        }
                         for trial in start..end {
                             self.run_one_trial(trial, &mut partial, &mut scratch, Some(&mut obs));
                         }
@@ -472,6 +479,7 @@ impl Simulation {
     /// Panics if `threads == 0`.
     pub fn run_parallel(&self, threads: usize) -> SimulationResult {
         assert!(threads > 0, "need at least one thread");
+        telemetry::add_expected_trials(self.config.trials);
         let queue = TrialQueue::new(self.config.trials, threads);
         let merged = Mutex::new(Partial::default());
         crossbeam::thread::scope(|scope| {
@@ -482,6 +490,9 @@ impl Simulation {
                     let mut scratch = TrialScratch::new();
                     let mut partial = Partial::default();
                     while let Some((start, end)) = queue.next_batch() {
+                        if let Some(slot) = telemetry::slot() {
+                            slot.add_batch();
+                        }
                         for trial in start..end {
                             self.run_one_trial(trial, &mut partial, &mut scratch, None);
                         }
@@ -541,6 +552,7 @@ impl Simulation {
                 sim: sim.clone(),
                 start: done,
                 end: next,
+                point: false,
             }]);
             partial.merge(&batch_partials.remove(0));
             done = next;
@@ -577,6 +589,11 @@ impl Simulation {
         mut obs: Option<&mut Observation<'_>>,
     ) {
         let cfg = &self.config;
+        // Live telemetry wall-clock attribution. The timer is inert
+        // when telemetry is off, and in either state it only *reads*
+        // the clock — it never touches the trial RNG streams, so
+        // results are bit-identical with telemetry on or off.
+        let mut timer = PhaseTimer::start();
         // Independent decorrelated streams per trial for overlay
         // construction, ring construction, and attack+routing — so a
         // Direct run and a Chord run with the same seed see the *same*
@@ -618,6 +635,7 @@ impl Simulation {
                 }
             }
         }
+        timer.lap(PhaseKind::Build);
 
         // Logical tick within the trial; only advanced in traced runs.
         let mut t = 0u64;
@@ -720,6 +738,10 @@ impl Simulation {
         if partial.failure_depths.len() < depth_slots {
             partial.failure_depths.resize(depth_slots, 0);
         }
+        // The attack span was attributed by the attacker's own timer
+        // (break-in/congestion); the bridge/evaluator glue in between
+        // belongs to no phase — re-arm without attributing.
+        timer.reset();
         let routing_start = t;
         if let Some(o) = obs.as_deref_mut() {
             o.emit(&mut t, trial, EventKind::PhaseStart {
@@ -772,6 +794,11 @@ impl Simulation {
             } else {
                 partial.failure_depths[result.deepest_layer.min(depth_slots - 1)] += 1;
             }
+        }
+        timer.lap(PhaseKind::Routing);
+        if let Some(slot) = telemetry::slot() {
+            slot.add_trial();
+            slot.add_routes(cfg.routes_per_trial);
         }
         partial.successes += delivered;
         partial.attempts += cfg.routes_per_trial;

@@ -31,6 +31,7 @@
 //! [`Simulation::run_parallel`]: crate::engine::Simulation::run_parallel
 
 use crate::engine::{num_threads, Partial, Simulation, TrialQueue, TrialScratch};
+use sos_observe::telemetry;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
@@ -43,6 +44,10 @@ pub(crate) struct RangeJob {
     pub start: u64,
     /// Last trial index (exclusive); must be `> start`.
     pub end: u64,
+    /// Whether completing this job counts as one sweep *point* for the
+    /// live telemetry plane (true for sweep-executor jobs, false for
+    /// the batch jobs of `run_until_precision`).
+    pub point: bool,
 }
 
 /// Per-job execution state: the job's own work-stealing queue (over the
@@ -53,6 +58,10 @@ struct JobSlot {
     base: u64,
     queue: TrialQueue,
     partial: Mutex<Partial>,
+    /// Trials of this job not yet merged; hits zero exactly once, when
+    /// the job completes (telemetry's per-point progress tick).
+    remaining: AtomicU64,
+    point: bool,
 }
 
 /// Completion state of one `run` call, updated under [`RunState::done`].
@@ -166,9 +175,12 @@ impl WorkerPool {
                     base: job.start,
                     sim: job.sim,
                     partial: Mutex::new(Partial::default()),
+                    remaining: AtomicU64::new(len),
+                    point: job.point,
                 }
             })
             .collect();
+        telemetry::add_expected_trials(total);
         let run = Arc::new(RunState {
             jobs: slots,
             head: AtomicUsize::new(0),
@@ -272,6 +284,9 @@ fn drain(run: &RunState, scratch: &mut TrialScratch) {
         let Some((slot, start, end)) = claimed else {
             return;
         };
+        if let Some(t) = telemetry::slot() {
+            t.add_batch();
+        }
         let mut partial = Partial::default();
         for trial in start..end {
             slot.sim
@@ -279,6 +294,11 @@ fn drain(run: &RunState, scratch: &mut TrialScratch) {
         }
         lock_ignore_poison(&slot.partial).merge(&partial);
         run.batches.fetch_add(1, Ordering::Relaxed);
+        // The last batch of a job completes a sweep point.
+        let batch_len = end - start;
+        if slot.remaining.fetch_sub(batch_len, Ordering::AcqRel) == batch_len && slot.point {
+            telemetry::point_done();
+        }
         let mut done = lock_ignore_poison(&run.done);
         done.remaining -= end - start;
         if done.remaining == 0 {
@@ -377,6 +397,7 @@ mod tests {
                     sim: s.clone(),
                     start: 0,
                     end: 12,
+                    point: true,
                 })
                 .collect();
             let (partials, batches) = pool.run(jobs);
@@ -397,8 +418,8 @@ mod tests {
     fn pool_is_reusable_across_runs() {
         let mut pool = WorkerPool::new(2);
         let s = sim(9, 8);
-        let (first, _) = pool.run(vec![RangeJob { sim: s.clone(), start: 0, end: 8 }]);
-        let (second, _) = pool.run(vec![RangeJob { sim: s.clone(), start: 0, end: 8 }]);
+        let (first, _) = pool.run(vec![RangeJob { sim: s.clone(), start: 0, end: 8, point: true }]);
+        let (second, _) = pool.run(vec![RangeJob { sim: s.clone(), start: 0, end: 8, point: true }]);
         let a = s.finish(first.into_iter().next().unwrap());
         let b = s.finish(second.into_iter().next().unwrap());
         assert_eq!(a.successes, b.successes);
@@ -413,8 +434,8 @@ mod tests {
         let whole = s.run_parallel(1);
         let mut pool = WorkerPool::new(3);
         let (parts, _) = pool.run(vec![
-            RangeJob { sim: s.clone(), start: 0, end: 10 },
-            RangeJob { sim: s.clone(), start: 10, end: 30 },
+            RangeJob { sim: s.clone(), start: 0, end: 10, point: false },
+            RangeJob { sim: s.clone(), start: 10, end: 30, point: false },
         ]);
         let mut merged = Partial::default();
         for part in &parts {

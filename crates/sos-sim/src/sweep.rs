@@ -42,6 +42,7 @@
 
 use crate::engine::{Simulation, SimulationConfig, SimulationResult};
 use crate::pool::{global_pool, RangeJob, WorkerPool};
+use sos_observe::telemetry;
 use sos_observe::{Event, EventKind, MetricsRegistry, Recorder};
 use std::collections::HashMap;
 use std::io;
@@ -296,6 +297,7 @@ impl SweepExecutor {
         recorder: Option<&dyn Recorder>,
     ) -> Vec<SimulationResult> {
         self.stats.points += configs.len() as u64;
+        telemetry::add_expected_points(configs.len() as u64);
         let fingerprints: Vec<u64> = configs.iter().map(fingerprint).collect();
 
         // Plan: first occurrence of an uncached fingerprint becomes a
@@ -312,9 +314,11 @@ impl SweepExecutor {
         for (point, (config, &fp)) in configs.iter().zip(&fingerprints).enumerate() {
             if self.memory.contains_key(&fp) {
                 self.stats.cache_hits += 1;
+                telemetry::point_cached();
                 emit(point as u64, EventKind::SweepPointCached { point: point as u64, fingerprint: fp });
             } else if planned.contains(&fp) {
                 self.stats.dedup_hits += 1;
+                telemetry::point_cached();
                 emit(point as u64, EventKind::SweepPointCached { point: point as u64, fingerprint: fp });
             } else {
                 planned.push(fp);
@@ -336,6 +340,7 @@ impl SweepExecutor {
                     sim: sim.clone(),
                     start: 0,
                     end: sim.config().trials,
+                    point: true,
                 })
                 .collect();
             let (partials, batches) = match &mut self.pool {
