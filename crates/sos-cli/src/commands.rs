@@ -28,6 +28,13 @@ COMMANDS:
     figure     regenerate a paper figure (fig4a fig4b fig6a fig6b fig7 fig8a fig8b all)
                or a Monte Carlo family (ablation-routing ablation-chord
                ext-faults ext-monitoring)
+    serve      run sosd, the resident analysis daemon: owns the worker
+               pool and a warm sweep cache, answers analyze/simulate/
+               sweep/profile/ping/shutdown requests over a length-
+               prefixed JSON protocol, and serves Prometheus GET
+               /metrics + GET /healthz on the same port (PROTOCOL.md,
+               OPERATIONS.md)
+    client     send one request to a running sosd and print the reply
     optimize   search the design grid for the best worst-case design
     frontier   latency-resilience Pareto frontier over the design grid
     tornado    parameter-sensitivity analysis around an operating point
@@ -73,6 +80,14 @@ SIMULATE FLAGS:
                          `.prom`/`.txt` = Prometheus text exposition
                          rewritten in place, anything else = one JSON
                          line appended per interval (JSONL)
+    --json 1             machine-readable {fingerprint, result} output,
+                         byte-identical to what `sos client simulate`
+                         prints for the same flags; runs through the
+                         sweep executor so --cache answers repeats
+                         from the cache file (cache hit/miss on stderr)
+    --cache F            (with --json 1) persistent sweep cache file,
+                         same format as `figure --cache` and
+                         `serve --cache`
 
 PROFILE FLAGS (plus --progress/--telemetry-out/--threads and, for the
 simulate workload, every shared + simulate flag above):
@@ -106,6 +121,22 @@ FIGURE FLAGS:
     --routes K           (Monte Carlo families) routes per trial  [100]
     --seed S             (Monte Carlo families) master seed       [42]
 
+SERVE FLAGS (plus --progress/--telemetry-out/--interval-ms as simulate;
+see PROTOCOL.md for the wire format, OPERATIONS.md for running it):
+    --addr A             listen address                [127.0.0.1:7070]
+    --cache F            persistent sweep cache: loaded at startup
+                         (warm start), rewritten after every executed
+                         point and once more on drain
+    --threads N          worker threads for this daemon [all cores, max 16]
+
+CLIENT FLAGS (sos client <OP>; OP = ping | analyze | simulate | sweep |
+profile | shutdown; analyze and simulate take every shared + simulate
+flag above and print the reply as JSON — byte-identical to
+`sos analyze --json 1` / `sos simulate --json 1` for the same flags):
+    --addr A             daemon address                [127.0.0.1:7070]
+    --specs F            (sweep) JSON file holding an array of spec
+                         objects (field names as in PROTOCOL.md)
+
 OTHER FLAGS:
     --json 1             (analyze) machine-readable output
     --top K              (optimize) rows to print            [10]
@@ -128,6 +159,10 @@ EXAMPLES:
     sos compare --mapping one-to-all --model one-burst
     sos figure fig6a
     sos figure ext-faults --cache sweep.json --trials 30 --routes 40
+    sos serve --addr 127.0.0.1:7070 --cache sweep.json
+    sos client analyze --layers 4
+    sos client simulate --trials 200 --seed 7
+    sos client shutdown
     sos optimize --max-latency 5
     sos tornado --mapping one-to-5
     sos advise --mapping one-to-all
@@ -168,6 +203,8 @@ where
         Some("trace") => trace_cmd(&parsed, out),
         Some("compare") => compare(&parsed, out),
         Some("figure") => figure(&parsed, out),
+        Some("serve") => serve_cmd(&parsed, out),
+        Some("client") => client_cmd(&parsed, out),
         Some("optimize") => optimize(&parsed, out),
         Some("frontier") => frontier(&parsed, out),
         Some("tornado") => tornado_cmd(&parsed, out),
@@ -684,7 +721,56 @@ fn simulate(
     let metrics_out = args.get("metrics-out").map(str::to_string);
     let threads = threads_flag(args)?;
     let reporter_opts = reporter_flags(args)?;
+    let json_out = args.get("json").is_some_and(|v| v != "0");
+    let cache = args.get("cache").map(str::to_string);
     args.reject_unknown()?;
+
+    if json_out {
+        if trace_out.is_some() || metrics_out.is_some() {
+            return Err(ArgError(
+                "flag --json: cannot combine with --trace-out/--metrics-out".into(),
+            )
+            .into());
+        }
+        let reporter = reporter_opts.map(sos_observe::ProgressReporter::start);
+        let config = SimulationConfig::new(cfg.scenario, cfg.attack)
+            .trials(trials)
+            .routes_per_trial(routes)
+            .seed(seed)
+            .policy(policy)
+            .transport(transport)
+            .faults(faults)
+            .retry(retry);
+        let mut exec = match threads {
+            Some(t) => sos_sim::SweepExecutor::with_threads(t),
+            None => sos_sim::SweepExecutor::new(),
+        };
+        if let Some(path) = &cache {
+            // Stderr, not `out`: the JSON document on stdout must stay
+            // byte-identical between cold and warm cache runs (CI
+            // diffs it against the daemon's answer for the same spec).
+            let loaded = exec.attach_cache(path)?;
+            eprintln!("sweep cache {path}: {loaded} entries loaded");
+        }
+        let fingerprint = sos_sim::config_fingerprint(&config);
+        let before = exec.stats().points_executed;
+        let result = exec.run_one(&config);
+        let cached = exec.stats().points_executed == before;
+        exec.persist();
+        if let Some(reporter) = reporter {
+            reporter.finish();
+        }
+        eprintln!("cache: {}", if cached { "hit" } else { "miss" });
+        let doc = serde_json::json!({
+            "fingerprint": format!("{fingerprint:016x}"),
+            "result": result,
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&doc)?)?;
+        return Ok(());
+    }
+    if cache.is_some() {
+        return Err(ArgError("flag --cache on simulate requires --json 1".into()).into());
+    }
 
     // Live telemetry observes but never steers: counts are identical
     // with the reporter on or off.
@@ -1072,6 +1158,168 @@ fn figure(
     Ok(())
 }
 
+/// Maps the shared + simulate CLI flags onto a wire [`sos_serve::SimSpec`],
+/// so `sos client analyze/simulate --layers 4 ...` describes exactly the
+/// configuration the same flags describe to `sos analyze/simulate`.
+fn spec_from_args(args: &ParsedArgs) -> Result<sos_serve::SimSpec, ArgError> {
+    let d = sos_serve::SimSpec::default();
+    Ok(sos_serve::SimSpec {
+        overlay_nodes: args.get_or("overlay-nodes", d.overlay_nodes)?,
+        sos_nodes: args.get_or("sos-nodes", d.sos_nodes)?,
+        pb: args.get_or("pb", d.pb)?,
+        filters: args.get_or("filters", d.filters)?,
+        layers: args.get_or("layers", d.layers)?,
+        mapping: args.get("mapping").unwrap_or(d.mapping.as_str()).to_string(),
+        distribution: args
+            .get("distribution")
+            .unwrap_or(d.distribution.as_str())
+            .to_string(),
+        evaluator: args
+            .get("evaluator")
+            .unwrap_or(d.evaluator.as_str())
+            .to_string(),
+        model: args.get("model").unwrap_or(d.model.as_str()).to_string(),
+        nt: args.get_or("nt", d.nt)?,
+        nc: args.get_or("nc", d.nc)?,
+        rounds: args.get_or("rounds", d.rounds)?,
+        pe: args.get_or("pe", d.pe)?,
+        trials: args.get_or("trials", d.trials)?,
+        routes: args.get_or("routes", d.routes)?,
+        seed: args.get_or("seed", d.seed)?,
+        policy: args.get("policy").unwrap_or(d.policy.as_str()).to_string(),
+        transport: args
+            .get("transport")
+            .unwrap_or(d.transport.as_str())
+            .to_string(),
+        faults: args.get("faults").map(str::to_string),
+        retry: args.get("retry").map(str::to_string),
+    })
+}
+
+fn serve_cmd(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7070").to_string();
+    let threads = threads_flag(args)?;
+    let cache = args.get("cache").map(std::path::PathBuf::from);
+    let reporter_opts = reporter_flags(args)?;
+    args.reject_unknown()?;
+
+    let server = sos_serve::Server::bind(
+        addr.as_str(),
+        sos_serve::ServerOptions { threads, cache },
+    )?;
+    if server.cache_entries_loaded() > 0 {
+        eprintln!("sweep cache: {} entries loaded", server.cache_entries_loaded());
+    }
+    // The "listening" line is the readiness signal scripts wait for
+    // (see OPERATIONS.md), so flush it before blocking in the accept
+    // loop.
+    writeln!(out, "sosd listening on {}", server.local_addr())?;
+    out.flush()?;
+    let reporter = reporter_opts.map(sos_observe::ProgressReporter::start);
+    let report = server.run()?;
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
+    writeln!(
+        out,
+        "sosd drained: {} connections, {} requests ({} http, {} errors), {} cached points",
+        report.connections,
+        report.requests,
+        report.http_requests,
+        report.errors,
+        report.cached_points,
+    )?;
+    Ok(())
+}
+
+fn client_cmd(
+    args: &ParsedArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7070").to_string();
+    let op = args
+        .positionals()
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| {
+            ArgError(
+                "client requires an operation (ping | analyze | simulate | sweep | profile | shutdown)"
+                    .into(),
+            )
+        })?;
+    match op {
+        "ping" => {
+            args.reject_unknown()?;
+            let body = sos_serve::Client::connect(addr.as_str())?.ping()?;
+            writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
+        }
+        "analyze" => {
+            let spec = spec_from_args(args)?;
+            args.reject_unknown()?;
+            let body = sos_serve::Client::connect(addr.as_str())?.analyze(&spec)?;
+            writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
+        }
+        "simulate" => {
+            let spec = spec_from_args(args)?;
+            args.reject_unknown()?;
+            let body = sos_serve::Client::connect(addr.as_str())?.simulate(&spec)?;
+            // Reprint as the same {fingerprint, result} document
+            // `sos simulate --json 1` emits, with the cache verdict on
+            // stderr, so stdout can be byte-diffed against the direct
+            // CLI path (CI does exactly that).
+            let cached = matches!(body["cached"], serde_json::Value::Bool(true));
+            eprintln!("cache: {}", if cached { "hit" } else { "miss" });
+            let doc = serde_json::json!({
+                "fingerprint": body["fingerprint"],
+                "result": body["result"],
+            });
+            writeln!(out, "{}", serde_json::to_string_pretty(&doc)?)?;
+        }
+        "sweep" => {
+            let path = args
+                .get("specs")
+                .ok_or_else(|| ArgError("client sweep requires --specs FILE".into()))?
+                .to_string();
+            args.reject_unknown()?;
+            let text = std::fs::read_to_string(&path)?;
+            let doc: serde_json::Value = serde_json::from_str(&text)?;
+            let entries = doc
+                .as_array()
+                .ok_or_else(|| ArgError(format!("{path}: expected a JSON array of specs")))?;
+            let specs = entries
+                .iter()
+                .map(sos_serve::SimSpec::from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| ArgError(format!("{path}: {e}")))?;
+            let body = sos_serve::Client::connect(addr.as_str())?.sweep(&specs)?;
+            writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
+        }
+        "profile" => {
+            args.reject_unknown()?;
+            let body = sos_serve::Client::connect(addr.as_str())?.profile()?;
+            let table = body["table"]
+                .as_str()
+                .ok_or_else(|| ArgError("malformed profile reply: no table".into()))?;
+            write!(out, "{table}")?;
+        }
+        "shutdown" => {
+            args.reject_unknown()?;
+            let body = sos_serve::Client::connect(addr.as_str())?.shutdown()?;
+            writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown client operation `{other}` (ping | analyze | simulate | sweep | profile | shutdown)"
+            ))
+            .into())
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1080,6 +1328,126 @@ mod tests {
         let mut buf = Vec::new();
         let code = run(args.iter().map(|s| s.to_string()), &mut buf);
         (code, String::from_utf8(buf).unwrap())
+    }
+
+    /// A `Write` sink the test can read while another thread (the
+    /// daemon accept loop) still owns a clone of it.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        let cache = std::env::temp_dir().join(format!("sos-serve-cli-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&cache);
+        let cache_arg = cache.display().to_string();
+
+        // One worker thread → cold executions are deterministic, so
+        // every byte-identity assertion below holds unconditionally.
+        let buf = SharedBuf::default();
+        let mut serve_out = buf.clone();
+        let serve_args = vec![
+            "serve".to_string(),
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--threads".to_string(),
+            "1".to_string(),
+            "--cache".to_string(),
+            cache_arg.clone(),
+        ];
+        let daemon = std::thread::spawn(move || run(serve_args, &mut serve_out));
+
+        let addr = loop {
+            let text = buf.text();
+            if let Some(rest) = text.strip_prefix("sosd listening on ") {
+                break rest.lines().next().unwrap().trim().to_string();
+            }
+            assert!(!daemon.is_finished(), "daemon exited early: {text}");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let (code, pong) = run_to_string(&["client", "ping", "--addr", &addr]);
+        assert_eq!(code, 0, "{pong}");
+        assert!(pong.contains("\"sosd\""), "{pong}");
+
+        // The daemon's analyze answer is the same document the direct
+        // CLI prints, byte for byte.
+        let (code, daemon_doc) =
+            run_to_string(&["client", "analyze", "--addr", &addr, "--layers", "4"]);
+        assert_eq!(code, 0, "{daemon_doc}");
+        let (code, direct_doc) = run_to_string(&["analyze", "--json", "1", "--layers", "4"]);
+        assert_eq!(code, 0, "{direct_doc}");
+        assert_eq!(daemon_doc, direct_doc);
+
+        // Cold and warm daemon simulate answers are byte-identical, and
+        // a direct `simulate --json 1` reading the daemon's cache file
+        // prints the same document.
+        let sim = |extra: &[&str]| {
+            let mut argv = extra.to_vec();
+            argv.extend([
+                "--overlay-nodes",
+                "400",
+                "--sos-nodes",
+                "40",
+                "--nt",
+                "10",
+                "--nc",
+                "40",
+                "--trials",
+                "3",
+                "--routes",
+                "10",
+                "--seed",
+                "5",
+            ]);
+            run_to_string(&argv)
+        };
+        let (code, cold) = sim(&["client", "simulate", "--addr", &addr]);
+        assert_eq!(code, 0, "{cold}");
+        let (code, warm) = sim(&["client", "simulate", "--addr", &addr]);
+        assert_eq!(code, 0, "{warm}");
+        assert_eq!(cold, warm);
+        let (code, direct) = sim(&["simulate", "--json", "1", "--cache", &cache_arg]);
+        assert_eq!(code, 0, "{direct}");
+        assert_eq!(cold, direct);
+
+        let (code, bye) = run_to_string(&["client", "shutdown", "--addr", &addr]);
+        assert_eq!(code, 0, "{bye}");
+        assert!(bye.contains("\"draining\""), "{bye}");
+
+        assert_eq!(daemon.join().unwrap(), 0);
+        assert!(buf.text().contains("sosd drained:"), "{}", buf.text());
+        let _ = std::fs::remove_file(&cache);
+    }
+
+    #[test]
+    fn client_rejects_unknown_operation() {
+        let (code, out) = run_to_string(&["client", "frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown client operation"), "{out}");
+    }
+
+    #[test]
+    fn simulate_cache_requires_json() {
+        let (code, out) = run_to_string(&["simulate", "--cache", "x.json", "--trials", "1"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("requires --json"), "{out}");
     }
 
     #[test]

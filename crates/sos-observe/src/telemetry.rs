@@ -424,6 +424,28 @@ pub fn snapshot() -> TelemetrySnapshot {
     }
 }
 
+/// Content type an HTTP endpoint should declare when serving
+/// [`exposition`] (the Prometheus text format version string).
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Content type an HTTP endpoint should declare when serving
+/// [`snapshot_json`].
+pub const JSON_CONTENT_TYPE: &str = "application/json";
+
+/// The current telemetry state in Prometheus text exposition format —
+/// a one-call body for an HTTP `GET /metrics` handler (pair it with
+/// [`EXPOSITION_CONTENT_TYPE`]).
+pub fn exposition() -> String {
+    snapshot().to_exposition()
+}
+
+/// The current telemetry state as one JSON object — a one-call
+/// progress/health body for an HTTP endpoint (pair it with
+/// [`JSON_CONTENT_TYPE`]). Same keys as the JSONL reporter sink.
+pub fn snapshot_json() -> String {
+    snapshot().to_json()
+}
+
 /// The rate-of-change view between two snapshots of a monotone counter
 /// set: what a progress line actually displays.
 #[derive(Debug, Clone)]

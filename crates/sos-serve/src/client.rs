@@ -1,0 +1,131 @@
+//! A minimal blocking protocol client: connect, send one request
+//! frame, read one response frame. This is everything `sos client`
+//! and the integration tests need to drive a daemon.
+
+use crate::protocol::{self, Request, Response, WireError};
+use crate::spec::SimSpec;
+use serde_json::Value;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The server answered with a protocol error response.
+    Remote(WireError),
+    /// The server's bytes did not decode as a valid response.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client. One request is in flight at a time;
+/// the connection is reusable for any number of requests.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and returns the response's `result` body.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server answers with an error
+    /// response, [`ClientError::Io`]/[`ClientError::Protocol`] for
+    /// transport or framing trouble.
+    pub fn request(&mut self, request: &Request) -> Result<Value, ClientError> {
+        protocol::write_value(&mut self.stream, &request.to_value())?;
+        let value = protocol::read_value(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        match Response::from_value(&value).map_err(|e| ClientError::Protocol(e.to_string()))? {
+            Response::Ok { result, .. } => Ok(result),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+        }
+    }
+
+    /// `ping` — liveness and version handshake.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn ping(&mut self) -> Result<Value, ClientError> {
+        self.request(&Request::Ping)
+    }
+
+    /// `analyze` — closed-form analysis document for one spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn analyze(&mut self, spec: &SimSpec) -> Result<Value, ClientError> {
+        self.request(&Request::Analyze(spec.clone()))
+    }
+
+    /// `simulate` — Monte Carlo result for one spec
+    /// (`{fingerprint, cached, result}`).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn simulate(&mut self, spec: &SimSpec) -> Result<Value, ClientError> {
+        self.request(&Request::Simulate(spec.clone()))
+    }
+
+    /// `sweep` — Monte Carlo results for many specs as one pool
+    /// submission (`{results, stats}`).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn sweep(&mut self, specs: &[SimSpec]) -> Result<Value, ClientError> {
+        self.request(&Request::Sweep(specs.to_vec()))
+    }
+
+    /// `profile` — live telemetry snapshot (`{table, telemetry}`).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn profile(&mut self) -> Result<Value, ClientError> {
+        self.request(&Request::Profile)
+    }
+
+    /// `shutdown` — ask the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.request(&Request::Shutdown)
+    }
+}

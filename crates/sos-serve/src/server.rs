@@ -1,0 +1,563 @@
+//! The `sosd` server: a TCP accept loop multiplexing protocol clients
+//! and HTTP scrapers onto one shared [`SweepExecutor`].
+//!
+//! Ownership: the server owns one executor for its whole lifetime —
+//! a warm, content-addressed result memory over the process-wide
+//! worker pool (or a private pool when
+//! [`ServerOptions::threads`] pins the count). Each accepted
+//! connection gets a reader thread; execution itself is serialized on
+//! the executor mutex, and every run uses the *full* pool, so requests
+//! queue rather than fight over cores. Identical concurrent requests
+//! collapse into one execution through the executor's fingerprint
+//! memory.
+//!
+//! Shutdown: a `shutdown` request (there is no portable stdlib signal
+//! handling) flips a flag and wakes the accept loop; the server stops
+//! accepting, drains in-flight connections, persists the sweep cache,
+//! and [`Server::run`] returns a [`ServerReport`].
+
+use crate::protocol::{
+    self, ErrorCode, Request, Response, WireError, HTTP_GET_PREFIX, PROTOCOL_VERSION,
+};
+use crate::spec::{analyze_doc, analyze_outcome};
+use serde_json::Value;
+use sos_observe::telemetry;
+use sos_sim::{config_fingerprint, SweepExecutor};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a connection may sit idle between requests during normal
+/// operation: forever. The read loop polls at this interval only to
+/// notice the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Deadline for finishing a frame or HTTP head once its first byte has
+/// arrived — a stalled peer must not pin a reader thread forever.
+const FRAME_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Construction-time knobs for [`Server::bind`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Worker threads for a *private* pool; `None` shares the
+    /// process-global pool (sized by `sos_sim::num_threads`).
+    pub threads: Option<usize>,
+    /// Persistent sweep-cache file: loaded at bind (warm start),
+    /// rewritten after every executed point and on shutdown.
+    pub cache: Option<PathBuf>,
+}
+
+/// What a drained server did with its life; returned by
+/// [`Server::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerReport {
+    /// Connections accepted (protocol and HTTP alike).
+    pub connections: u64,
+    /// Protocol requests answered (including error responses).
+    pub requests: u64,
+    /// HTTP requests answered (`/metrics`, `/healthz`, 404s).
+    pub http_requests: u64,
+    /// Error responses among `requests`.
+    pub errors: u64,
+    /// Results held in the executor memory at shutdown (persisted to
+    /// the cache file when one is attached).
+    pub cached_points: u64,
+}
+
+/// Counters and flags shared by the accept loop and every connection
+/// thread.
+struct Shared {
+    exec: Mutex<SweepExecutor>,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    http_requests: AtomicU64,
+    errors: AtomicU64,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+/// A bound, not-yet-running `sosd` server. See the crate docs for an
+/// end-to-end example.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    cache_loaded: usize,
+}
+
+impl Server {
+    /// Binds the listener and prepares the executor (loading the cache
+    /// file when [`ServerOptions::cache`] is set). Bind to port 0 for
+    /// an ephemeral port, then read it back with [`local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and cache-file errors (a corrupt cache
+    /// is refused, exactly like `SweepExecutor::attach_cache`).
+    ///
+    /// [`local_addr`]: Server::local_addr
+    pub fn bind(addr: impl ToSocketAddrs, opts: ServerOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        // A resident service's metrics plane is always live: telemetry
+        // observes but never steers (results are identical either
+        // way), and `GET /metrics` must show real counters without
+        // requiring a reporter.
+        telemetry::set_enabled(true);
+        let mut exec = match opts.threads {
+            Some(t) => SweepExecutor::with_threads(t),
+            None => SweepExecutor::new(),
+        };
+        let cache_loaded = match &opts.cache {
+            Some(path) => exec.attach_cache(path)?,
+            None => 0,
+        };
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                exec: Mutex::new(exec),
+                shutdown: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                http_requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                started: Instant::now(),
+                addr,
+            }),
+            cache_loaded,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Cache entries loaded at bind time (warm-start size).
+    pub fn cache_entries_loaded(&self) -> usize {
+        self.cache_loaded
+    }
+
+    /// Runs the accept loop on the calling thread until a `shutdown`
+    /// request arrives, then drains in-flight connections, persists
+    /// the sweep cache, and returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors (per-connection errors are
+    /// counted, not propagated).
+    pub fn run(self) -> io::Result<ServerReport> {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // Transient accept errors (peer reset mid-handshake)
+                // must not kill the daemon.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            // Request/response frames are small and latency-bound;
+            // never let Nagle batch them.
+            stream.set_nodelay(true).ok();
+            self.shared.connections.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            handles.retain(|h| !h.is_finished());
+            handles.push(std::thread::spawn(move || handle_connection(stream, &shared)));
+        }
+        // Drain: every reader thread finishes its in-flight request
+        // (idle connections notice the flag within POLL_INTERVAL).
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let exec = lock_ignore_poison(&self.shared.exec);
+        exec.persist();
+        Ok(ServerReport {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            http_requests: self.shared.http_requests.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            cached_points: exec.cached_points() as u64,
+        })
+    }
+
+    /// Runs the accept loop on a background thread; the returned
+    /// handle joins it. For embedding the daemon in tests or larger
+    /// programs — the CLI calls blocking [`run`](Server::run) instead.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        ServerHandle {
+            addr,
+            join: std::thread::spawn(move || self.run()),
+        }
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed accept loop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<io::Result<ServerReport>>,
+}
+
+impl ServerHandle {
+    /// The served address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to drain (after a `shutdown` request) and
+    /// returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Server::run`]'s error, or
+    /// [`io::ErrorKind::Other`] if the server thread panicked.
+    pub fn join(self) -> io::Result<ServerReport> {
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// What the first four bytes of a connection turned out to be.
+enum Sniff {
+    /// A protocol frame of this payload length follows.
+    Frame(usize),
+    /// An HTTP GET; the prefix bytes belong to the request line.
+    Http,
+    /// Peer hung up between requests.
+    Eof,
+    /// Idle connection noticed the shutdown flag.
+    Draining,
+}
+
+/// Reads exactly `buf.len()` bytes through the polling read timeout.
+/// `idle_ok` selects the between-requests behavior: clean EOF and
+/// shutdown-draining are reportable outcomes before the first byte,
+/// errors after it. Returns the number of bytes read before a clean
+/// EOF only in the `idle_ok && n == 0` case.
+fn poll_read_exact(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    idle_ok: bool,
+) -> io::Result<Option<usize>> {
+    let mut filled = 0usize;
+    let mut deadline: Option<Instant> = if idle_ok {
+        None // idle: wait indefinitely (shutdown flag breaks the wait)
+    } else {
+        Some(Instant::now() + FRAME_DEADLINE)
+    };
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if idle_ok && filled == 0 {
+                    return Ok(Some(0));
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => {
+                filled += n;
+                // First byte of a message arms the stall deadline.
+                deadline.get_or_insert_with(|| Instant::now() + FRAME_DEADLINE);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 && idle_ok && shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer stalled mid-frame",
+                        ));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(filled))
+}
+
+/// Reads and classifies the start of the next message on `stream`.
+fn sniff(stream: &mut TcpStream, shared: &Shared, prefix: &mut [u8; 4]) -> io::Result<Sniff> {
+    match poll_read_exact(stream, prefix, shared, true)? {
+        None => Ok(Sniff::Draining),
+        Some(0) => Ok(Sniff::Eof),
+        Some(_) => {
+            if *prefix == HTTP_GET_PREFIX {
+                return Ok(Sniff::Http);
+            }
+            match protocol::frame_len(*prefix) {
+                Ok(len) => Ok(Sniff::Frame(len)),
+                Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+        }
+    }
+}
+
+/// Serves one accepted connection until EOF, shutdown, or a fatal
+/// framing error.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut prefix = [0u8; 4];
+    loop {
+        match sniff(&mut stream, shared, &mut prefix) {
+            Ok(Sniff::Eof) | Ok(Sniff::Draining) => break,
+            Ok(Sniff::Http) => {
+                shared.http_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = serve_http(&mut stream, shared);
+                break; // Connection: close
+            }
+            Ok(Sniff::Frame(len)) => {
+                let mut payload = vec![0u8; len];
+                if poll_read_exact(&mut stream, &mut payload, shared, false).is_err() {
+                    break;
+                }
+                let (response, shutdown) = respond(&payload, shared);
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                if matches!(response, Response::Err(_)) {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let fatal = matches!(
+                    &response,
+                    Response::Err(e) if e.code == ErrorCode::BadFrame
+                );
+                if protocol::write_value(&mut stream, &response.to_value()).is_err() {
+                    break;
+                }
+                if shutdown {
+                    initiate_shutdown(shared);
+                    break;
+                }
+                if fatal {
+                    break; // cannot resynchronize the stream
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized length prefix: answer once, then close.
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Err(WireError::new(ErrorCode::BadFrame, e.to_string()));
+                let _ = protocol::write_value(&mut stream, &resp.to_value());
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Flips the shutdown flag and wakes the blocking accept loop with a
+/// throwaway connection to ourselves.
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Decodes one request payload and executes it. Returns the response
+/// plus whether this request asked for shutdown.
+fn respond(payload: &[u8], shared: &Shared) -> (Response, bool) {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => {
+            return (
+                Response::Err(WireError::new(ErrorCode::BadJson, "frame is not UTF-8")),
+                false,
+            )
+        }
+    };
+    let value: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                Response::Err(WireError::new(ErrorCode::BadJson, e.to_string())),
+                false,
+            )
+        }
+    };
+    let request = match Request::from_value(&value) {
+        Ok(r) => r,
+        Err(e) => return (Response::Err(e), false),
+    };
+    let shutdown = matches!(request, Request::Shutdown);
+    let op = request.op();
+    let response = match execute(request, shared) {
+        Ok(result) => Response::Ok { op: op.into(), result },
+        Err(e) => Response::Err(e),
+    };
+    (response, shutdown)
+}
+
+/// Executes a decoded request against the shared executor/telemetry.
+fn execute(request: Request, shared: &Shared) -> Result<Value, WireError> {
+    match request {
+        Request::Ping => Ok(serde_json::json!({
+            "server": "sosd",
+            "protocol": PROTOCOL_VERSION,
+            "version": env!("CARGO_PKG_VERSION"),
+        })),
+        Request::Analyze(spec) => {
+            let scenario = spec.scenario()?;
+            let attack = spec.attack()?;
+            let evaluator = spec.evaluator()?;
+            let outcome = analyze_outcome(&scenario, &attack, evaluator)?;
+            Ok(analyze_doc(&scenario, &attack, evaluator, &outcome))
+        }
+        Request::Simulate(spec) => {
+            let config = spec.sim_config()?;
+            let fp = config_fingerprint(&config);
+            let mut exec = lock_ignore_poison(&shared.exec);
+            let before = exec.stats();
+            let result = exec.run_one(&config);
+            let cached = exec.stats().points_executed == before.points_executed;
+            Ok(serde_json::json!({
+                "fingerprint": format!("{fp:016x}"),
+                "cached": cached,
+                "result": result,
+            }))
+        }
+        Request::Sweep(specs) => {
+            let configs = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.sim_config().map_err(|e| {
+                        WireError::new(ErrorCode::BadSpec, format!("specs[{i}]: {e}"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let fingerprints: Vec<String> = configs
+                .iter()
+                .map(|c| format!("{:016x}", config_fingerprint(c)))
+                .collect();
+            let mut exec = lock_ignore_poison(&shared.exec);
+            let before = exec.stats();
+            let results = exec.run(&configs);
+            let after = exec.stats();
+            let points: Vec<Value> = fingerprints
+                .into_iter()
+                .zip(&results)
+                .map(|(fp, result)| {
+                    serde_json::json!({ "fingerprint": fp, "result": result })
+                })
+                .collect();
+            Ok(serde_json::json!({
+                "results": points,
+                "stats": {
+                    "points": after.points - before.points,
+                    "cache_hits": after.cache_hits - before.cache_hits,
+                    "dedup_hits": after.dedup_hits - before.dedup_hits,
+                    "points_executed": after.points_executed - before.points_executed,
+                    "trials_executed": after.trials_executed - before.trials_executed,
+                },
+            }))
+        }
+        Request::Profile => {
+            let snapshot = telemetry::snapshot();
+            let parsed: Value = serde_json::from_str(&snapshot.to_json())
+                .map_err(|e| WireError::new(ErrorCode::Internal, e.to_string()))?;
+            Ok(serde_json::json!({
+                "table": snapshot.profile_table(),
+                "telemetry": parsed,
+            }))
+        }
+        Request::Shutdown => Ok(serde_json::json!({ "draining": true })),
+    }
+}
+
+/// The health/progress document served at `GET /healthz`: server
+/// status and counters wrapping the live telemetry snapshot (same keys
+/// as the JSONL reporter sink).
+fn health_json(shared: &Shared) -> String {
+    let exec_stats = {
+        let exec = lock_ignore_poison(&shared.exec);
+        (exec.stats(), exec.cached_points())
+    };
+    let (sweep, cached_points) = exec_stats;
+    let status = if shared.shutdown.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    format!(
+        "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"connections\":{},\"requests\":{},\"http_requests\":{},\"errors\":{},\
+         \"sweep\":{{\"points\":{},\"cache_hits\":{},\"dedup_hits\":{},\"points_executed\":{},\"trials_executed\":{},\"cached_points\":{cached_points}}},\
+         \"telemetry\":{}}}",
+        shared.started.elapsed().as_secs_f64(),
+        shared.connections.load(Ordering::Relaxed),
+        shared.requests.load(Ordering::Relaxed),
+        shared.http_requests.load(Ordering::Relaxed),
+        shared.errors.load(Ordering::Relaxed),
+        sweep.points,
+        sweep.cache_hits,
+        sweep.dedup_hits,
+        sweep.points_executed,
+        sweep.trials_executed,
+        telemetry::snapshot_json(),
+    )
+}
+
+/// Serves one HTTP GET whose first four bytes (`"GET "`) are already
+/// consumed: reads the head, routes `/metrics` and `/healthz`,
+/// answers 404 otherwise, always `Connection: close`.
+fn serve_http(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    // Read until the blank line ending the head (bounded: 8 KiB).
+    let mut head = Vec::with_capacity(256);
+    let deadline = Instant::now() + FRAME_DEADLINE;
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        if head.len() >= 8192 || Instant::now() >= deadline {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "HTTP head too large"));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let path = head.split_whitespace().next().unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            telemetry::EXPOSITION_CONTENT_TYPE,
+            telemetry::exposition(),
+        ),
+        "/healthz" => ("200 OK", telemetry::JSON_CONTENT_TYPE, health_json(shared)),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("unknown path {path:?} (try /metrics or /healthz)\n"),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

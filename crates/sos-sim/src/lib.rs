@@ -73,7 +73,8 @@ pub mod timing;
 pub use compare::{ComparisonRow, compare_models};
 pub use engine::{num_threads, Simulation, SimulationConfig, SimulationResult, TransportKind};
 pub use sweep::{
-    run_sweep, run_sweep_traced, set_global_cache, sweep_stats, SweepExecutor, SweepStats,
+    config_fingerprint, run_sweep, run_sweep_traced, set_global_cache, sweep_stats,
+    SweepExecutor, SweepStats,
 };
 pub use flow::{FlowModel, FlowResult, FlowSimulation};
 pub use repair::{RepairConfig, RepairSimulation, RepairTimeline};

@@ -81,6 +81,14 @@ fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
     hash
 }
 
+/// Content fingerprint of a config (public alias of the executor's
+/// internal hash): equal fingerprints ⇒ equal simulation
+/// behavior, so long-running services can report which cache entry
+/// answered a request and deduplicate identical requests for free.
+pub fn config_fingerprint(config: &SimulationConfig) -> u64 {
+    fingerprint(config)
+}
+
 /// Content fingerprint of a config: equal fingerprints ⇒ equal
 /// simulation behavior (same result for the same engine version).
 ///
@@ -254,6 +262,31 @@ impl SweepExecutor {
     /// Counters accumulated over this executor's lifetime.
     pub fn stats(&self) -> SweepStats {
         self.stats
+    }
+
+    /// Number of results this executor can answer without executing
+    /// (loaded cache entries plus points computed so far).
+    pub fn cached_points(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Rewrites the attached cache file now (no-op without one).
+    ///
+    /// [`run`](Self::run) already persists after executing new points;
+    /// this exists for owners with an explicit lifecycle — a resident
+    /// service flushing state on graceful shutdown, where "the file on
+    /// disk is current" must hold at a specific moment rather than
+    /// eventually.
+    pub fn persist(&self) {
+        self.save_cache();
+    }
+
+    /// Runs a single config — a one-point [`run`](Self::run) without
+    /// the `Vec` ceremony. Same cache/dedup semantics.
+    pub fn run_one(&mut self, config: &SimulationConfig) -> SimulationResult {
+        self.run(std::slice::from_ref(config))
+            .pop()
+            .expect("one config in, one result out")
     }
 
     /// Runs every config (answering from cache/dedup where possible)

@@ -1,0 +1,313 @@
+//! End-to-end tests for the resident `sosd` service (`sos-serve`):
+//! daemon answers over the wire protocol, results are byte-identical
+//! to direct executor runs, repeats are served from the warm cache,
+//! the same port speaks HTTP for `/metrics` + `/healthz`, protocol
+//! errors carry stable codes, and shutdown drains cleanly.
+
+use serde_json::Value;
+use sos_serve::{protocol, Client, ClientError, Server, ServerHandle, ServerOptions, SimSpec};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+fn small_spec(seed: u64) -> SimSpec {
+    SimSpec {
+        overlay_nodes: 400,
+        sos_nodes: 40,
+        nt: 10,
+        nc: 40,
+        trials: 3,
+        routes: 10,
+        seed,
+        ..SimSpec::default()
+    }
+}
+
+fn start(opts: ServerOptions) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind("127.0.0.1:0", opts).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (addr, server.spawn())
+}
+
+fn compact(value: &Value) -> String {
+    serde_json::to_string(value).expect("serialize")
+}
+
+#[test]
+fn ping_and_analyze_match_direct_evaluation() {
+    let (addr, handle) = start(ServerOptions::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let pong = client.ping().expect("ping");
+    assert_eq!(pong["server"].as_str(), Some("sosd"));
+    assert_eq!(pong["protocol"].as_u64(), Some(1));
+
+    // The daemon's analyze document is exactly what direct in-process
+    // evaluation of the same spec produces.
+    let spec = SimSpec {
+        layers: 4,
+        ..SimSpec::default()
+    };
+    let served = client.analyze(&spec).expect("analyze");
+    let scenario = spec.scenario().expect("scenario");
+    let attack = spec.attack().expect("attack");
+    let evaluator = spec.evaluator().expect("evaluator");
+    let outcome = sos_serve::analyze_outcome(&scenario, &attack, evaluator).expect("outcome");
+    let direct = sos_serve::analyze_doc(&scenario, &attack, evaluator, &outcome);
+    assert_eq!(compact(&served), compact(&direct));
+
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("join");
+    assert!(report.requests >= 3, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+}
+
+#[test]
+fn single_thread_simulate_is_byte_identical_and_cached_on_repeat() {
+    // One worker thread → the cold execution is deterministic, so the
+    // served result must match a direct single-threaded run byte for
+    // byte (the repeat must match verbatim regardless: it is answered
+    // from the result memory).
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let spec = small_spec(7);
+    let config = spec.sim_config().expect("config");
+
+    let cold = client.simulate(&spec).expect("cold simulate");
+    assert_eq!(cold["cached"], Value::Bool(false));
+    assert_eq!(
+        cold["fingerprint"].as_str(),
+        Some(format!("{:016x}", sos_sim::config_fingerprint(&config)).as_str())
+    );
+    let direct = sos_sim::SweepExecutor::with_threads(1).run_one(&config);
+    assert_eq!(compact(&cold["result"]), compact(&serde_json::to_value(&direct)));
+
+    let warm = client.simulate(&spec).expect("warm simulate");
+    assert_eq!(warm["cached"], Value::Bool(true));
+    assert_eq!(compact(&cold["result"]), compact(&warm["result"]));
+
+    // The sweep op answers the same point from cache too and says so
+    // in its stats.
+    let sweep = client.sweep(&[spec.clone(), small_spec(8)]).expect("sweep");
+    let results = sweep["results"].as_array().expect("results");
+    assert_eq!(results.len(), 2);
+    assert_eq!(compact(&results[0]["result"]), compact(&cold["result"]));
+    assert!(sweep["stats"]["cache_hits"].as_u64().expect("stats") >= 1);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn concurrent_clients_share_the_warm_cache() {
+    let cache = std::env::temp_dir().join(format!(
+        "sos-serve-test-concurrent-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache);
+
+    // Pre-warm the cache file with direct single-threaded runs; the
+    // daemon then starts warm and every concurrent client must get the
+    // stored bytes back verbatim.
+    let specs: Vec<SimSpec> = (0..4).map(|i| small_spec(100 + i)).collect();
+    let mut exec = sos_sim::SweepExecutor::with_threads(1);
+    exec.attach_cache(&cache).expect("attach cache");
+    let direct: Vec<String> = specs
+        .iter()
+        .map(|s| compact(&serde_json::to_value(&exec.run_one(&s.sim_config().expect("config")))))
+        .collect();
+    drop(exec);
+
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(2),
+        cache: Some(cache.clone()),
+    });
+    let workers: Vec<_> = specs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, spec)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let body = client.simulate(&spec).expect("simulate");
+                (
+                    i,
+                    compact(&body["result"]),
+                    body["cached"] == Value::Bool(true),
+                )
+            })
+        })
+        .collect();
+    for worker in workers {
+        let (i, result, cached) = worker.join().expect("client thread");
+        assert!(cached, "point {i} should be a warm cache hit");
+        assert_eq!(result, direct[i], "point {i} bytes differ");
+    }
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let report = handle.join().expect("join");
+    assert!(report.connections >= 5, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    let _ = std::fs::remove_file(&cache);
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: sosd\r\n\r\n").expect("write");
+    let mut body = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut body).expect("read");
+    String::from_utf8(body).expect("utf8 response")
+}
+
+#[test]
+fn http_metrics_and_healthz_share_the_protocol_port() {
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+    });
+
+    // Run one simulate first so the phase/worker series have samples.
+    Client::connect(addr)
+        .expect("connect")
+        .simulate(&small_spec(17))
+        .expect("simulate");
+
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4"),
+        "{metrics}"
+    );
+    for series in [
+        "sos_trials_total",
+        "sos_routes_total",
+        "sos_sweep_points_done",
+        "sos_worker_trials_total",
+        "sos_phase_seconds_total{phase=\"build\"}",
+        "sos_phase_ns{phase=\"routing\",quantile=\"0.95\"}",
+    ] {
+        assert!(metrics.contains(series), "missing {series} in:\n{metrics}");
+    }
+
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    let body = health.split("\r\n\r\n").nth(1).expect("health body");
+    let doc: Value = serde_json::from_str(body).expect("health JSON parses");
+    assert_eq!(doc["status"].as_str(), Some("ok"));
+    assert!(doc["requests"].as_u64().expect("requests") >= 1);
+    assert_eq!(doc["sweep"]["points"].as_u64(), Some(1));
+    assert!(doc["telemetry"]["trials"].as_u64().is_some());
+
+    let missing = http_get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let report = handle.join().expect("join");
+    assert!(report.http_requests >= 3, "{report:?}");
+}
+
+/// Sends one raw frame and reads the error response's code.
+fn error_code_for(addr: SocketAddr, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    protocol::write_frame(&mut stream, payload).expect("write frame");
+    let reply = protocol::read_value(&mut stream)
+        .expect("read reply")
+        .expect("reply frame");
+    assert_eq!(reply["ok"], Value::Bool(false), "{reply:?}");
+    reply["error"]["code"].as_str().expect("code").to_string()
+}
+
+#[test]
+fn protocol_errors_carry_stable_codes() {
+    let (addr, handle) = start(ServerOptions::default());
+
+    assert_eq!(error_code_for(addr, b"{not json"), "bad-json");
+    assert_eq!(
+        error_code_for(addr, br#"{"v":2,"op":"ping"}"#),
+        "bad-version"
+    );
+    assert_eq!(
+        error_code_for(addr, br#"{"v":1,"op":"dance"}"#),
+        "unknown-op"
+    );
+    assert_eq!(
+        error_code_for(addr, br#"{"v":1,"op":"simulate","spec":{"trials":0}}"#),
+        "bad-spec"
+    );
+
+    // An oversized length prefix is answered with bad-frame, then the
+    // connection is closed without reading the body.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(&(u32::try_from(protocol::MAX_FRAME_LEN + 1).unwrap()).to_be_bytes())
+        .expect("write prefix");
+    let reply = protocol::read_value(&mut stream)
+        .expect("read reply")
+        .expect("reply frame");
+    assert_eq!(reply["error"]["code"].as_str(), Some("bad-frame"));
+    assert!(protocol::read_value(&mut stream)
+        .expect("closed cleanly")
+        .is_none());
+
+    // A typed client surfaces remote errors as ClientError::Remote.
+    let mut client = Client::connect(addr).expect("connect");
+    let bad = SimSpec {
+        mapping: "one-to-zero".into(),
+        ..small_spec(1)
+    };
+    match client.simulate(&bad) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code.as_str(), "bad-spec"),
+        other => panic!("expected a remote bad-spec error, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("join");
+    assert!(report.errors >= 5, "{report:?}");
+}
+
+#[test]
+fn shutdown_drains_persists_and_releases_the_port() {
+    let cache = std::env::temp_dir().join(format!(
+        "sos-serve-test-shutdown-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache);
+
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: Some(cache.clone()),
+    });
+    let spec = small_spec(55);
+    let config = spec.sim_config().expect("config");
+    let served = {
+        let mut client = Client::connect(addr).expect("connect");
+        let body = client.simulate(&spec).expect("simulate");
+        client.shutdown().expect("shutdown");
+        compact(&body["result"])
+    };
+    let report = handle.join().expect("join");
+    assert!(report.cached_points >= 1, "{report:?}");
+
+    // The persisted cache warm-starts a fresh executor: the same point
+    // is answered without executing, with the served bytes.
+    let mut exec = sos_sim::SweepExecutor::with_threads(1);
+    let loaded = exec.attach_cache(&cache).expect("attach persisted cache");
+    assert!(loaded >= 1, "cache file should hold the executed point");
+    let executed_before = exec.stats().points_executed;
+    let replayed = exec.run_one(&config);
+    assert_eq!(exec.stats().points_executed, executed_before);
+    assert_eq!(compact(&serde_json::to_value(&replayed)), served);
+
+    // The listener is gone: new connections are refused.
+    assert!(TcpStream::connect(addr).is_err());
+    let _ = std::fs::remove_file(&cache);
+}
