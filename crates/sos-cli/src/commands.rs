@@ -125,9 +125,13 @@ SERVE FLAGS (plus --progress/--telemetry-out/--interval-ms as simulate;
 see PROTOCOL.md for the wire format, OPERATIONS.md for running it):
     --addr A             listen address                [127.0.0.1:7070]
     --cache F            persistent sweep cache: loaded at startup
-                         (warm start), rewritten after every executed
-                         point and once more on drain
+                         (warm start, corrupt files quarantined to
+                         F.corrupt), journaled after every executed
+                         point, compacted on drain
     --threads N          worker threads for this daemon [all cores, max 16]
+    --queue-depth N      executor admission bound: further simulate/
+                         sweep requests are shed with a `busy` error
+                         and a retry_after_ms hint  [16]
 
 CLIENT FLAGS (sos client <OP>; OP = ping | analyze | simulate | sweep |
 profile | shutdown; analyze and simulate take every shared + simulate
@@ -136,6 +140,15 @@ flag above and print the reply as JSON — byte-identical to
     --addr A             daemon address                [127.0.0.1:7070]
     --specs F            (sweep) JSON file holding an array of spec
                          objects (field names as in PROTOCOL.md)
+    --retries N          (all ops except shutdown) attempts per request:
+                         reconnect-and-resend on transport errors,
+                         honor retry_after_ms on `busy` shedding  [1]
+    --retry-backoff-ms B initial retry backoff, doubling per attempt
+                         [100]
+    --deadline-ms D      (simulate/sweep) server-side deadline budget;
+                         an expired budget is answered with
+                         `deadline-exceeded` instead of computed, and
+                         a sweep stops cooperatively between points
 
 OTHER FLAGS:
     --json 1             (analyze) machine-readable output
@@ -1203,12 +1216,14 @@ fn serve_cmd(
     let addr = args.get("addr").unwrap_or("127.0.0.1:7070").to_string();
     let threads = threads_flag(args)?;
     let cache = args.get("cache").map(std::path::PathBuf::from);
+    let queue_depth =
+        args.get_or("queue-depth", sos_serve::ServerOptions::default().queue_depth)?;
     let reporter_opts = reporter_flags(args)?;
     args.reject_unknown()?;
 
     let server = sos_serve::Server::bind(
         addr.as_str(),
-        sos_serve::ServerOptions { threads, cache },
+        sos_serve::ServerOptions { threads, cache, queue_depth },
     )?;
     if server.cache_entries_loaded() > 0 {
         eprintln!("sweep cache: {} entries loaded", server.cache_entries_loaded());
@@ -1240,6 +1255,19 @@ fn client_cmd(
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7070").to_string();
+    // Connection-resilience knobs (distinct from the spec's per-hop
+    // `--retry`, which configures fault-plane retries *inside* the
+    // simulation): `--retries` re-sends idempotent requests through
+    // reconnects and `busy` shedding, `--deadline-ms` asks the server
+    // to give up rather than serve a stale answer late.
+    let retries: u32 = args.get_or("retries", 1)?;
+    let backoff_ms: u64 = args.get_or("retry-backoff-ms", 100)?;
+    let deadline_ms = match args.get("deadline-ms") {
+        Some(_) => Some(args.get_or("deadline-ms", 0)?),
+        None => None,
+    };
+    let policy = sos_serve::RetryPolicy::new(retries.max(1), backoff_ms, u64::MAX);
+    let mut client = sos_serve::RetryClient::new(addr.clone(), policy);
     let op = args
         .positionals()
         .get(1)
@@ -1250,22 +1278,25 @@ fn client_cmd(
                     .into(),
             )
         })?;
+    if deadline_ms.is_some() && !matches!(op, "simulate" | "sweep") {
+        return Err(ArgError("--deadline-ms applies to simulate and sweep only".into()).into());
+    }
     match op {
         "ping" => {
             args.reject_unknown()?;
-            let body = sos_serve::Client::connect(addr.as_str())?.ping()?;
+            let body = client.ping()?;
             writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
         }
         "analyze" => {
             let spec = spec_from_args(args)?;
             args.reject_unknown()?;
-            let body = sos_serve::Client::connect(addr.as_str())?.analyze(&spec)?;
+            let body = client.analyze(&spec)?;
             writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
         }
         "simulate" => {
             let spec = spec_from_args(args)?;
             args.reject_unknown()?;
-            let body = sos_serve::Client::connect(addr.as_str())?.simulate(&spec)?;
+            let body = client.simulate_with(&spec, deadline_ms)?;
             // Reprint as the same {fingerprint, result} document
             // `sos simulate --json 1` emits, with the cache verdict on
             // stderr, so stdout can be byte-diffed against the direct
@@ -1294,12 +1325,12 @@ fn client_cmd(
                 .map(sos_serve::SimSpec::from_value)
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| ArgError(format!("{path}: {e}")))?;
-            let body = sos_serve::Client::connect(addr.as_str())?.sweep(&specs)?;
+            let body = client.sweep_with(&specs, deadline_ms)?;
             writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
         }
         "profile" => {
             args.reject_unknown()?;
-            let body = sos_serve::Client::connect(addr.as_str())?.profile()?;
+            let body = client.profile()?;
             let table = body["table"]
                 .as_str()
                 .ok_or_else(|| ArgError("malformed profile reply: no table".into()))?;
@@ -1307,6 +1338,14 @@ fn client_cmd(
         }
         "shutdown" => {
             args.reject_unknown()?;
+            if retries > 1 {
+                return Err(ArgError(
+                    "shutdown is never retried (a lost reply is indistinguishable from a \
+                     successful drain); drop --retries"
+                        .into(),
+                )
+                .into());
+            }
             let body = sos_serve::Client::connect(addr.as_str())?.shutdown()?;
             writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
         }

@@ -45,7 +45,7 @@ mod plan;
 mod retry;
 
 pub use config::FaultConfig;
-pub use plan::{FaultPlan, HopFault};
+pub use plan::{splitmix64, unit, FaultPlan, HopFault};
 pub use retry::RetryPolicy;
 
 /// What the fault plane (or the retry loop around it) did to one hop.

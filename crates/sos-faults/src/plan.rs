@@ -19,7 +19,12 @@ const TRIAL_MIX: u64 = 0xA076_1D64_78BD_642F;
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function, used
 /// here as a tiny keyed PRF. Stateless, so node-level queries are
 /// order-independent.
-fn splitmix64(mut x: u64) -> u64 {
+///
+/// Public because other deterministic fault planes (e.g. the
+/// `sos-serve` chaos proxy) derive their per-event decision streams
+/// from the same primitive, keeping every injected fault a pure
+/// function of `(seed, stream, index)`.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -27,7 +32,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Map a PRF output to a uniform float in `[0, 1)` (53-bit mantissa).
-fn unit(x: u64) -> f64 {
+pub fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

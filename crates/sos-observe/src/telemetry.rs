@@ -191,6 +191,15 @@ static EXPECTED_TRIALS: AtomicU64 = AtomicU64::new(0);
 static EXPECTED_POINTS: AtomicU64 = AtomicU64::new(0);
 static POINTS_DONE: AtomicU64 = AtomicU64::new(0);
 static POINTS_CACHED: AtomicU64 = AtomicU64::new(0);
+// `sosd` robustness counters. Unlike the hot-path worker slots these
+// are cold-path events (a shed request, a recovery, a retry), so they
+// count unconditionally — the daemon's /metrics and /healthz must show
+// them even if the enable flag was toggled around the event.
+static SERVE_SHED: AtomicU64 = AtomicU64::new(0);
+static SERVE_DEADLINE_EXPIRED: AtomicU64 = AtomicU64::new(0);
+static SERVE_RETRIES: AtomicU64 = AtomicU64::new(0);
+static SERVE_RECOVERED: AtomicU64 = AtomicU64::new(0);
+static SERVE_REBUILDS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static SLOT_IDX: Cell<usize> = const { Cell::new(usize::MAX) };
@@ -268,6 +277,35 @@ pub fn point_cached() {
         POINTS_DONE.fetch_add(1, Relaxed);
         POINTS_CACHED.fetch_add(1, Relaxed);
     }
+}
+
+/// Counts one request shed by the daemon's admission gate (`busy`).
+pub fn serve_shed() {
+    SERVE_SHED.fetch_add(1, Relaxed);
+}
+
+/// Counts one request rejected because its deadline expired before
+/// (or while) the daemon could serve it.
+pub fn serve_deadline_expired() {
+    SERVE_DEADLINE_EXPIRED.fetch_add(1, Relaxed);
+}
+
+/// Counts one client-side retry attempt (a re-send beyond a request's
+/// first attempt).
+pub fn serve_retry() {
+    SERVE_RETRIES.fetch_add(1, Relaxed);
+}
+
+/// Records `n` cache entries recovered from the journal (or salvaged
+/// past corruption) at daemon startup.
+pub fn serve_recovered(n: u64) {
+    SERVE_RECOVERED.fetch_add(n, Relaxed);
+}
+
+/// Counts one executor rebuild after a poisoned lock (a panic left the
+/// in-memory state untrustworthy and it was reloaded from the cache).
+pub fn serve_rebuild() {
+    SERVE_REBUILDS.fetch_add(1, Relaxed);
 }
 
 /// Measures wall-clock spans between instrumented points and attributes
@@ -364,6 +402,16 @@ pub struct TelemetrySnapshot {
     pub points_done: u64,
     /// Of those, answered from cache/dedup.
     pub points_cached: u64,
+    /// Requests shed by the daemon's admission gate (`busy`).
+    pub serve_shed: u64,
+    /// Requests rejected for an expired deadline.
+    pub serve_deadline_expired: u64,
+    /// Client-side retry attempts.
+    pub serve_retries: u64,
+    /// Cache entries recovered from the journal at daemon startup.
+    pub serve_recovered_entries: u64,
+    /// Executor rebuilds after a poisoned lock.
+    pub serve_rebuilds: u64,
     /// Per-phase timing, in [`PhaseKind::ALL`] order.
     pub phases: Vec<PhaseSnapshot>,
     /// Per-slot totals, for slots that have seen any activity.
@@ -419,6 +467,11 @@ pub fn snapshot() -> TelemetrySnapshot {
         expected_points: EXPECTED_POINTS.load(Relaxed),
         points_done: POINTS_DONE.load(Relaxed),
         points_cached: POINTS_CACHED.load(Relaxed),
+        serve_shed: SERVE_SHED.load(Relaxed),
+        serve_deadline_expired: SERVE_DEADLINE_EXPIRED.load(Relaxed),
+        serve_retries: SERVE_RETRIES.load(Relaxed),
+        serve_recovered_entries: SERVE_RECOVERED.load(Relaxed),
+        serve_rebuilds: SERVE_REBUILDS.load(Relaxed),
         phases,
         workers,
     }
@@ -645,6 +698,17 @@ impl TelemetrySnapshot {
         s.push_str(&format!(",\"points_done\":{}", self.points_done));
         s.push_str(&format!(",\"points_total\":{}", self.expected_points));
         s.push_str(&format!(",\"points_cached\":{}", self.points_cached));
+        s.push_str(&format!(",\"serve_shed\":{}", self.serve_shed));
+        s.push_str(&format!(
+            ",\"serve_deadline_expired\":{}",
+            self.serve_deadline_expired
+        ));
+        s.push_str(&format!(",\"serve_retries\":{}", self.serve_retries));
+        s.push_str(&format!(
+            ",\"serve_recovered_entries\":{}",
+            self.serve_recovered_entries
+        ));
+        s.push_str(&format!(",\"serve_rebuilds\":{}", self.serve_rebuilds));
         s.push_str(&format!(",\"workers\":{}", self.workers.len()));
         s.push_str(&format!(",\"busy_ns\":{}", self.busy_ns()));
         s.push_str(",\"phases\":{");
@@ -688,6 +752,26 @@ impl TelemetrySnapshot {
             "Sweep points answered from cache/dedup.",
             self.cache_hits,
         );
+        counter(
+            "sos_serve_shed_total",
+            "Requests shed by the daemon's admission gate.",
+            self.serve_shed,
+        );
+        counter(
+            "sos_serve_deadline_expired_total",
+            "Requests rejected for an expired deadline.",
+            self.serve_deadline_expired,
+        );
+        counter(
+            "sos_serve_retries_total",
+            "Client-side retry attempts.",
+            self.serve_retries,
+        );
+        counter(
+            "sos_serve_executor_rebuilds_total",
+            "Executor rebuilds after a poisoned lock.",
+            self.serve_rebuilds,
+        );
         let mut gauge = |name: &str, help: &str, value: String| {
             s.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
@@ -707,6 +791,11 @@ impl TelemetrySnapshot {
             "sos_sweep_points_done",
             "Sweep points completed (executed or cached).",
             self.points_done.to_string(),
+        );
+        gauge(
+            "sos_serve_recovered_entries",
+            "Cache entries recovered from the journal at daemon startup.",
+            self.serve_recovered_entries.to_string(),
         );
         gauge(
             "sos_workers",
@@ -1040,6 +1129,11 @@ mod tests {
             expected_points: 4,
             points_done: 1,
             points_cached: 0,
+            serve_shed: 0,
+            serve_deadline_expired: 0,
+            serve_retries: 0,
+            serve_recovered_entries: 0,
+            serve_rebuilds: 0,
             phases: Vec::new(),
             workers: vec![WorkerSnapshot {
                 index: 0,
@@ -1081,6 +1175,11 @@ mod tests {
             expected_points: 42,
             points_done: 42,
             points_cached: 3,
+            serve_shed: 1,
+            serve_deadline_expired: 2,
+            serve_retries: 3,
+            serve_recovered_entries: 4,
+            serve_rebuilds: 5,
             phases: PhaseKind::ALL
                 .iter()
                 .map(|&phase| {
@@ -1116,6 +1215,11 @@ mod tests {
             "sos_phase_ns{phase=\"routing\",quantile=\"0.99\"}",
             "sos_worker_trials_total{worker=\"2\"} 42",
             "sos_worker_busy_seconds_total{worker=\"2\"}",
+            "sos_serve_shed_total 1",
+            "sos_serve_deadline_expired_total 2",
+            "sos_serve_retries_total 3",
+            "sos_serve_recovered_entries 4",
+            "sos_serve_executor_rebuilds_total 5",
         ] {
             assert!(prom.contains(series), "missing {series} in:\n{prom}");
         }
@@ -1129,6 +1233,11 @@ mod tests {
         for key in [
             "\"trials\":42",
             "\"points_done\":42",
+            "\"serve_shed\":1",
+            "\"serve_deadline_expired\":2",
+            "\"serve_retries\":3",
+            "\"serve_recovered_entries\":4",
+            "\"serve_rebuilds\":5",
             "\"phases\":{\"build\"",
             "\"p95_ns\"",
             "\"busy_ns\":4000",

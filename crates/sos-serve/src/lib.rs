@@ -79,12 +79,15 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod spec;
 
-pub use client::{Client, ClientError};
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use client::{Client, ClientError, RetryClient};
+pub use sos_faults::RetryPolicy;
 pub use protocol::{ErrorCode, Request, Response, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use server::{Server, ServerHandle, ServerOptions, ServerReport};
 pub use spec::{analyze_doc, analyze_outcome, AnalyzeOutcome, SimSpec, SpecError};

@@ -58,6 +58,16 @@ pub enum ErrorCode {
     /// The experiment spec was rejected (unknown field, bad label,
     /// inconsistent topology, zero trial/route counts).
     BadSpec,
+    /// The server's bounded admission queue is full; the request was
+    /// shed without touching the executor. The error object carries
+    /// `retry_after_ms` — a hint for when to try again. Always safe to
+    /// retry (the shed request had no side effects).
+    Busy,
+    /// The request's `deadline_ms` expired before (or while) the
+    /// server could finish it. Sweep points completed before expiry
+    /// are already journaled in the cache, so a retry resumes instead
+    /// of restarting.
+    DeadlineExceeded,
     /// The server failed internally while executing a valid request.
     Internal,
 }
@@ -72,6 +82,8 @@ impl ErrorCode {
             ErrorCode::BadVersion => "bad-version",
             ErrorCode::UnknownOp => "unknown-op",
             ErrorCode::BadSpec => "bad-spec",
+            ErrorCode::Busy => "busy",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
             ErrorCode::Internal => "internal",
         }
     }
@@ -88,6 +100,8 @@ impl ErrorCode {
             "bad-version" => ErrorCode::BadVersion,
             "unknown-op" => ErrorCode::UnknownOp,
             "bad-spec" => ErrorCode::BadSpec,
+            "busy" => ErrorCode::Busy,
+            "deadline-exceeded" => ErrorCode::DeadlineExceeded,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -108,18 +122,35 @@ pub struct WireError {
     /// Human-readable detail (the same messages the CLI prints for the
     /// equivalent mistake).
     pub message: String,
+    /// Backoff hint carried by [`ErrorCode::Busy`] responses: how many
+    /// milliseconds the client should wait before retrying. Absent on
+    /// every other code.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl WireError {
     /// Convenience constructor.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        WireError { code, message: message.into() }
+        WireError { code, message: message.into(), retry_after_ms: None }
+    }
+
+    /// A [`Busy`](ErrorCode::Busy) error with its backoff hint.
+    pub fn busy(message: impl Into<String>, retry_after_ms: u64) -> Self {
+        WireError {
+            code: ErrorCode::Busy,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
     }
 }
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.code, self.message)
+        write!(f, "{}: {}", self.code, self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms} ms)")?;
+        }
+        Ok(())
     }
 }
 
@@ -140,10 +171,24 @@ pub enum Request {
     Analyze(SimSpec),
     /// Monte Carlo simulation of one spec, answered through the shared
     /// sweep executor (content-addressed: repeats are cache hits).
-    Simulate(SimSpec),
-    /// Monte Carlo simulation of many specs as one pool submission
-    /// (trial batches interleave across points).
-    Sweep(Vec<SimSpec>),
+    /// `deadline_ms` bounds how long the server may spend — queueing
+    /// included — before answering [`ErrorCode::DeadlineExceeded`].
+    Simulate {
+        /// The experiment to run.
+        spec: SimSpec,
+        /// Optional server-side deadline, in milliseconds from receipt.
+        deadline_ms: Option<u64>,
+    },
+    /// Monte Carlo simulation of many specs. The server checks the
+    /// deadline cooperatively *between* points, so an expired sweep
+    /// frees the executor instead of running to completion (points
+    /// already finished stay journaled in the cache).
+    Sweep {
+        /// The experiment grid to run.
+        specs: Vec<SimSpec>,
+        /// Optional server-side deadline, in milliseconds from receipt.
+        deadline_ms: Option<u64>,
+    },
     /// Current telemetry snapshot: per-phase profile table + counters.
     Profile,
     /// Begin graceful shutdown: stop accepting, drain in-flight
@@ -157,8 +202,8 @@ impl Request {
         match self {
             Request::Ping => "ping",
             Request::Analyze(_) => "analyze",
-            Request::Simulate(_) => "simulate",
-            Request::Sweep(_) => "sweep",
+            Request::Simulate { .. } => "simulate",
+            Request::Sweep { .. } => "sweep",
             Request::Profile => "profile",
             Request::Shutdown => "shutdown",
         }
@@ -172,14 +217,23 @@ impl Request {
         ];
         match self {
             Request::Ping | Request::Profile | Request::Shutdown => {}
-            Request::Analyze(spec) | Request::Simulate(spec) => {
+            Request::Analyze(spec) => {
                 entries.push(("spec".into(), spec.to_value()));
             }
-            Request::Sweep(specs) => {
+            Request::Simulate { spec, deadline_ms } => {
+                entries.push(("spec".into(), spec.to_value()));
+                if let Some(ms) = deadline_ms {
+                    entries.push(("deadline_ms".into(), Value::U64(*ms)));
+                }
+            }
+            Request::Sweep { specs, deadline_ms } => {
                 entries.push((
                     "specs".into(),
                     Value::Seq(specs.iter().map(SimSpec::to_value).collect()),
                 ));
+                if let Some(ms) = deadline_ms {
+                    entries.push(("deadline_ms".into(), Value::U64(*ms)));
+                }
             }
         }
         Value::Map(entries)
@@ -218,12 +272,23 @@ impl Request {
             })?;
             Ok(SimSpec::from_value(raw)?)
         };
+        let deadline_ms = || -> Result<Option<u64>, WireError> {
+            match field("deadline_ms") {
+                None => Ok(None),
+                Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                    WireError::new(
+                        ErrorCode::BadRequest,
+                        "request field `deadline_ms` must be a non-negative integer",
+                    )
+                }),
+            }
+        };
         match op {
             "ping" => Ok(Request::Ping),
             "profile" => Ok(Request::Profile),
             "shutdown" => Ok(Request::Shutdown),
             "analyze" => Ok(Request::Analyze(spec()?)),
-            "simulate" => Ok(Request::Simulate(spec()?)),
+            "simulate" => Ok(Request::Simulate { spec: spec()?, deadline_ms: deadline_ms()? }),
             "sweep" => {
                 let raw = field("specs").and_then(Value::as_array).ok_or_else(|| {
                     WireError::new(
@@ -240,7 +305,7 @@ impl Request {
                         })
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Request::Sweep(specs))
+                Ok(Request::Sweep { specs, deadline_ms: deadline_ms()? })
             }
             other => Err(WireError::new(
                 ErrorCode::UnknownOp,
@@ -274,17 +339,20 @@ impl Response {
                 ("op".into(), Value::Str(op.clone())),
                 ("result".into(), result.clone()),
             ]),
-            Response::Err(e) => Value::Map(vec![
-                ("v".into(), Value::U64(PROTOCOL_VERSION)),
-                ("ok".into(), Value::Bool(false)),
-                (
-                    "error".into(),
-                    Value::Map(vec![
-                        ("code".into(), Value::Str(e.code.as_str().into())),
-                        ("message".into(), Value::Str(e.message.clone())),
-                    ]),
-                ),
-            ]),
+            Response::Err(e) => {
+                let mut error = vec![
+                    ("code".to_string(), Value::Str(e.code.as_str().into())),
+                    ("message".to_string(), Value::Str(e.message.clone())),
+                ];
+                if let Some(ms) = e.retry_after_ms {
+                    error.push(("retry_after_ms".to_string(), Value::U64(ms)));
+                }
+                Value::Map(vec![
+                    ("v".into(), Value::U64(PROTOCOL_VERSION)),
+                    ("ok".into(), Value::Bool(false)),
+                    ("error".into(), Value::Map(error)),
+                ])
+            }
         }
     }
 
@@ -335,7 +403,15 @@ impl Response {
                     .to_string()
             };
             let code = ErrorCode::parse(&get("code")).unwrap_or(ErrorCode::Internal);
-            Ok(Response::Err(WireError::new(code, get("message"))))
+            let retry_after_ms = error
+                .iter()
+                .find(|(k, _)| k == "retry_after_ms")
+                .and_then(|(_, v)| v.as_u64());
+            Ok(Response::Err(WireError {
+                code,
+                message: get("message"),
+                retry_after_ms,
+            }))
         }
     }
 }
@@ -488,8 +564,22 @@ mod tests {
             Request::Profile,
             Request::Shutdown,
             Request::Analyze(SimSpec::default()),
-            Request::Simulate(SimSpec { trials: 7, ..SimSpec::default() }),
-            Request::Sweep(vec![SimSpec::default(), SimSpec { seed: 3, ..SimSpec::default() }]),
+            Request::Simulate {
+                spec: SimSpec { trials: 7, ..SimSpec::default() },
+                deadline_ms: None,
+            },
+            Request::Simulate {
+                spec: SimSpec::default(),
+                deadline_ms: Some(1_500),
+            },
+            Request::Sweep {
+                specs: vec![SimSpec::default(), SimSpec { seed: 3, ..SimSpec::default() }],
+                deadline_ms: None,
+            },
+            Request::Sweep {
+                specs: vec![SimSpec::default()],
+                deadline_ms: Some(30_000),
+            },
         ];
         for req in requests {
             let text = serde_json::to_string(&req.to_value()).unwrap();
@@ -523,7 +613,8 @@ mod tests {
             result: serde_json::json!({"server": "sosd"}),
         };
         let err = Response::Err(WireError::new(ErrorCode::BadSpec, "unknown spec field `x`"));
-        for resp in [ok, err] {
+        let busy = Response::Err(WireError::busy("admission queue full", 250));
+        for resp in [ok, err, busy] {
             let text = serde_json::to_string(&resp.to_value()).unwrap();
             let back = Response::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
             assert_eq!(back, resp);

@@ -11,6 +11,21 @@
 //! collapse into one execution through the executor's fingerprint
 //! memory.
 //!
+//! Overload: the executor queue is *bounded*
+//! ([`ServerOptions::queue_depth`]). A `simulate`/`sweep` request that
+//! arrives when the queue is full is shed immediately with a `busy`
+//! error carrying a `retry_after_ms` hint, instead of silently pinning
+//! a reader thread on the mutex. Requests may also carry a
+//! `deadline_ms` budget: an expired deadline is answered with
+//! `deadline-exceeded` rather than computed; a `sweep` under deadline
+//! executes point by point and stops cooperatively between points,
+//! with every completed point already durable in the cache journal.
+//!
+//! Failure: a panic inside the executor fails only the request that
+//! triggered it (`internal`); the poisoned lock is detected on the
+//! next access and the executor is rebuilt from the persisted cache
+//! file, so one bad request cannot corrupt the daemon's warm state.
+//!
 //! Shutdown: a `shutdown` request (there is no portable stdlib signal
 //! handling) flips a flag and wakes the accept loop; the server stops
 //! accepting, drains in-flight connections, persists the sweep cache,
@@ -39,15 +54,41 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// arrived — a stalled peer must not pin a reader thread forever.
 const FRAME_DEADLINE: Duration = Duration::from_secs(30);
 
+/// Default [`ServerOptions::queue_depth`].
+const DEFAULT_QUEUE_DEPTH: usize = 16;
+
+/// Per-queued-request slice behind a `busy` error's `retry_after_ms`
+/// hint: a shed client is told to come back after roughly this long
+/// per request ahead of it.
+const RETRY_AFTER_SLICE_MS: u64 = 100;
+
+/// Ceiling for the `retry_after_ms` hint.
+const RETRY_AFTER_MAX_MS: u64 = 5_000;
+
 /// Construction-time knobs for [`Server::bind`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Worker threads for a *private* pool; `None` shares the
     /// process-global pool (sized by `sos_sim::num_threads`).
     pub threads: Option<usize>,
     /// Persistent sweep-cache file: loaded at bind (warm start),
-    /// rewritten after every executed point and on shutdown.
+    /// journaled after every executed point, compacted on shutdown.
     pub cache: Option<PathBuf>,
+    /// Admission bound for `simulate`/`sweep`: at most this many such
+    /// requests may be executing or waiting on the executor at once;
+    /// the rest are shed with `busy` + `retry_after_ms`. `0` sheds
+    /// every executor request (useful for drills and tests).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            threads: None,
+            cache: None,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
 }
 
 /// What a drained server did with its life; returned by
@@ -76,8 +117,87 @@ struct Shared {
     requests: AtomicU64,
     http_requests: AtomicU64,
     errors: AtomicU64,
+    /// Admitted executor requests (executing + waiting on the mutex).
+    in_flight: AtomicU64,
+    /// Admission bound ([`ServerOptions::queue_depth`]).
+    queue_depth: usize,
+    /// Private-pool thread count, kept so a poisoned executor can be
+    /// rebuilt with the same shape it was bound with.
+    threads: Option<usize>,
+    /// Cache file, kept for executor rebuilds after poisoning.
+    cache_path: Option<PathBuf>,
     started: Instant,
     addr: SocketAddr,
+}
+
+impl Shared {
+    fn new(exec: SweepExecutor, opts: &ServerOptions, addr: SocketAddr) -> Shared {
+        Shared {
+            exec: Mutex::new(exec),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            queue_depth: opts.queue_depth,
+            threads: opts.threads,
+            cache_path: opts.cache.clone(),
+            started: Instant::now(),
+            addr,
+        }
+    }
+}
+
+/// RAII slot in the bounded executor queue; dropping it releases the
+/// slot (including on panic unwind, so a crashed request can never
+/// leak queue capacity).
+struct AdmissionPermit<'a> {
+    shared: &'a Shared,
+}
+
+impl std::fmt::Debug for AdmissionPermit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPermit")
+            .field("in_flight", &self.shared.in_flight.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Claims a queue slot for one executor request, or sheds the request
+/// with `busy` + `retry_after_ms` when the queue is full.
+fn try_admit(shared: &Shared) -> Result<AdmissionPermit<'_>, WireError> {
+    let mut current = shared.in_flight.load(Ordering::SeqCst);
+    loop {
+        if current >= shared.queue_depth as u64 {
+            telemetry::serve_shed();
+            let retry_after = RETRY_AFTER_SLICE_MS
+                .saturating_mul(current.max(1))
+                .min(RETRY_AFTER_MAX_MS);
+            return Err(WireError::busy(
+                format!(
+                    "executor queue full ({current} in flight, depth {})",
+                    shared.queue_depth
+                ),
+                retry_after,
+            ));
+        }
+        match shared.in_flight.compare_exchange(
+            current,
+            current + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return Ok(AdmissionPermit { shared }),
+            Err(observed) => current = observed,
+        }
+    }
 }
 
 /// A bound, not-yet-running `sosd` server. See the crate docs for an
@@ -95,8 +215,11 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures and cache-file errors (a corrupt cache
-    /// is refused, exactly like `SweepExecutor::attach_cache`).
+    /// Propagates bind failures and cache-file I/O errors. A corrupt
+    /// cache is *not* an error: `SweepExecutor::attach_cache`
+    /// quarantines the damaged file to `<path>.corrupt` and starts
+    /// cold (journal-recovered entries are counted in telemetry as
+    /// `sos_serve_recovered_entries`).
     ///
     /// [`local_addr`]: Server::local_addr
     pub fn bind(addr: impl ToSocketAddrs, opts: ServerOptions) -> io::Result<Server> {
@@ -114,19 +237,11 @@ impl Server {
             Some(path) => exec.attach_cache(path)?,
             None => 0,
         };
+        telemetry::serve_recovered(exec.load_report().journal_recovered as u64);
         let addr = listener.local_addr()?;
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
-                exec: Mutex::new(exec),
-                shutdown: AtomicBool::new(false),
-                connections: AtomicU64::new(0),
-                requests: AtomicU64::new(0),
-                http_requests: AtomicU64::new(0),
-                errors: AtomicU64::new(0),
-                started: Instant::now(),
-                addr,
-            }),
+            shared: Arc::new(Shared::new(exec, &opts, addr)),
             cache_loaded,
         })
     }
@@ -175,7 +290,7 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
-        let exec = lock_ignore_poison(&self.shared.exec);
+        let mut exec = lock_executor(&self.shared);
         exec.persist();
         Ok(ServerReport {
             connections: self.shared.connections.load(Ordering::Relaxed),
@@ -224,8 +339,42 @@ impl ServerHandle {
     }
 }
 
-fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|e| e.into_inner())
+/// Locks the shared executor, containing the blast radius of a panic
+/// in a previous request: a poisoned lock means some request unwound
+/// mid-execution and the in-memory executor state (pool bookkeeping,
+/// result memory, journal counters) cannot be trusted. Instead of
+/// ignoring the poison and serving from that state, the executor is
+/// rebuilt from scratch and re-warmed from the persisted cache file —
+/// the crash-safe store that journaled every completed point — so the
+/// daemon loses at most the panicking request, never its memory.
+fn lock_executor<'a>(shared: &'a Shared) -> std::sync::MutexGuard<'a, SweepExecutor> {
+    match shared.exec.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            shared.exec.clear_poison();
+            let mut fresh = match shared.threads {
+                Some(t) => SweepExecutor::with_threads(t),
+                None => SweepExecutor::new(),
+            };
+            if let Some(path) = &shared.cache_path {
+                if let Err(e) = fresh.attach_cache(path) {
+                    eprintln!(
+                        "warning: executor rebuild could not reload cache {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+            *guard = fresh;
+            telemetry::serve_rebuild();
+            eprintln!(
+                "warning: executor lock was poisoned by a panicked request; \
+                 rebuilt from persisted cache ({} points)",
+                guard.cached_points()
+            );
+            guard
+        }
+    }
 }
 
 /// What the first four bytes of a connection turned out to be.
@@ -401,15 +550,55 @@ fn respond(payload: &[u8], shared: &Shared) -> (Response, bool) {
     };
     let shutdown = matches!(request, Request::Shutdown);
     let op = request.op();
-    let response = match execute(request, shared) {
+    let response = match execute(request, shared, Instant::now()) {
         Ok(result) => Response::Ok { op: op.into(), result },
         Err(e) => Response::Err(e),
     };
     (response, shutdown)
 }
 
+/// Has the request's `deadline_ms` budget (counted from `arrival`)
+/// already been spent? Checked at admission and, for sweeps, between
+/// points — never mid-point, so a point that started always finishes
+/// (and is journaled).
+fn deadline_expired(arrival: Instant, deadline_ms: Option<u64>) -> bool {
+    match deadline_ms {
+        Some(ms) => arrival.elapsed() >= Duration::from_millis(ms),
+        None => false,
+    }
+}
+
+/// The `deadline-exceeded` rejection for a request whose budget ran
+/// out after `done` of `total` points.
+fn deadline_error(deadline_ms: u64, done: usize, total: usize) -> WireError {
+    telemetry::serve_deadline_expired();
+    WireError::new(
+        ErrorCode::DeadlineExceeded,
+        format!(
+            "deadline of {deadline_ms} ms expired after {done} of {total} point(s); \
+             completed points are journaled — retry to resume from cache"
+        ),
+    )
+}
+
+/// Runs one executor-bound closure, converting a panic into an
+/// `internal` error response for this request. The unwind poisons the
+/// executor lock on its way out; the next [`lock_executor`] rebuilds
+/// the executor from the persisted cache.
+fn run_guarded(
+    f: impl FnOnce() -> Result<Value, WireError>,
+) -> Result<Value, WireError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|_| {
+        Err(WireError::new(
+            ErrorCode::Internal,
+            "request panicked in the executor; state will be rebuilt from the persisted cache",
+        ))
+    })
+}
+
 /// Executes a decoded request against the shared executor/telemetry.
-fn execute(request: Request, shared: &Shared) -> Result<Value, WireError> {
+/// `arrival` anchors the request's `deadline_ms` budget.
+fn execute(request: Request, shared: &Shared, arrival: Instant) -> Result<Value, WireError> {
     match request {
         Request::Ping => Ok(serde_json::json!({
             "server": "sosd",
@@ -423,20 +612,28 @@ fn execute(request: Request, shared: &Shared) -> Result<Value, WireError> {
             let outcome = analyze_outcome(&scenario, &attack, evaluator)?;
             Ok(analyze_doc(&scenario, &attack, evaluator, &outcome))
         }
-        Request::Simulate(spec) => {
+        Request::Simulate { spec, deadline_ms } => {
             let config = spec.sim_config()?;
-            let fp = config_fingerprint(&config);
-            let mut exec = lock_ignore_poison(&shared.exec);
-            let before = exec.stats();
-            let result = exec.run_one(&config);
-            let cached = exec.stats().points_executed == before.points_executed;
-            Ok(serde_json::json!({
-                "fingerprint": format!("{fp:016x}"),
-                "cached": cached,
-                "result": result,
-            }))
+            let _permit = try_admit(shared)?;
+            run_guarded(|| {
+                let fp = config_fingerprint(&config);
+                let mut exec = lock_executor(shared);
+                // The queue wait may have eaten the whole budget;
+                // refuse before computing, not after.
+                if deadline_expired(arrival, deadline_ms) {
+                    return Err(deadline_error(deadline_ms.unwrap_or(0), 0, 1));
+                }
+                let before = exec.stats();
+                let result = exec.run_one(&config);
+                let cached = exec.stats().points_executed == before.points_executed;
+                Ok(serde_json::json!({
+                    "fingerprint": format!("{fp:016x}"),
+                    "cached": cached,
+                    "result": result,
+                }))
+            })
         }
-        Request::Sweep(specs) => {
+        Request::Sweep { specs, deadline_ms } => {
             let configs = specs
                 .iter()
                 .enumerate()
@@ -446,31 +643,53 @@ fn execute(request: Request, shared: &Shared) -> Result<Value, WireError> {
                     })
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            let fingerprints: Vec<String> = configs
-                .iter()
-                .map(|c| format!("{:016x}", config_fingerprint(c)))
-                .collect();
-            let mut exec = lock_ignore_poison(&shared.exec);
-            let before = exec.stats();
-            let results = exec.run(&configs);
-            let after = exec.stats();
-            let points: Vec<Value> = fingerprints
-                .into_iter()
-                .zip(&results)
-                .map(|(fp, result)| {
-                    serde_json::json!({ "fingerprint": fp, "result": result })
-                })
-                .collect();
-            Ok(serde_json::json!({
-                "results": points,
-                "stats": {
-                    "points": after.points - before.points,
-                    "cache_hits": after.cache_hits - before.cache_hits,
-                    "dedup_hits": after.dedup_hits - before.dedup_hits,
-                    "points_executed": after.points_executed - before.points_executed,
-                    "trials_executed": after.trials_executed - before.trials_executed,
-                },
-            }))
+            let _permit = try_admit(shared)?;
+            run_guarded(|| {
+                let fingerprints: Vec<String> = configs
+                    .iter()
+                    .map(|c| format!("{:016x}", config_fingerprint(c)))
+                    .collect();
+                let mut exec = lock_executor(shared);
+                let before = exec.stats();
+                let results = match deadline_ms {
+                    // No deadline: one pool submission, identical to
+                    // the pre-deadline code path byte for byte.
+                    None => exec.run(&configs),
+                    // Deadline: point-by-point with a cooperative
+                    // cancellation check between points. Each result
+                    // is byte-identical to the batched path; only the
+                    // stats differ (duplicate specs count as cache
+                    // hits rather than dedup hits).
+                    Some(ms) => {
+                        let mut results = Vec::with_capacity(configs.len());
+                        for (done, config) in configs.iter().enumerate() {
+                            if deadline_expired(arrival, deadline_ms) {
+                                return Err(deadline_error(ms, done, configs.len()));
+                            }
+                            results.push(exec.run_one(config));
+                        }
+                        results
+                    }
+                };
+                let after = exec.stats();
+                let points: Vec<Value> = fingerprints
+                    .into_iter()
+                    .zip(&results)
+                    .map(|(fp, result)| {
+                        serde_json::json!({ "fingerprint": fp, "result": result })
+                    })
+                    .collect();
+                Ok(serde_json::json!({
+                    "results": points,
+                    "stats": {
+                        "points": after.points - before.points,
+                        "cache_hits": after.cache_hits - before.cache_hits,
+                        "dedup_hits": after.dedup_hits - before.dedup_hits,
+                        "points_executed": after.points_executed - before.points_executed,
+                        "trials_executed": after.trials_executed - before.trials_executed,
+                    },
+                }))
+            })
         }
         Request::Profile => {
             let snapshot = telemetry::snapshot();
@@ -490,17 +709,25 @@ fn execute(request: Request, shared: &Shared) -> Result<Value, WireError> {
 /// as the JSONL reporter sink).
 fn health_json(shared: &Shared) -> String {
     let exec_stats = {
-        let exec = lock_ignore_poison(&shared.exec);
-        (exec.stats(), exec.cached_points())
+        let exec = lock_executor(shared);
+        (exec.stats(), exec.cached_points(), exec.last_persist_age())
     };
-    let (sweep, cached_points) = exec_stats;
+    let (sweep, cached_points, persist_age) = exec_stats;
     let status = if shared.shutdown.load(Ordering::SeqCst) {
         "draining"
     } else {
         "ok"
     };
+    // Seconds since the cache file was last compacted to disk; `null`
+    // until the first persist (journal appends do not count — they are
+    // durable the moment a point completes).
+    let last_persist_age_s = match persist_age {
+        Some(age) => format!("{:.3}", age.as_secs_f64()),
+        None => String::from("null"),
+    };
     format!(
         "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"connections\":{},\"requests\":{},\"http_requests\":{},\"errors\":{},\
+         \"in_flight\":{},\"queue_depth\":{},\"last_persist_age_s\":{last_persist_age_s},\
          \"sweep\":{{\"points\":{},\"cache_hits\":{},\"dedup_hits\":{},\"points_executed\":{},\"trials_executed\":{},\"cached_points\":{cached_points}}},\
          \"telemetry\":{}}}",
         shared.started.elapsed().as_secs_f64(),
@@ -508,6 +735,8 @@ fn health_json(shared: &Shared) -> String {
         shared.requests.load(Ordering::Relaxed),
         shared.http_requests.load(Ordering::Relaxed),
         shared.errors.load(Ordering::Relaxed),
+        shared.in_flight.load(Ordering::SeqCst),
+        shared.queue_depth,
         sweep.points,
         sweep.cache_hits,
         sweep.dedup_hits,
@@ -560,4 +789,151 @@ fn serve_http(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SimSpec;
+
+    fn tiny_spec() -> SimSpec {
+        SimSpec {
+            overlay_nodes: 200,
+            sos_nodes: 30,
+            nt: 5,
+            nc: 20,
+            trials: 2,
+            routes: 4,
+            ..SimSpec::default()
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sos-serve-server-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).expect("create temp dir");
+        p
+    }
+
+    fn test_shared(opts: &ServerOptions) -> Shared {
+        let mut exec = match opts.threads {
+            Some(t) => SweepExecutor::with_threads(t),
+            None => SweepExecutor::new(),
+        };
+        if let Some(path) = &opts.cache {
+            exec.attach_cache(path).expect("attach cache");
+        }
+        Shared::new(exec, opts, "127.0.0.1:0".parse().expect("addr"))
+    }
+
+    #[test]
+    fn zero_depth_queue_sheds_with_retry_hint() {
+        let opts = ServerOptions {
+            threads: Some(1),
+            queue_depth: 0,
+            ..ServerOptions::default()
+        };
+        let shared = test_shared(&opts);
+        let err = try_admit(&shared).expect_err("depth 0 sheds everything");
+        assert_eq!(err.code, ErrorCode::Busy);
+        assert!(err.retry_after_ms.is_some_and(|ms| ms >= RETRY_AFTER_SLICE_MS));
+    }
+
+    #[test]
+    fn admission_permit_releases_its_slot_on_drop() {
+        let opts = ServerOptions {
+            threads: Some(1),
+            queue_depth: 1,
+            ..ServerOptions::default()
+        };
+        let shared = test_shared(&opts);
+        let permit = try_admit(&shared).expect("first request fits");
+        let shed = try_admit(&shared).expect_err("second request is shed");
+        assert_eq!(shed.code, ErrorCode::Busy);
+        drop(permit);
+        assert!(try_admit(&shared).is_ok(), "dropped permit frees the slot");
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_before_computing() {
+        let opts = ServerOptions { threads: Some(1), ..ServerOptions::default() };
+        let shared = test_shared(&opts);
+        let err = execute(
+            Request::Simulate { spec: tiny_spec(), deadline_ms: Some(0) },
+            &shared,
+            Instant::now(),
+        )
+        .expect_err("a zero deadline is always already expired");
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert_eq!(shared.in_flight.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn sweep_under_deadline_reports_resumable_progress() {
+        let opts = ServerOptions { threads: Some(1), ..ServerOptions::default() };
+        let shared = test_shared(&opts);
+        let err = execute(
+            Request::Sweep { specs: vec![tiny_spec(); 3], deadline_ms: Some(0) },
+            &shared,
+            Instant::now(),
+        )
+        .expect_err("expired sweep deadline");
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert!(
+            err.message.contains("0 of 3"),
+            "message names progress: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn poisoned_lock_rebuilds_executor_from_persisted_cache() {
+        let dir = tmp_dir("poison");
+        let cache = dir.join("cache.json");
+        let spec = tiny_spec();
+        let config = spec.sim_config().expect("tiny spec builds");
+        // Seed the persistent cache with one computed point.
+        let baseline = {
+            let mut exec = SweepExecutor::with_threads(1);
+            exec.attach_cache(&cache).expect("attach");
+            let result = exec.run_one(&config);
+            exec.persist();
+            serde_json::to_string(&result).expect("serialize")
+        };
+        let opts = ServerOptions {
+            threads: Some(1),
+            cache: Some(cache.clone()),
+            ..ServerOptions::default()
+        };
+        let shared = Arc::new(test_shared(&opts));
+        // A panicking request poisons the executor lock.
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.exec.lock().expect("not yet poisoned");
+            panic!("simulated in-request panic");
+        })
+        .join();
+        assert!(shared.exec.is_poisoned());
+        // The next access rebuilds from the cache file: the lock is
+        // usable again and the warm point survived the rebuild.
+        {
+            let mut exec = lock_executor(&shared);
+            assert_eq!(exec.cached_points(), 1, "warm point reloaded from disk");
+            let before = exec.stats();
+            let result = exec.run_one(&config);
+            assert_eq!(
+                exec.stats().cache_hits,
+                before.cache_hits + 1,
+                "rebuilt executor answers from cache"
+            );
+            assert_eq!(
+                serde_json::to_string(&result).expect("serialize"),
+                baseline,
+                "rebuilt warm answer is byte-identical"
+            );
+        }
+        assert!(!shared.exec.is_poisoned(), "poison cleared after rebuild");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

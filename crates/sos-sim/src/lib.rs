@@ -74,7 +74,7 @@ pub use compare::{ComparisonRow, compare_models};
 pub use engine::{num_threads, Simulation, SimulationConfig, SimulationResult, TransportKind};
 pub use sweep::{
     config_fingerprint, run_sweep, run_sweep_traced, set_global_cache, sweep_stats,
-    SweepExecutor, SweepStats,
+    CacheLoadReport, SweepExecutor, SweepStats,
 };
 pub use flow::{FlowModel, FlowResult, FlowSimulation};
 pub use repair::{RepairConfig, RepairSimulation, RepairTimeline};

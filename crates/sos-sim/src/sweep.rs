@@ -26,6 +26,16 @@
 //! and report builds. A cache hit returns the stored
 //! [`SimulationResult`] verbatim (bit-for-bit: JSON floats round-trip
 //! exactly), so warm runs reproduce cold CSV output byte-identically.
+//!
+//! Crash safety: every executed point is appended (and fsynced) to a
+//! sidecar journal (`<cache>.journal`) the moment its result exists,
+//! and the main file is only ever replaced atomically (temp + fsync +
+//! rename) — by [`SweepExecutor::persist`] or when the journal grows
+//! past a compaction threshold. Every persisted entry carries a
+//! checksum; at [`SweepExecutor::attach_cache`] a damaged file is
+//! quarantined to `<path>.corrupt` and damaged entries are skipped, so
+//! a torn or bit-flipped cache can cost recomputation but never a
+//! wrong warm answer.
 //! The fingerprint folds in the master seed, trial/route counts, and
 //! the full fault/retry configuration — any change to an experiment's
 //! inputs misses the cache rather than aliasing a stale entry. Inert
@@ -45,9 +55,10 @@ use crate::pool::{global_pool, RangeJob, WorkerPool};
 use sos_observe::telemetry;
 use sos_observe::{Event, EventKind, MetricsRegistry, Recorder};
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Cumulative executor counters, exposed for benchmarks and the CLI's
 /// `--cache` reporting (and mirrored into `sos-observe` metrics by
@@ -154,13 +165,82 @@ struct CacheFile {
     entries: Vec<CacheEntry>,
 }
 
+/// One persisted result. `checksum` covers the fingerprint and the
+/// result's canonical JSON encoding, so a torn write or a flipped bit
+/// is detected at load and the entry is *skipped* (and the damaged
+/// file quarantined) instead of poisoning warm answers.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct CacheEntry {
     fingerprint: String,
+    checksum: String,
     result: SimulationResult,
 }
 
-const CACHE_VERSION: u32 = 1;
+/// Version 2: per-entry checksums (version-1 files, which carried
+/// none, are quarantined and recomputed — the cache is derived data).
+const CACHE_VERSION: u32 = 2;
+
+/// Journal entries accumulated before the executor folds them into a
+/// full atomic rewrite of the main cache file. Keeps the per-point
+/// durability cost O(1) instead of O(cache size).
+const JOURNAL_COMPACT_THRESHOLD: usize = 512;
+
+/// Integrity checksum of one cache entry: FNV-1a over
+/// `fingerprint | canonical-result-JSON`. Results round-trip through
+/// JSON bit-for-bit (a pinned invariant of this module), so the
+/// re-serialized form at load equals the serialized form at store time
+/// if and only if the bytes survived intact.
+fn entry_checksum(fingerprint: &str, result: &SimulationResult) -> String {
+    let json = serde_json::to_string(result).expect("result serializes");
+    let mut hash = fnv1a(fingerprint.as_bytes(), 0x6A09_E667_F3BC_C908);
+    hash = fnv1a(b"|", hash);
+    hash = fnv1a(json.as_bytes(), hash);
+    format!("{hash:016x}")
+}
+
+/// The append-mode journal sitting next to a cache file: one JSON
+/// entry per line, appended (and fsynced) as each sweep point
+/// completes, so results are durable immediately — not only when the
+/// owner drains and rewrites the main file.
+fn journal_path(cache: &Path) -> PathBuf {
+    let mut os = cache.as_os_str().to_os_string();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+/// Where a damaged cache (or journal) file is moved/copied so an
+/// operator can diff what was lost instead of silently losing it.
+fn corrupt_path(original: &Path) -> PathBuf {
+    let mut os = original.as_os_str().to_os_string();
+    os.push(".corrupt");
+    PathBuf::from(os)
+}
+
+/// Decodes and verifies one cache entry; `None` when the fingerprint
+/// does not parse or the checksum does not match the stored result.
+fn decode_entry(entry: &CacheEntry) -> Option<(u64, SimulationResult)> {
+    let fp = u64::from_str_radix(&entry.fingerprint, 16).ok()?;
+    if entry.checksum != entry_checksum(&entry.fingerprint, &entry.result) {
+        return None;
+    }
+    Some((fp, entry.result.clone()))
+}
+
+/// What [`SweepExecutor::attach_cache_report`] found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheLoadReport {
+    /// Entries loaded from the main cache file.
+    pub loaded: usize,
+    /// Entries recovered from the append journal (results that were
+    /// executed after the last full rewrite — e.g. by a process that
+    /// crashed before draining).
+    pub journal_recovered: usize,
+    /// Entries (or journal lines) dropped because their checksum did
+    /// not verify or their encoding was damaged.
+    pub skipped: usize,
+    /// Set when a damaged file was quarantined for inspection.
+    pub quarantined: Option<PathBuf>,
+}
 
 /// The pool a [`SweepExecutor`] schedules on: the process-global pool
 /// (shared scratch, shared threads) or a private one (benchmarks and
@@ -178,6 +258,12 @@ pub struct SweepExecutor {
     memory: HashMap<u64, SimulationResult>,
     cache_path: Option<PathBuf>,
     stats: SweepStats,
+    /// Journal lines written (or replayed) since the last full rewrite.
+    journal_entries: usize,
+    /// What the last [`attach_cache`](Self::attach_cache) found.
+    load_report: CacheLoadReport,
+    /// When the main cache file was last rewritten in full.
+    last_persist: Option<Instant>,
 }
 
 impl SweepExecutor {
@@ -189,6 +275,9 @@ impl SweepExecutor {
             memory: HashMap::new(),
             cache_path: None,
             stats: SweepStats::default(),
+            journal_entries: 0,
+            load_report: CacheLoadReport::default(),
+            last_persist: None,
         }
     }
 
@@ -205,58 +294,170 @@ impl SweepExecutor {
         }
     }
 
-    /// Attaches a persistent cache file and loads any existing entries.
-    /// Returns the number of entries loaded (0 when the file does not
-    /// exist yet — that is a cold cache, not an error). Subsequent runs
-    /// that execute new points rewrite the file.
+    /// Attaches a persistent cache file and loads any existing entries,
+    /// then replays the append journal sitting next to it. Returns the
+    /// total number of entries loaded (0 when neither file exists yet —
+    /// that is a cold cache, not an error).
+    ///
+    /// Damaged state never refuses service and never poisons answers:
+    /// an unparseable cache file (or one with an unknown version) is
+    /// renamed to `<path>.corrupt` and the executor starts cold from
+    /// whatever the journal can recover; an entry whose checksum fails
+    /// is skipped (and the file copied to `<path>.corrupt` for
+    /// inspection); a torn trailing journal line — the expected residue
+    /// of a crash mid-append — is dropped silently.
     ///
     /// # Errors
     ///
-    /// Fails if the file exists but cannot be read or parsed, or if its
-    /// version is unknown — a corrupt cache should be deleted
-    /// deliberately, not silently recomputed over.
+    /// Only real I/O failures (permissions, hardware) propagate.
     pub fn attach_cache(&mut self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let report = self.attach_cache_report(path)?;
+        Ok(report.loaded + report.journal_recovered)
+    }
+
+    /// [`attach_cache`](Self::attach_cache) with the full breakdown of
+    /// what was loaded, recovered, skipped, and quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O failures (permissions, hardware) propagate.
+    pub fn attach_cache_report(&mut self, path: impl AsRef<Path>) -> io::Result<CacheLoadReport> {
         let path = path.as_ref();
-        let loaded = match std::fs::read_to_string(path) {
-            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+        let mut report = CacheLoadReport::default();
+        // Read as bytes, not `read_to_string`: bit rot can make a file
+        // invalid UTF-8, and that is damage to quarantine (the lossy
+        // replacement characters fail the JSON parse or the per-entry
+        // checksum), not an I/O error to refuse startup over.
+        match std::fs::read(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
-            Ok(text) => {
-                let file: CacheFile = serde_json::from_str(&text).map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("malformed sweep cache {}: {e}", path.display()),
-                    )
-                })?;
-                if file.version != CACHE_VERSION {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "sweep cache {} has version {}, expected {CACHE_VERSION}",
-                            path.display(),
-                            file.version
-                        ),
-                    ));
-                }
-                let mut loaded = 0usize;
-                for entry in file.entries {
-                    let fp = u64::from_str_radix(&entry.fingerprint, 16).map_err(|_| {
-                        io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!(
-                                "malformed fingerprint {:?} in sweep cache {}",
-                                entry.fingerprint,
-                                path.display()
-                            ),
-                        )
-                    })?;
-                    self.memory.insert(fp, entry.result);
-                    loaded += 1;
-                }
-                loaded
+            Ok(bytes) => {
+                self.load_main_file(path, &String::from_utf8_lossy(&bytes), &mut report)
+            }
+        }
+        let journal = journal_path(path);
+        match std::fs::read(&journal) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+            Ok(bytes) => {
+                self.load_journal(&journal, &String::from_utf8_lossy(&bytes), &mut report)
+            }
+        }
+        self.cache_path = Some(path.to_path_buf());
+        self.load_report = report.clone();
+        Ok(report)
+    }
+
+    /// Loads the main cache file, quarantining damage instead of
+    /// propagating it.
+    fn load_main_file(&mut self, path: &Path, text: &str, report: &mut CacheLoadReport) {
+        let file: CacheFile = match serde_json::from_str(text) {
+            Ok(f) => f,
+            Err(e) => {
+                self.quarantine_rename(path, report, &format!("does not parse ({e})"));
+                return;
             }
         };
-        self.cache_path = Some(path.to_path_buf());
-        Ok(loaded)
+        if file.version != CACHE_VERSION {
+            self.quarantine_rename(
+                path,
+                report,
+                &format!("has version {}, expected {CACHE_VERSION}", file.version),
+            );
+            return;
+        }
+        let mut bad = 0usize;
+        for entry in &file.entries {
+            match decode_entry(entry) {
+                Some((fp, result)) => {
+                    self.memory.insert(fp, result);
+                    report.loaded += 1;
+                }
+                None => bad += 1,
+            }
+        }
+        if bad > 0 {
+            report.skipped += bad;
+            // Keep the good entries (they verified), but preserve the
+            // damaged original for diffing before a rewrite replaces it.
+            let corrupt = corrupt_path(path);
+            if std::fs::write(&corrupt, text).is_ok() {
+                report.quarantined = Some(corrupt.clone());
+            }
+            eprintln!(
+                "warning: sweep cache {}: {bad} of {} entries failed checksum; \
+                 skipped (original copied to {})",
+                path.display(),
+                file.entries.len(),
+                corrupt.display(),
+            );
+        }
+    }
+
+    /// Replays the append journal: every line that parses and verifies
+    /// is an entry some earlier process executed but never folded into
+    /// the main file (e.g. it crashed mid-sweep).
+    fn load_journal(&mut self, journal: &Path, text: &str, report: &mut CacheLoadReport) {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut bad_lines: Vec<usize> = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let decoded = serde_json::from_str::<CacheEntry>(line)
+                .ok()
+                .and_then(|entry| decode_entry(&entry));
+            match decoded {
+                Some((fp, result)) => {
+                    if self.memory.insert(fp, result).is_none() {
+                        report.journal_recovered += 1;
+                    }
+                    self.journal_entries += 1;
+                }
+                None => bad_lines.push(i),
+            }
+        }
+        report.skipped += bad_lines.len();
+        // A bad *final* line is the expected residue of a crash mid-
+        // append (a torn write); a bad line with valid lines after it
+        // is real corruption worth quarantining for inspection.
+        if bad_lines.iter().any(|&i| i + 1 < lines.len()) {
+            let corrupt = corrupt_path(journal);
+            if std::fs::write(&corrupt, text).is_ok() {
+                report.quarantined = Some(corrupt.clone());
+            }
+            eprintln!(
+                "warning: sweep-cache journal {}: {} damaged lines skipped \
+                 (copy kept at {})",
+                journal.display(),
+                bad_lines.len(),
+                corrupt.display(),
+            );
+        } else if !bad_lines.is_empty() {
+            eprintln!(
+                "warning: sweep-cache journal {}: dropped a torn trailing entry \
+                 (crash mid-append); {} entries recovered",
+                journal.display(),
+                report.journal_recovered,
+            );
+        }
+    }
+
+    /// Moves a damaged file to `<path>.corrupt` and says what was lost.
+    fn quarantine_rename(&self, path: &Path, report: &mut CacheLoadReport, reason: &str) {
+        let corrupt = corrupt_path(path);
+        match std::fs::rename(path, &corrupt) {
+            Ok(()) => {
+                report.quarantined = Some(corrupt.clone());
+                eprintln!(
+                    "warning: sweep cache {} {reason}; quarantined to {} \
+                     (entries will be recomputed; diff the quarantine file to see what was lost)",
+                    path.display(),
+                    corrupt.display(),
+                );
+            }
+            Err(e) => eprintln!(
+                "warning: sweep cache {} {reason}; quarantine rename failed ({e}); running cold",
+                path.display(),
+            ),
+        }
     }
 
     /// Counters accumulated over this executor's lifetime.
@@ -270,14 +471,29 @@ impl SweepExecutor {
         self.memory.len()
     }
 
-    /// Rewrites the attached cache file now (no-op without one).
+    /// What the last [`attach_cache`](Self::attach_cache) loaded,
+    /// recovered, skipped, and quarantined.
+    pub fn load_report(&self) -> &CacheLoadReport {
+        &self.load_report
+    }
+
+    /// Time since the main cache file was last rewritten in full
+    /// (`None` before the first rewrite — journal appends do not
+    /// count; they are durable but not compacted).
+    pub fn last_persist_age(&self) -> Option<Duration> {
+        self.last_persist.map(|at| at.elapsed())
+    }
+
+    /// Rewrites the attached cache file now, atomically (write to a
+    /// temp file, fsync, rename), and truncates the journal the
+    /// rewrite absorbed. No-op without an attached cache.
     ///
-    /// [`run`](Self::run) already persists after executing new points;
-    /// this exists for owners with an explicit lifecycle — a resident
-    /// service flushing state on graceful shutdown, where "the file on
-    /// disk is current" must hold at a specific moment rather than
-    /// eventually.
-    pub fn persist(&self) {
+    /// [`run`](Self::run) already journals every executed point as it
+    /// completes; this exists for owners with an explicit lifecycle —
+    /// a resident service flushing state on graceful shutdown, where
+    /// "the main file on disk is current" must hold at a specific
+    /// moment rather than eventually.
+    pub fn persist(&mut self) {
         self.save_cache();
     }
 
@@ -384,10 +600,21 @@ impl SweepExecutor {
                     .run(jobs),
             };
             self.stats.pool_batches += batches;
+            let mut fresh: Vec<(u64, SimulationResult)> = Vec::with_capacity(planned.len());
             for ((fp, sim), partial) in planned.iter().zip(&sims).zip(partials) {
-                self.memory.insert(*fp, sim.finish(partial));
+                let result = sim.finish(partial);
+                self.memory.insert(*fp, result.clone());
+                fresh.push((*fp, result));
             }
-            self.save_cache();
+            // Durability ordering: journal-append (fsync) first, so a
+            // crash at any later instant loses nothing; fold into the
+            // main file only when the journal has grown enough to be
+            // worth a full rewrite (owners with a lifecycle call
+            // `persist` at drain).
+            self.journal_append(&fresh);
+            if self.journal_entries >= JOURNAL_COMPACT_THRESHOLD {
+                self.save_cache();
+            }
         }
 
         fingerprints
@@ -396,30 +623,98 @@ impl SweepExecutor {
             .collect()
     }
 
-    /// Rewrites the attached cache file (no-op without one). Entries
-    /// are sorted by fingerprint so the file is deterministic for a
-    /// given content set.
-    fn save_cache(&self) {
+    /// Appends freshly executed points to the journal and makes them
+    /// durable (flush + fsync) before returning. No-op without an
+    /// attached cache.
+    fn journal_append(&mut self, fresh: &[(u64, SimulationResult)]) {
         let Some(path) = &self.cache_path else {
+            return;
+        };
+        if fresh.is_empty() {
+            return;
+        }
+        let journal = journal_path(path);
+        let mut buf = String::new();
+        for (fp, result) in fresh {
+            let fingerprint = format!("{fp:016x}");
+            let entry = CacheEntry {
+                checksum: entry_checksum(&fingerprint, result),
+                fingerprint,
+                result: result.clone(),
+            };
+            buf.push_str(&serde_json::to_string(&entry).expect("entry serializes"));
+            buf.push('\n');
+        }
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal)
+            .and_then(|mut file| {
+                file.write_all(buf.as_bytes())?;
+                file.sync_data()
+            });
+        match appended {
+            Ok(()) => self.journal_entries += fresh.len(),
+            // A read-only cache location should not kill a run whose
+            // results are already in memory.
+            Err(e) => eprintln!(
+                "warning: failed to append sweep-cache journal {}: {e}",
+                journal.display()
+            ),
+        }
+    }
+
+    /// Rewrites the attached cache file (no-op without one): write to
+    /// `<path>.tmp`, fsync, atomically rename over the old file, then
+    /// drop the journal the rewrite absorbed. A crash at any byte of
+    /// this sequence leaves either the old state (plus the journal) or
+    /// the new state — never a torn file. Entries are sorted by
+    /// fingerprint so the file is deterministic for a given content
+    /// set.
+    fn save_cache(&mut self) {
+        let Some(path) = self.cache_path.clone() else {
             return;
         };
         let mut entries: Vec<CacheEntry> = self
             .memory
             .iter()
-            .map(|(fp, result)| CacheEntry {
-                fingerprint: format!("{fp:016x}"),
-                result: result.clone(),
+            .map(|(fp, result)| {
+                let fingerprint = format!("{fp:016x}");
+                CacheEntry {
+                    checksum: entry_checksum(&fingerprint, result),
+                    fingerprint,
+                    result: result.clone(),
+                }
             })
             .collect();
         entries.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
         let file = CacheFile { version: CACHE_VERSION, entries };
         let text = serde_json::to_string_pretty(&file).expect("cache serializes");
-        if let Err(e) = std::fs::write(path, text) {
-            // A read-only cache location should not kill a run whose
-            // results are already in memory.
-            eprintln!("warning: failed to write sweep cache {}: {e}", path.display());
+        match write_atomic(&path, text.as_bytes()) {
+            Ok(()) => {
+                let _ = std::fs::remove_file(journal_path(&path));
+                self.journal_entries = 0;
+                self.last_persist = Some(Instant::now());
+            }
+            Err(e) => eprintln!(
+                "warning: failed to write sweep cache {}: {e}",
+                path.display()
+            ),
         }
     }
+}
+
+/// Crash-safe whole-file replacement: temp file + fsync + rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 impl Default for SweepExecutor {
@@ -622,17 +917,148 @@ mod tests {
             serde_json::to_string(&warm_results).unwrap(),
         );
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(journal_path(&path));
     }
 
     #[test]
-    fn malformed_cache_is_an_error() {
+    fn malformed_cache_is_quarantined_not_fatal() {
         let dir = std::env::temp_dir().join("sos-sweep-cache-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("bad-{}.json", std::process::id()));
+        let corrupt = dir.join(format!("bad-{}.json.corrupt", std::process::id()));
+        let _ = std::fs::remove_file(&corrupt);
         std::fs::write(&path, "{not json").unwrap();
         let mut exec = SweepExecutor::with_threads(1);
-        assert!(exec.attach_cache(&path).is_err());
+        let report = exec.attach_cache_report(&path).unwrap();
+        assert_eq!(report.loaded, 0);
+        assert_eq!(report.quarantined.as_deref(), Some(corrupt.as_path()));
+        assert!(!path.exists(), "damaged original must be renamed away");
+        assert_eq!(
+            std::fs::read_to_string(&corrupt).unwrap(),
+            "{not json",
+            "quarantine must preserve the damaged bytes for diffing"
+        );
+        // The executor still works: it runs cold and persists fresh.
+        let result = exec.run_one(&config(100, 11));
+        exec.persist();
+        let mut warm = SweepExecutor::with_threads(1);
+        assert_eq!(warm.attach_cache(&path).unwrap(), 1);
+        assert_eq!(warm.run_one(&config(100, 11)), result);
+        assert_eq!(warm.stats().cache_hits, 1);
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt);
+    }
+
+    #[test]
+    fn journal_makes_points_durable_without_a_full_rewrite() {
+        let dir = std::env::temp_dir().join("sos-sweep-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("journal-{}.json", std::process::id()));
+        let journal = dir.join(format!("journal-{}.json.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&journal);
+
+        let configs = vec![config(100, 21), config(200, 21)];
+        let mut crashed = SweepExecutor::with_threads(1);
+        crashed.attach_cache(&path).unwrap();
+        let cold = crashed.run(&configs);
+        // Simulated crash: drop without persist. The journal alone must
+        // carry every completed point.
+        assert!(!path.exists(), "main file is only written at persist/compact");
+        assert!(journal.exists(), "journal must exist immediately");
+        drop(crashed);
+
+        let mut recovered = SweepExecutor::with_threads(1);
+        let report = recovered.attach_cache_report(&path).unwrap();
+        assert_eq!(report.journal_recovered, 2);
+        assert_eq!(report.skipped, 0);
+        let warm = recovered.run(&configs);
+        assert_eq!(recovered.stats().points_executed, 0);
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap(),
+        );
+
+        // A graceful persist folds the journal into the main file,
+        // atomically, and removes it.
+        recovered.persist();
+        assert!(path.exists());
+        assert!(!journal.exists(), "persist must absorb the journal");
+        assert!(recovered.last_persist_age().is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_dropped_and_prefix_recovered() {
+        let dir = std::env::temp_dir().join("sos-sweep-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("torn-{}.json", std::process::id()));
+        let journal = dir.join(format!("torn-{}.json.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&journal);
+
+        let configs = vec![config(100, 31), config(200, 31), config(300, 31)];
+        let mut exec = SweepExecutor::with_threads(1);
+        exec.attach_cache(&path).unwrap();
+        let cold = exec.run(&configs);
+        drop(exec);
+
+        // Tear the final journal line mid-byte, as a crash mid-append
+        // would.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        std::fs::write(&journal, &text[..text.len() - 40]).unwrap();
+
+        let mut recovered = SweepExecutor::with_threads(1);
+        let report = recovered.attach_cache_report(&path).unwrap();
+        assert_eq!(report.journal_recovered, 2, "intact prefix recovered");
+        assert_eq!(report.skipped, 1, "torn tail dropped");
+        // Re-running recomputes only the torn point, and every answer
+        // matches the pre-crash bytes.
+        let warm = recovered.run(&configs);
+        assert_eq!(recovered.stats().points_executed, 1);
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap(),
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn checksum_mismatch_skips_the_entry_and_quarantines_a_copy() {
+        let dir = std::env::temp_dir().join("sos-sweep-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("flip-{}.json", std::process::id()));
+        let corrupt = dir.join(format!("flip-{}.json.corrupt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt);
+
+        let mut exec = SweepExecutor::with_threads(1);
+        exec.attach_cache(&path).unwrap();
+        exec.run(&[config(100, 41), config(200, 41)]);
+        exec.persist();
+        drop(exec);
+
+        // Flip a digit inside a stored numeric field — the file still
+        // parses, but the entry's checksum no longer matches.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let successes = text.find("\"successes\"").unwrap();
+        let mut bytes = text.into_bytes();
+        let digit = bytes[successes..]
+            .iter()
+            .position(|b| b.is_ascii_digit())
+            .unwrap()
+            + successes;
+        bytes[digit] = if bytes[digit] == b'9' { b'8' } else { bytes[digit] + 1 };
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut recovered = SweepExecutor::with_threads(1);
+        let report = recovered.attach_cache_report(&path).unwrap();
+        assert_eq!(report.loaded, 1, "intact entry kept");
+        assert_eq!(report.skipped, 1, "flipped entry skipped");
+        assert_eq!(report.quarantined.as_deref(), Some(corrupt.as_path()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt);
     }
 
     #[test]

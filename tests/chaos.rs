@@ -1,0 +1,266 @@
+//! Chaos tests for the resident `sosd` service: a deterministic fault
+//! proxy (connection drops, truncated frames, read stalls) between
+//! client and daemon, overload shedding, and request deadlines. The
+//! invariants under test:
+//!
+//! - results obtained *through* faults and retries are byte-identical
+//!   to direct in-process execution;
+//! - shed requests are answered promptly with `busy` + `retry_after_ms`
+//!   and never corrupt executor state;
+//! - expired deadlines are refused with `deadline-exceeded`, and the
+//!   deadline (point-by-point) sweep path returns the same bytes as
+//!   the batched path.
+
+use serde_json::Value;
+use sos_serve::{
+    ChaosConfig, ChaosProxy, Client, ClientError, ErrorCode, RetryClient, RetryPolicy, Server,
+    ServerHandle, ServerOptions, SimSpec,
+};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn small_spec(seed: u64) -> SimSpec {
+    SimSpec {
+        overlay_nodes: 400,
+        sos_nodes: 40,
+        nt: 10,
+        nc: 40,
+        trials: 3,
+        routes: 10,
+        seed,
+        ..SimSpec::default()
+    }
+}
+
+fn start(opts: ServerOptions) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind("127.0.0.1:0", opts).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (addr, server.spawn())
+}
+
+fn compact(value: &Value) -> String {
+    serde_json::to_string(value).expect("serialize")
+}
+
+fn direct_bytes(spec: &SimSpec) -> String {
+    let config = spec.sim_config().expect("config");
+    let result = sos_sim::SweepExecutor::with_threads(1).run_one(&config);
+    compact(&serde_json::to_value(&result))
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: sosd\r\n\r\n").expect("write");
+    let mut body = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut body).expect("read");
+    String::from_utf8(body).expect("utf8 response")
+}
+
+#[test]
+fn retried_results_through_a_faulty_proxy_equal_direct_results() {
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+        ..ServerOptions::default()
+    });
+    // Aggressive but recoverable chaos: under seed 15 the schedule is
+    // truncate, drop, drop, then clean — both fault classes hit before
+    // the first request can succeed (deterministically — a failure
+    // here replays bit-for-bit).
+    let proxy = ChaosProxy::start(
+        addr,
+        ChaosConfig {
+            seed: 15,
+            drop_rate: 0.4,
+            truncate_rate: 0.4,
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("start proxy");
+
+    let policy = RetryPolicy::new(16, 1, u64::MAX);
+    let mut client = RetryClient::new(proxy.addr().to_string(), policy);
+    let spec = small_spec(21);
+    // The truncated connection tears the *response*: the server has
+    // already executed and memoized the point, so the successful retry
+    // may legally answer `cached: true`. What must hold is the bytes.
+    let cold = client.simulate_with(&spec, None).expect("simulate through chaos");
+    assert_eq!(compact(&cold["result"]), direct_bytes(&spec));
+
+    let warm = client.simulate_with(&spec, None).expect("repeat through chaos");
+    assert_eq!(warm["cached"], Value::Bool(true));
+    assert_eq!(compact(&warm["result"]), compact(&cold["result"]));
+
+    let stats = proxy.stop();
+    assert!(
+        stats.dropped + stats.truncated >= 1,
+        "the chaos schedule should have injected at least one fault: {stats:?}"
+    );
+    assert!(
+        client.retries() >= 1,
+        "at least one retry should have been needed ({stats:?})"
+    );
+
+    // Drain directly (not through the now-stopped proxy).
+    Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn shed_requests_get_busy_with_retry_hint_and_never_corrupt_state() {
+    // queue_depth 0 sheds every executor request deterministically.
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+        queue_depth: 0,
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let started = Instant::now();
+    match client.simulate(&small_spec(3)) {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::Busy);
+            let hint = e.retry_after_ms.expect("busy carries retry_after_ms");
+            assert!(hint >= 1, "hint must be a positive pause: {hint}");
+        }
+        other => panic!("expected a busy rejection, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shedding must answer promptly, not queue"
+    );
+
+    // A retrying client keeps hitting the gate, honors the hint, and
+    // surfaces the final busy error after its attempts run out.
+    let mut retrying = RetryClient::new(addr.to_string(), RetryPolicy::new(3, 1, u64::MAX));
+    match retrying.simulate_with(&small_spec(3), None) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Busy),
+        other => panic!("expected busy after retries, got {other:?}"),
+    }
+    assert_eq!(retrying.retries(), 2, "3 attempts = 2 retries");
+
+    // Shedding is visible on the metrics plane.
+    let metrics = http_get(addr, "/metrics");
+    let shed = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("sos_serve_shed_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("sos_serve_shed_total series present");
+    assert!(shed >= 4, "4 shed requests so far, counter says {shed}");
+
+    // The executor (and every non-executor op) is untouched: cheap ops
+    // still work and the daemon drains cleanly with an empty memory.
+    client.ping().expect("ping still served");
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("join");
+    assert_eq!(report.cached_points, 0, "{report:?}");
+}
+
+#[test]
+fn expired_deadlines_are_refused_and_the_executor_stays_warm() {
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+        ..ServerOptions::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = small_spec(31);
+
+    // A zero budget is always already expired: refused before any work.
+    match client.simulate_with(&spec, Some(0)) {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+        }
+        other => panic!("expected deadline-exceeded, got {other:?}"),
+    }
+    match client.sweep_with(&[spec.clone(), small_spec(32)], Some(0)) {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+            assert!(
+                e.message.contains("0 of 2"),
+                "cooperative cancellation names its progress: {}",
+                e.message
+            );
+        }
+        other => panic!("expected deadline-exceeded, got {other:?}"),
+    }
+
+    // The rejections left no residue: the same spec computes cold (not
+    // poisoned, not partially cached) and matches direct execution.
+    let body = client.simulate_with(&spec, None).expect("simulate after rejections");
+    assert_eq!(body["cached"], Value::Bool(false));
+    assert_eq!(compact(&body["result"]), direct_bytes(&spec));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn deadline_sweep_path_is_byte_identical_to_the_batched_path() {
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+        ..ServerOptions::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let specs: Vec<SimSpec> = (0..3).map(|i| small_spec(300 + i)).collect();
+
+    // A generous deadline exercises the point-by-point cooperative
+    // path; no deadline exercises the batched pool submission. Results
+    // must agree byte for byte (the stats may differ only for
+    // duplicate specs, and these are distinct).
+    let deadlined = client
+        .sweep_with(&specs, Some(120_000))
+        .expect("sweep under generous deadline");
+    // Same points again without a deadline: answered from the result
+    // memory, so bytes must match the deadlined execution.
+    let batched = client.sweep_with(&specs, None).expect("batched sweep");
+    assert_eq!(
+        compact(&deadlined["results"]),
+        compact(&batched["results"]),
+        "deadline path and batched path disagree"
+    );
+    assert_eq!(
+        deadlined["stats"]["points_executed"].as_u64(),
+        Some(3),
+        "first sweep executed everything"
+    );
+    assert_eq!(
+        batched["stats"]["cache_hits"].as_u64(),
+        Some(3),
+        "repeat sweep is fully warm"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn stalled_responses_are_tolerated_within_the_frame_deadline() {
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+        ..ServerOptions::default()
+    });
+    let proxy = ChaosProxy::start(
+        addr,
+        ChaosConfig {
+            seed: 5,
+            stall_rate: 1.0,
+            stall_ms: 200,
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("start proxy");
+
+    let mut client = Client::connect(proxy.addr()).expect("connect through proxy");
+    let spec = small_spec(41);
+    let body = client.simulate(&spec).expect("stalled but served");
+    assert_eq!(compact(&body["result"]), direct_bytes(&spec));
+    let stats = proxy.stop();
+    assert!(stats.stalled >= 1, "{stats:?}");
+
+    Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("join");
+}

@@ -1,0 +1,189 @@
+//! Crash-safety properties of the sweep cache: a cache file or journal
+//! truncated at *any* byte offset (a torn write, a crash mid-rename)
+//! or hit by a single flipped bit must never make a warm executor
+//! return a wrong answer. Damaged state may cost recomputation — it
+//! must never cost correctness.
+//!
+//! The fixture is built once: a warm executor persists three points to
+//! the main cache file, computes a fourth (durable only in the append
+//! journal), and records the byte-exact results. Each property case
+//! then damages a copy of that on-disk state, attaches a fresh
+//! executor, and re-asks for all four points.
+
+use proptest::prelude::*;
+use sos::core::{AttackBudget, AttackConfig, MappingDegree, Scenario, SystemParams};
+use sos::sim::engine::SimulationConfig;
+use sos::sim::SweepExecutor;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+fn scenario() -> Scenario {
+    Scenario::builder()
+        .system(SystemParams::new(600, 50, 0.5).unwrap())
+        .layers(3)
+        .mapping(MappingDegree::OneTo(2))
+        .filters(10)
+        .build()
+        .unwrap()
+}
+
+/// The i-th sweep point of the fixture grid (tiny on purpose — damaged
+/// entries are recomputed live in every property case).
+fn point(i: u64) -> SimulationConfig {
+    SimulationConfig::new(
+        scenario(),
+        AttackConfig::OneBurst {
+            budget: AttackBudget::new(8, 30 + i),
+        },
+    )
+    .trials(2)
+    .routes_per_trial(5)
+    .seed(1_000 + i)
+}
+
+const POINTS: u64 = 4;
+
+struct Fixture {
+    /// Main cache file after persisting points 0..3.
+    cache_bytes: Vec<u8>,
+    /// Append journal holding point 3 (computed after the persist).
+    journal_bytes: Vec<u8>,
+    /// Byte-exact serialized result for each of the four points.
+    baselines: Vec<String>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("sos-crash-fixture-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create fixture dir");
+        let cache = dir.join("cache.json");
+
+        let mut exec = SweepExecutor::with_threads(1);
+        exec.attach_cache(&cache).expect("attach empty cache");
+        let mut baselines = Vec::new();
+        for i in 0..POINTS - 1 {
+            let result = exec.run_one(&point(i));
+            baselines.push(serde_json::to_string(&result).expect("serialize"));
+        }
+        // Drain the journal into the main file, then compute one more
+        // point so the journal is the *only* durable copy of it.
+        exec.persist();
+        let result = exec.run_one(&point(POINTS - 1));
+        baselines.push(serde_json::to_string(&result).expect("serialize"));
+        drop(exec); // crash: no final persist
+
+        let cache_bytes = fs::read(&cache).expect("read cache file");
+        let journal = PathBuf::from(format!("{}.journal", cache.display()));
+        let journal_bytes = fs::read(&journal).expect("read journal file");
+        assert!(!cache_bytes.is_empty() && !journal_bytes.is_empty());
+        fs::remove_dir_all(&dir).ok();
+        Fixture { cache_bytes, journal_bytes, baselines }
+    })
+}
+
+/// Writes a (possibly damaged) cache + journal pair into a fresh
+/// directory and returns the cache path.
+fn stage(cache_bytes: &[u8], journal_bytes: &[u8]) -> (PathBuf, PathBuf) {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "sos-crash-case-{}-{case}",
+        std::process::id()
+    ));
+    fs::create_dir_all(&dir).expect("create case dir");
+    let cache = dir.join("cache.json");
+    fs::write(&cache, cache_bytes).expect("write cache");
+    fs::write(format!("{}.journal", cache.display()), journal_bytes).expect("write journal");
+    (dir, cache)
+}
+
+/// Attaches a fresh executor to the staged state and checks every
+/// fixture point still answers with the byte-exact baseline result —
+/// whether the answer came warm from surviving entries or was
+/// recomputed because the damaged ones were skipped or quarantined.
+fn assert_every_answer_correct(cache: &Path) -> Result<(), TestCaseError> {
+    let f = fixture();
+    let mut exec = SweepExecutor::with_threads(1);
+    exec.attach_cache(cache)
+        .map_err(|e| TestCaseError::fail(format!("attach must not error: {e}")))?;
+    for i in 0..POINTS {
+        let result = exec.run_one(&point(i));
+        let got = serde_json::to_string(&result).expect("serialize");
+        prop_assert_eq!(
+            &got,
+            &f.baselines[i as usize],
+            "point {} answered wrong bytes after damage",
+            i
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Main cache file truncated at any byte offset (journal intact):
+    /// attach never fails and never serves a wrong warm answer.
+    #[test]
+    fn truncated_cache_file_never_yields_wrong_answers(frac in 0.0f64..1.0) {
+        let f = fixture();
+        let cut = (frac * f.cache_bytes.len() as f64) as usize;
+        let (dir, cache) = stage(&f.cache_bytes[..cut], &f.journal_bytes);
+        let outcome = assert_every_answer_correct(&cache);
+        fs::remove_dir_all(&dir).ok();
+        outcome?;
+    }
+
+    /// Journal truncated at any byte offset (main file intact): the
+    /// torn tail is dropped or quarantined, never trusted.
+    #[test]
+    fn truncated_journal_never_yields_wrong_answers(frac in 0.0f64..1.0) {
+        let f = fixture();
+        let cut = (frac * f.journal_bytes.len() as f64) as usize;
+        let (dir, cache) = stage(&f.cache_bytes, &f.journal_bytes[..cut]);
+        let outcome = assert_every_answer_correct(&cache);
+        fs::remove_dir_all(&dir).ok();
+        outcome?;
+    }
+
+    /// A single flipped bit anywhere in the main cache file: the
+    /// per-entry checksum catches damage that still parses as JSON.
+    #[test]
+    fn bit_flipped_cache_never_yields_wrong_answers(
+        frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let f = fixture();
+        let mut bytes = f.cache_bytes.clone();
+        let at = ((frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[at] ^= 1 << bit;
+        let (dir, cache) = stage(&bytes, &f.journal_bytes);
+        let outcome = assert_every_answer_correct(&cache);
+        fs::remove_dir_all(&dir).ok();
+        outcome?;
+    }
+}
+
+/// The non-property baseline: with the fixture state intact, *all*
+/// four points are warm (three from the main file, one recovered from
+/// the journal) and byte-identical to the recorded results.
+#[test]
+fn intact_state_restores_every_point_warm() {
+    let f = fixture();
+    let (dir, cache) = stage(&f.cache_bytes, &f.journal_bytes);
+    let mut exec = SweepExecutor::with_threads(1);
+    let report = exec.attach_cache_report(&cache).expect("attach");
+    assert_eq!(report.loaded, (POINTS - 1) as usize, "{report:?}");
+    assert_eq!(report.journal_recovered, 1, "{report:?}");
+    assert_eq!(report.skipped, 0, "{report:?}");
+    assert_eq!(report.quarantined, None, "{report:?}");
+    for i in 0..POINTS {
+        let got = serde_json::to_string(&exec.run_one(&point(i))).expect("serialize");
+        assert_eq!(got, f.baselines[i as usize], "point {i}");
+    }
+    assert_eq!(exec.stats().cache_hits, POINTS, "every point must be warm");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,124 @@
+//! Edge-case properties of the `sosd` frame codec: arbitrary payloads
+//! round-trip, a frame truncated at *any* byte offset is a clean EOF
+//! (boundary) or `UnexpectedEof` (mid-frame) — never a garbled decode;
+//! the 16 MiB limit is exact on both sides; and the `"GET "` HTTP
+//! sniff can never alias a legal length prefix.
+
+use proptest::prelude::*;
+use sos_serve::protocol::{self, HTTP_GET_PREFIX, MAX_FRAME_LEN};
+use std::io::{self, Cursor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any payload (arbitrary bytes, any length up to a few frames'
+    /// worth) round-trips bit-exactly, and consecutive frames on one
+    /// stream stay delimited.
+    #[test]
+    fn arbitrary_payloads_round_trip(
+        first in proptest::collection::vec(0u8..=255, 0usize..2048),
+        second in proptest::collection::vec(0u8..=255, 0usize..512),
+    ) {
+        let mut buf = Vec::new();
+        protocol::write_frame(&mut buf, &first).expect("write first");
+        protocol::write_frame(&mut buf, &second).expect("write second");
+        let mut cursor = Cursor::new(buf);
+        prop_assert_eq!(protocol::read_frame(&mut cursor).unwrap().unwrap(), first);
+        prop_assert_eq!(protocol::read_frame(&mut cursor).unwrap().unwrap(), second);
+        prop_assert!(protocol::read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    /// A single frame cut at any byte offset decodes to exactly one of
+    /// three outcomes — clean EOF at offset 0, `UnexpectedEof` anywhere
+    /// mid-frame, the exact payload at full length. No fourth outcome
+    /// (a short or corrupted payload) is possible.
+    #[test]
+    fn truncation_at_any_offset_is_detected(
+        payload in proptest::collection::vec(0u8..=255, 1usize..512),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        protocol::write_frame(&mut buf, &payload).expect("write");
+        let cut = (frac * buf.len() as f64) as usize;
+        let mut cursor = Cursor::new(&buf[..cut]);
+        match protocol::read_frame(&mut cursor) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at the frame boundary"),
+            Ok(Some(got)) => {
+                prop_assert_eq!(cut, buf.len(), "full decode only from the full frame");
+                prop_assert_eq!(got, payload);
+            }
+            Err(e) => {
+                prop_assert!(cut > 0 && cut < buf.len(), "error only mid-frame (cut {})", cut);
+                prop_assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+            }
+        }
+    }
+
+    /// JSON values survive the value-level codec (`write_value` /
+    /// `read_value`) byte-for-byte at the serialization level.
+    #[test]
+    fn json_values_round_trip(
+        n in i64::MIN..i64::MAX,
+        s in proptest::collection::vec(0u8..64, 0usize..64).prop_map(|picks| {
+            const CHARSET: &[u8; 64] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _";
+            picks.into_iter().map(|p| CHARSET[p as usize] as char).collect::<String>()
+        }),
+    ) {
+        let text = format!("{{\"num\":{n},\"text\":{:?},\"nested\":[1,2,{{\"k\":null}}]}}", s);
+        let value: serde_json::Value = serde_json::from_str(&text).expect("fixture JSON");
+        let mut buf = Vec::new();
+        protocol::write_value(&mut buf, &value).expect("write");
+        let mut cursor = Cursor::new(buf);
+        let back = protocol::read_value(&mut cursor).unwrap().unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&value).unwrap()
+        );
+    }
+}
+
+#[test]
+fn frame_limit_is_exact_on_both_sides() {
+    // Exactly at the limit: accepted by writer and reader.
+    let max = vec![0x5Au8; MAX_FRAME_LEN];
+    let mut buf = Vec::new();
+    protocol::write_frame(&mut buf, &max).expect("a frame of exactly MAX_FRAME_LEN is legal");
+    let mut cursor = Cursor::new(buf);
+    let got = protocol::read_frame(&mut cursor).unwrap().unwrap();
+    assert_eq!(got.len(), MAX_FRAME_LEN);
+    assert!(got == max, "boundary frame must round-trip bit-exactly");
+
+    // One byte over: rejected by the writer...
+    let over = vec![0u8; MAX_FRAME_LEN + 1];
+    let err = protocol::write_frame(&mut Vec::new(), &over).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+    // ...and by the reader, from the length prefix alone (no payload
+    // allocation for a frame that can never be legal).
+    let mut prefix_only = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes().to_vec();
+    prefix_only.extend_from_slice(&[0u8; 8]);
+    let mut cursor = Cursor::new(prefix_only);
+    let err = protocol::read_frame(&mut cursor).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn http_sniff_prefix_cannot_alias_a_legal_frame() {
+    // "GET " as a big-endian length is ~1.19 GiB — far beyond the
+    // frame limit, so the protocol grammar and the HTTP grammar are
+    // disjoint at the first four bytes.
+    let as_len = u32::from_be_bytes(HTTP_GET_PREFIX) as usize;
+    assert!(
+        as_len > MAX_FRAME_LEN,
+        "sniff prefix decodes to {as_len}, which must exceed {MAX_FRAME_LEN}"
+    );
+    assert!(protocol::frame_len(HTTP_GET_PREFIX).is_err());
+
+    // Every legal length, including both boundaries, is accepted.
+    assert_eq!(protocol::frame_len([0, 0, 0, 0]).unwrap(), 0);
+    assert_eq!(
+        protocol::frame_len((MAX_FRAME_LEN as u32).to_be_bytes()).unwrap(),
+        MAX_FRAME_LEN
+    );
+}

@@ -70,6 +70,7 @@ fn single_thread_simulate_is_byte_identical_and_cached_on_repeat() {
     let (addr, handle) = start(ServerOptions {
         threads: Some(1),
         cache: None,
+        ..ServerOptions::default()
     });
     let mut client = Client::connect(addr).expect("connect");
 
@@ -124,6 +125,7 @@ fn concurrent_clients_share_the_warm_cache() {
     let (addr, handle) = start(ServerOptions {
         threads: Some(2),
         cache: Some(cache.clone()),
+        ..ServerOptions::default()
     });
     let workers: Vec<_> = specs
         .iter()
@@ -170,6 +172,7 @@ fn http_metrics_and_healthz_share_the_protocol_port() {
     let (addr, handle) = start(ServerOptions {
         threads: Some(1),
         cache: None,
+        ..ServerOptions::default()
     });
 
     // Run one simulate first so the phase/worker series have samples.
@@ -201,8 +204,16 @@ fn http_metrics_and_healthz_share_the_protocol_port() {
     let doc: Value = serde_json::from_str(body).expect("health JSON parses");
     assert_eq!(doc["status"].as_str(), Some("ok"));
     assert!(doc["requests"].as_u64().expect("requests") >= 1);
+    assert_eq!(doc["in_flight"].as_u64(), Some(0));
+    assert_eq!(doc["queue_depth"].as_u64(), Some(16));
+    assert_eq!(
+        doc["last_persist_age_s"],
+        Value::Null,
+        "no cache attached, so never persisted"
+    );
     assert_eq!(doc["sweep"]["points"].as_u64(), Some(1));
     assert!(doc["telemetry"]["trials"].as_u64().is_some());
+    assert!(doc["telemetry"]["serve_shed"].as_u64().is_some());
 
     let missing = http_get(addr, "/nope");
     assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
@@ -285,6 +296,7 @@ fn shutdown_drains_persists_and_releases_the_port() {
     let (addr, handle) = start(ServerOptions {
         threads: Some(1),
         cache: Some(cache.clone()),
+        ..ServerOptions::default()
     });
     let spec = small_spec(55);
     let config = spec.sim_config().expect("config");

@@ -99,7 +99,11 @@ proptest! {
         let dir = std::env::temp_dir().join("sos-sweep-proptest");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("cache-{}-{case}.json", std::process::id()));
+        // Clear both the cache file and its append journal: a journal
+        // left by an earlier run would warm-start the "cold" executor.
+        let journal = dir.join(format!("cache-{}-{case}.json.journal", std::process::id()));
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&journal);
 
         let mut cold = SweepExecutor::with_threads(2);
         cold.attach_cache(&path).unwrap();
@@ -118,5 +122,6 @@ proptest! {
             serde_json::to_string(&warm_results).unwrap(),
         );
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&journal);
     }
 }
