@@ -929,13 +929,15 @@ mod tests {
                 b.y
             );
         }
-        // Benign loss only removes paths: P_S is non-increasing in the
-        // loss rate for both policies.
+        // Benign loss only removes paths: P_S never rises with the loss
+        // rate. The bare series must visibly decline; the retried one
+        // may also stay flat within tolerance — four retries can mask
+        // the quick grid's low loss rates almost completely.
         assert_eq!(trend(&bare.ys(), 0.02), Trend::NonIncreasing, "{:?}", bare.ys());
-        assert_eq!(
-            trend(&retried.ys(), 0.02),
-            Trend::NonIncreasing,
-            "{:?}",
+        let retried_trend = trend(&retried.ys(), 0.02);
+        assert!(
+            matches!(retried_trend, Trend::NonIncreasing | Trend::Flat),
+            "{retried_trend:?}: {:?}",
             retried.ys()
         );
         // Retries never recover compromises: the retried series stays

@@ -21,7 +21,14 @@
 //! through a cache-cold [`sos_sim::SweepExecutor`] at the same thread
 //! count. Per-point delivery counts are asserted equal.
 //!
-//! A sixth workload measures the *live telemetry plane*: the same
+//! A sixth workload measures the engine's per-worker *build memo*: the
+//! same sweep grid with build reuse disabled (before: every trial pays
+//! a fresh `build_into`) and enabled (after: structurally identical
+//! points at equal trial indices reuse the memoized overlay/ring).
+//! Per-point counts are asserted equal — the dedicated RNG sub-streams
+//! make skipping the build draws observationally pure.
+//!
+//! A seventh workload measures the *live telemetry plane*: the same
 //! sweep grid with `sos_observe::telemetry` off (before) and on
 //! (after). Per-point counts are asserted equal — telemetry observes
 //! but never steers — and its speedup (≈1.0 when the relaxed-atomic
@@ -48,14 +55,8 @@ use sos_observe::telemetry;
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
 use sos_sim::routing::{route_message_with, RoutingPolicy};
-use sos_sim::SweepExecutor;
+use sos_sim::{stream, trial_stream_seed, SweepExecutor};
 use std::time::Instant;
-
-/// Per-trial seed-stream constants — must match `sos_sim::engine`'s
-/// schedule exactly or the before/after count assertion fails.
-const OVERLAY_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
-const RING_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
-const ATTACK_STREAM: u64 = 0x1656_67B1_9E37_79F9;
 
 const ROUTES_PER_TRIAL: u64 = 50;
 const SEED: u64 = 13;
@@ -100,10 +101,16 @@ fn reference_run(
 ) -> u64 {
     let mut successes = 0u64;
     for trial in 0..trials {
-        let mut overlay_rng =
-            StdRng::seed_from_u64(SEED ^ trial.wrapping_mul(OVERLAY_STREAM));
-        let mut ring_rng = StdRng::seed_from_u64(SEED ^ trial.wrapping_mul(RING_STREAM));
-        let mut rng = StdRng::seed_from_u64(SEED ^ trial.wrapping_mul(ATTACK_STREAM));
+        // The engine's per-trial seed schedule, via the same derivation
+        // it uses — diverging here fails the before/after assertion.
+        let mut overlay_rng = StdRng::seed_from_u64(trial_stream_seed(
+            SEED,
+            stream::OVERLAY_BUILD,
+            trial,
+        ));
+        let mut ring_rng =
+            StdRng::seed_from_u64(trial_stream_seed(SEED, stream::RING_BUILD, trial));
+        let mut rng = StdRng::seed_from_u64(trial_stream_seed(SEED, stream::ATTACK, trial));
         let mut overlay = Overlay::build(scenario, &mut overlay_rng);
         let mut transport = match transport {
             TransportKind::Direct => Transport::Direct,
@@ -194,6 +201,35 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Times `f` and returns, alongside the result and wall seconds, the
+/// per-phase attributed nanoseconds and build-memo reuse count for
+/// exactly that span. The telemetry counters are process-cumulative,
+/// so a snapshot delta isolates one workload; the caller keeps
+/// telemetry enabled around both sides of a comparison so neither side
+/// gets a free ride.
+fn timed_with_phases<T>(f: impl FnOnce() -> T) -> (T, f64, serde_json::Value, u64) {
+    let t0 = telemetry::snapshot();
+    let (out, secs) = timed(f);
+    let t1 = telemetry::snapshot();
+    let phases: Vec<(String, serde_json::Value)> = t0
+        .phases
+        .iter()
+        .zip(&t1.phases)
+        .map(|(before, after)| {
+            (
+                format!("{}_ns", after.phase.label().replace('-', "_")),
+                serde_json::Value::U64(after.total_ns - before.total_ns),
+            )
+        })
+        .collect();
+    (
+        out,
+        secs,
+        serde_json::Value::Map(phases),
+        t1.build_reused - t0.build_reused,
+    )
+}
+
 fn side_json(seconds: f64, trials: u64) -> serde_json::Value {
     serde_json::json!({
         "seconds": seconds,
@@ -262,6 +298,11 @@ fn main() {
         }
     }
 
+    // Phases are recorded for every timed run below (both sides of
+    // each comparison, so neither gets a free ride); the dedicated
+    // telemetry-overhead workload toggles the plane itself.
+    telemetry::set_enabled(true);
+
     let mut rows = Vec::new();
     for w in WORKLOADS {
         let s = scenario(w.overlay_nodes);
@@ -271,8 +312,8 @@ fn main() {
         // warmer allocator — any bias is against the reported speedup.
         engine_run(&s, w.transport, 2, b);
         reference_run(&s, w.transport, 2, b);
-        let (after_successes, after_secs) =
-            timed(|| engine_run(&s, w.transport, w.trials, b));
+        let (after_successes, after_secs, phases, build_reused) =
+            timed_with_phases(|| engine_run(&s, w.transport, w.trials, b));
         let (before_successes, before_secs) =
             timed(|| reference_run(&s, w.transport, w.trials, b));
         assert_eq!(
@@ -297,10 +338,13 @@ fn main() {
             "overlay_nodes": w.overlay_nodes,
             "trials": w.trials,
             "routes_per_trial": ROUTES_PER_TRIAL,
+            "threads": 1,
             "delivered": after_successes,
             "before": side_json(before_secs, w.trials),
             "after": side_json(after_secs, w.trials),
             "speedup": speedup,
+            "phases": phases,
+            "build_reused": build_reused,
         }));
     }
 
@@ -317,7 +361,7 @@ fn main() {
         // own executor so the timed one starts cache-cold.
         sweep_reference_run(&configs[..2], threads);
         SweepExecutor::with_threads(threads).run(&configs[..2]);
-        let (after_successes, after_secs) = timed(|| {
+        let (after_successes, after_secs, phases, build_reused) = timed_with_phases(|| {
             let mut exec = SweepExecutor::with_threads(threads);
             let results = exec.run(&configs);
             let stats = exec.stats();
@@ -337,7 +381,7 @@ fn main() {
         let speedup = before_secs / after_secs;
         println!(
             "{:11} before {:8.1} trials/s  after {:8.1} trials/s  speedup {:.2}x \
-             ({} points, {} executed, {} dedup hits)",
+             ({} points, {} executed, {} dedup hits, {} builds reused)",
             "sweep-ablation",
             total_trials as f64 / before_secs,
             total_trials as f64 / after_secs,
@@ -345,6 +389,7 @@ fn main() {
             stats.points,
             stats.points_executed,
             stats.dedup_hits,
+            build_reused,
         );
         rows.push(serde_json::json!({
             "name": "sweep-ablation",
@@ -356,6 +401,63 @@ fn main() {
             "before": side_json(before_secs, total_trials),
             "after": side_json(after_secs, total_trials),
             "speedup": speedup,
+            "phases": phases,
+            "build_reused": build_reused,
+        }));
+    }
+
+    // Build-reuse workload: the same ablation grid through the sweep
+    // executor with the engine's per-worker build memo disabled
+    // (before: every trial pays a fresh `build_into`) and enabled
+    // (after: structurally identical points at equal trial indices hit
+    // the memo). The dedicated RNG sub-streams make the memo
+    // observationally pure, so per-point counts are asserted equal.
+    {
+        let threads = sos_sim::num_threads();
+        let configs = sweep_configs();
+        let total_trials: u64 = configs.iter().map(|c| c.configured_trials()).sum();
+        let run_once = || {
+            let mut exec = SweepExecutor::with_threads(threads);
+            exec.run(&configs)
+                .iter()
+                .map(|r| r.successes)
+                .collect::<Vec<u64>>()
+        };
+        // Warm both paths outside the timers; reuse-on (after) is timed
+        // first so the reference inherits the warmer allocator.
+        sos_sim::set_build_reuse(false);
+        run_once();
+        sos_sim::set_build_reuse(true);
+        run_once();
+        let (on_successes, on_secs, phases, build_reused) = timed_with_phases(run_once);
+        sos_sim::set_build_reuse(false);
+        let (off_successes, off_secs) = timed(run_once);
+        sos_sim::set_build_reuse(true);
+        assert_eq!(
+            off_successes, on_successes,
+            "build-reuse: per-point counts diverged — the build memo must be \
+             observationally pure"
+        );
+        let speedup = off_secs / on_secs;
+        println!(
+            "{:11} before {:8.1} trials/s  after {:8.1} trials/s  speedup {:.2}x \
+             ({} of {} trials reused a build)",
+            "build-reuse",
+            total_trials as f64 / off_secs,
+            total_trials as f64 / on_secs,
+            speedup,
+            build_reused,
+            total_trials,
+        );
+        rows.push(serde_json::json!({
+            "name": "build-reuse",
+            "trials": total_trials,
+            "threads": threads,
+            "before": side_json(off_secs, total_trials),
+            "after": side_json(on_secs, total_trials),
+            "speedup": speedup,
+            "phases": phases,
+            "build_reused": build_reused,
         }));
     }
 

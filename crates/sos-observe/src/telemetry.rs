@@ -134,6 +134,7 @@ pub struct TelemetrySlot {
     routes: AtomicU64,
     batches: AtomicU64,
     cache_hits: AtomicU64,
+    build_reused: AtomicU64,
     phases: [PhaseClock; PhaseKind::ALL.len()],
 }
 
@@ -144,6 +145,7 @@ impl TelemetrySlot {
             routes: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            build_reused: AtomicU64::new(0),
             phases: [const { PhaseClock::new() }; PhaseKind::ALL.len()],
         }
     }
@@ -170,6 +172,14 @@ impl TelemetrySlot {
     #[inline]
     pub fn add_cache_hits(&self, n: u64) {
         self.cache_hits.fetch_add(n, Relaxed);
+    }
+
+    /// Counts one trial whose overlay build was answered by the
+    /// engine's per-worker build memo (exact or delta reuse) instead of
+    /// a fresh construction.
+    #[inline]
+    pub fn add_build_reused(&self) {
+        self.build_reused.fetch_add(1, Relaxed);
     }
 
     /// Attributes `ns` nanoseconds of wall clock to `phase`.
@@ -374,6 +384,8 @@ pub struct WorkerSnapshot {
     pub batches: u64,
     /// Sweep cache/dedup hits counted on this slot.
     pub cache_hits: u64,
+    /// Trials whose overlay build was answered by the build memo.
+    pub build_reused: u64,
     /// Wall clock attributed to any phase.
     pub busy_ns: u64,
 }
@@ -394,6 +406,9 @@ pub struct TelemetrySnapshot {
     pub batches: u64,
     /// Sweep points answered from cache/dedup.
     pub cache_hits: u64,
+    /// Trials whose overlay build came from the engine's build memo
+    /// (exact or delta reuse) instead of a fresh construction.
+    pub build_reused: u64,
     /// Trials of announced planned work.
     pub expected_trials: u64,
     /// Sweep points of announced planned work.
@@ -453,9 +468,12 @@ pub fn snapshot() -> TelemetrySnapshot {
             routes: slot.routes.load(Relaxed),
             batches: slot.batches.load(Relaxed),
             cache_hits: slot.cache_hits.load(Relaxed),
+            build_reused: slot.build_reused.load(Relaxed),
             busy_ns: slot.busy_ns(),
         })
-        .filter(|w| w.trials + w.routes + w.batches + w.cache_hits + w.busy_ns > 0)
+        .filter(|w| {
+            w.trials + w.routes + w.batches + w.cache_hits + w.build_reused + w.busy_ns > 0
+        })
         .collect();
     TelemetrySnapshot {
         elapsed,
@@ -463,6 +481,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         routes: workers.iter().map(|w| w.routes).sum(),
         batches: workers.iter().map(|w| w.batches).sum(),
         cache_hits: workers.iter().map(|w| w.cache_hits).sum(),
+        build_reused: workers.iter().map(|w| w.build_reused).sum(),
         expected_trials: EXPECTED_TRIALS.load(Relaxed),
         expected_points: EXPECTED_POINTS.load(Relaxed),
         points_done: POINTS_DONE.load(Relaxed),
@@ -609,19 +628,22 @@ impl TelemetrySnapshot {
         line
     }
 
-    /// The `sos profile` table: per-phase self time, share of measured
-    /// time, p50/p95/p99 lap durations, then run totals and per-worker
-    /// rates. Pure text — no terminal control sequences.
+    /// The `sos profile` table: per-phase self time, share of busy
+    /// (phase-attributed) time, p50/p95/p99 lap durations, then run
+    /// totals — including build-memo reuse — and per-worker rates. Pure
+    /// text — no terminal control sequences.
     pub fn profile_table(&self) -> String {
         let mut out = String::new();
-        let measured: u64 = self.phases.iter().map(|p| p.total_ns).sum();
+        // The phase clocks partition busy time, so "share of measured"
+        // *is* share-of-busy.
+        let busy: u64 = self.phases.iter().map(|p| p.total_ns).sum();
         out.push_str(&format!(
             "{:<12} {:>10} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
-            "phase", "self-time", "%", "p50", "p95", "p99", "samples"
+            "phase", "self-time", "%busy", "p50", "p95", "p99", "samples"
         ));
         for p in &self.phases {
-            let pct = if measured > 0 {
-                p.total_ns as f64 * 100.0 / measured as f64
+            let pct = if busy > 0 {
+                p.total_ns as f64 * 100.0 / busy as f64
             } else {
                 0.0
             };
@@ -643,7 +665,7 @@ impl TelemetrySnapshot {
         }
         out.push_str(&format!(
             "measured {} over {} wall ({} workers)\n",
-            fmt_ns(measured as f64),
+            fmt_ns(busy as f64),
             fmt_secs(self.elapsed.as_secs_f64()),
             self.workers.len()
         ));
@@ -657,6 +679,17 @@ impl TelemetrySnapshot {
             "trials {} ({:.0}/s) · routes {} · batches {}",
             self.trials, rate, self.routes, self.batches
         ));
+        if self.build_reused > 0 {
+            let share = if self.trials > 0 {
+                self.build_reused as f64 * 100.0 / self.trials as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                " · builds reused {} ({share:.0}% of trials)",
+                self.build_reused
+            ));
+        }
         if self.expected_points > 0 {
             out.push_str(&format!(
                 " · sweep points {}/{} ({} cached)",
@@ -695,6 +728,7 @@ impl TelemetrySnapshot {
         s.push_str(&format!(",\"routes\":{}", self.routes));
         s.push_str(&format!(",\"batches\":{}", self.batches));
         s.push_str(&format!(",\"cache_hits\":{}", self.cache_hits));
+        s.push_str(&format!(",\"build_reused\":{}", self.build_reused));
         s.push_str(&format!(",\"points_done\":{}", self.points_done));
         s.push_str(&format!(",\"points_total\":{}", self.expected_points));
         s.push_str(&format!(",\"points_cached\":{}", self.points_cached));
@@ -751,6 +785,11 @@ impl TelemetrySnapshot {
             "sos_sweep_cache_hits_total",
             "Sweep points answered from cache/dedup.",
             self.cache_hits,
+        );
+        counter(
+            "sos_sim_build_reused_total",
+            "Trials whose overlay build was answered by the engine's build memo.",
+            self.build_reused,
         );
         counter(
             "sos_serve_shed_total",
@@ -1125,6 +1164,7 @@ mod tests {
             routes: 1_000,
             batches: 5,
             cache_hits: 0,
+            build_reused: 0,
             expected_trials: 1_000,
             expected_points: 4,
             points_done: 1,
@@ -1141,6 +1181,7 @@ mod tests {
                 routes: 1_000,
                 batches: 5,
                 cache_hits: 0,
+                build_reused: 0,
                 busy_ns: 500_000_000,
             }],
         };
@@ -1171,6 +1212,7 @@ mod tests {
             routes: 840,
             batches: 7,
             cache_hits: 3,
+            build_reused: 11,
             expected_trials: 42,
             expected_points: 42,
             points_done: 42,
@@ -1199,6 +1241,7 @@ mod tests {
                 routes: 840,
                 batches: 7,
                 cache_hits: 3,
+                build_reused: 11,
                 busy_ns: 4_000,
             }],
         };
@@ -1208,6 +1251,7 @@ mod tests {
             "sos_routes_total 840",
             "sos_sweep_points_done 42",
             "sos_sweep_cache_hits_total 3",
+            "sos_sim_build_reused_total 11",
             "sos_phase_seconds_total{phase=\"build\"}",
             "sos_phase_seconds_total{phase=\"break-in\"}",
             "sos_phase_seconds_total{phase=\"congestion\"}",
@@ -1233,6 +1277,7 @@ mod tests {
         for key in [
             "\"trials\":42",
             "\"points_done\":42",
+            "\"build_reused\":11",
             "\"serve_shed\":1",
             "\"serve_deadline_expired\":2",
             "\"serve_retries\":3",
@@ -1245,7 +1290,16 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let table = snap.profile_table();
-        for needle in ["phase", "build", "break-in", "congestion", "routing", "p95", "worker  2"] {
+        for needle in [
+            "phase",
+            "build",
+            "break-in",
+            "congestion",
+            "routing",
+            "p95",
+            "worker  2",
+            "builds reused 11",
+        ] {
             assert!(table.contains(needle), "missing {needle} in:\n{table}");
         }
     }

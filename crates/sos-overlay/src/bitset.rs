@@ -43,9 +43,13 @@ impl NodeBitSet {
     }
 
     #[inline]
-    fn slot(id: NodeId) -> (usize, u64) {
-        let idx = id.index();
+    fn slot_index(idx: usize) -> (usize, u64) {
         (idx / WORD_BITS, 1u64 << (idx % WORD_BITS))
+    }
+
+    #[inline]
+    fn slot(id: NodeId) -> (usize, u64) {
+        Self::slot_index(id.index())
     }
 
     /// Inserts `id`; returns `true` if it was not already present
@@ -100,6 +104,65 @@ impl NodeBitSet {
     pub fn clear(&mut self) {
         self.words.fill(0);
         self.len = 0;
+    }
+
+    /// Resets the set to exactly indices `0..n` (all present) in
+    /// O(words) — the word-at-a-time way to start a dense liveness mask
+    /// before punching out the (few) dead entries.
+    pub fn fill_first(&mut self, n: usize) {
+        let full_words = n / WORD_BITS;
+        let tail = n % WORD_BITS;
+        self.words.clear();
+        self.words.resize(full_words + usize::from(tail > 0), !0u64);
+        if tail > 0 {
+            *self.words.last_mut().expect("tail word exists") = (1u64 << tail) - 1;
+        }
+        self.len = n;
+    }
+
+    /// Raw-index membership probe. SoA kernels index masks by *ring
+    /// position* rather than node id; this is [`contains`] without the
+    /// [`NodeId`] wrapper.
+    ///
+    /// [`contains`]: Self::contains
+    #[inline]
+    pub fn contains_index(&self, idx: usize) -> bool {
+        let (word, mask) = Self::slot_index(idx);
+        self.words.get(word).is_some_and(|w| w & mask != 0)
+    }
+
+    /// Raw-index insert; returns `true` if the index was absent.
+    #[inline]
+    pub fn insert_index(&mut self, idx: usize) -> bool {
+        let (word, mask) = Self::slot_index(idx);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Raw-index remove; returns `true` if the index was present.
+    #[inline]
+    pub fn remove_index(&mut self, idx: usize) -> bool {
+        let (word, mask) = Self::slot_index(idx);
+        match self.words.get_mut(word) {
+            Some(w) if *w & mask != 0 => {
+                *w &= !mask;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The backing `u64` words (64 indices per word, LSB-first) — the
+    /// raw form word-at-a-time consumers iterate instead of per-bit
+    /// probes.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterates the members in ascending id order.
@@ -209,6 +272,33 @@ mod tests {
             set.to_sorted_vec(),
             vec![NodeId(63), NodeId(64), NodeId(127), NodeId(128)]
         );
+    }
+
+    #[test]
+    fn fill_first_and_raw_index_ops() {
+        let mut set = NodeBitSet::new();
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            set.fill_first(n);
+            assert_eq!(set.len(), n);
+            for i in 0..n {
+                assert!(set.contains_index(i), "n={n} i={i}");
+            }
+            assert!(!set.contains_index(n));
+            assert_eq!(
+                set.words().iter().map(|w| w.count_ones() as usize).sum::<usize>(),
+                n
+            );
+        }
+        set.fill_first(70);
+        assert!(set.remove_index(69));
+        assert!(!set.remove_index(69));
+        assert_eq!(set.len(), 69);
+        assert!(set.insert_index(69));
+        assert!(!set.insert_index(69));
+        // Raw-index ops agree with the NodeId ops bit for bit.
+        assert!(set.contains(NodeId(69)));
+        set.remove(NodeId(69));
+        assert!(!set.contains_index(69));
     }
 
     #[test]

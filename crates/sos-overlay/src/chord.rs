@@ -23,6 +23,7 @@
 //! state a real Chord node would have: its own fingers and successor
 //! list.
 
+use crate::bitset::NodeBitSet;
 use crate::node::NodeId;
 use rand::Rng;
 use std::collections::HashSet;
@@ -66,8 +67,39 @@ pub struct ChordRing {
     /// `successors[pos]` = the next `SUCCESSOR_LIST_LEN` positions.
     successors: Vec<Vec<usize>>,
     /// Identifier-draw scratch reused by [`ChordRing::build_into`].
-    used_ids: HashSet<u64>,
     pairs: Vec<(u64, NodeId)>,
+}
+
+/// Draws one distinct uniformly random 64-bit identifier per member into
+/// `pairs`, sorted ascending by identifier.
+///
+/// One draw per member, then a sort; identifier collisions among `n`
+/// uniform `u64` draws have probability ≈ `n²/2⁶⁵` (≈ 5·10⁻¹² at
+/// n = 10⁴), but determinism demands a defined resolution: any id equal
+/// to its sorted predecessor is re-rolled and the sort repeated until
+/// all are distinct. [`ChordRing::build_into`] and
+/// [`ChordRing::build_reference`] share this helper so their RNG
+/// consumption stays draw-for-draw identical.
+fn draw_ring_ids<R: Rng + ?Sized>(rng: &mut R, members: &[NodeId], pairs: &mut Vec<(u64, NodeId)>) {
+    pairs.clear();
+    pairs.reserve(members.len());
+    for &m in members {
+        pairs.push((rng.gen::<u64>(), m));
+    }
+    pairs.sort_unstable_by_key(|&(id, _)| id);
+    loop {
+        let mut collided = false;
+        for i in 1..pairs.len() {
+            if pairs[i].0 == pairs[i - 1].0 {
+                pairs[i].0 = rng.gen::<u64>();
+                collided = true;
+            }
+        }
+        if !collided {
+            break;
+        }
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+    }
 }
 
 impl ChordRing {
@@ -84,7 +116,6 @@ impl ChordRing {
             position_of: Vec::new(),
             fingers: Vec::new(),
             successors: Vec::new(),
-            used_ids: HashSet::new(),
             pairs: Vec::new(),
         };
         ring.build_into(rng, members);
@@ -105,17 +136,7 @@ impl ChordRing {
     pub fn build_into<R: Rng + ?Sized>(&mut self, rng: &mut R, members: &[NodeId]) {
         assert!(!members.is_empty(), "a Chord ring needs at least one node");
 
-        self.used_ids.clear();
-        self.pairs.clear();
-        self.pairs.reserve(members.len());
-        for &m in members {
-            let mut id = rng.gen::<u64>();
-            while !self.used_ids.insert(id) {
-                id = rng.gen::<u64>();
-            }
-            self.pairs.push((id, m));
-        }
-        self.pairs.sort_unstable_by_key(|&(id, _)| id);
+        draw_ring_ids(rng, members, &mut self.pairs);
 
         self.ids.clear();
         self.ids.extend(self.pairs.iter().map(|&(id, _)| id));
@@ -414,15 +435,17 @@ impl ChordRing {
     /// Rebuilds position, successor-list and finger-table state from
     /// `ids`/`members`, reusing existing allocations.
     ///
-    /// Finger tables are built with a successor-gap shortcut: for node
-    /// `p` at clockwise distance `d1` from its ring successor, every
-    /// finger target `ids[p] + 2^k` with `2^k <= d1` still lies within
-    /// that gap, so all those fingers resolve to the successor and
-    /// collapse to a single deduplicated entry. Only the remaining
-    /// `ID_BITS - (64 - d1.leading_zeros())` targets need a binary
-    /// search — at simulation scales (gap ≈ `2^64 / n`) that skips the
-    /// large majority of the 64 searches per node. The result is
-    /// identical to the exhaustive per-`k` scan (see
+    /// Finger tables are built level-batched over the sorted id array
+    /// (structure-of-arrays order): for a fixed finger level `k`, the
+    /// targets `ids[p] + 2^k` are themselves sorted in `p` (up to one
+    /// wrap split), so one monotone two-pointer merge resolves that
+    /// level for *every* node in O(n) — where the per-node construction
+    /// pays a `log n` binary search per level. Levels with
+    /// `2^k <=` the minimum clockwise gap (including the wrap gap)
+    /// resolve to the ring successor for every node and dedup away, so
+    /// they are skipped outright — at simulation scales (min gap ≈
+    /// `2^64 / n²`) that skips well over half the 64 levels. The result
+    /// is identical to the exhaustive per-`k` scan (see
     /// [`ChordRing::build_reference`] and the oracle tests).
     ///
     /// # Panics
@@ -442,13 +465,23 @@ impl ChordRing {
             *slot = p as u32;
         }
 
-        for list in &mut self.successors {
-            list.clear();
-        }
-        self.successors.resize_with(n, Vec::new);
+        // Successor lists depend only on `n` (entries are `(p+k) % n`),
+        // so a rebuild at unchanged ring size — the per-trial hot case —
+        // reuses them untouched. The lists are only ever written here,
+        // always consistently with their length, so `len == n` with the
+        // right per-list length certifies them.
         let list_len = SUCCESSOR_LIST_LEN.min(n.saturating_sub(1));
-        for (p, list) in self.successors.iter_mut().enumerate() {
-            list.extend((1..=list_len).map(|k| (p + k) % n));
+        let successors_valid = self.successors.len() == n
+            && self.successors.first().is_none_or(|l| l.len() == list_len);
+        if !successors_valid {
+            for list in &mut self.successors {
+                list.clear();
+            }
+            self.successors.resize_with(n, Vec::new);
+            for (p, list) in self.successors.iter_mut().enumerate() {
+                list.clear();
+                list.extend((1..=list_len).map(|k| (p + k) % n));
+            }
         }
 
         for table in &mut self.fingers {
@@ -456,23 +489,60 @@ impl ChordRing {
         }
         self.fingers.resize_with(n, Vec::new);
         let ids = &self.ids;
+        if n == 1 {
+            self.fingers[0].push(0);
+            return;
+        }
+        // Every table starts at the ring successor: each level `k` with
+        // `2^k` inside the successor gap resolves there and dedups away.
         for (p, table) in self.fingers.iter_mut().enumerate() {
-            if n == 1 {
-                table.push(0);
+            table.push((p + 1) % n);
+        }
+        // Minimum clockwise gap, wrap gap included: a level whose span
+        // fits inside *every* gap lands each target strictly between a
+        // node and its successor, so the whole level dedups away and is
+        // skipped without a scan.
+        let mut min_gap = ids[0].wrapping_sub(ids[n - 1]);
+        for w in ids.windows(2) {
+            min_gap = min_gap.min(w[1] - w[0]);
+        }
+        for k in 0..ID_BITS {
+            let d = 1u64 << k;
+            if d <= min_gap {
                 continue;
             }
-            let base = ids[p];
-            let next = (p + 1) % n;
-            // Clockwise gap to the ring successor; nonzero because ids
-            // are distinct.
-            let d1 = ids[next].wrapping_sub(base);
-            // Number of finger indices k with 2^k <= d1; they all
-            // resolve to `next` and dedup to one entry.
-            let k0 = ID_BITS - d1.leading_zeros() as usize;
-            table.push(next);
-            for k in k0..ID_BITS {
-                let target = base.wrapping_add(1u64 << k);
-                let s = successor_position_in(ids, target);
+            // `ids` is sorted, so within each of the two segments below
+            // the targets ascend in `p` and the circular lower bound
+            // `s(p)` ascends with them — one forward-only merge pointer
+            // per segment resolves the level in O(n).
+            //
+            // Segment A: `ids[p] + d` does not overflow. Targets are the
+            // absolute values `ids[p] + d`; a target past the largest id
+            // wraps to position 0.
+            let no_overflow = ids.partition_point(|&id| id <= u64::MAX - d);
+            let mut q = 0usize;
+            for p in 0..no_overflow {
+                let t = ids[p] + d;
+                while q < n && ids[q] < t {
+                    q += 1;
+                }
+                let s = if q == n { 0 } else { q };
+                let table = &mut self.fingers[p];
+                if *table.last().expect("table is non-empty") != s {
+                    table.push(s);
+                }
+            }
+            // Segment B: `ids[p] + d` wraps past zero. The wrapped
+            // targets are again ascending in `p` (same offset, larger
+            // bases), and always land at or before `p` itself.
+            let mut q = 0usize;
+            for p in no_overflow..n {
+                let t = ids[p].wrapping_add(d);
+                while q < n && ids[q] < t {
+                    q += 1;
+                }
+                let s = if q == n { 0 } else { q };
+                let table = &mut self.fingers[p];
                 if *table.last().expect("table is non-empty") != s {
                     table.push(s);
                 }
@@ -492,18 +562,8 @@ impl ChordRing {
         let unique: HashSet<_> = members.iter().collect();
         assert_eq!(unique.len(), members.len(), "duplicate members");
 
-        let mut used = HashSet::with_capacity(members.len());
-        let mut pairs: Vec<(u64, NodeId)> = members
-            .iter()
-            .map(|&m| {
-                let mut id = rng.gen::<u64>();
-                while !used.insert(id) {
-                    id = rng.gen::<u64>();
-                }
-                (id, m)
-            })
-            .collect();
-        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut pairs: Vec<(u64, NodeId)> = Vec::new();
+        draw_ring_ids(rng, members, &mut pairs);
 
         let ids: Vec<u64> = pairs.iter().map(|&(id, _)| id).collect();
         let members: Vec<NodeId> = pairs.iter().map(|&(_, m)| m).collect();
@@ -545,9 +605,135 @@ impl ChordRing {
             position_of,
             fingers,
             successors,
-            used_ids: HashSet::new(),
             pairs: Vec::new(),
         }
+    }
+
+    /// Fills `mask` with the ring *positions* whose member satisfies
+    /// `is_alive` — the structure-of-arrays liveness form the masked
+    /// lookups consume. Word-at-a-time reset, then one probe per
+    /// position; the mask is `n` bits (cache-resident even at 10⁴
+    /// nodes), so the per-candidate hot-path probe replaces a
+    /// `members[cand]` gather plus an overlay status lookup with a
+    /// single bit test.
+    pub fn fill_alive_positions<F>(&self, is_alive: F, mask: &mut NodeBitSet)
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        mask.fill_first(self.len());
+        for (pos, &m) in self.members.iter().enumerate() {
+            if !is_alive(m) {
+                mask.remove_index(pos);
+            }
+        }
+    }
+
+    /// Masked counterpart of [`ChordRing::lookup_avoiding_hops`]:
+    /// liveness comes from a position-indexed bit mask (see
+    /// [`ChordRing::fill_alive_positions`]) instead of a per-node
+    /// closure, with the querying node treated as alive exactly like the
+    /// closure form's `n == from` clause. Takes identical routing
+    /// decisions, so for a mask filled from the same predicate the
+    /// result is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not on the ring.
+    pub fn lookup_avoiding_hops_masked(
+        &self,
+        from: NodeId,
+        key: u64,
+        alive: &NodeBitSet,
+    ) -> Option<(NodeId, usize)> {
+        let from_pos = self
+            .position(from)
+            .unwrap_or_else(|| panic!("{from} is not on the ring"));
+        let mut pos = from_pos;
+        let owner_pos = self.successor_position(key);
+        if !(owner_pos == from_pos || alive.contains_index(owner_pos)) {
+            return None;
+        }
+        let owner = self.members[owner_pos];
+        let max_hops = self.len() + SUCCESSOR_LIST_LEN + 1;
+        for hops in 0..max_hops {
+            if pos == owner_pos {
+                return Some((owner, hops));
+            }
+            let next = self.best_alive_step_masked(pos, owner_pos, key, from_pos, alive)?;
+            debug_assert_ne!(next, pos, "routing must make progress");
+            pos = next;
+        }
+        None
+    }
+
+    /// Masked counterpart of [`ChordRing::successor_walk_hops`] (see
+    /// [`ChordRing::lookup_avoiding_hops_masked`] for the mask
+    /// contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not on the ring.
+    pub fn successor_walk_hops_masked(
+        &self,
+        from: NodeId,
+        key: u64,
+        alive: &NodeBitSet,
+    ) -> Option<(NodeId, usize)> {
+        let from_pos = self
+            .position(from)
+            .unwrap_or_else(|| panic!("{from} is not on the ring"));
+        let mut pos = from_pos;
+        let owner_pos = self.successor_position(key);
+        if !(owner_pos == from_pos || alive.contains_index(owner_pos)) {
+            return None;
+        }
+        let owner = self.members[owner_pos];
+        for hops in 0..self.len() {
+            if pos == owner_pos {
+                return Some((owner, hops));
+            }
+            let next = self.successors[pos]
+                .iter()
+                .copied()
+                .find(|&s| s == owner_pos || s == from_pos || alive.contains_index(s))?;
+            pos = next;
+        }
+        None
+    }
+
+    /// [`ChordRing::best_alive_step`] over a position-indexed liveness
+    /// mask (`from_pos` counts as alive).
+    fn best_alive_step_masked(
+        &self,
+        pos: usize,
+        owner_pos: usize,
+        key: u64,
+        from_pos: usize,
+        alive: &NodeBitSet,
+    ) -> Option<usize> {
+        let my_dist = clockwise_distance(self.ids[pos], key);
+        let mut best: Option<(u64, usize)> = None;
+        let candidates = self.fingers[pos].iter().chain(self.successors[pos].iter());
+        for &cand in candidates {
+            if cand == pos {
+                continue;
+            }
+            if !(cand == from_pos || alive.contains_index(cand)) {
+                continue;
+            }
+            // The owner itself lies just past the key; take it directly.
+            if cand == owner_pos {
+                return Some(cand);
+            }
+            let d = clockwise_distance(self.ids[cand], key);
+            if d < my_dist {
+                match best {
+                    Some((bd, _)) if bd <= d => {}
+                    _ => best = Some((d, cand)),
+                }
+            }
+        }
+        best.map(|(_, p)| p)
     }
 }
 
@@ -778,6 +964,53 @@ mod tests {
             let full = r.successor_walk(from, key, alive);
             let lean = r.successor_walk_hops(from, key, alive);
             assert_eq!(full.as_ref().map(|o| (o.owner, o.hops())), lean);
+        }
+    }
+
+    #[test]
+    fn masked_lookups_match_closure_lookups() {
+        let r = ring(300, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut mask = NodeBitSet::new();
+        for _ in 0..200 {
+            let key = rng.gen::<u64>();
+            let from = NodeId(rng.gen_range(0..300));
+            // Kill 30% — sometimes including `from` itself, which the
+            // closure form treats as alive via the `n == from` clause.
+            let dead: HashSet<NodeId> = (0..300u32)
+                .map(NodeId)
+                .filter(|_| rng.gen::<f64>() < 0.3)
+                .collect();
+            let alive = |n: NodeId| n == from || !dead.contains(&n);
+            r.fill_alive_positions(|n| !dead.contains(&n), &mut mask);
+            assert_eq!(
+                r.lookup_avoiding_hops(from, key, alive),
+                r.lookup_avoiding_hops_masked(from, key, &mask)
+            );
+            assert_eq!(
+                r.successor_walk_hops(from, key, alive),
+                r.successor_walk_hops_masked(from, key, &mask)
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_across_sizes_keeps_successor_lists_correct() {
+        // The successor-list fast path skips the rebuild when n is
+        // unchanged; cycle through sizes (n, other n, back) and check
+        // every list against its definition.
+        let mut r = ring(64, 40);
+        for n in [64u32, 64, 200, 17, 17, 1, 64] {
+            let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let mut rng = StdRng::seed_from_u64(u64::from(n) + 1000);
+            r.build_into(&mut rng, &members);
+            let n = n as usize;
+            let list_len = SUCCESSOR_LIST_LEN.min(n - 1);
+            assert_eq!(r.successors.len(), n);
+            for (p, list) in r.successors.iter().enumerate() {
+                let expect: Vec<usize> = (1..=list_len).map(|k| (p + k) % n).collect();
+                assert_eq!(*list, expect, "position {p} of {n}");
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 //! difference between the two transports is measured by the
 //! `ablation-chord` experiment.
 
+use crate::bitset::NodeBitSet;
 use crate::chord::ChordRing;
 use crate::node::NodeId;
 use crate::overlay::Overlay;
@@ -88,6 +89,24 @@ impl Transport {
     /// Panics (Chord transport) if either endpoint is an overlay node
     /// missing from the ring — the ring must cover all overlay nodes.
     pub fn deliver(&self, overlay: &Overlay, from: NodeId, to: NodeId) -> DeliveryOutcome {
+        self.deliver_hint(overlay, from, to, None)
+    }
+
+    /// [`deliver`](Self::deliver) with an optional precomputed
+    /// ring-position liveness mask (see
+    /// [`ChordRing::fill_alive_positions`]). The mask must have been
+    /// filled from the same liveness predicate the closure path would
+    /// use — for the fault-free path, "the node is good" — in which
+    /// case the routing decisions are bit-identical; the trial engine
+    /// fills it once per trial and amortizes it across the whole route
+    /// batch.
+    pub fn deliver_hint(
+        &self,
+        overlay: &Overlay,
+        from: NodeId,
+        to: NodeId,
+        alive: Option<&NodeBitSet>,
+    ) -> DeliveryOutcome {
         if !overlay.is_good(to) {
             return DeliveryOutcome::Blocked;
         }
@@ -101,9 +120,12 @@ impl Transport {
                 let key = ring
                     .id_of(to)
                     .unwrap_or_else(|| panic!("{to} is not on the Chord ring"));
-                let outcome = ring.lookup_avoiding_hops(from, key, |n| {
-                    n == from || overlay.is_good(n)
-                });
+                let outcome = match alive {
+                    Some(mask) => ring.lookup_avoiding_hops_masked(from, key, mask),
+                    None => ring.lookup_avoiding_hops(from, key, |n| {
+                        n == from || overlay.is_good(n)
+                    }),
+                };
                 match outcome {
                     Some((owner, hops)) if owner == to => DeliveryOutcome::Delivered {
                         hops: hops.max(1),
@@ -163,9 +185,28 @@ impl Transport {
         faults: Option<&FaultPlan>,
         retry: &RetryPolicy,
     ) -> HopDelivery {
+        self.deliver_with_hint(overlay, from, to, faults, retry, None)
+    }
+
+    /// [`deliver_with`](Self::deliver_with) with an optional
+    /// precomputed ring-position liveness mask. When a fault plan is
+    /// active the mask must encode "good **and** not benignly crashed"
+    /// (the predicate [`attempt_via_substrate`](Self::deliver_with)
+    /// uses); without a plan, plain "good". The trial engine owns that
+    /// contract — it refreshes the mask once per trial, after attack
+    /// damage and fault-plan creation.
+    pub fn deliver_with_hint(
+        &self,
+        overlay: &Overlay,
+        from: NodeId,
+        to: NodeId,
+        faults: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+        alive: Option<&NodeBitSet>,
+    ) -> HopDelivery {
         let Some(plan) = faults else {
             return HopDelivery {
-                outcome: self.deliver(overlay, from, to),
+                outcome: self.deliver_hint(overlay, from, to, alive),
                 attempts: 1,
                 ticks: 0,
                 incidents: Vec::new(),
@@ -207,7 +248,7 @@ impl Transport {
                 incidents.push(HopIncident::Loss { attempt: attempts });
                 continue;
             }
-            match self.attempt_via_substrate(overlay, from, to, plan) {
+            match self.attempt_via_substrate(overlay, from, to, plan, alive) {
                 DeliveryOutcome::Delivered { hops } => {
                     let slow = plan.slow_penalty(to.0);
                     if slow > 0 {
@@ -244,6 +285,7 @@ impl Transport {
         from: NodeId,
         to: NodeId,
         plan: &FaultPlan,
+        alive: Option<&NodeBitSet>,
     ) -> DeliveryOutcome {
         match self {
             Transport::Direct => DeliveryOutcome::Delivered { hops: 1 },
@@ -254,9 +296,12 @@ impl Transport {
                 let key = ring
                     .id_of(to)
                     .unwrap_or_else(|| panic!("{to} is not on the Chord ring"));
-                let outcome = ring.lookup_avoiding_hops(from, key, |n| {
-                    n == from || (overlay.is_good(n) && !plan.is_crashed(n.0))
-                });
+                let outcome = match alive {
+                    Some(mask) => ring.lookup_avoiding_hops_masked(from, key, mask),
+                    None => ring.lookup_avoiding_hops(from, key, |n| {
+                        n == from || (overlay.is_good(n) && !plan.is_crashed(n.0))
+                    }),
+                };
                 match outcome {
                     Some((owner, hops)) if owner == to => DeliveryOutcome::Delivered {
                         hops: hops.max(1),
@@ -300,6 +345,20 @@ impl Transport {
         to: NodeId,
         faults: Option<&FaultPlan>,
     ) -> DeliveryOutcome {
+        self.deliver_degraded_hint(overlay, from, to, faults, None)
+    }
+
+    /// [`deliver_degraded`](Self::deliver_degraded) with an optional
+    /// precomputed ring-position liveness mask (same contract as
+    /// [`deliver_with_hint`](Self::deliver_with_hint)).
+    pub fn deliver_degraded_hint(
+        &self,
+        overlay: &Overlay,
+        from: NodeId,
+        to: NodeId,
+        faults: Option<&FaultPlan>,
+        alive: Option<&NodeBitSet>,
+    ) -> DeliveryOutcome {
         if !overlay.is_good(to) {
             return DeliveryOutcome::Blocked;
         }
@@ -318,9 +377,12 @@ impl Transport {
                 let key = ring
                     .id_of(to)
                     .unwrap_or_else(|| panic!("{to} is not on the Chord ring"));
-                let outcome = ring.successor_walk_hops(from, key, |n| {
-                    n == from || (overlay.is_good(n) && !crashed(n))
-                });
+                let outcome = match alive {
+                    Some(mask) => ring.successor_walk_hops_masked(from, key, mask),
+                    None => ring.successor_walk_hops(from, key, |n| {
+                        n == from || (overlay.is_good(n) && !crashed(n))
+                    }),
+                };
                 match outcome {
                     Some((owner, hops)) if owner == to => DeliveryOutcome::Delivered {
                         hops: hops.max(1),
@@ -367,6 +429,38 @@ impl Transport {
         match self {
             Transport::Protocol(proto) => proto.damage_synced(overlay),
             _ => true,
+        }
+    }
+
+    /// Refreshes a caller-owned ring-position liveness mask for this
+    /// transport's substrate, encoding exactly the predicate the
+    /// closure-based lookups would evaluate per candidate: the node is
+    /// good and, when a fault plan is active, not benignly crashed.
+    /// Returns `true` when the transport has a masked fast path
+    /// ([`Transport::Chord`]); for the other variants the mask is
+    /// unused and left untouched.
+    ///
+    /// Call once per trial after attack damage and fault-plan creation,
+    /// then pass the mask to the `_hint` delivery variants for the
+    /// trial's whole route batch.
+    pub fn refresh_alive_positions(
+        &self,
+        overlay: &Overlay,
+        faults: Option<&FaultPlan>,
+        mask: &mut NodeBitSet,
+    ) -> bool {
+        match self {
+            Transport::Chord(ring) => {
+                match faults {
+                    Some(plan) => ring.fill_alive_positions(
+                        |n| overlay.is_good(n) && !plan.is_crashed(n.0),
+                        mask,
+                    ),
+                    None => ring.fill_alive_positions(|n| overlay.is_good(n), mask),
+                }
+                true
+            }
+            _ => false,
         }
     }
 

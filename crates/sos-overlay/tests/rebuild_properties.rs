@@ -100,4 +100,62 @@ proptest! {
         }
         prop_assert_eq!(fresh_rng.gen::<u64>(), reuse_rng.gen::<u64>());
     }
+
+    /// The engine's *delta* reuse path: transitioning a built (and
+    /// attack-damaged) overlay between two structure-preserving knob
+    /// settings via `rebuild_neighbors_only` equals a fresh build of the
+    /// target scenario bit for bit — in both transition orders, with
+    /// the same RNG consumption.
+    #[test]
+    fn delta_rebuild_matches_fresh_across_knob_pairs(
+        seed in 0u64..10_000,
+        big_n in 300u64..1_200,
+        sos in 24u64..64,
+        layers in 2usize..5,
+        k1 in 1u64..6,
+        k2 in 1u64..6,
+    ) {
+        let a = scenario(big_n, sos, layers, MappingDegree::OneTo(k1));
+        let b = scenario(big_n, sos, layers, MappingDegree::OneTo(k2));
+        for (from, to) in [(&a, &b), (&b, &a)] {
+            let mut reused = Overlay::build(from, &mut StdRng::seed_from_u64(seed));
+            // Damage from a finished trial must not leak through.
+            let victims: Vec<NodeId> = reused.overlay_ids().take(20).collect();
+            for v in victims {
+                reused.set_status(v, NodeStatus::Congested);
+            }
+            prop_assert!(reused.structure_matches(to));
+
+            let mut fresh_rng = StdRng::seed_from_u64(seed);
+            let mut reuse_rng = StdRng::seed_from_u64(seed);
+            let fresh = Overlay::build(to, &mut fresh_rng);
+            reused.rebuild_neighbors_only(to, &mut reuse_rng);
+
+            assert_overlays_match(&fresh, &reused);
+            prop_assert_eq!(fresh_rng.gen::<u64>(), reuse_rng.gen::<u64>());
+        }
+    }
+
+    /// The engine's *exact* reuse path: a memo hit keeps the built
+    /// overlay and only calls `reset_statuses`, which must equal a
+    /// fresh build from the same seed once attack damage is cleared.
+    #[test]
+    fn status_reset_matches_fresh_build(
+        seed in 0u64..10_000,
+        big_n in 300u64..1_200,
+        sos in 24u64..64,
+        layers in 2usize..5,
+        mapping_k in 1u64..6,
+        damage in 0usize..60,
+    ) {
+        let s = scenario(big_n, sos, layers, MappingDegree::OneTo(mapping_k));
+        let mut reused = Overlay::build(&s, &mut StdRng::seed_from_u64(seed));
+        let victims: Vec<NodeId> = reused.overlay_ids().take(damage).collect();
+        for v in victims {
+            reused.set_status(v, NodeStatus::Broken);
+        }
+        reused.reset_statuses();
+        let fresh = Overlay::build(&s, &mut StdRng::seed_from_u64(seed));
+        assert_overlays_match(&fresh, &reused);
+    }
 }

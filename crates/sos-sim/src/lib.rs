@@ -71,10 +71,13 @@ pub mod sweep;
 pub mod timing;
 
 pub use compare::{ComparisonRow, compare_models};
-pub use engine::{num_threads, Simulation, SimulationConfig, SimulationResult, TransportKind};
+pub use engine::{
+    build_reuse_enabled, num_threads, set_build_reuse, stream, trial_stream_seed, Simulation,
+    SimulationConfig, SimulationResult, TransportKind,
+};
 pub use sweep::{
-    config_fingerprint, run_sweep, run_sweep_traced, set_global_cache, sweep_stats,
-    CacheLoadReport, SweepExecutor, SweepStats,
+    config_fingerprint, run_sweep, run_sweep_traced, set_global_cache, structural_fingerprint,
+    sweep_stats, CacheLoadReport, SweepExecutor, SweepStats,
 };
 pub use flow::{FlowModel, FlowResult, FlowSimulation};
 pub use repair::{RepairConfig, RepairSimulation, RepairTimeline};

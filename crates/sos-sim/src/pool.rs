@@ -22,11 +22,12 @@
 //!
 //! Determinism: the pool decides only *who* runs a trial, never *what*
 //! the trial is. Per-trial seeding makes every integer count
-//! bit-identical to [`Simulation::run`]; float aggregates may differ in
-//! the last ulps because partials merge in batch-completion order (the
-//! same contract as `run_parallel`). The merge stays per-job: each
-//! [`RangeJob`] accumulates into its own [`Partial`], so sweep points
-//! never mix.
+//! bit-identical to [`Simulation::run`], and batch partials are merged
+//! in trial order over thread-count-independent batch boundaries (the
+//! same contract as `run_parallel`), so a job's result — floats
+//! included — is byte-identical at every thread count. The merge stays
+//! per-job: each [`RangeJob`] collects its own batch [`Partial`]s, so
+//! sweep points never mix.
 //!
 //! [`Simulation::run_parallel`]: crate::engine::Simulation::run_parallel
 
@@ -57,7 +58,9 @@ struct JobSlot {
     sim: Arc<Simulation>,
     base: u64,
     queue: TrialQueue,
-    partial: Mutex<Partial>,
+    /// `(batch_start, partial)` per executed batch, pushed in racy
+    /// completion order and merged in start order at collection time.
+    partial: Mutex<Vec<(u64, Partial)>>,
     /// Trials of this job not yet merged; hits zero exactly once, when
     /// the job completes (telemetry's per-point progress tick).
     remaining: AtomicU64,
@@ -114,7 +117,6 @@ pub(crate) struct WorkerPool {
     /// Scratch for the calling thread's participation — owned by the
     /// pool so it, too, is reused across scenarios and across runs.
     caller_scratch: TrialScratch,
-    threads: usize,
 }
 
 impl WorkerPool {
@@ -144,8 +146,7 @@ impl WorkerPool {
         WorkerPool {
             shared,
             workers,
-            caller_scratch: TrialScratch::new(),
-            threads,
+            caller_scratch: TrialScratch::persistent(),
         }
     }
 
@@ -171,10 +172,10 @@ impl WorkerPool {
                 let len = job.end - job.start;
                 total += len;
                 JobSlot {
-                    queue: TrialQueue::new(len, self.threads),
+                    queue: TrialQueue::new(len),
                     base: job.start,
                     sim: job.sim,
-                    partial: Mutex::new(Partial::default()),
+                    partial: Mutex::new(Vec::new()),
                     remaining: AtomicU64::new(len),
                     point: job.point,
                 }
@@ -226,7 +227,10 @@ impl WorkerPool {
         let partials = run
             .jobs
             .iter()
-            .map(|slot| std::mem::take(&mut *lock_ignore_poison(&slot.partial)))
+            .map(|slot| {
+                let batches = std::mem::take(&mut *lock_ignore_poison(&slot.partial));
+                Partial::merged_in_order(batches)
+            })
             .collect();
         (partials, run.batches.load(Ordering::Relaxed))
     }
@@ -292,7 +296,7 @@ fn drain(run: &RunState, scratch: &mut TrialScratch) {
             slot.sim
                 .run_one_trial(slot.base + trial, &mut partial, scratch, None);
         }
-        lock_ignore_poison(&slot.partial).merge(&partial);
+        lock_ignore_poison(&slot.partial).push((start, partial));
         run.batches.fetch_add(1, Ordering::Relaxed);
         // The last batch of a job completes a sweep point.
         let batch_len = end - start;
@@ -311,7 +315,7 @@ fn drain(run: &RunState, scratch: &mut TrialScratch) {
 /// The scratch lives for the thread's lifetime — overlay/ring/route
 /// allocations are reused across every scenario the pool ever runs.
 fn worker_loop(shared: &PoolShared) {
-    let mut scratch = TrialScratch::new();
+    let mut scratch = TrialScratch::persistent();
     let mut last_epoch = 0u64;
     loop {
         let run = {

@@ -198,6 +198,29 @@ pub fn route_message_into<'a, R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &'a mut RouteScratch,
 ) -> &'a RouteResult {
+    route_message_hint(overlay, transport, policy, faults, retry, rng, scratch, None)
+}
+
+/// [`route_message_into`] with a precomputed substrate liveness mask.
+///
+/// `alive` is the Chord ring's position-indexed liveness bitset (see
+/// [`Transport::refresh_alive_positions`]): the trial runner computes it
+/// once per attacked overlay and every substrate lookup on every route
+/// of that trial probes the shared `u64` words instead of re-deriving
+/// per-node status through the overlay. With `alive = None` (or a
+/// non-Chord transport) this is exactly [`route_message_into`] — same
+/// results, same RNG consumption.
+#[allow(clippy::too_many_arguments)]
+pub fn route_message_hint<'a, R: Rng + ?Sized>(
+    overlay: &Overlay,
+    transport: &Transport,
+    policy: RoutingPolicy,
+    faults: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    rng: &mut R,
+    scratch: &'a mut RouteScratch,
+    alive: Option<&NodeBitSet>,
+) -> &'a RouteResult {
     let last_layer = overlay.layer_count() + 1; // filters
     {
         let RouteScratch {
@@ -212,6 +235,7 @@ pub fn route_message_into<'a, R: Rng + ?Sized>(
         match policy {
             RoutingPolicy::RandomGood | RoutingPolicy::FirstGood => greedy_route(
                 overlay, transport, policy, candidates, last_layer, faults, retry, rng, result,
+                alive,
             ),
             RoutingPolicy::Backtracking => backtracking_route(
                 overlay,
@@ -224,6 +248,7 @@ pub fn route_message_into<'a, R: Rng + ?Sized>(
                 retry,
                 rng,
                 result,
+                alive,
             ),
         }
     }
@@ -241,6 +266,7 @@ fn greedy_route<R: Rng + ?Sized>(
     retry: &RetryPolicy,
     rng: &mut R,
     result: &mut RouteResult,
+    alive: Option<&NodeBitSet>,
 ) {
     // `candidates` are the potential nodes at the next layer (initially
     // the client's entry set); the "client hop" into layer 1 is a plain
@@ -269,7 +295,8 @@ fn greedy_route<R: Rng + ?Sized>(
                     }
                 }
                 Some(v) => {
-                    let hop = transport.deliver_with(overlay, v, cand, faults, retry);
+                    let hop =
+                        transport.deliver_with_hint(overlay, v, cand, faults, retry, alive);
                     result.retries += u64::from(hop.attempts.saturating_sub(1));
                     result.fault_ticks += hop.ticks;
                     for incident in &hop.incidents {
@@ -304,7 +331,8 @@ fn greedy_route<R: Rng + ?Sized>(
                     });
                     if fault_failure {
                         // Stage 1: successor-list walking.
-                        let walked = transport.deliver_degraded(overlay, v, cand, faults);
+                        let walked =
+                            transport.deliver_degraded_hint(overlay, v, cand, faults, alive);
                         let recovered = walked.is_delivered();
                         result.downgrades += 1;
                         result.incidents.push(RouteIncident {
@@ -373,6 +401,7 @@ fn backtracking_route<R: Rng + ?Sized>(
     retry: &RetryPolicy,
     rng: &mut R,
     result: &mut RouteResult,
+    alive: Option<&NodeBitSet>,
 ) {
     shuffle(rng, entries);
     visited.clear();
@@ -427,7 +456,7 @@ fn backtracking_route<R: Rng + ?Sized>(
             if visited.contains(next) {
                 continue;
             }
-            let hop = transport.deliver_with(overlay, node, next, faults, retry);
+            let hop = transport.deliver_with_hint(overlay, node, next, faults, retry, alive);
             result.retries += u64::from(hop.attempts.saturating_sub(1));
             result.fault_ticks += hop.ticks;
             for incident in &hop.incidents {

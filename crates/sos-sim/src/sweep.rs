@@ -100,25 +100,43 @@ pub fn config_fingerprint(config: &SimulationConfig) -> u64 {
     fingerprint(config)
 }
 
-/// Content fingerprint of a config: equal fingerprints ⇒ equal
-/// simulation behavior (same result for the same engine version).
+/// *Structural* fingerprint of a config: the part that determines what
+/// the trial runner has to **build** — the scenario (overlay size, SOS
+/// membership, layers, mapping degree, filters) and the transport
+/// substrate. Everything else (attack, policy, faults, trial/route
+/// counts) only decides what happens *to* a built overlay.
 ///
-/// Scenario, attack and policy are folded in via their canonical JSON
-/// encoding (stable field order — serde derives emit fields in
-/// declaration order); scalar knobs are folded in as exact bit
-/// patterns, so float knobs that differ in the last ulp still get
-/// distinct fingerprints.
-fn fingerprint(config: &SimulationConfig) -> u64 {
+/// Two sweep points with equal structural fingerprints and equal master
+/// seeds construct bit-identical overlays/rings at every trial index,
+/// which is exactly the condition under which the engine's per-worker
+/// build memo may answer a trial without rebuilding. Services can use
+/// this to group requests by build-compatibility.
+pub fn structural_fingerprint(config: &SimulationConfig) -> u64 {
     let mut canon = String::new();
     canon.push_str(
         &serde_json::to_string(&config.scenario).expect("scenario serializes"),
     );
     canon.push('|');
+    canon.push_str(config.transport.label());
+    fnv1a(canon.as_bytes(), 0xCBF2_9CE4_8422_2325)
+}
+
+/// Content fingerprint of a config: equal fingerprints ⇒ equal
+/// simulation behavior (same result for the same engine version).
+///
+/// Split into a *structural* part ([`structural_fingerprint`]: the
+/// scenario and transport — what gets built) folded together with the
+/// attack/fault part (what happens to the build). Scenario, attack and
+/// policy are folded in via their canonical JSON encoding (stable field
+/// order — serde derives emit fields in declaration order); scalar
+/// knobs are folded in as exact bit patterns, so float knobs that
+/// differ in the last ulp still get distinct fingerprints.
+fn fingerprint(config: &SimulationConfig) -> u64 {
+    let mut canon = format!("s:{:016x}", structural_fingerprint(config));
+    canon.push('|');
     canon.push_str(&serde_json::to_string(&config.attack).expect("attack serializes"));
     canon.push('|');
     canon.push_str(&serde_json::to_string(&config.policy).expect("policy serializes"));
-    canon.push('|');
-    canon.push_str(config.transport.label());
     canon.push_str(&format!(
         "|{}|{}|{}",
         config.trials, config.routes_per_trial, config.seed
@@ -176,9 +194,13 @@ struct CacheEntry {
     result: SimulationResult,
 }
 
-/// Version 2: per-entry checksums (version-1 files, which carried
-/// none, are quarantined and recomputed — the cache is derived data).
-const CACHE_VERSION: u32 = 2;
+/// Version 3: the trial RNG streams moved to splitmix64-keyed
+/// sub-streams (`sos_sim::trial_stream_seed`), so every Monte Carlo
+/// result changed — version-2 entries would alias stale results under
+/// matching fingerprints and are quarantined instead. (Version 2 added
+/// per-entry checksums; version-1 files carried none.) The cache is
+/// derived data; a quarantined file only costs recomputation.
+const CACHE_VERSION: u32 = 3;
 
 /// Journal entries accumulated before the executor folds them into a
 /// full atomic rewrite of the main cache file. Keeps the per-point
@@ -871,6 +893,47 @@ mod tests {
             assert_ne!(fingerprint(variant), fp, "{variant:?}");
         }
         assert_eq!(fingerprint(&base), fingerprint(&base.clone()));
+    }
+
+    #[test]
+    fn structural_fingerprint_splits_build_from_attack_knobs() {
+        let base = config(100, 3);
+        // Attack/fault-side knobs leave the structural part unchanged —
+        // these are exactly the transitions the engine's build memo can
+        // answer without rebuilding.
+        let attack_only = [
+            base.clone().seed(4),
+            base.clone().trials(9),
+            base.clone().routes_per_trial(16),
+            base.clone().policy(RoutingPolicy::FirstGood),
+            base.clone().faults(FaultConfig::none().loss(0.1)),
+            config(300, 9),
+        ];
+        let sfp = structural_fingerprint(&base);
+        for variant in &attack_only {
+            assert_eq!(structural_fingerprint(variant), sfp, "{variant:?}");
+            // The *full* fingerprint still separates them (they are
+            // different experiments, just build-compatible ones).
+            assert_ne!(fingerprint(variant), fingerprint(&base), "{variant:?}");
+        }
+        // Structure-side knobs move it.
+        let chord = base.clone().transport(TransportKind::Chord);
+        assert_ne!(structural_fingerprint(&chord), sfp);
+        let scenario = Scenario::builder()
+            .system(SystemParams::new(600, 40, 0.5).unwrap())
+            .layers(3)
+            .mapping(MappingDegree::OneTo(2))
+            .filters(10)
+            .build()
+            .unwrap();
+        let resized = SimulationConfig::new(
+            scenario,
+            *base.attack(),
+        )
+        .trials(8)
+        .routes_per_trial(15)
+        .seed(3);
+        assert_ne!(structural_fingerprint(&resized), sfp);
     }
 
     #[test]
