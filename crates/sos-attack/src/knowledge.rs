@@ -95,6 +95,15 @@ impl AttackerKnowledge {
         &self.pending
     }
 
+    /// Every node whose SOS/filter membership the attacker has learned.
+    /// Together with [`broken`](Self::broken) this is the word-level
+    /// form of [`congestion_targets`](Self::congestion_targets)
+    /// (`known_sos \ broken`) that the batched congestion sampler
+    /// consumes without materializing the target `Vec`.
+    pub fn known_sos(&self) -> &NodeBitSet {
+        &self.known_sos
+    }
+
     /// The pending queue in a deterministic (sorted) order — determinism
     /// keeps simulations reproducible under a fixed seed. Entries leave
     /// the queue when they are attempted via

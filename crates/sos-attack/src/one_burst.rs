@@ -6,8 +6,8 @@ use crate::trace::{AttackEvent, CongestionReason};
 use rand::Rng;
 use sos_core::AttackBudget;
 use sos_observe::telemetry::{PhaseKind, PhaseTimer};
-use sos_math::sampling::{bernoulli, sample_from, sample_indices};
-use sos_overlay::{NodeId, NodeStatus, Overlay, Role};
+use sos_math::sampling::{bernoulli, sample_indices};
+use sos_overlay::{NodeId, NodeStatus, Overlay, Role, WordSelect};
 
 /// Executes §3.1 literally: `N_T` uniform break-in trials in one volley,
 /// then congestion.
@@ -135,6 +135,16 @@ pub(crate) fn attempt_break_in<R: Rng + ?Sized>(
 /// Phase 2 of both attack strategies: congest every known-but-not-broken
 /// node if the budget allows (random spillover with the remainder), or a
 /// random subset of them otherwise. Filters are never randomly congested.
+///
+/// Both draws are batched over bitset words. The target set
+/// `known_sos \ broken` is counted by word-wise popcount and — when it
+/// must be subsampled — resolved through a [`WordSelect`] rank/select
+/// directory, so the per-trial target `Vec` and the full-overlay
+/// `status()` scan of the spillover pool are gone. The Fisher–Yates
+/// index draws depend only on `(pool size, k)`, and ascending bit index
+/// equals the ascending order of the `Vec`s this replaces, so the RNG
+/// consumption and the chosen nodes are byte-identical to the scalar
+/// form (tested against an inline reference implementation below).
 pub(crate) fn execute_congestion_phase<R: Rng + ?Sized>(
     overlay: &mut Overlay,
     knowledge: &AttackerKnowledge,
@@ -142,11 +152,18 @@ pub(crate) fn execute_congestion_phase<R: Rng + ?Sized>(
     rng: &mut R,
     outcome: &mut AttackOutcome,
 ) {
-    let targets = knowledge.congestion_targets();
-    let chosen: Vec<NodeId> = if capacity >= targets.len() {
-        targets.clone()
+    let known = knowledge.known_sos();
+    let broken = knowledge.broken();
+    let n_targets = known.difference_len(broken);
+    let chosen: Vec<NodeId> = if capacity >= n_targets {
+        // Congest everything known: ascending iteration, no RNG draws —
+        // exactly the old `congestion_targets()` Vec.
+        known.difference_iter(broken).collect()
     } else {
-        sample_from(rng, &targets, capacity)
+        let select = WordSelect::from_words(
+            (0..known.words().len()).map(|wi| known.word(wi) & !broken.word(wi)),
+        );
+        sample_pool(&select, rng, capacity)
     };
     for &node in &chosen {
         if overlay.status(node) == NodeStatus::Good {
@@ -159,15 +176,26 @@ pub(crate) fn execute_congestion_phase<R: Rng + ?Sized>(
         }
     }
     // Random spillover over the remaining good *overlay* nodes (the
-    // attacker cannot find undisclosed filters).
+    // attacker cannot find undisclosed filters). Good = complement of
+    // the overlay's bad-set words, masked to the overlay id range; the
+    // directory must be built *after* the targeted loop above so it
+    // sees those nodes as congested.
     let spare = capacity.saturating_sub(chosen.len());
     if spare > 0 {
-        let pool: Vec<NodeId> = overlay
-            .overlay_ids()
-            .filter(|&id| overlay.status(id) == NodeStatus::Good)
-            .collect();
-        let extra = sample_from(rng, &pool, spare.min(pool.len()));
-        for node in extra {
+        let big_n = overlay.overlay_node_count();
+        let full_words = big_n / 64;
+        let tail = big_n % 64;
+        let bad = overlay.bad_set();
+        let select = WordSelect::from_words((0..big_n.div_ceil(64)).map(|wi| {
+            let w = !bad.word(wi);
+            if wi == full_words && tail > 0 {
+                w & ((1u64 << tail) - 1)
+            } else {
+                w
+            }
+        }));
+        let pool_len = select.count();
+        for node in sample_pool(&select, rng, spare.min(pool_len)) {
             overlay.set_status(node, NodeStatus::Congested);
             outcome.congested.push(node);
             outcome.trace.record(AttackEvent::Congestion {
@@ -175,6 +203,34 @@ pub(crate) fn execute_congestion_phase<R: Rng + ?Sized>(
                 reason: CongestionReason::Random,
             });
         }
+    }
+}
+
+/// Draws `k` distinct members of `select` without replacement, in draw
+/// order — the same `gen_range(i..n)` sequence and the same picks as
+/// `sample_indices` resolved rank by rank, so either strategy is
+/// byte-identical to the `Vec`-based sampler this file used to call.
+/// When the draw touches a large fraction of the membership the whole
+/// ascending index list is materialized once and partially shuffled in
+/// place (no per-pick hashing or rank search); for sparse draws the
+/// virtual Fisher–Yates over ranks plus per-rank O(log words) `select`
+/// avoids the O(members) materialization.
+fn sample_pool<R: Rng + ?Sized>(select: &WordSelect, rng: &mut R, k: usize) -> Vec<NodeId> {
+    let n = select.count();
+    if k * 16 >= n {
+        let mut ids = select.indices();
+        (0..k)
+            .map(|i| {
+                let j = rng.gen_range(i..n);
+                ids.swap(i, j);
+                NodeId(ids[i])
+            })
+            .collect()
+    } else {
+        sample_indices(rng, n, k)
+            .into_iter()
+            .map(|rank| NodeId(select.select(rank) as u32))
+            .collect()
     }
 }
 
@@ -292,6 +348,94 @@ mod tests {
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), outcome.attempted.len());
+    }
+
+    /// The scalar Vec-based congestion phase this file shipped before
+    /// the word-batched rewrite — kept as the oracle the batched form
+    /// must match draw for draw.
+    fn congestion_reference<R: Rng + ?Sized>(
+        overlay: &mut Overlay,
+        knowledge: &AttackerKnowledge,
+        capacity: usize,
+        rng: &mut R,
+        outcome: &mut AttackOutcome,
+    ) {
+        use sos_math::sampling::sample_from;
+        let targets = knowledge.congestion_targets();
+        let chosen: Vec<NodeId> = if capacity >= targets.len() {
+            targets.clone()
+        } else {
+            sample_from(rng, &targets, capacity)
+        };
+        for &node in &chosen {
+            if overlay.status(node) == NodeStatus::Good {
+                overlay.set_status(node, NodeStatus::Congested);
+                outcome.congested.push(node);
+                outcome.trace.record(AttackEvent::Congestion {
+                    node,
+                    reason: CongestionReason::Targeted,
+                });
+            }
+        }
+        let spare = capacity.saturating_sub(chosen.len());
+        if spare > 0 {
+            let pool: Vec<NodeId> = overlay
+                .overlay_ids()
+                .filter(|&id| overlay.status(id) == NodeStatus::Good)
+                .collect();
+            let extra = sample_from(rng, &pool, spare.min(pool.len()));
+            for node in extra {
+                overlay.set_status(node, NodeStatus::Congested);
+                outcome.congested.push(node);
+                outcome.trace.record(AttackEvent::Congestion {
+                    node,
+                    reason: CongestionReason::Random,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn batched_congestion_matches_scalar_reference_byte_for_byte() {
+        use rand::RngCore;
+        // Sweep capacities across the subsample / congest-all / spillover
+        // regimes, with and without a break-in phase feeding knowledge.
+        for (trials, capacity, seed) in [
+            (0u64, 150usize, 61u64),
+            (400, 10, 62),
+            (400, 120, 63),
+            (400, 800, 64),
+            (1_000, 1_999, 65),
+            (2_000, 0, 66),
+        ] {
+            let run = |batched: bool| {
+                let mut o = overlay(0.5, MappingDegree::OneTo(2), seed);
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                let mut knowledge = AttackerKnowledge::new();
+                let mut outcome = AttackOutcome::default();
+                let n_t = trials as usize;
+                for node in sample_indices(&mut rng, o.overlay_node_count(), n_t)
+                    .into_iter()
+                    .map(|i| NodeId(i as u32))
+                    .collect::<Vec<_>>()
+                {
+                    attempt_break_in(&mut o, &mut knowledge, &mut outcome, node, 1, &mut rng);
+                }
+                if batched {
+                    execute_congestion_phase(&mut o, &knowledge, capacity, &mut rng, &mut outcome);
+                } else {
+                    congestion_reference(&mut o, &knowledge, capacity, &mut rng, &mut outcome);
+                }
+                let statuses: Vec<NodeStatus> =
+                    o.overlay_ids().map(|id| o.status(id)).collect();
+                (outcome.congested.clone(), statuses, rng.next_u64())
+            };
+            assert_eq!(
+                run(true),
+                run(false),
+                "capacity {capacity}, trials {trials}, seed {seed}"
+            );
+        }
     }
 
     #[test]

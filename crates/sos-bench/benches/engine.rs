@@ -11,7 +11,8 @@ use sos_core::{
 };
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 use sos_sim::engine::{Simulation, SimulationConfig};
-use sos_sim::routing::{route_message, RoutingPolicy};
+use sos_faults::RetryPolicy;
+use sos_sim::routing::{route_message_into, RouteScratch, RoutingPolicy};
 use std::hint::black_box;
 
 fn scenario(big_n: u64, sos: u64) -> Scenario {
@@ -107,13 +108,19 @@ fn bench_routing(c: &mut Criterion) {
             &policy,
             |b, &policy| {
                 let mut rng = StdRng::seed_from_u64(8);
+                let mut scratch = RouteScratch::new();
+                let retry = RetryPolicy::none();
                 b.iter(|| {
-                    black_box(route_message(
+                    let result = route_message_into(
                         &overlay,
                         &Transport::Direct,
                         policy,
+                        None,
+                        &retry,
                         &mut rng,
-                    ))
+                        &mut scratch,
+                    );
+                    black_box((result.delivered, result.underlay_hops))
                 })
             },
         );

@@ -573,7 +573,8 @@ pub fn staleness_extension_with_trials(trials: u64) -> SweepTable {
     use sos_des::Scheduler;
     use sos_overlay::protocol::{run_maintenance, ChordProtocol, ProtocolConfig};
     use sos_overlay::{NodeId, Overlay, Transport};
-    use sos_sim::routing::{route_message, RoutingPolicy};
+    use sos_faults::RetryPolicy;
+    use sos_sim::routing::{route_message_into, RouteScratch, RoutingPolicy};
 
     let mut table = SweepTable::new("ext-staleness", "t", "P_S");
     let scenario = Scenario::builder()
@@ -587,6 +588,8 @@ pub fn staleness_extension_with_trials(trials: u64) -> SweepTable {
     let measure_points: Vec<u64> = (0..=10).map(|i| i * 10).collect();
     let mut protocol_ps: Vec<f64> = vec![0.0; measure_points.len()];
     let mut direct_ps = 0.0f64;
+    let mut scratch = RouteScratch::new();
+    let retry = RetryPolicy::none();
 
     for trial in 0..trials {
         let mut rng = StdRng::seed_from_u64(7_000 + trial);
@@ -631,8 +634,16 @@ pub fn staleness_extension_with_trials(trials: u64) -> SweepTable {
         // damaged overlay.
         let mut hits = 0u32;
         for _ in 0..100 {
-            if route_message(&overlay, &Transport::Direct, RoutingPolicy::RandomGood, &mut rng)
-                .delivered
+            if route_message_into(
+                &overlay,
+                &Transport::Direct,
+                RoutingPolicy::RandomGood,
+                None,
+                &retry,
+                &mut rng,
+                &mut scratch,
+            )
+            .delivered
             {
                 hits += 1;
             }
@@ -646,8 +657,16 @@ pub fn staleness_extension_with_trials(trials: u64) -> SweepTable {
             let transport = Transport::Protocol(proto.clone());
             let mut hits = 0u32;
             for _ in 0..100 {
-                if route_message(&overlay, &transport, RoutingPolicy::RandomGood, &mut rng)
-                    .delivered
+                if route_message_into(
+                    &overlay,
+                    &transport,
+                    RoutingPolicy::RandomGood,
+                    None,
+                    &retry,
+                    &mut rng,
+                    &mut scratch,
+                )
+                .delivered
                 {
                     hits += 1;
                 }

@@ -36,6 +36,13 @@
 //! that makes telemetry expensive fails CI. The report also embeds the
 //! snapshot's per-phase profile summary under `"profile"`.
 //!
+//! An eighth workload measures the *batched SoA route kernel*: a
+//! routing-heavy Chord run at batch width 1 (the per-lane scalar
+//! oracle) and at the production width 64 (layer-synchronous lanes
+//! sharing the per-trial Chord hop memo). Delivery counts are asserted
+//! equal — lane seeds come from per-route `ROUTE` sub-streams, so
+//! batch width is observationally pure.
+//!
 //! Output: `BENCH_trials.json` (or `--out PATH`) with trials/sec,
 //! ns/trial and peak RSS per workload. `--check PATH` additionally
 //! compares the freshly measured speedups against a committed baseline
@@ -55,7 +62,9 @@ use sos_observe::telemetry;
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
 use sos_sim::routing::{route_message_with, RoutingPolicy};
-use sos_sim::{stream, trial_stream_seed, SweepExecutor};
+use sos_sim::{
+    route_lane_seed, set_route_batch_width, stream, trial_stream_seed, SweepExecutor,
+};
 use std::time::Instant;
 
 const ROUTES_PER_TRIAL: u64 = 50;
@@ -135,14 +144,17 @@ fn reference_run(
                 .success_probability(topo, &state)
                 .value(),
         );
-        for _ in 0..ROUTES_PER_TRIAL {
+        for route in 0..ROUTES_PER_TRIAL {
+            // Each route draws from its own `ROUTE` sub-stream, the
+            // same lane-seed derivation the batched kernel uses.
+            let mut route_rng = StdRng::seed_from_u64(route_lane_seed(SEED, trial, route));
             let result = route_message_with(
                 &overlay,
                 &transport,
                 RoutingPolicy::default(),
                 None,
                 &RetryPolicy::none(),
-                &mut rng,
+                &mut route_rng,
             );
             if result.delivered {
                 successes += 1;
@@ -348,6 +360,64 @@ fn main() {
         }));
     }
 
+    // Routing-batch workload: a routing-heavy Chord run through the
+    // engine at batch width 1 (every lane routed by the scalar
+    // `route_message_hint` oracle) and at the production width 64
+    // (layer-synchronous SoA lanes sharing the per-trial Chord hop
+    // memo). Per-route `ROUTE` sub-streams make the width
+    // observationally pure, so delivery counts are asserted equal.
+    {
+        let trials = 16u64;
+        let routes = 400u64;
+        let cfg = SimulationConfig::new(
+            scenario(2_000),
+            AttackConfig::OneBurst { budget: budget(2_000) },
+        )
+        .trials(trials)
+        .routes_per_trial(routes)
+        .seed(SEED)
+        .transport(TransportKind::Chord);
+        let run_once = || Simulation::new(cfg.clone()).run().successes;
+        // Warm both widths outside the timers; width 64 (after) is
+        // timed first so the scalar width inherits the warmer
+        // allocator — any bias is against the reported speedup.
+        set_route_batch_width(1);
+        run_once();
+        set_route_batch_width(64);
+        run_once();
+        let (after_successes, after_secs, phases, _) = timed_with_phases(run_once);
+        set_route_batch_width(1);
+        let (before_successes, before_secs) = timed(run_once);
+        set_route_batch_width(64);
+        assert_eq!(
+            before_successes, after_successes,
+            "routing-batch: width 1 and width 64 diverged — batch width must be \
+             observationally pure"
+        );
+        let speedup = before_secs / after_secs;
+        println!(
+            "{:11} before {:8.1} trials/s  after {:8.1} trials/s  speedup {:.2}x \
+             (batch width 1 vs 64)",
+            "routing-batch",
+            trials as f64 / before_secs,
+            trials as f64 / after_secs,
+            speedup,
+        );
+        rows.push(serde_json::json!({
+            "name": "routing-batch",
+            "transport": "chord",
+            "overlay_nodes": 2_000u64,
+            "trials": trials,
+            "routes_per_trial": routes,
+            "threads": 1,
+            "delivered": after_successes,
+            "before": side_json(before_secs, trials),
+            "after": side_json(after_secs, trials),
+            "speedup": speedup,
+            "phases": phases,
+        }));
+    }
+
     // Sweep-executor workload: many small points, before = one
     // run_parallel call per point, after = one cache-cold executor run
     // at the same thread count.
@@ -483,7 +553,7 @@ fn main() {
         run_once();
         telemetry::set_enabled(true);
         run_once();
-        let (on_successes, on_secs) = timed(run_once);
+        let (on_successes, on_secs, phases, _) = timed_with_phases(run_once);
         profile_snapshot = telemetry::snapshot();
         telemetry::set_enabled(false);
         let (off_successes, off_secs) = timed(run_once);
@@ -507,6 +577,7 @@ fn main() {
             "before": side_json(off_secs, total_trials),
             "after": side_json(on_secs, total_trials),
             "speedup": speedup,
+            "phases": phases,
         }));
     }
     let profile: serde_json::Value = serde_json::from_str(&profile_snapshot.to_json())

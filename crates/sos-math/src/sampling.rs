@@ -181,16 +181,31 @@ pub const fn stream_seed(seed: u64, stream: u64, index: u64) -> u64 {
     splitmix64(splitmix64(seed ^ splitmix64(stream)).wrapping_add(splitmix64(index)))
 }
 
+/// Draw counts at or below this use the linear-probe swap list instead
+/// of the hash map: at most `2k` live entries means a handful of
+/// word-sized comparisons beat hashing by a wide margin for the
+/// entry-sampling draws (`k` ≈ the first-layer mapping degree) that
+/// dominate the route kernel.
+const LINEAR_SWAP_MAX: usize = 64;
+
 /// Allocation-reusing counterpart to [`sample_indices`] / [`sample_from`].
 ///
 /// Draws the same partial Fisher–Yates sequence as the free functions —
-/// byte-for-byte identical RNG consumption — but keeps the sparse swap map
-/// alive between calls so steady-state sampling performs no heap
+/// byte-for-byte identical RNG consumption — but keeps the sparse swap
+/// state alive between calls so steady-state sampling performs no heap
 /// allocation. Hot loops (the zero-rebuild trial engine) hold one sampler
 /// per worker.
+///
+/// Small draws (`k ≤ 64`, the route-kernel entry-sampling case) track
+/// their swaps in a linear `(key, value)` list — the map holds at most
+/// `2k` entries, so a linear probe is faster than any hashing — while
+/// large draws fall back to the hash map. The backend is invisible in
+/// the draws: only `gen_range(i..n)` touches the RNG, exactly once per
+/// pick, in both.
 #[derive(Debug, Default, Clone)]
 pub struct IndexSampler {
     swaps: std::collections::HashMap<usize, usize>,
+    small: Vec<(usize, usize)>,
 }
 
 impl IndexSampler {
@@ -215,16 +230,28 @@ impl IndexSampler {
         out: &mut Vec<usize>,
     ) {
         assert!(k <= n, "cannot sample {k} distinct items from {n}");
-        self.swaps.clear();
         out.clear();
         out.reserve(k);
-        for i in 0..k {
-            let j = rng.gen_range(i..n);
-            let vi = *self.swaps.get(&i).unwrap_or(&i);
-            let vj = *self.swaps.get(&j).unwrap_or(&j);
-            out.push(vj);
-            self.swaps.insert(j, vi);
-            self.swaps.insert(i, vj);
+        if k <= LINEAR_SWAP_MAX {
+            self.small.clear();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                let vi = linear_get(&self.small, i);
+                let vj = linear_get(&self.small, j);
+                out.push(vj);
+                linear_set(&mut self.small, j, vi);
+                linear_set(&mut self.small, i, vj);
+            }
+        } else {
+            self.swaps.clear();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                let vi = *self.swaps.get(&i).unwrap_or(&i);
+                let vj = *self.swaps.get(&j).unwrap_or(&j);
+                out.push(vj);
+                self.swaps.insert(j, vi);
+                self.swaps.insert(i, vj);
+            }
         }
     }
 
@@ -245,17 +272,48 @@ impl IndexSampler {
     ) {
         let n = items.len();
         assert!(k <= n, "cannot sample {k} distinct items from {n}");
-        self.swaps.clear();
         out.clear();
         out.reserve(k);
-        for i in 0..k {
-            let j = rng.gen_range(i..n);
-            let vi = *self.swaps.get(&i).unwrap_or(&i);
-            let vj = *self.swaps.get(&j).unwrap_or(&j);
-            out.push(items[vj].clone());
-            self.swaps.insert(j, vi);
-            self.swaps.insert(i, vj);
+        if k <= LINEAR_SWAP_MAX {
+            self.small.clear();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                let vi = linear_get(&self.small, i);
+                let vj = linear_get(&self.small, j);
+                out.push(items[vj].clone());
+                linear_set(&mut self.small, j, vi);
+                linear_set(&mut self.small, i, vj);
+            }
+        } else {
+            self.swaps.clear();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                let vi = *self.swaps.get(&i).unwrap_or(&i);
+                let vj = *self.swaps.get(&j).unwrap_or(&j);
+                out.push(items[vj].clone());
+                self.swaps.insert(j, vi);
+                self.swaps.insert(i, vj);
+            }
         }
+    }
+}
+
+/// Linear-probe lookup in the small swap list: identity when absent
+/// (mirroring the hash map's `get(&i).unwrap_or(&i)`).
+#[inline]
+fn linear_get(swaps: &[(usize, usize)], key: usize) -> usize {
+    swaps
+        .iter()
+        .find(|&&(k, _)| k == key)
+        .map_or(key, |&(_, v)| v)
+}
+
+/// Linear-probe upsert in the small swap list.
+#[inline]
+fn linear_set(swaps: &mut Vec<(usize, usize)>, key: usize, value: usize) {
+    match swaps.iter_mut().find(|&&mut (k, _)| k == key) {
+        Some(entry) => entry.1 = value,
+        None => swaps.push((key, value)),
     }
 }
 

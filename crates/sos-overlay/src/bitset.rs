@@ -165,6 +165,127 @@ impl NodeBitSet {
         &self.words
     }
 
+    /// One backing word by index, with out-of-range words reading as
+    /// zero. The backing vector only grows to cover the highest id ever
+    /// inserted, so word-at-a-time consumers combining two sets (e.g.
+    /// `known & !broken`) must tolerate length mismatches; this probe
+    /// makes a short set behave as if padded with empty words.
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.words.get(wi).copied().unwrap_or(0)
+    }
+
+    /// Iterates `self \ other` (members of `self` absent from `other`)
+    /// in ascending id order, one `u64` word at a time — the batched
+    /// form of `iter().filter(|id| !other.contains(*id))` that the
+    /// congestion sampler uses instead of per-member probes.
+    pub fn difference_iter<'a>(&'a self, other: &'a NodeBitSet) -> impl Iterator<Item = NodeId> + 'a {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = (wi * WORD_BITS) as u32;
+            BitIter {
+                word: w & !other.word(wi),
+                base,
+            }
+        })
+    }
+
+    /// Counts `|self \ other|` by word-wise popcount, without iterating
+    /// individual bits.
+    pub fn difference_len(&self, other: &NodeBitSet) -> usize {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(wi, &w)| (w & !other.word(wi)).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Rank/select directory over a sequence of bit words.
+///
+/// Snapshots an arbitrary word stream (e.g. `known & !broken`, or the
+/// complement of an overlay's bad-set masked to the overlay ids) and
+/// answers `select(rank)` — the index of the `rank`-th set bit — in
+/// O(log words). Batched samplers use this to resolve Fisher–Yates
+/// *ranks* into node ids without ever materializing the candidate set
+/// as a `Vec<NodeId>`: ascending bit index equals ascending rank, which
+/// is exactly the ordering contract of the `Vec`-based samplers it
+/// replaces.
+#[derive(Debug, Clone)]
+pub struct WordSelect {
+    words: Vec<u64>,
+    /// `prefix[i]` = number of set bits in `words[..i]`.
+    prefix: Vec<u32>,
+    count: usize,
+}
+
+impl WordSelect {
+    /// Builds the directory from a word stream (64 indices per word,
+    /// LSB-first, same layout as [`NodeBitSet::words`]).
+    pub fn from_words(words: impl Iterator<Item = u64>) -> Self {
+        let words: Vec<u64> = words.collect();
+        let mut prefix = Vec::with_capacity(words.len());
+        let mut running = 0u32;
+        for &w in &words {
+            prefix.push(running);
+            running += w.count_ones();
+        }
+        Self {
+            words,
+            prefix,
+            count: running as usize,
+        }
+    }
+
+    /// Total number of set bits.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The bit index of the `rank`-th set bit (0-based, ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= count()`.
+    pub fn select(&self, rank: usize) -> usize {
+        assert!(rank < self.count, "select rank {rank} out of {}", self.count);
+        // Last word whose prefix popcount is <= rank.
+        let wi = self.prefix.partition_point(|&p| p as usize <= rank) - 1;
+        // In-word select by popcount bisection: six halving steps
+        // instead of clearing up to 63 low bits one at a time.
+        let mut w = self.words[wi];
+        let mut j = (rank - self.prefix[wi] as usize) as u32;
+        let mut pos = 0usize;
+        let mut shift = 32u32;
+        while shift > 0 {
+            let low = (w & ((1u64 << shift) - 1)).count_ones();
+            if j >= low {
+                j -= low;
+                w >>= shift;
+                pos += shift as usize;
+            }
+            shift >>= 1;
+        }
+        wi * WORD_BITS + pos
+    }
+
+    /// All member bit indices, ascending — `indices()[r]` equals
+    /// `select(r)`. Cheaper than per-rank [`select`](Self::select) when
+    /// a caller resolves a large fraction of the ranks, at the cost of
+    /// materializing the whole membership once.
+    pub fn indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count);
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push((wi * WORD_BITS) as u32 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+impl NodeBitSet {
     /// Iterates the members in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -299,6 +420,64 @@ mod tests {
         assert!(set.contains(NodeId(69)));
         set.remove(NodeId(69));
         assert!(!set.contains_index(69));
+    }
+
+    #[test]
+    fn word_probe_pads_short_sets_with_zero() {
+        let mut set = NodeBitSet::new();
+        set.insert(NodeId(3));
+        assert_eq!(set.word(0), 0b1000);
+        assert_eq!(set.word(1), 0, "unallocated words read as empty");
+        assert_eq!(set.word(100), 0);
+    }
+
+    #[test]
+    fn difference_matches_per_bit_filter() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..50 {
+            let a: NodeBitSet = (0..rng.gen_range(0..300u32))
+                .filter(|_| rng.gen_range(0..3u8) == 0)
+                .map(NodeId)
+                .collect();
+            // Deliberately differently-sized backing vectors.
+            let b: NodeBitSet = (0..rng.gen_range(0..600u32))
+                .filter(|_| rng.gen_range(0..3u8) == 0)
+                .map(NodeId)
+                .collect();
+            let expect: Vec<NodeId> = a.iter().filter(|id| !b.contains(*id)).collect();
+            let got: Vec<NodeId> = a.difference_iter(&b).collect();
+            assert_eq!(got, expect);
+            assert_eq!(a.difference_len(&b), expect.len());
+        }
+    }
+
+    #[test]
+    fn word_select_matches_linear_scan() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..400usize);
+            let set: NodeBitSet = (0..n as u32)
+                .filter(|_| rng.gen_range(0..4u8) != 0)
+                .map(NodeId)
+                .collect();
+            let sel = WordSelect::from_words(set.words().iter().copied());
+            let members = set.to_sorted_vec();
+            assert_eq!(sel.count(), members.len());
+            for (rank, id) in members.iter().enumerate() {
+                assert_eq!(sel.select(rank), id.index());
+            }
+            let ids: Vec<u32> = members.iter().map(|id| id.index() as u32).collect();
+            assert_eq!(sel.indices(), ids);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "select rank")]
+    fn word_select_panics_out_of_range() {
+        let sel = WordSelect::from_words([0b101u64].into_iter());
+        sel.select(2);
     }
 
     #[test]

@@ -66,6 +66,14 @@ pub struct ChordRing {
     fingers: Vec<Vec<usize>>,
     /// `successors[pos]` = the next `SUCCESSOR_LIST_LEN` positions.
     successors: Vec<Vec<usize>>,
+    /// `steps[pos]` = the distinct clockwise position-offsets of every
+    /// finger and successor-list entry of `pos`, sorted ascending. Ids
+    /// ascend with ring position, so the clockwise distance to a key
+    /// strictly decreases along the arc from `pos` to the key's owner:
+    /// the greedy step (distance-argmin over alive candidates) is the
+    /// alive entry with the largest offset not past the owner, found by
+    /// scanning this table backward from the owner's offset.
+    steps: Vec<Vec<u32>>,
     /// Identifier-draw scratch reused by [`ChordRing::build_into`].
     pairs: Vec<(u64, NodeId)>,
 }
@@ -116,6 +124,7 @@ impl ChordRing {
             position_of: Vec::new(),
             fingers: Vec::new(),
             successors: Vec::new(),
+            steps: Vec::new(),
             pairs: Vec::new(),
         };
         ring.build_into(rng, members);
@@ -233,7 +242,7 @@ impl ChordRing {
             if pos == owner_pos {
                 return Some(LookupOutcome { owner, path });
             }
-            let next = self.best_alive_step(pos, owner_pos, key, &is_alive)?;
+            let next = self.best_alive_step(pos, owner_pos, &is_alive)?;
             debug_assert_ne!(next, pos, "routing must make progress");
             pos = next;
             path.push(self.members[pos]);
@@ -272,7 +281,7 @@ impl ChordRing {
             if pos == owner_pos {
                 return Some((owner, hops));
             }
-            let next = self.best_alive_step(pos, owner_pos, key, &is_alive)?;
+            let next = self.best_alive_step(pos, owner_pos, &is_alive)?;
             debug_assert_ne!(next, pos, "routing must make progress");
             pos = next;
         }
@@ -396,40 +405,40 @@ impl ChordRing {
         successor_position_in(&self.ids, key)
     }
 
-    /// The best alive next hop from `pos` toward `key`.
+    /// The best alive next hop from `pos` toward `key` (whose owner is
+    /// at `owner_pos`).
     ///
     /// Classic Chord greedy step: jump straight to the key's owner if it
     /// is in our routing state; otherwise move to the alive finger or
     /// successor-list entry that is the closest *preceding* node of the
     /// key (strictly closer than we are). The clockwise distance to the
     /// key strictly decreases every step, which guarantees termination.
-    fn best_alive_step<F>(&self, pos: usize, owner_pos: usize, key: u64, is_alive: &F) -> Option<usize>
+    ///
+    /// Resolved via the precomputed offset table: ids ascend with ring
+    /// position, so candidates in the arc `(pos, owner_pos]` are exactly
+    /// those strictly closer to the key than `pos` (the owner counted by
+    /// fiat), and distance decreases with offset along that arc — the
+    /// distance-argmin over alive candidates is the alive entry with the
+    /// largest offset not past the owner. A backward scan finds it in a
+    /// handful of probes instead of a distance computation per entry.
+    fn best_alive_step<F>(&self, pos: usize, owner_pos: usize, is_alive: &F) -> Option<usize>
     where
         F: Fn(NodeId) -> bool,
     {
-        let my_dist = clockwise_distance(self.ids[pos], key);
-        let mut best: Option<(u64, usize)> = None;
-        let candidates = self.fingers[pos].iter().chain(self.successors[pos].iter());
-        for &cand in candidates {
-            if cand == pos {
-                continue;
+        let n = self.len();
+        let owner_off = (owner_pos + n - pos) % n;
+        let offs = &self.steps[pos];
+        let hi = offs.partition_point(|&o| (o as usize) <= owner_off);
+        for &o in offs[..hi].iter().rev() {
+            let mut cand = pos + o as usize;
+            if cand >= n {
+                cand -= n;
             }
-            if !is_alive(self.members[cand]) {
-                continue;
-            }
-            // The owner itself lies just past the key; take it directly.
-            if cand == owner_pos {
+            if is_alive(self.members[cand]) {
                 return Some(cand);
             }
-            let d = clockwise_distance(self.ids[cand], key);
-            if d < my_dist {
-                match best {
-                    Some((bd, _)) if bd <= d => {}
-                    _ => best = Some((d, cand)),
-                }
-            }
         }
-        best.map(|(_, p)| p)
+        None
     }
 
     /// Rebuilds position, successor-list and finger-table state from
@@ -491,6 +500,7 @@ impl ChordRing {
         let ids = &self.ids;
         if n == 1 {
             self.fingers[0].push(0);
+            self.rebuild_steps();
             return;
         }
         // Every table starts at the ring successor: each level `k` with
@@ -548,6 +558,7 @@ impl ChordRing {
                 }
             }
         }
+        self.rebuild_steps();
     }
 
     /// Exhaustive reference construction: identical RNG consumption and
@@ -599,14 +610,17 @@ impl ChordRing {
             })
             .collect();
 
-        ChordRing {
+        let mut ring = ChordRing {
             ids,
             members,
             position_of,
             fingers,
             successors,
+            steps: Vec::new(),
             pairs: Vec::new(),
-        }
+        };
+        ring.rebuild_steps();
+        ring
     }
 
     /// Fills `mask` with the ring *positions* whose member satisfies
@@ -645,9 +659,50 @@ impl ChordRing {
         key: u64,
         alive: &NodeBitSet,
     ) -> Option<(NodeId, usize)> {
+        self.lookup_masked_inner(from, key, alive, None)
+    }
+
+    /// [`lookup_avoiding_hops_masked`](Self::lookup_avoiding_hops_masked)
+    /// that additionally records the walk's *intermediate* members (the
+    /// nodes strictly between `from` and the owner, in walk order) into
+    /// `trace` (cleared first).
+    ///
+    /// The greedy step is memoryless — the choice at a position depends
+    /// only on `(position, key, alive)`, with `from` exempted from the
+    /// mask — so when `from` itself is alive in the mask, the walk's
+    /// suffix from any intermediate `m` (at `h - i` of the walk's `h`
+    /// hops) is exactly what a fresh lookup from `m` would take: callers
+    /// can cache one traced walk as `h - i` hop answers for every
+    /// intermediate, and (on a stuck walk) a blocked answer for each.
+    /// When `from` is *not* alive the exemption breaks that suffix
+    /// property, so the trace is left empty and only the `from` answer
+    /// may be cached.
+    pub fn lookup_avoiding_hops_masked_traced(
+        &self,
+        from: NodeId,
+        key: u64,
+        alive: &NodeBitSet,
+        trace: &mut Vec<NodeId>,
+    ) -> Option<(NodeId, usize)> {
+        trace.clear();
+        self.lookup_masked_inner(from, key, alive, Some(trace))
+    }
+
+    fn lookup_masked_inner(
+        &self,
+        from: NodeId,
+        key: u64,
+        alive: &NodeBitSet,
+        mut trace: Option<&mut Vec<NodeId>>,
+    ) -> Option<(NodeId, usize)> {
         let from_pos = self
             .position(from)
             .unwrap_or_else(|| panic!("{from} is not on the ring"));
+        if trace.is_some() && !alive.contains_index(from_pos) {
+            // Suffix caching is only sound when the `n == from` liveness
+            // exemption is vacuous (see the traced variant's docs).
+            trace = None;
+        }
         let mut pos = from_pos;
         let owner_pos = self.successor_position(key);
         if !(owner_pos == from_pos || alive.contains_index(owner_pos)) {
@@ -659,11 +714,45 @@ impl ChordRing {
             if pos == owner_pos {
                 return Some((owner, hops));
             }
-            let next = self.best_alive_step_masked(pos, owner_pos, key, from_pos, alive)?;
+            let next = self.best_alive_step_masked(pos, owner_pos, from_pos, alive)?;
             debug_assert_ne!(next, pos, "routing must make progress");
             pos = next;
+            if let Some(t) = trace.as_deref_mut() {
+                if pos != owner_pos {
+                    t.push(self.members[pos]);
+                }
+            }
         }
         None
+    }
+
+    /// Batched form of [`ChordRing::lookup_avoiding_hops_masked`]: one
+    /// `(from, key)` query per lane, all resolved against the same
+    /// per-trial liveness mask. Results land in `out` (cleared first),
+    /// index-aligned with `queries`.
+    ///
+    /// Each lookup takes exactly the decisions of the scalar call —
+    /// this is a grouping, not an approximation — but running a trial's
+    /// route lanes through one pass keeps the finger/successor rows and
+    /// the mask words hot across queries instead of re-faulting them in
+    /// per route between unrelated work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any queried `from` is not on the ring.
+    pub fn lookup_avoiding_hops_masked_batch(
+        &self,
+        queries: &[(NodeId, u64)],
+        alive: &NodeBitSet,
+        out: &mut Vec<Option<(NodeId, usize)>>,
+    ) {
+        out.clear();
+        out.reserve(queries.len());
+        out.extend(
+            queries
+                .iter()
+                .map(|&(from, key)| self.lookup_avoiding_hops_masked(from, key, alive)),
+        );
     }
 
     /// Masked counterpart of [`ChordRing::successor_walk_hops`] (see
@@ -702,38 +791,54 @@ impl ChordRing {
     }
 
     /// [`ChordRing::best_alive_step`] over a position-indexed liveness
-    /// mask (`from_pos` counts as alive).
+    /// mask (`from_pos` counts as alive). Same backward offset-table
+    /// scan; the typical step costs one or two mask probes.
     fn best_alive_step_masked(
         &self,
         pos: usize,
         owner_pos: usize,
-        key: u64,
         from_pos: usize,
         alive: &NodeBitSet,
     ) -> Option<usize> {
-        let my_dist = clockwise_distance(self.ids[pos], key);
-        let mut best: Option<(u64, usize)> = None;
-        let candidates = self.fingers[pos].iter().chain(self.successors[pos].iter());
-        for &cand in candidates {
-            if cand == pos {
-                continue;
+        let n = self.len();
+        let owner_off = (owner_pos + n - pos) % n;
+        let offs = &self.steps[pos];
+        let hi = offs.partition_point(|&o| (o as usize) <= owner_off);
+        for &o in offs[..hi].iter().rev() {
+            let mut cand = pos + o as usize;
+            if cand >= n {
+                cand -= n;
             }
-            if !(cand == from_pos || alive.contains_index(cand)) {
-                continue;
-            }
-            // The owner itself lies just past the key; take it directly.
-            if cand == owner_pos {
+            if cand == from_pos || alive.contains_index(cand) {
                 return Some(cand);
             }
-            let d = clockwise_distance(self.ids[cand], key);
-            if d < my_dist {
-                match best {
-                    Some((bd, _)) if bd <= d => {}
-                    _ => best = Some((d, cand)),
-                }
-            }
         }
-        best.map(|(_, p)| p)
+        None
+    }
+
+    /// Rebuilds `steps` (the sorted clockwise-offset form of each node's
+    /// candidate set) from the current finger tables and successor
+    /// lists, reusing existing allocations.
+    fn rebuild_steps(&mut self) {
+        let n = self.len();
+        for table in &mut self.steps {
+            table.clear();
+        }
+        self.steps.resize_with(n, Vec::new);
+        let fingers = &self.fingers;
+        let successors = &self.successors;
+        for (p, table) in self.steps.iter_mut().enumerate() {
+            table.clear();
+            table.extend(
+                fingers[p]
+                    .iter()
+                    .chain(successors[p].iter())
+                    .map(|&c| ((c + n - p) % n) as u32)
+                    .filter(|&o| o != 0),
+            );
+            table.sort_unstable();
+            table.dedup();
+        }
     }
 }
 
@@ -747,11 +852,6 @@ fn successor_position_in(ids: &[u64], key: u64) -> usize {
     }
 }
 
-/// Clockwise distance from `a` to `b` on the 2^64 ring.
-fn clockwise_distance(a: u64, b: u64) -> u64 {
-    b.wrapping_sub(a)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,6 +862,73 @@ mod tests {
         let members: Vec<NodeId> = (0..n).map(NodeId).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         ChordRing::build(&mut rng, &members)
+    }
+
+    /// Clockwise distance from `a` to `b` on the 2^64 ring.
+    fn clockwise_distance(a: u64, b: u64) -> u64 {
+        b.wrapping_sub(a)
+    }
+
+    /// The greedy step as the pre-offset-table implementation computed
+    /// it: scan every finger and successor-list entry, take the owner
+    /// outright if present and alive, else the distance-argmin among
+    /// alive candidates strictly closer to the key. Oracle for
+    /// `best_alive_step_masked`'s backward offset scan.
+    fn distance_scan_step(
+        r: &ChordRing,
+        pos: usize,
+        owner_pos: usize,
+        key: u64,
+        from_pos: usize,
+        alive: &NodeBitSet,
+    ) -> Option<usize> {
+        let my_dist = clockwise_distance(r.ids[pos], key);
+        let mut best: Option<(u64, usize)> = None;
+        for &cand in r.fingers[pos].iter().chain(r.successors[pos].iter()) {
+            if cand == pos {
+                continue;
+            }
+            if !(cand == from_pos || alive.contains_index(cand)) {
+                continue;
+            }
+            if cand == owner_pos {
+                return Some(cand);
+            }
+            let d = clockwise_distance(r.ids[cand], key);
+            if d < my_dist {
+                match best {
+                    Some((bd, _)) if bd <= d => {}
+                    _ => best = Some((d, cand)),
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    #[test]
+    fn offset_scan_step_matches_distance_scan() {
+        for (n, seed) in [(3u32, 11u64), (40, 12), (100, 13), (333, 14)] {
+            let r = ring(n, seed);
+            let n = n as usize;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let mut alive = NodeBitSet::new();
+            for _ in 0..400 {
+                let salt = rng.gen::<u64>();
+                r.fill_alive_positions(|m| (m.0 as u64).wrapping_mul(salt) % 10 < 7, &mut alive);
+                let key = rng.gen::<u64>();
+                let owner_pos = r.successor_position(key);
+                let pos = rng.gen_range(0..n);
+                if pos == owner_pos {
+                    continue;
+                }
+                let from_pos = rng.gen_range(0..n);
+                assert_eq!(
+                    r.best_alive_step_masked(pos, owner_pos, from_pos, &alive),
+                    distance_scan_step(&r, pos, owner_pos, key, from_pos, &alive),
+                    "n {n} pos {pos} owner {owner_pos} from {from_pos} key {key}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -992,6 +1159,46 @@ mod tests {
                 r.successor_walk_hops_masked(from, key, &mask)
             );
         }
+    }
+
+    #[test]
+    fn traced_lookup_suffixes_match_fresh_lookups() {
+        // The suffix-splice contract: a traced walk's intermediate `i`
+        // must answer a fresh lookup with the walk's remaining hops
+        // (delivered) or a blocked walk of its own (stuck) — and an
+        // origin dead in the mask must leave the trace empty.
+        let r = ring(300, 51);
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut mask = NodeBitSet::new();
+        let mut trace = Vec::new();
+        let mut spliced = 0u32;
+        for _ in 0..200 {
+            let key = rng.gen::<u64>();
+            let from = NodeId(rng.gen_range(0..300));
+            let dead: HashSet<NodeId> = (0..300u32)
+                .map(NodeId)
+                .filter(|_| rng.gen::<f64>() < 0.3)
+                .collect();
+            r.fill_alive_positions(|n| !dead.contains(&n), &mut mask);
+            let out = r.lookup_avoiding_hops_masked_traced(from, key, &mask, &mut trace);
+            assert_eq!(out, r.lookup_avoiding_hops_masked(from, key, &mask));
+            if dead.contains(&from) {
+                assert!(trace.is_empty(), "dead origin must not trace");
+                continue;
+            }
+            for (i, &mid) in trace.iter().enumerate() {
+                spliced += 1;
+                let fresh = r.lookup_avoiding_hops_masked(mid, key, &mask);
+                match out {
+                    Some((owner, hops)) => {
+                        assert!(!trace.contains(&owner), "trace holds intermediates only");
+                        assert_eq!(fresh, Some((owner, hops - (i + 1))));
+                    }
+                    None => assert_eq!(fresh, None),
+                }
+            }
+        }
+        assert!(spliced > 100, "walks should yield intermediates: {spliced}");
     }
 
     #[test]

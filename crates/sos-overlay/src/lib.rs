@@ -51,7 +51,7 @@ pub mod overlay;
 pub mod protocol;
 pub mod transport;
 
-pub use bitset::NodeBitSet;
+pub use bitset::{NodeBitSet, WordSelect};
 pub use chord::{ChordRing, LookupOutcome};
 pub use churn::{ChurnEvent, ChurnModel};
 pub use node::{NodeId, NodeStatus, Role};

@@ -317,6 +317,16 @@ impl Overlay {
         !self.bad.contains(id)
     }
 
+    /// The set of bad (broken or congested) node ids, kept in lockstep
+    /// with [`Overlay::set_status`]. Word-at-a-time consumers (the
+    /// batched congestion sampler) read good nodes as the complement of
+    /// these words masked to the id range they care about, instead of
+    /// probing `status()` per node.
+    #[inline]
+    pub fn bad_set(&self) -> &NodeBitSet {
+        &self.bad
+    }
+
     /// Snapshot of per-layer broken/congested counts as a
     /// [`CompromiseState`] — lets the analytical evaluator price an
     /// empirically attacked overlay.

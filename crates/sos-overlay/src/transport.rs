@@ -204,6 +204,32 @@ impl Transport {
         retry: &RetryPolicy,
         alive: Option<&NodeBitSet>,
     ) -> HopDelivery {
+        self.deliver_with_hint_priced(overlay, from, to, faults, retry, alive, None)
+    }
+
+    /// [`deliver_with_hint`](Self::deliver_with_hint) with an optional
+    /// substrate-pricing override: when `substrate` is `Some`, each
+    /// delivery attempt's routability check calls the closure instead
+    /// of the built-in substrate walk.
+    ///
+    /// The caller owns the equivalence contract: the closure must
+    /// return *exactly* what the built-in attempt would (it is how the
+    /// trial engine plugs a per-trial hop memo under the fault ladder —
+    /// sound for Chord with a trial-stable liveness mask, where the
+    /// attempt is a pure function of `(from, to, mask)`). It must not
+    /// be used for substrates whose attempts draw randomness (Protocol
+    /// misrouting re-rolls per attempt).
+    #[allow(clippy::too_many_arguments)]
+    pub fn deliver_with_hint_priced(
+        &self,
+        overlay: &Overlay,
+        from: NodeId,
+        to: NodeId,
+        faults: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+        alive: Option<&NodeBitSet>,
+        mut substrate: Option<&mut dyn FnMut(NodeId, NodeId) -> DeliveryOutcome>,
+    ) -> HopDelivery {
         let Some(plan) = faults else {
             return HopDelivery {
                 outcome: self.deliver_hint(overlay, from, to, alive),
@@ -248,7 +274,11 @@ impl Transport {
                 incidents.push(HopIncident::Loss { attempt: attempts });
                 continue;
             }
-            match self.attempt_via_substrate(overlay, from, to, plan, alive) {
+            let attempt = match substrate.as_mut() {
+                Some(price) => price(from, to),
+                None => self.attempt_via_substrate(overlay, from, to, plan, alive),
+            };
+            match attempt {
                 DeliveryOutcome::Delivered { hops } => {
                     let slow = plan.slow_penalty(to.0);
                     if slow > 0 {

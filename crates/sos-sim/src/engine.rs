@@ -19,13 +19,12 @@
 //! work instead of idling; seeding stays per-trial, so the result is
 //! bit-identical at any thread count.
 
-use crate::routing::{
-    route_message_hint, RouteIncident, RouteIncidentKind, RouteScratch, RoutingPolicy,
-};
+use crate::route_batch::RouteBatchScratch;
+use crate::routing::{RouteIncident, RouteIncidentKind, RouteScratch, RoutingPolicy};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use sos_attack::{OneBurstAttacker, SuccessiveAttacker};
 use sos_core::{AttackConfig, PathEvaluator, Scenario};
 use sos_faults::{Fallback, FaultConfig, FaultPlan, HopIncident, RetryPolicy};
@@ -47,6 +46,11 @@ pub mod stream {
     pub const ATTACK: u64 = 3;
     /// Traced-run Chord lookup sampling (observability only).
     pub const TRACE: u64 = 4;
+    /// Per-route message-routing lanes: each route of a trial draws from
+    /// its own sub-stream keyed twice through this tag (see
+    /// [`route_lane_seed`](super::route_lane_seed)), so the batched
+    /// route kernel's lane order and batch width cannot perturb draws.
+    pub const ROUTE: u64 = 5;
 }
 
 /// The seed of one `(master seed, stream, trial)` RNG stream: a
@@ -79,6 +83,42 @@ pub fn set_build_reuse(enabled: bool) {
 /// Whether build memoization is currently enabled.
 pub fn build_reuse_enabled() -> bool {
     BUILD_REUSE.load(Ordering::Relaxed)
+}
+
+/// The RNG seed of one route lane: the trial's `ROUTE` master stream
+/// (`trial_stream_seed(seed, stream::ROUTE, trial)`) keyed once more by
+/// the route index. Every route of every trial owns an independent
+/// splitmix64 sub-stream, so evaluating routes in lanes, in chunks, or
+/// one at a time consumes exactly the same draws per route.
+///
+/// Like [`trial_stream_seed`], this is *the* derivation — `sos-bench`'s
+/// scalar reference oracle calls this same function.
+pub fn route_lane_seed(seed: u64, trial: u64, route: u64) -> u64 {
+    sos_math::sampling::stream_seed(
+        trial_stream_seed(seed, stream::ROUTE, trial),
+        stream::ROUTE,
+        route,
+    )
+}
+
+/// Process-global width of the batched route-evaluation kernel
+/// (default 64 lanes). Width 1 forces the per-lane scalar oracle
+/// ([`routing::route_message_hint`](crate::routing::route_message_hint))
+/// for every route; any width produces byte-identical results (pinned
+/// by tests) because each route draws from its own
+/// [`route_lane_seed`] sub-stream — the knob exists for benchmarks and
+/// for proving exactly that.
+static ROUTE_BATCH_WIDTH: AtomicUsize = AtomicUsize::new(64);
+
+/// Sets the route-kernel batch width (clamped to at least 1; width 1 =
+/// scalar oracle mode). See [`route_batch_width`].
+pub fn set_route_batch_width(width: usize) {
+    ROUTE_BATCH_WIDTH.store(width.max(1), Ordering::Relaxed);
+}
+
+/// The current route-kernel batch width.
+pub fn route_batch_width() -> usize {
+    ROUTE_BATCH_WIDTH.load(Ordering::Relaxed)
 }
 
 /// Which transport realizes each overlay hop.
@@ -418,6 +458,9 @@ pub(crate) struct TrialScratch {
     /// refreshed once per trial after attack damage lands.
     ring_alive: NodeBitSet,
     route: RouteScratch,
+    /// Per-lane state of the batched route kernel (lane RNGs, candidate
+    /// buffers, results, the per-trial Chord hop memo).
+    batch: RouteBatchScratch,
 }
 
 impl TrialScratch {
@@ -442,6 +485,7 @@ impl TrialScratch {
             direct: Transport::Direct,
             ring_alive: NodeBitSet::new(),
             route: RouteScratch::new(),
+            batch: RouteBatchScratch::new(),
         }
     }
 
@@ -474,6 +518,7 @@ impl TrialScratch {
         &[NodeId],
         &mut RouteScratch,
         &mut NodeBitSet,
+        &mut RouteBatchScratch,
     ) {
         self.clock += 1;
         let reuse = build_reuse_enabled();
@@ -595,6 +640,7 @@ impl TrialScratch {
             members,
             &mut self.route,
             &mut self.ring_alive,
+            &mut self.batch,
         )
     }
 }
@@ -905,7 +951,7 @@ impl Simulation {
         // trials reuse a memoized build when the seeds/scenario match
         // and rebuild in place otherwise (both bit-identical to a fresh
         // build — memo hits skip work, never change it).
-        let (overlay, transport, members, route_scratch, ring_alive) =
+        let (overlay, transport, members, route_scratch, ring_alive, route_batch) =
             scratch.prepare(cfg, overlay_seed, ring_seed);
         timer.lap(PhaseKind::Build);
 
@@ -1032,53 +1078,74 @@ impl Simulation {
         let alive = transport
             .refresh_alive_positions(overlay, plan.as_ref(), ring_alive)
             .then_some(&*ring_alive);
+        // Routes are evaluated by the batched SoA kernel in chunks of
+        // `route_batch_width()` lanes. Every route draws from its own
+        // `route_lane_seed` sub-stream (never the attack rng above), so
+        // chunking, lane order and batch width cannot perturb results —
+        // width 1 runs the scalar `route_message_hint` oracle per lane
+        // and is byte-identical (pinned by tests). Events and partial
+        // accumulation happen per chunk, in route order, so traced runs
+        // see exactly the per-route event sequence of the scalar loop.
+        let width = route_batch_width();
+        let route_master = trial_stream_seed(cfg.seed, stream::ROUTE, trial);
+        route_batch.begin_trial();
         let mut delivered = 0u64;
-        for route in 0..cfg.routes_per_trial {
-            let result = route_message_hint(
+        let mut first = 0u64;
+        while first < cfg.routes_per_trial {
+            let count = (cfg.routes_per_trial - first).min(width as u64) as usize;
+            route_batch.evaluate(
                 overlay,
                 transport,
                 cfg.policy,
                 plan.as_ref(),
                 &cfg.retry,
-                &mut rng,
-                route_scratch,
+                route_master,
+                first,
+                count,
                 alive,
+                route_scratch,
+                width > 1,
             );
-            if let Some(o) = obs.as_deref_mut() {
-                o.emit(&mut t, trial, EventKind::RouteAttempt { route });
-                for incident in &result.incidents {
-                    emit_incident(o, &mut t, trial, incident);
-                }
-                if result.retries > 0 {
-                    o.metrics.counter("hop_retries").add(result.retries);
-                }
-                if result.downgrades > 0 {
-                    o.metrics.counter("route_downgrades").add(result.downgrades);
+            for lane in 0..count {
+                let route = first + lane as u64;
+                let result = route_batch.result(lane);
+                if let Some(o) = obs.as_deref_mut() {
+                    o.emit(&mut t, trial, EventKind::RouteAttempt { route });
+                    for incident in &result.incidents {
+                        emit_incident(o, &mut t, trial, incident);
+                    }
+                    if result.retries > 0 {
+                        o.metrics.counter("hop_retries").add(result.retries);
+                    }
+                    if result.downgrades > 0 {
+                        o.metrics.counter("route_downgrades").add(result.downgrades);
+                    }
+                    if result.delivered {
+                        o.emit(&mut t, trial, EventKind::RouteDelivered {
+                            route,
+                            hops: result.underlay_hops as u32,
+                        });
+                        o.metrics
+                            .histogram("route_hops", &hop_bounds())
+                            .record(result.underlay_hops as f64);
+                        o.metrics.counter("routes_delivered").inc();
+                    } else {
+                        o.emit(&mut t, trial, EventKind::RouteFailed {
+                            route,
+                            deepest_layer: result.deepest_layer as u32,
+                        });
+                        o.metrics.counter("routes_failed").inc();
+                    }
+                    o.metrics.counter("routes_attempted").inc();
                 }
                 if result.delivered {
-                    o.emit(&mut t, trial, EventKind::RouteDelivered {
-                        route,
-                        hops: result.underlay_hops as u32,
-                    });
-                    o.metrics
-                        .histogram("route_hops", &hop_bounds())
-                        .record(result.underlay_hops as f64);
-                    o.metrics.counter("routes_delivered").inc();
+                    delivered += 1;
+                    partial.hops.push(result.underlay_hops as f64);
                 } else {
-                    o.emit(&mut t, trial, EventKind::RouteFailed {
-                        route,
-                        deepest_layer: result.deepest_layer as u32,
-                    });
-                    o.metrics.counter("routes_failed").inc();
+                    partial.failure_depths[result.deepest_layer.min(depth_slots - 1)] += 1;
                 }
-                o.metrics.counter("routes_attempted").inc();
             }
-            if result.delivered {
-                delivered += 1;
-                partial.hops.push(result.underlay_hops as f64);
-            } else {
-                partial.failure_depths[result.deepest_layer.min(depth_slots - 1)] += 1;
-            }
+            first += count as u64;
         }
         timer.lap(PhaseKind::Routing);
         if let Some(slot) = telemetry::slot() {

@@ -66,15 +66,18 @@ pub mod engine;
 pub mod flow;
 pub(crate) mod pool;
 pub mod repair;
+pub mod route_batch;
 pub mod routing;
 pub mod sweep;
 pub mod timing;
 
 pub use compare::{ComparisonRow, compare_models};
 pub use engine::{
-    build_reuse_enabled, num_threads, set_build_reuse, stream, trial_stream_seed, Simulation,
-    SimulationConfig, SimulationResult, TransportKind,
+    build_reuse_enabled, num_threads, route_batch_width, route_lane_seed, set_build_reuse,
+    set_route_batch_width, stream, trial_stream_seed, Simulation, SimulationConfig,
+    SimulationResult, TransportKind,
 };
+pub use route_batch::RouteBatchScratch;
 pub use sweep::{
     config_fingerprint, run_sweep, run_sweep_traced, set_global_cache, structural_fingerprint,
     sweep_stats, CacheLoadReport, SweepExecutor, SweepStats,

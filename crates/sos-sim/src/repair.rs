@@ -15,7 +15,7 @@
 //!   repaired node it knows about (knowledge stays valid); only
 //!   randomly-congested repairs stick, so `P_S(t)` plateaus.
 
-use crate::routing::{route_message_with, RoutingPolicy};
+use crate::routing::{route_message_into, RouteScratch, RoutingPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sos_attack::{OneBurstAttacker, SuccessiveAttacker};
@@ -177,6 +177,7 @@ impl RepairSimulation {
         let steps = self.repair.steps as usize;
         let mut ps_acc: Vec<RunningStats> = vec![RunningStats::new(); steps + 1];
         let mut bad_acc: Vec<RunningStats> = vec![RunningStats::new(); steps + 1];
+        let mut scratch = RouteScratch::new();
 
         for trial in 0..self.trials {
             let mut rng = StdRng::seed_from_u64(
@@ -202,13 +203,14 @@ impl RepairSimulation {
                 // Measure.
                 let mut delivered = 0u64;
                 for _ in 0..self.routes_per_step {
-                    if route_message_with(
+                    if route_message_into(
                         &overlay,
                         &Transport::Direct,
                         RoutingPolicy::RandomGood,
                         plan.as_ref(),
                         &self.retry,
                         &mut rng,
+                        &mut scratch,
                     )
                     .delivered
                     {

@@ -14,6 +14,7 @@
 //! exists — an upper bound that quantifies how much the independence
 //! assumption costs.
 
+use crate::route_batch::ChordMemoPricer;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sos_faults::{Fallback, FaultPlan, HopIncident, RetryPolicy};
@@ -110,7 +111,7 @@ pub struct RouteResult {
 impl RouteResult {
     /// Resets to the empty (undelivered) state while keeping the `path`
     /// and `incidents` allocations for reuse.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.delivered = false;
         self.path.clear();
         self.underlay_hops = 0;
@@ -221,6 +222,28 @@ pub fn route_message_hint<'a, R: Rng + ?Sized>(
     scratch: &'a mut RouteScratch,
     alive: Option<&NodeBitSet>,
 ) -> &'a RouteResult {
+    route_message_hint_priced(
+        overlay, transport, policy, faults, retry, rng, scratch, alive, None,
+    )
+}
+
+/// [`route_message_hint`] with an optional memo-backed Chord substrate
+/// pricer (see [`ChordMemoPricer`]): identical semantics and RNG/fault
+/// draw consumption — pricing is pure, so memoizing it cannot shift the
+/// plan's counted streams — used by the batched kernel's faulted oracle
+/// path to share the per-trial hop memo across lanes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_message_hint_priced<'a, R: Rng + ?Sized>(
+    overlay: &Overlay,
+    transport: &Transport,
+    policy: RoutingPolicy,
+    faults: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    rng: &mut R,
+    scratch: &'a mut RouteScratch,
+    alive: Option<&NodeBitSet>,
+    mut pricer: Option<&mut ChordMemoPricer<'_>>,
+) -> &'a RouteResult {
     let last_layer = overlay.layer_count() + 1; // filters
     {
         let RouteScratch {
@@ -234,8 +257,17 @@ pub fn route_message_hint<'a, R: Rng + ?Sized>(
         result.reset();
         match policy {
             RoutingPolicy::RandomGood | RoutingPolicy::FirstGood => greedy_route(
-                overlay, transport, policy, candidates, last_layer, faults, retry, rng, result,
+                overlay,
+                transport,
+                policy,
+                candidates,
+                last_layer,
+                faults,
+                retry,
+                rng,
+                result,
                 alive,
+                pricer.as_deref_mut(),
             ),
             RoutingPolicy::Backtracking => backtracking_route(
                 overlay,
@@ -249,10 +281,38 @@ pub fn route_message_hint<'a, R: Rng + ?Sized>(
                 rng,
                 result,
                 alive,
+                pricer.as_deref_mut(),
             ),
         }
     }
     &scratch.result
+}
+
+/// One fault-ladder hop delivery, routed through the memo-backed pricer
+/// when one is installed (Chord + trial-stable mask only; see
+/// [`Transport::deliver_with_hint_priced`] for the contract).
+fn deliver_priced(
+    transport: &Transport,
+    overlay: &Overlay,
+    from: NodeId,
+    to: NodeId,
+    faults: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    alive: Option<&NodeBitSet>,
+    pricer: Option<&mut ChordMemoPricer<'_>>,
+) -> sos_overlay::transport::HopDelivery {
+    match pricer {
+        Some(p) => transport.deliver_with_hint_priced(
+            overlay,
+            from,
+            to,
+            faults,
+            retry,
+            alive,
+            Some(&mut |f, t| p.price(overlay, f, t)),
+        ),
+        None => transport.deliver_with_hint(overlay, from, to, faults, retry, alive),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -267,6 +327,7 @@ fn greedy_route<R: Rng + ?Sized>(
     rng: &mut R,
     result: &mut RouteResult,
     alive: Option<&NodeBitSet>,
+    mut pricer: Option<&mut ChordMemoPricer<'_>>,
 ) {
     // `candidates` are the potential nodes at the next layer (initially
     // the client's entry set); the "client hop" into layer 1 is a plain
@@ -295,8 +356,16 @@ fn greedy_route<R: Rng + ?Sized>(
                     }
                 }
                 Some(v) => {
-                    let hop =
-                        transport.deliver_with_hint(overlay, v, cand, faults, retry, alive);
+                    let hop = deliver_priced(
+                        transport,
+                        overlay,
+                        v,
+                        cand,
+                        faults,
+                        retry,
+                        alive,
+                        pricer.as_deref_mut(),
+                    );
                     result.retries += u64::from(hop.attempts.saturating_sub(1));
                     result.fault_ticks += hop.ticks;
                     for incident in &hop.incidents {
@@ -402,6 +471,7 @@ fn backtracking_route<R: Rng + ?Sized>(
     rng: &mut R,
     result: &mut RouteResult,
     alive: Option<&NodeBitSet>,
+    mut pricer: Option<&mut ChordMemoPricer<'_>>,
 ) {
     shuffle(rng, entries);
     visited.clear();
@@ -456,7 +526,16 @@ fn backtracking_route<R: Rng + ?Sized>(
             if visited.contains(next) {
                 continue;
             }
-            let hop = transport.deliver_with_hint(overlay, node, next, faults, retry, alive);
+            let hop = deliver_priced(
+                transport,
+                overlay,
+                node,
+                next,
+                faults,
+                retry,
+                alive,
+                pricer.as_deref_mut(),
+            );
             result.retries += u64::from(hop.attempts.saturating_sub(1));
             result.fault_ticks += hop.ticks;
             for incident in &hop.incidents {

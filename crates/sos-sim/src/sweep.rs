@@ -194,13 +194,15 @@ struct CacheEntry {
     result: SimulationResult,
 }
 
-/// Version 3: the trial RNG streams moved to splitmix64-keyed
-/// sub-streams (`sos_sim::trial_stream_seed`), so every Monte Carlo
-/// result changed — version-2 entries would alias stale results under
-/// matching fingerprints and are quarantined instead. (Version 2 added
+/// Version 4: message routing moved off the shared attack stream onto
+/// per-route `ROUTE` sub-streams (`sos_sim::route_lane_seed`, the
+/// batched route kernel's lane seeds), so every Monte Carlo routing
+/// result changed — version-3 entries would alias stale results under
+/// matching fingerprints and are quarantined instead. (Version 3 moved
+/// the trial streams to splitmix64-keyed sub-streams; version 2 added
 /// per-entry checksums; version-1 files carried none.) The cache is
 /// derived data; a quarantined file only costs recomputation.
-const CACHE_VERSION: u32 = 3;
+const CACHE_VERSION: u32 = 4;
 
 /// Journal entries accumulated before the executor folds them into a
 /// full atomic rewrite of the main cache file. Keeps the per-point

@@ -4,8 +4,10 @@
 Four stages, each a plain cargo/rustc invocation:
 
   1. build the workspace release binaries with `-Cprofile-generate`,
-  2. run `bench_baseline` (the committed perf workload set) so the
-     instrumented binary writes `.profraw` counters,
+  2. run `bench_baseline` (the committed perf workload set) plus the
+     routing and congestion ablation binaries (`ablation_routing`,
+     `fig4a`) so the instrumented binaries write `.profraw` counters
+     covering the batched route-evaluation and congestion kernels,
   3. merge the counters with `llvm-profdata` into one `.profdata`,
   4. rebuild with `-Cprofile-use` and verify the optimized binary is
      *observationally identical* to a plain release build: the
@@ -38,6 +40,11 @@ REPO = Path(__file__).resolve().parent.parent
 # Workloads whose *results* (not timings) must survive PGO unchanged.
 REPLAY_BIN = "ext_faults"
 BENCH_BIN = "bench_baseline"
+# Extra profiling-only workloads: the routing-policy ablation and the
+# pure-congestion one-burst figure, so the merged profile covers the
+# batched route-evaluation kernel and the congestion phase, not just
+# the bench_baseline mix.
+PROFILE_BINS = ("ablation_routing", "fig4a")
 # Result-bearing keys inside a BENCH_trials workload row.  Timing keys
 # (before/after/speedup/phases) legitimately change under PGO; these
 # must not.
@@ -77,8 +84,11 @@ def cargo_build(target_dir: Path, rustflags: str) -> Path:
     env = dict(os.environ)
     env["CARGO_TARGET_DIR"] = str(target_dir)
     env["RUSTFLAGS"] = rustflags
-    run(["cargo", "build", "--release", "-p", "sos-bench",
-         "--bin", BENCH_BIN, "--bin", REPLAY_BIN], env=env)
+    cmd = ["cargo", "build", "--release", "-p", "sos-bench",
+           "--bin", BENCH_BIN, "--bin", REPLAY_BIN]
+    for b in PROFILE_BINS:
+        cmd += ["--bin", b]
+    run(cmd, env=env)
     return target_dir / "release"
 
 
@@ -137,11 +147,15 @@ def main() -> int:
         plain_replay, plain_results = run_workloads(
             plain_dir, "plain", scratch)
 
-        # Stage 1+2: instrumented build, then profile the bench workloads.
+        # Stage 1+2: instrumented build, then profile the bench workloads
+        # plus the routing/congestion ablations (output discarded — only
+        # their execution profile matters here).
         gen_dir = cargo_build(
             target_dir / "gen", f"-Cprofile-generate={profraw_dir}")
         run([str(gen_dir / BENCH_BIN), "--out",
              str(scratch / "BENCH_trials.profiled.json")])
+        for b in PROFILE_BINS:
+            run([str(gen_dir / b)], capture=True)
         raws = sorted(profraw_dir.glob("*.profraw"))
         if not raws:
             print("pgo: instrumented run produced no .profraw files",
