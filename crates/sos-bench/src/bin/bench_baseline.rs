@@ -43,6 +43,14 @@
 //! equal — lane seeds come from per-route `ROUTE` sub-streams, so
 //! batch width is observationally pure.
 //!
+//! A ninth workload measures the *request-tracing plane*: the same
+//! sweep grid with `sos_observe::trace` (the flight recorder) off
+//! (before) and on (after), telemetry enabled on both sides. Per-point
+//! counts are asserted equal — spans read the monotonic clock, never
+//! the simulation RNG — and the speedup rides the regression gate; CI
+//! additionally asserts the recorder costs at most 2% on this
+//! workload.
+//!
 //! Output: `BENCH_trials.json` (or `--out PATH`) with trials/sec,
 //! ns/trial and peak RSS per workload. `--check PATH` additionally
 //! compares the freshly measured speedups against a committed baseline
@@ -58,7 +66,7 @@ use sos_core::{
     AttackBudget, AttackConfig, MappingDegree, PathEvaluator, Scenario, SystemParams,
 };
 use sos_faults::RetryPolicy;
-use sos_observe::telemetry;
+use sos_observe::{telemetry, trace};
 use sos_overlay::{ChordRing, NodeId, Overlay, Transport};
 use sos_sim::engine::{Simulation, SimulationConfig, TransportKind};
 use sos_sim::routing::{route_message_with, RoutingPolicy};
@@ -574,6 +582,59 @@ fn main() {
             "name": "telemetry",
             "trials": total_trials,
             "threads": threads,
+            "before": side_json(off_secs, total_trials),
+            "after": side_json(on_secs, total_trials),
+            "speedup": speedup,
+            "phases": phases,
+        }));
+    }
+    // Trace-overhead workload: the same sweep grid with the flight
+    // recorder off (before) and on (after); telemetry stays on for
+    // both sides, so this isolates the span plane itself (per-point
+    // cache-probe/sweep-point spans plus per-batch pool spans). Spans
+    // read the monotonic clock and a process-global id counter — never
+    // the simulation RNG — so per-point counts are asserted equal.
+    {
+        let threads = sos_sim::num_threads();
+        let configs = sweep_configs();
+        let total_trials: u64 = configs.iter().map(|c| c.configured_trials()).sum();
+        let run_once = || {
+            let mut exec = SweepExecutor::with_threads(threads);
+            exec.run(&configs)
+                .iter()
+                .map(|r| r.successes)
+                .collect::<Vec<u64>>()
+        };
+        // Warm both paths outside the timers; trace-on (after) is timed
+        // first so the untraced side inherits the warmer allocator.
+        telemetry::set_enabled(true);
+        trace::set_enabled(false);
+        run_once();
+        trace::set_enabled(true);
+        run_once();
+        let (on_successes, on_secs, phases, _) = timed_with_phases(run_once);
+        let spans_recorded = trace::recorder().recorded();
+        trace::set_enabled(false);
+        let (off_successes, off_secs) = timed(run_once);
+        assert_eq!(
+            off_successes, on_successes,
+            "trace-overhead: counts diverged — tracing must never steer results"
+        );
+        let speedup = off_secs / on_secs;
+        println!(
+            "{:11} before {:8.1} trials/s  after {:8.1} trials/s  speedup {:.2}x \
+             (flight recorder off vs on, {} spans recorded)",
+            "trace",
+            total_trials as f64 / off_secs,
+            total_trials as f64 / on_secs,
+            speedup,
+            spans_recorded,
+        );
+        rows.push(serde_json::json!({
+            "name": "trace",
+            "trials": total_trials,
+            "threads": threads,
+            "spans_recorded": spans_recorded,
             "before": side_json(off_secs, total_trials),
             "after": side_json(on_secs, total_trials),
             "speedup": speedup,

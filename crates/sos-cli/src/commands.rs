@@ -30,10 +30,10 @@ COMMANDS:
                ext-faults ext-monitoring)
     serve      run sosd, the resident analysis daemon: owns the worker
                pool and a warm sweep cache, answers analyze/simulate/
-               sweep/profile/ping/shutdown requests over a length-
-               prefixed JSON protocol, and serves Prometheus GET
-               /metrics + GET /healthz on the same port (PROTOCOL.md,
-               OPERATIONS.md)
+               sweep/profile/trace/ping/shutdown requests over a
+               length-prefixed JSON protocol, and serves Prometheus GET
+               /metrics + GET /healthz + Chrome-trace GET /debug/trace
+               on the same port (PROTOCOL.md, OPERATIONS.md)
     client     send one request to a running sosd and print the reply
     optimize   search the design grid for the best worst-case design
     frontier   latency-resilience Pareto frontier over the design grid
@@ -102,6 +102,11 @@ simulate workload, every shared + simulate flag above):
                          results must be byte-identical)    [1]
     --results-out F      write the workload's numeric results to F
                          (diff against a --telemetry 0 run)
+    --spans-out F        run with the request-tracing plane on and
+                         write the recorded spans (cache probes, sweep
+                         points, pool batches) as Chrome trace-event
+                         JSON to F — loadable in Perfetto or
+                         chrome://tracing
     --cache F            (grid) persistent sweep cache, as `figure`
 
 TRACE FLAGS (plus the shared topology flags and --routes/--seed/
@@ -132,14 +137,25 @@ see PROTOCOL.md for the wire format, OPERATIONS.md for running it):
     --queue-depth N      executor admission bound: further simulate/
                          sweep requests are shed with a `busy` error
                          and a retry_after_ms hint  [16]
+    --slow-ms MS         slow-request threshold: requests at or over it
+                         are counted (sos_serve_slow_requests_total)
+                         and logged as one structured JSONL line
+                         [disabled]
+    --slow-log F         append slow-request lines and flight-recorder
+                         anomaly dumps to F instead of stderr
 
 CLIENT FLAGS (sos client <OP>; OP = ping | analyze | simulate | sweep |
-profile | shutdown; analyze and simulate take every shared + simulate
-flag above and print the reply as JSON — byte-identical to
-`sos analyze --json 1` / `sos simulate --json 1` for the same flags):
+profile | trace | shutdown; analyze and simulate take every shared +
+simulate flag above and print the reply as JSON — byte-identical to
+`sos analyze --json 1` / `sos simulate --json 1` for the same flags;
+trace prints the daemon's flight recorder as Chrome trace-event JSON):
     --addr A             daemon address                [127.0.0.1:7070]
     --specs F            (sweep) JSON file holding an array of spec
                          objects (field names as in PROTOCOL.md)
+    --timing 1           (simulate) print the client-observed RTT next
+                         to the server-attributed timing breakdown
+                         (queue/lock/phase ns) on stderr; stdout is
+                         unchanged
     --retries N          (all ops except shutdown) attempts per request:
                          reconnect-and-resend on transport errors,
                          honor retry_after_ms on `busy` shedding  [1]
@@ -173,8 +189,11 @@ EXAMPLES:
     sos figure fig6a
     sos figure ext-faults --cache sweep.json --trials 30 --routes 40
     sos serve --addr 127.0.0.1:7070 --cache sweep.json
+    sos serve --slow-ms 250 --slow-log slow.jsonl
+    sos profile --workload grid --spans-out spans.json
     sos client analyze --layers 4
-    sos client simulate --trials 200 --seed 7
+    sos client simulate --trials 200 --seed 7 --timing 1
+    sos client trace > trace.json
     sos client shutdown
     sos optimize --max-latency 5
     sos tornado --mapping one-to-5
@@ -614,8 +633,17 @@ fn profile(
     let workload = args.get("workload").unwrap_or("grid").to_string();
     let telemetry_on: u64 = args.get_or("telemetry", 1)?;
     let results_out = args.get("results-out").map(str::to_string);
+    let spans_out = args.get("spans-out").map(str::to_string);
     let reporter_opts = reporter_flags(args)?;
     let threads = threads_flag(args)?;
+
+    // `--spans-out` turns on the request-tracing plane for this run:
+    // executor spans (cache probes, sweep points, pool batches) land
+    // in the flight recorder and are exported as Chrome trace JSON.
+    if spans_out.is_some() {
+        sos_observe::trace::recorder().clear();
+        sos_observe::trace::set_enabled(true);
+    }
 
     // The reporter starts before the workload so the interval sink
     // sees it live; `--telemetry 0` gives the reference run whose
@@ -701,6 +729,13 @@ fn profile(
     if let Some(path) = results_out {
         std::fs::write(&path, &results)?;
         writeln!(out, "results: -> {path}")?;
+    }
+    if let Some(path) = spans_out {
+        sos_observe::trace::set_enabled(false);
+        let spans = sos_observe::trace::recorder()
+            .recent(sos_observe::trace::FLIGHT_RECORDER_CAPACITY);
+        std::fs::write(&path, sos_observe::trace::chrome_trace_json(&spans))?;
+        writeln!(out, "spans: {} -> {path}", spans.len())?;
     }
     match reporter {
         Some(reporter) => {
@@ -1218,12 +1253,17 @@ fn serve_cmd(
     let cache = args.get("cache").map(std::path::PathBuf::from);
     let queue_depth =
         args.get_or("queue-depth", sos_serve::ServerOptions::default().queue_depth)?;
+    let slow_ms = match args.get("slow-ms") {
+        Some(_) => Some(args.get_or("slow-ms", 0)?),
+        None => None,
+    };
+    let slow_log = args.get("slow-log").map(std::path::PathBuf::from);
     let reporter_opts = reporter_flags(args)?;
     args.reject_unknown()?;
 
     let server = sos_serve::Server::bind(
         addr.as_str(),
-        sos_serve::ServerOptions { threads, cache, queue_depth },
+        sos_serve::ServerOptions { threads, cache, queue_depth, slow_ms, slow_log },
     )?;
     if server.cache_entries_loaded() > 0 {
         eprintln!("sweep cache: {} entries loaded", server.cache_entries_loaded());
@@ -1274,7 +1314,7 @@ fn client_cmd(
         .map(String::as_str)
         .ok_or_else(|| {
             ArgError(
-                "client requires an operation (ping | analyze | simulate | sweep | profile | shutdown)"
+                "client requires an operation (ping | analyze | simulate | sweep | profile | trace | shutdown)"
                     .into(),
             )
         })?;
@@ -1290,19 +1330,49 @@ fn client_cmd(
         "analyze" => {
             let spec = spec_from_args(args)?;
             args.reject_unknown()?;
-            let body = client.analyze(&spec)?;
+            let mut body = client.analyze(&spec)?;
+            // Drop the transport-level envelope fields so stdout stays
+            // byte-identical to `sos analyze --json 1` (CI diffs them).
+            if let serde_json::Value::Map(entries) = &mut body {
+                entries.retain(|(k, _)| k != "request_id" && k != "timing");
+            }
             writeln!(out, "{}", serde_json::to_string_pretty(&body)?)?;
         }
         "simulate" => {
             let spec = spec_from_args(args)?;
+            let timing_flag = args.get("timing").is_some_and(|v| v != "0");
             args.reject_unknown()?;
+            let rtt_started = std::time::Instant::now();
             let body = client.simulate_with(&spec, deadline_ms)?;
+            let rtt_ns = rtt_started.elapsed().as_nanos();
             // Reprint as the same {fingerprint, result} document
             // `sos simulate --json 1` emits, with the cache verdict on
             // stderr, so stdout can be byte-diffed against the direct
             // CLI path (CI does exactly that).
             let cached = matches!(body["cached"], serde_json::Value::Bool(true));
             eprintln!("cache: {}", if cached { "hit" } else { "miss" });
+            if timing_flag {
+                // Client-observed RTT next to the server-attributed
+                // breakdown, on stderr so stdout stays byte-diffable.
+                let t = &body["timing"];
+                let ns = |key: &str| t[key].as_u64().unwrap_or(0);
+                eprintln!(
+                    "timing: rtt {rtt_ns} ns | server total {} ns \
+                     (queue {}, lock {}, build {}, break-in {}, congestion {}, routing {}) \
+                     | trials {} cache_hits {} builds_reused {} | request_id {}",
+                    ns("total_ns"),
+                    ns("queue_ns"),
+                    ns("lock_ns"),
+                    ns("build_ns"),
+                    ns("break_in_ns"),
+                    ns("congestion_ns"),
+                    ns("routing_ns"),
+                    ns("trials"),
+                    ns("cache_hits"),
+                    ns("builds_reused"),
+                    body["request_id"].as_u64().unwrap_or(0),
+                );
+            }
             let doc = serde_json::json!({
                 "fingerprint": body["fingerprint"],
                 "result": body["result"],
@@ -1336,6 +1406,19 @@ fn client_cmd(
                 .ok_or_else(|| ArgError("malformed profile reply: no table".into()))?;
             write!(out, "{table}")?;
         }
+        "trace" => {
+            args.reject_unknown()?;
+            let body = client.trace()?;
+            // The Chrome trace-event document goes to stdout so
+            // `sos client trace > trace.json` loads directly in
+            // Perfetto; the span count goes to stderr.
+            eprintln!(
+                "spans: {} in recorder ({} recorded in total)",
+                body["spans"].as_u64().unwrap_or(0),
+                body["recorded"].as_u64().unwrap_or(0),
+            );
+            writeln!(out, "{}", serde_json::to_string(&body["trace"])?)?;
+        }
         "shutdown" => {
             args.reject_unknown()?;
             if retries > 1 {
@@ -1351,7 +1434,7 @@ fn client_cmd(
         }
         other => {
             return Err(ArgError(format!(
-                "unknown client operation `{other}` (ping | analyze | simulate | sweep | profile | shutdown)"
+                "unknown client operation `{other}` (ping | analyze | simulate | sweep | profile | trace | shutdown)"
             ))
             .into())
         }

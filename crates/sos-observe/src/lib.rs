@@ -29,6 +29,11 @@
 //!   API, and the background [`ProgressReporter`] behind `--progress`,
 //!   `--telemetry-out`, and `sos profile`. Telemetry observes but never
 //!   steers: results are bit-identical with it on or off.
+//! - [`trace`] — the *request-scoped* side: span guards with
+//!   trace/span ids, a bounded [`FlightRecorder`] ring of the last N
+//!   completed spans, and Chrome trace-event JSON export (what `sosd`
+//!   serves at `GET /debug/trace`). Same contract as telemetry:
+//!   observes, never steers.
 //!
 //! This crate is dependency-free by design (node identifiers are raw
 //! `u32`s, JSON is emitted by hand): every simulation crate can depend
@@ -58,6 +63,7 @@ pub mod metrics;
 pub mod record;
 pub mod sink;
 pub mod telemetry;
+pub mod trace;
 
 pub use event::{Event, EventKind, FallbackMode, FaultClass, Phase};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -66,3 +72,4 @@ pub use sink::{render_timeline, write_jsonl};
 pub use telemetry::{
     PhaseKind, PhaseTimer, ProgressReporter, ReporterOptions, TelemetrySnapshot,
 };
+pub use trace::{FlightRecorder, Span, SpanGuard};

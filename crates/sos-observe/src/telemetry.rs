@@ -210,6 +210,21 @@ static SERVE_DEADLINE_EXPIRED: AtomicU64 = AtomicU64::new(0);
 static SERVE_RETRIES: AtomicU64 = AtomicU64::new(0);
 static SERVE_RECOVERED: AtomicU64 = AtomicU64::new(0);
 static SERVE_REBUILDS: AtomicU64 = AtomicU64::new(0);
+static SERVE_REQUESTS: [AtomicU64; SERVE_OPS.len()] =
+    [const { AtomicU64::new(0) }; SERVE_OPS.len()];
+static SERVE_SLOW: AtomicU64 = AtomicU64::new(0);
+
+/// The protocol operations `sosd` counts requests for, in display
+/// order (indices match [`TelemetrySnapshot::serve_requests_by_op`]).
+pub const SERVE_OPS: [&str; 7] = [
+    "ping",
+    "analyze",
+    "simulate",
+    "sweep",
+    "profile",
+    "shutdown",
+    "trace",
+];
 
 thread_local! {
     static SLOT_IDX: Cell<usize> = const { Cell::new(usize::MAX) };
@@ -316,6 +331,20 @@ pub fn serve_recovered(n: u64) {
 /// in-memory state untrustworthy and it was reloaded from the cache).
 pub fn serve_rebuild() {
     SERVE_REBUILDS.fetch_add(1, Relaxed);
+}
+
+/// Counts one protocol request by operation name. Unknown names are
+/// ignored (forward compatibility with ops this build does not know).
+pub fn serve_request(op: &str) {
+    if let Some(i) = SERVE_OPS.iter().position(|&known| known == op) {
+        SERVE_REQUESTS[i].fetch_add(1, Relaxed);
+    }
+}
+
+/// Counts one request that exceeded the daemon's `--slow-ms`
+/// threshold (and was therefore written to the slow-request log).
+pub fn serve_slow_request() {
+    SERVE_SLOW.fetch_add(1, Relaxed);
 }
 
 /// Measures wall-clock spans between instrumented points and attributes
@@ -427,6 +456,10 @@ pub struct TelemetrySnapshot {
     pub serve_recovered_entries: u64,
     /// Executor rebuilds after a poisoned lock.
     pub serve_rebuilds: u64,
+    /// Protocol requests by operation, in [`SERVE_OPS`] order.
+    pub serve_requests_by_op: [u64; SERVE_OPS.len()],
+    /// Requests that exceeded the daemon's slow-request threshold.
+    pub serve_slow_requests: u64,
     /// Per-phase timing, in [`PhaseKind::ALL`] order.
     pub phases: Vec<PhaseSnapshot>,
     /// Per-slot totals, for slots that have seen any activity.
@@ -491,6 +524,8 @@ pub fn snapshot() -> TelemetrySnapshot {
         serve_retries: SERVE_RETRIES.load(Relaxed),
         serve_recovered_entries: SERVE_RECOVERED.load(Relaxed),
         serve_rebuilds: SERVE_REBUILDS.load(Relaxed),
+        serve_requests_by_op: std::array::from_fn(|i| SERVE_REQUESTS[i].load(Relaxed)),
+        serve_slow_requests: SERVE_SLOW.load(Relaxed),
         phases,
         workers,
     }
@@ -743,6 +778,18 @@ impl TelemetrySnapshot {
             self.serve_recovered_entries
         ));
         s.push_str(&format!(",\"serve_rebuilds\":{}", self.serve_rebuilds));
+        s.push_str(",\"serve_requests\":{");
+        for (i, op) in SERVE_OPS.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{op}\":{}", self.serve_requests_by_op[i]));
+        }
+        s.push('}');
+        s.push_str(&format!(
+            ",\"serve_slow_requests\":{}",
+            self.serve_slow_requests
+        ));
         s.push_str(&format!(",\"workers\":{}", self.workers.len()));
         s.push_str(&format!(",\"busy_ns\":{}", self.busy_ns()));
         s.push_str(",\"phases\":{");
@@ -811,6 +858,19 @@ impl TelemetrySnapshot {
             "Executor rebuilds after a poisoned lock.",
             self.serve_rebuilds,
         );
+        counter(
+            "sos_serve_slow_requests_total",
+            "Requests exceeding the daemon's slow-request threshold.",
+            self.serve_slow_requests,
+        );
+        s.push_str("# HELP sos_serve_requests_total Protocol requests by operation.\n");
+        s.push_str("# TYPE sos_serve_requests_total counter\n");
+        for (i, op) in SERVE_OPS.iter().enumerate() {
+            s.push_str(&format!(
+                "sos_serve_requests_total{{op=\"{op}\"}} {}\n",
+                self.serve_requests_by_op[i]
+            ));
+        }
         let mut gauge = |name: &str, help: &str, value: String| {
             s.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
@@ -1174,6 +1234,8 @@ mod tests {
             serve_retries: 0,
             serve_recovered_entries: 0,
             serve_rebuilds: 0,
+            serve_requests_by_op: [0; SERVE_OPS.len()],
+            serve_slow_requests: 0,
             phases: Vec::new(),
             workers: vec![WorkerSnapshot {
                 index: 0,
@@ -1222,6 +1284,8 @@ mod tests {
             serve_retries: 3,
             serve_recovered_entries: 4,
             serve_rebuilds: 5,
+            serve_requests_by_op: [9, 8, 7, 6, 5, 4, 3],
+            serve_slow_requests: 6,
             phases: PhaseKind::ALL
                 .iter()
                 .map(|&phase| {
@@ -1264,6 +1328,10 @@ mod tests {
             "sos_serve_retries_total 3",
             "sos_serve_recovered_entries 4",
             "sos_serve_executor_rebuilds_total 5",
+            "sos_serve_slow_requests_total 6",
+            "sos_serve_requests_total{op=\"ping\"} 9",
+            "sos_serve_requests_total{op=\"simulate\"} 7",
+            "sos_serve_requests_total{op=\"trace\"} 3",
         ] {
             assert!(prom.contains(series), "missing {series} in:\n{prom}");
         }
@@ -1283,6 +1351,9 @@ mod tests {
             "\"serve_retries\":3",
             "\"serve_recovered_entries\":4",
             "\"serve_rebuilds\":5",
+            "\"serve_requests\":{\"ping\":9",
+            "\"simulate\":7",
+            "\"serve_slow_requests\":6",
             "\"phases\":{\"build\"",
             "\"p95_ns\"",
             "\"busy_ns\":4000",

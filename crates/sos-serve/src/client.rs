@@ -163,6 +163,16 @@ impl Client {
         self.request(&Request::Profile)
     }
 
+    /// `trace` — the flight recorder's recent spans as a Chrome
+    /// trace-event document (`{spans, recorded, trace}`).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn trace(&mut self) -> Result<Value, ClientError> {
+        self.request(&Request::Trace)
+    }
+
     /// `shutdown` — ask the daemon to drain and exit.
     ///
     /// # Errors
@@ -296,6 +306,16 @@ impl RetryClient {
     /// See [`request`](RetryClient::request).
     pub fn profile(&mut self) -> Result<Value, ClientError> {
         self.request(&Request::Profile)
+    }
+
+    /// Retried [`Client::trace`] (idempotent: reading the flight
+    /// recorder has no side effects).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](RetryClient::request).
+    pub fn trace(&mut self) -> Result<Value, ClientError> {
+        self.request(&Request::Trace)
     }
 
     /// Retried [`Client::simulate_with`].

@@ -191,6 +191,9 @@ pub enum Request {
     },
     /// Current telemetry snapshot: per-phase profile table + counters.
     Profile,
+    /// The flight recorder's recent spans as a Chrome trace-event
+    /// document (same bytes as `GET /debug/trace`); no parameters.
+    Trace,
     /// Begin graceful shutdown: stop accepting, drain in-flight
     /// requests, persist the sweep cache.
     Shutdown,
@@ -205,6 +208,7 @@ impl Request {
             Request::Simulate { .. } => "simulate",
             Request::Sweep { .. } => "sweep",
             Request::Profile => "profile",
+            Request::Trace => "trace",
             Request::Shutdown => "shutdown",
         }
     }
@@ -216,7 +220,7 @@ impl Request {
             ("op".into(), Value::Str(self.op().into())),
         ];
         match self {
-            Request::Ping | Request::Profile | Request::Shutdown => {}
+            Request::Ping | Request::Profile | Request::Trace | Request::Shutdown => {}
             Request::Analyze(spec) => {
                 entries.push(("spec".into(), spec.to_value()));
             }
@@ -286,6 +290,7 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "profile" => Ok(Request::Profile),
+            "trace" => Ok(Request::Trace),
             "shutdown" => Ok(Request::Shutdown),
             "analyze" => Ok(Request::Analyze(spec()?)),
             "simulate" => Ok(Request::Simulate { spec: spec()?, deadline_ms: deadline_ms()? }),
@@ -309,7 +314,7 @@ impl Request {
             }
             other => Err(WireError::new(
                 ErrorCode::UnknownOp,
-                format!("unknown op `{other}` (ping | analyze | simulate | sweep | profile | shutdown)"),
+                format!("unknown op `{other}` (ping | analyze | simulate | sweep | profile | trace | shutdown)"),
             )),
         }
     }
@@ -562,6 +567,7 @@ mod tests {
         let requests = [
             Request::Ping,
             Request::Profile,
+            Request::Trace,
             Request::Shutdown,
             Request::Analyze(SimSpec::default()),
             Request::Simulate {

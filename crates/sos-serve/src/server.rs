@@ -26,6 +26,18 @@
 //! next access and the executor is rebuilt from the persisted cache
 //! file, so one bad request cannot corrupt the daemon's warm state.
 //!
+//! Observability: every protocol request gets a monotonic
+//! `request_id` (echoed in the response along with a `timing`
+//! breakdown computed from telemetry snapshot deltas bracketing the
+//! request), and doubles it as the trace id of a request-scoped span
+//! tree — admission, executor-lock wait, cache probes, sweep points,
+//! pool batches — kept in `sos_observe::trace`'s bounded flight
+//! recorder and served as Chrome trace-event JSON at
+//! `GET /debug/trace` (or the `trace` op). Requests slower than
+//! [`ServerOptions::slow_ms`] are counted and logged as structured
+//! JSONL; anomalies (internal errors, shedding, executor rebuilds,
+//! shutdown drain) dump the recorder's recent spans to the same sink.
+//!
 //! Shutdown: a `shutdown` request (there is no portable stdlib signal
 //! handling) flips a flag and wakes the accept loop; the server stops
 //! accepting, drains in-flight connections, persists the sweep cache,
@@ -36,7 +48,8 @@ use crate::protocol::{
 };
 use crate::spec::{analyze_doc, analyze_outcome};
 use serde_json::Value;
-use sos_observe::telemetry;
+use sos_observe::telemetry::{self, PhaseKind, TelemetrySnapshot};
+use sos_observe::trace;
 use sos_sim::{config_fingerprint, SweepExecutor};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -65,6 +78,13 @@ const RETRY_AFTER_SLICE_MS: u64 = 100;
 /// Ceiling for the `retry_after_ms` hint.
 const RETRY_AFTER_MAX_MS: u64 = 5_000;
 
+/// Most recent spans included in a flight-recorder anomaly dump.
+const ANOMALY_DUMP_SPANS: usize = 64;
+
+/// Floor between two flight-recorder anomaly dumps: a shed storm or a
+/// rebuild loop must not turn the slow log into a span firehose.
+const ANOMALY_DUMP_INTERVAL: Duration = Duration::from_secs(1);
+
 /// Construction-time knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -79,6 +99,15 @@ pub struct ServerOptions {
     /// the rest are shed with `busy` + `retry_after_ms`. `0` sheds
     /// every executor request (useful for drills and tests).
     pub queue_depth: usize,
+    /// Slow-request threshold, in milliseconds of total service time:
+    /// a protocol request at or over it bumps
+    /// `sos_serve_slow_requests_total` and writes one structured JSONL
+    /// line (request id, op, timing breakdown) to the slow log.
+    /// `None` disables slow-request logging.
+    pub slow_ms: Option<u64>,
+    /// File receiving slow-request lines and flight-recorder anomaly
+    /// dumps (created/appended); `None` sends them to stderr.
+    pub slow_log: Option<PathBuf>,
 }
 
 impl Default for ServerOptions {
@@ -87,6 +116,8 @@ impl Default for ServerOptions {
             threads: None,
             cache: None,
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            slow_ms: None,
+            slow_log: None,
         }
     }
 }
@@ -126,6 +157,17 @@ struct Shared {
     threads: Option<usize>,
     /// Cache file, kept for executor rebuilds after poisoning.
     cache_path: Option<PathBuf>,
+    /// Monotonic protocol request ids; each doubles as the trace id
+    /// every span of that request carries.
+    request_ids: AtomicU64,
+    /// Slow-request threshold ([`ServerOptions::slow_ms`]).
+    slow_ms: Option<u64>,
+    /// Slow-log / anomaly-dump sink ([`ServerOptions::slow_log`]);
+    /// stderr when `None`.
+    slow_log: Option<PathBuf>,
+    /// Nanoseconds (since `started`) of the last anomaly dump, for
+    /// [`ANOMALY_DUMP_INTERVAL`] throttling; 0 = never.
+    last_dump_ns: AtomicU64,
     started: Instant,
     addr: SocketAddr,
 }
@@ -143,6 +185,10 @@ impl Shared {
             queue_depth: opts.queue_depth,
             threads: opts.threads,
             cache_path: opts.cache.clone(),
+            request_ids: AtomicU64::new(0),
+            slow_ms: opts.slow_ms,
+            slow_log: opts.slow_log.clone(),
+            last_dump_ns: AtomicU64::new(0),
             started: Instant::now(),
             addr,
         }
@@ -177,6 +223,7 @@ fn try_admit(shared: &Shared) -> Result<AdmissionPermit<'_>, WireError> {
     loop {
         if current >= shared.queue_depth as u64 {
             telemetry::serve_shed();
+            anomaly_dump(shared, "shed");
             let retry_after = RETRY_AFTER_SLICE_MS
                 .saturating_mul(current.max(1))
                 .min(RETRY_AFTER_MAX_MS);
@@ -229,6 +276,11 @@ impl Server {
         // way), and `GET /metrics` must show real counters without
         // requiring a reporter.
         telemetry::set_enabled(true);
+        // The request-tracing plane is likewise always on: spans
+        // observe but never steer (results stay byte-identical), and
+        // the flight recorder is what `GET /debug/trace` and the
+        // `trace` op serve.
+        trace::set_enabled(true);
         let mut exec = match opts.threads {
             Some(t) => SweepExecutor::with_threads(t),
             None => SweepExecutor::new(),
@@ -290,6 +342,9 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
+        // The drain report includes a flight-recorder dump so the last
+        // requests before shutdown survive for post-mortem.
+        anomaly_dump(&self.shared, "shutdown-drain");
         let mut exec = lock_executor(&self.shared);
         exec.persist();
         Ok(ServerReport {
@@ -367,6 +422,7 @@ fn lock_executor<'a>(shared: &'a Shared) -> std::sync::MutexGuard<'a, SweepExecu
             }
             *guard = fresh;
             telemetry::serve_rebuild();
+            anomaly_dump(shared, "executor-rebuild");
             eprintln!(
                 "warning: executor lock was poisoned by a panicked request; \
                  rebuilt from persisted cache ({} points)",
@@ -375,6 +431,109 @@ fn lock_executor<'a>(shared: &'a Shared) -> std::sync::MutexGuard<'a, SweepExecu
             guard
         }
     }
+}
+
+/// Appends diagnostic text (slow-request lines, anomaly dumps) to the
+/// slow-log sink: the `--slow-log` file when configured, stderr
+/// otherwise. Sink failures are swallowed — the observability plane
+/// must never fail a request.
+fn sink_text(shared: &Shared, text: &str) {
+    match &shared.slow_log {
+        Some(path) => {
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = f.write_all(text.as_bytes());
+            }
+        }
+        None => eprint!("{text}"),
+    }
+}
+
+/// Dumps the flight recorder's most recent spans (JSONL, one Chrome
+/// event per line) to the slow-log sink, prefixed with a reason line.
+/// Called on anomalies — internal errors, shedding, executor rebuilds,
+/// shutdown drain — so the spans leading up to the event survive for
+/// post-mortem. Throttled to one dump per [`ANOMALY_DUMP_INTERVAL`]
+/// (a shed storm must not flood the sink) and a no-op while tracing is
+/// disabled.
+fn anomaly_dump(shared: &Shared, reason: &str) {
+    if !trace::enabled() {
+        return;
+    }
+    // Shedding and the shutdown drain are *expected* operational
+    // events: dump their context only into an explicitly configured
+    // sink, never onto a clean stderr. Internal errors and executor
+    // rebuilds always dump — they are the post-mortems this exists
+    // for.
+    if matches!(reason, "shed" | "shutdown-drain") && shared.slow_log.is_none() {
+        return;
+    }
+    let now_ns = shared.started.elapsed().as_nanos() as u64;
+    let last = shared.last_dump_ns.load(Ordering::Relaxed);
+    if last != 0 && now_ns.saturating_sub(last) < ANOMALY_DUMP_INTERVAL.as_nanos() as u64 {
+        return;
+    }
+    if shared
+        .last_dump_ns
+        .compare_exchange(last, now_ns.max(1), Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return; // another thread won the dump
+    }
+    let spans = trace::recorder().recent(ANOMALY_DUMP_SPANS);
+    let mut text = format!(
+        "{{\"flight_recorder_dump\":\"{reason}\",\"spans\":{}}}\n",
+        spans.len()
+    );
+    text.push_str(&trace::spans_jsonl(&spans));
+    sink_text(shared, &text);
+}
+
+/// Server-attributed wall-clock split of one request, measured at the
+/// two points a request can block: the admission queue and the
+/// executor mutex. The rest of the `timing` doc comes from telemetry
+/// snapshot deltas bracketing the request.
+#[derive(Debug, Default)]
+struct RequestTiming {
+    /// Wall time spent claiming an admission slot.
+    queue_ns: u64,
+    /// Wall time blocked on the executor mutex.
+    lock_ns: u64,
+}
+
+/// Attributed wall clock of `phase` between two snapshots (summed over
+/// workers, so parallel phases may exceed request wall time).
+fn phase_delta_ns(before: &TelemetrySnapshot, after: &TelemetrySnapshot, phase: PhaseKind) -> u64 {
+    let total = |snap: &TelemetrySnapshot| {
+        snap.phases
+            .iter()
+            .find(|p| p.phase == phase)
+            .map_or(0, |p| p.total_ns)
+    };
+    total(after).saturating_sub(total(before))
+}
+
+/// Builds the `timing` doc attached to every successful response: the
+/// request's total service time, its queue/lock waits, per-phase
+/// attributed wall clock, and work counters — all from the measured
+/// waits plus telemetry snapshot deltas bracketing the request.
+fn timing_doc(
+    timing: &RequestTiming,
+    before: &TelemetrySnapshot,
+    after: &TelemetrySnapshot,
+    total_ns: u64,
+) -> Value {
+    serde_json::json!({
+        "total_ns": total_ns,
+        "queue_ns": timing.queue_ns,
+        "lock_ns": timing.lock_ns,
+        "build_ns": phase_delta_ns(before, after, PhaseKind::Build),
+        "break_in_ns": phase_delta_ns(before, after, PhaseKind::BreakIn),
+        "congestion_ns": phase_delta_ns(before, after, PhaseKind::Congestion),
+        "routing_ns": phase_delta_ns(before, after, PhaseKind::Routing),
+        "trials": after.trials - before.trials,
+        "cache_hits": after.cache_hits - before.cache_hits,
+        "builds_reused": after.build_reused - before.build_reused,
+    })
 }
 
 /// What the first four bytes of a connection turned out to be.
@@ -550,10 +709,53 @@ fn respond(payload: &[u8], shared: &Shared) -> (Response, bool) {
     };
     let shutdown = matches!(request, Request::Shutdown);
     let op = request.op();
-    let response = match execute(request, shared, Instant::now()) {
-        Ok(result) => Response::Ok { op: op.into(), result },
+    telemetry::serve_request(op);
+    // The request id doubles as the trace id: every span recorded
+    // while this request executes carries it, and the response echoes
+    // it so a client can find its own spans in `GET /debug/trace`.
+    let request_id = shared.request_ids.fetch_add(1, Ordering::Relaxed) + 1;
+    let root = trace::enabled().then(|| {
+        trace::start_with(format!("request:{op}"), trace::CAT_REQUEST, request_id, 0)
+    });
+    // Executor execution is serialized on one mutex, so the ambient
+    // slot cannot be trampled by a concurrent executor request; spans
+    // recorded outside any request (none today) would carry trace 0.
+    trace::set_context(request_id, root.as_ref().map_or(0, |r| r.id()));
+    let started = Instant::now();
+    let before = telemetry::snapshot();
+    let mut timing = RequestTiming::default();
+    let outcome = execute(request, shared, started, &mut timing);
+    let after = telemetry::snapshot();
+    let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    trace::clear_context();
+    drop(root);
+    let doc = timing_doc(&timing, &before, &after, total_ns);
+    let response = match outcome {
+        Ok(mut result) => {
+            // Additive response fields (protocol stays v1): clients
+            // that predate them ignore unknown keys.
+            if let Value::Map(entries) = &mut result {
+                entries.push(("request_id".into(), Value::U64(request_id)));
+                entries.push(("timing".into(), doc.clone()));
+            }
+            Response::Ok { op: op.into(), result }
+        }
         Err(e) => Response::Err(e),
     };
+    if let Some(slow_ms) = shared.slow_ms {
+        if total_ns >= slow_ms.saturating_mul(1_000_000) {
+            telemetry::serve_slow_request();
+            let timing_json =
+                serde_json::to_string(&doc).unwrap_or_else(|_| String::from("null"));
+            let ok = matches!(response, Response::Ok { .. });
+            sink_text(
+                shared,
+                &format!(
+                    "{{\"slow_request\":{{\"request_id\":{request_id},\"op\":\"{op}\",\"ok\":{ok},\"timing\":{timing_json}}}}}\n"
+                ),
+            );
+        }
+    }
     (response, shutdown)
 }
 
@@ -582,13 +784,16 @@ fn deadline_error(deadline_ms: u64, done: usize, total: usize) -> WireError {
 }
 
 /// Runs one executor-bound closure, converting a panic into an
-/// `internal` error response for this request. The unwind poisons the
+/// `internal` error response for this request (plus a flight-recorder
+/// dump of the spans leading up to it). The unwind poisons the
 /// executor lock on its way out; the next [`lock_executor`] rebuilds
 /// the executor from the persisted cache.
 fn run_guarded(
+    shared: &Shared,
     f: impl FnOnce() -> Result<Value, WireError>,
 ) -> Result<Value, WireError> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|_| {
+        anomaly_dump(shared, "internal-error");
         Err(WireError::new(
             ErrorCode::Internal,
             "request panicked in the executor; state will be rebuilt from the persisted cache",
@@ -597,8 +802,14 @@ fn run_guarded(
 }
 
 /// Executes a decoded request against the shared executor/telemetry.
-/// `arrival` anchors the request's `deadline_ms` budget.
-fn execute(request: Request, shared: &Shared, arrival: Instant) -> Result<Value, WireError> {
+/// `arrival` anchors the request's `deadline_ms` budget; the measured
+/// queue/lock waits land in `timing`.
+fn execute(
+    request: Request,
+    shared: &Shared,
+    arrival: Instant,
+    timing: &mut RequestTiming,
+) -> Result<Value, WireError> {
     match request {
         Request::Ping => Ok(serde_json::json!({
             "server": "sosd",
@@ -614,10 +825,14 @@ fn execute(request: Request, shared: &Shared, arrival: Instant) -> Result<Value,
         }
         Request::Simulate { spec, deadline_ms } => {
             let config = spec.sim_config()?;
+            let admit_started = Instant::now();
             let _permit = try_admit(shared)?;
-            run_guarded(|| {
+            timing.queue_ns = elapsed_ns(admit_started);
+            run_guarded(shared, || {
                 let fp = config_fingerprint(&config);
+                let lock_started = Instant::now();
                 let mut exec = lock_executor(shared);
+                timing.lock_ns = elapsed_ns(lock_started);
                 // The queue wait may have eaten the whole budget;
                 // refuse before computing, not after.
                 if deadline_expired(arrival, deadline_ms) {
@@ -629,6 +844,7 @@ fn execute(request: Request, shared: &Shared, arrival: Instant) -> Result<Value,
                 Ok(serde_json::json!({
                     "fingerprint": format!("{fp:016x}"),
                     "cached": cached,
+                    "served_from": if cached { "cache" } else { "computed" },
                     "result": result,
                 }))
             })
@@ -643,13 +859,17 @@ fn execute(request: Request, shared: &Shared, arrival: Instant) -> Result<Value,
                     })
                 })
                 .collect::<Result<Vec<_>, _>>()?;
+            let admit_started = Instant::now();
             let _permit = try_admit(shared)?;
-            run_guarded(|| {
+            timing.queue_ns = elapsed_ns(admit_started);
+            run_guarded(shared, || {
                 let fingerprints: Vec<String> = configs
                     .iter()
                     .map(|c| format!("{:016x}", config_fingerprint(c)))
                     .collect();
+                let lock_started = Instant::now();
                 let mut exec = lock_executor(shared);
+                timing.lock_ns = elapsed_ns(lock_started);
                 let before = exec.stats();
                 let results = match deadline_ms {
                     // No deadline: one pool submission, identical to
@@ -679,8 +899,22 @@ fn execute(request: Request, shared: &Shared, arrival: Instant) -> Result<Value,
                         serde_json::json!({ "fingerprint": fp, "result": result })
                     })
                     .collect();
+                // Where the answers came from: nothing executed means
+                // pure cache, nothing answered from memory means pure
+                // compute, any mix is partial.
+                let executed = after.points_executed - before.points_executed;
+                let from_memory = (after.cache_hits - before.cache_hits)
+                    + (after.dedup_hits - before.dedup_hits);
+                let served_from = if executed == 0 {
+                    "cache"
+                } else if from_memory == 0 {
+                    "computed"
+                } else {
+                    "partial"
+                };
                 Ok(serde_json::json!({
                     "results": points,
+                    "served_from": served_from,
                     "stats": {
                         "points": after.points - before.points,
                         "cache_hits": after.cache_hits - before.cache_hits,
@@ -700,8 +934,23 @@ fn execute(request: Request, shared: &Shared, arrival: Instant) -> Result<Value,
                 "telemetry": parsed,
             }))
         }
+        Request::Trace => {
+            let spans = trace::recorder().recent(trace::FLIGHT_RECORDER_CAPACITY);
+            let doc: Value = serde_json::from_str(&trace::chrome_trace_json(&spans))
+                .map_err(|e| WireError::new(ErrorCode::Internal, e.to_string()))?;
+            Ok(serde_json::json!({
+                "spans": spans.len() as u64,
+                "recorded": trace::recorder().recorded(),
+                "trace": doc,
+            }))
+        }
         Request::Shutdown => Ok(serde_json::json!({ "draining": true })),
     }
+}
+
+/// Nanoseconds since `start`, saturating.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The health/progress document served at `GET /healthz`: server
@@ -725,8 +974,19 @@ fn health_json(shared: &Shared) -> String {
         Some(age) => format!("{:.3}", age.as_secs_f64()),
         None => String::from("null"),
     };
+    let snap = telemetry::snapshot();
+    // Per-op request counters, in wire-op order.
+    let mut requests_by_op = String::from("{");
+    for (i, op) in telemetry::SERVE_OPS.iter().enumerate() {
+        if i > 0 {
+            requests_by_op.push(',');
+        }
+        requests_by_op.push_str(&format!("\"{op}\":{}", snap.serve_requests_by_op[i]));
+    }
+    requests_by_op.push('}');
     format!(
         "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"connections\":{},\"requests\":{},\"http_requests\":{},\"errors\":{},\
+         \"requests_by_op\":{requests_by_op},\"slow_requests_total\":{},\
          \"in_flight\":{},\"queue_depth\":{},\"last_persist_age_s\":{last_persist_age_s},\
          \"sweep\":{{\"points\":{},\"cache_hits\":{},\"dedup_hits\":{},\"points_executed\":{},\"trials_executed\":{},\"cached_points\":{cached_points}}},\
          \"telemetry\":{}}}",
@@ -735,6 +995,7 @@ fn health_json(shared: &Shared) -> String {
         shared.requests.load(Ordering::Relaxed),
         shared.http_requests.load(Ordering::Relaxed),
         shared.errors.load(Ordering::Relaxed),
+        snap.serve_slow_requests,
         shared.in_flight.load(Ordering::SeqCst),
         shared.queue_depth,
         sweep.points,
@@ -742,13 +1003,13 @@ fn health_json(shared: &Shared) -> String {
         sweep.dedup_hits,
         sweep.points_executed,
         sweep.trials_executed,
-        telemetry::snapshot_json(),
+        snap.to_json(),
     )
 }
 
 /// Serves one HTTP GET whose first four bytes (`"GET "`) are already
-/// consumed: reads the head, routes `/metrics` and `/healthz`,
-/// answers 404 otherwise, always `Connection: close`.
+/// consumed: reads the head, routes `/metrics`, `/healthz` and
+/// `/debug/trace`, answers 404 otherwise, always `Connection: close`.
 fn serve_http(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
     // Read until the blank line ending the head (bounded: 8 KiB).
     let mut head = Vec::with_capacity(256);
@@ -777,10 +1038,15 @@ fn serve_http(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
             telemetry::exposition(),
         ),
         "/healthz" => ("200 OK", telemetry::JSON_CONTENT_TYPE, health_json(shared)),
+        "/debug/trace" => (
+            "200 OK",
+            telemetry::JSON_CONTENT_TYPE,
+            trace::chrome_trace_json(&trace::recorder().recent(trace::FLIGHT_RECORDER_CAPACITY)),
+        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            format!("unknown path {path:?} (try /metrics or /healthz)\n"),
+            format!("unknown path {path:?} (try /metrics, /healthz or /debug/trace)\n"),
         ),
     };
     let response = format!(
@@ -863,6 +1129,7 @@ mod tests {
             Request::Simulate { spec: tiny_spec(), deadline_ms: Some(0) },
             &shared,
             Instant::now(),
+            &mut RequestTiming::default(),
         )
         .expect_err("a zero deadline is always already expired");
         assert_eq!(err.code, ErrorCode::DeadlineExceeded);
@@ -877,6 +1144,7 @@ mod tests {
             Request::Sweep { specs: vec![tiny_spec(); 3], deadline_ms: Some(0) },
             &shared,
             Instant::now(),
+            &mut RequestTiming::default(),
         )
         .expect_err("expired sweep deadline");
         assert_eq!(err.code, ErrorCode::DeadlineExceeded);

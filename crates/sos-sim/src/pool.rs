@@ -32,9 +32,10 @@
 //! [`Simulation::run_parallel`]: crate::engine::Simulation::run_parallel
 
 use crate::engine::{num_threads, Partial, Simulation, TrialQueue, TrialScratch};
-use sos_observe::telemetry;
+use sos_observe::{telemetry, trace};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 /// One unit of pool work: run trials `start..end` of `sim` and merge
 /// them into a single [`Partial`].
@@ -64,6 +65,8 @@ struct JobSlot {
     /// Trials of this job not yet merged; hits zero exactly once, when
     /// the job completes (telemetry's per-point progress tick).
     remaining: AtomicU64,
+    /// Total trials of the job (for the completion trace span).
+    trials: u64,
     point: bool,
 }
 
@@ -86,6 +89,9 @@ struct RunState {
     head: AtomicUsize,
     /// Batches executed (for pool metrics).
     batches: AtomicU64,
+    /// Set when request tracing was on at `run` entry: the anchor for
+    /// per-point completion spans (reading a clock, never the RNG).
+    trace_started: Option<Instant>,
     done: Mutex<RunDone>,
     done_cv: Condvar,
 }
@@ -177,6 +183,7 @@ impl WorkerPool {
                     sim: job.sim,
                     partial: Mutex::new(Vec::new()),
                     remaining: AtomicU64::new(len),
+                    trials: len,
                     point: job.point,
                 }
             })
@@ -186,6 +193,7 @@ impl WorkerPool {
             jobs: slots,
             head: AtomicUsize::new(0),
             batches: AtomicU64::new(0),
+            trace_started: trace::enabled().then(Instant::now),
             done: Mutex::new(RunDone {
                 remaining: total,
                 poisoned: false,
@@ -291,17 +299,30 @@ fn drain(run: &RunState, scratch: &mut TrialScratch) {
         if let Some(t) = telemetry::slot() {
             t.add_batch();
         }
+        let mut batch_span = trace::start("pool-batch", trace::CAT_POOL);
         let mut partial = Partial::default();
         for trial in start..end {
             slot.sim
                 .run_one_trial(slot.base + trial, &mut partial, scratch, None);
         }
+        if let Some(span) = batch_span.as_mut() {
+            span.arg("trials", end - start);
+        }
+        drop(batch_span); // record the batch claim's span now
         lock_ignore_poison(&slot.partial).push((start, partial));
         run.batches.fetch_add(1, Ordering::Relaxed);
         // The last batch of a job completes a sweep point.
         let batch_len = end - start;
         if slot.remaining.fetch_sub(batch_len, Ordering::AcqRel) == batch_len && slot.point {
             telemetry::point_done();
+            if let Some(t0) = run.trace_started {
+                trace::record_since(
+                    "sweep-point",
+                    trace::CAT_EXEC,
+                    t0,
+                    &[("trials", slot.trials)],
+                );
+            }
         }
         let mut done = lock_ignore_poison(&run.done);
         done.remaining -= end - start;

@@ -1,7 +1,7 @@
 //! Batched structure-of-arrays route evaluation.
 //!
 //! The scalar trial loop routed `routes_per_trial` messages one at a
-//! time through [`route_message_hint`], touching the per-trial shared
+//! time through [`route_message_hint`](crate::routing::route_message_hint), touching the per-trial shared
 //! state — layer membership, neighbor tables, the position-indexed
 //! `NodeBitSet` liveness words, the Chord finger rows — once *per
 //! route*. This kernel evaluates all routes of a trial as parallel
@@ -28,7 +28,7 @@
 //! [`stream::ROUTE`](crate::stream::ROUTE)), so lane order, chunking
 //! and batch width *cannot* perturb draws: a lane's draw sequence is a
 //! pure function of `(seed, trial, route)`. The fast paths below are
-//! faithful specializations of [`route_message_hint`] to the
+//! faithful specializations of [`route_message_hint`](crate::routing::route_message_hint) to the
 //! fault-free case: layer-synchronous lanes for the greedy policies,
 //! and a memo-backed DFS (parent-pointer frames instead of a cloned
 //! path `Vec` per frame, hops from the shared per-trial Chord memo)
@@ -181,7 +181,7 @@ impl RouteBatchScratch {
     ///
     /// With `batched = false` (or whenever no fast path applies:
     /// active faults, protocol transport) every lane runs the scalar
-    /// [`route_message_hint`] oracle through `oracle` scratch; results
+    /// [`route_message_hint`](crate::routing::route_message_hint) oracle through `oracle` scratch; results
     /// are identical either way.
     #[allow(clippy::too_many_arguments)]
     pub fn evaluate(

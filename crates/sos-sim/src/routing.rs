@@ -281,7 +281,7 @@ pub(crate) fn route_message_hint_priced<'a, R: Rng + ?Sized>(
                 rng,
                 result,
                 alive,
-                pricer.as_deref_mut(),
+                pricer,
             ),
         }
     }
@@ -291,6 +291,7 @@ pub(crate) fn route_message_hint_priced<'a, R: Rng + ?Sized>(
 /// One fault-ladder hop delivery, routed through the memo-backed pricer
 /// when one is installed (Chord + trial-stable mask only; see
 /// [`Transport::deliver_with_hint_priced`] for the contract).
+#[allow(clippy::too_many_arguments)]
 fn deliver_priced(
     transport: &Transport,
     overlay: &Overlay,

@@ -52,7 +52,7 @@
 
 use crate::engine::{Simulation, SimulationConfig, SimulationResult};
 use crate::pool::{global_pool, RangeJob, WorkerPool};
-use sos_observe::telemetry;
+use sos_observe::{telemetry, trace};
 use sos_observe::{Event, EventKind, MetricsRegistry, Recorder};
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -585,19 +585,33 @@ impl SweepExecutor {
         let mut planned: Vec<u64> = Vec::new();
         let mut sims: Vec<Arc<Simulation>> = Vec::new();
         for (point, (config, &fp)) in configs.iter().zip(&fingerprints).enumerate() {
+            // Request-scoped tracing: one probe span per point, with a
+            // hit/miss annotation. Reads the clock only — never the
+            // sim RNG streams — so plans are identical traced or not.
+            let mut probe = trace::start("cache-probe", trace::CAT_EXEC);
             if self.memory.contains_key(&fp) {
                 self.stats.cache_hits += 1;
                 telemetry::point_cached();
+                if let Some(span) = probe.as_mut() {
+                    span.arg("hit", 1);
+                }
                 emit(point as u64, EventKind::SweepPointCached { point: point as u64, fingerprint: fp });
             } else if planned.contains(&fp) {
                 self.stats.dedup_hits += 1;
                 telemetry::point_cached();
+                if let Some(span) = probe.as_mut() {
+                    span.arg("hit", 1);
+                    span.arg("dedup", 1);
+                }
                 emit(point as u64, EventKind::SweepPointCached { point: point as u64, fingerprint: fp });
             } else {
                 planned.push(fp);
                 sims.push(Arc::new(Simulation::new(config.clone())));
                 self.stats.points_executed += 1;
                 self.stats.trials_executed += config.trials;
+                if let Some(span) = probe.as_mut() {
+                    span.arg("hit", 0);
+                }
                 emit(point as u64, EventKind::SweepPointStart {
                     point: point as u64,
                     fingerprint: fp,

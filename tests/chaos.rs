@@ -114,6 +114,7 @@ fn shed_requests_get_busy_with_retry_hint_and_never_corrupt_state() {
         threads: Some(1),
         cache: None,
         queue_depth: 0,
+        ..ServerOptions::default()
     });
     let mut client = Client::connect(addr).expect("connect");
 

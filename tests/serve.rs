@@ -1,8 +1,16 @@
 //! End-to-end tests for the resident `sosd` service (`sos-serve`):
 //! daemon answers over the wire protocol, results are byte-identical
 //! to direct executor runs, repeats are served from the warm cache,
-//! the same port speaks HTTP for `/metrics` + `/healthz`, protocol
-//! errors carry stable codes, and shutdown drains cleanly.
+//! the same port speaks HTTP for `/metrics` + `/healthz` +
+//! `/debug/trace`, every response carries a `request_id`/`timing`/
+//! `served_from` envelope, protocol errors carry stable codes, and
+//! shutdown drains cleanly.
+//!
+//! Global-counter caveat: these tests share one process, so telemetry
+//! counters (per-op requests, cache hits) and the flight recorder are
+//! cross-contaminated between concurrently-running daemons —
+//! assertions on them are monotone (`>=`), while executor-local facts
+//! (`served_from`, stats deltas) are exact.
 
 use serde_json::Value;
 use sos_serve::{protocol, Client, ClientError, Server, ServerHandle, ServerOptions, SimSpec};
@@ -47,7 +55,12 @@ fn ping_and_analyze_match_direct_evaluation() {
         layers: 4,
         ..SimSpec::default()
     };
-    let served = client.analyze(&spec).expect("analyze");
+    let mut served = client.analyze(&spec).expect("analyze");
+    // Strip the per-request envelope (request_id, timing): the
+    // payload underneath must be byte-identical to direct evaluation.
+    if let Value::Map(entries) = &mut served {
+        entries.retain(|(k, _)| k != "request_id" && k != "timing");
+    }
     let scenario = spec.scenario().expect("scenario");
     let attack = spec.attack().expect("attack");
     let evaluator = spec.evaluator().expect("evaluator");
@@ -224,6 +237,175 @@ fn http_metrics_and_healthz_share_the_protocol_port() {
         .expect("shutdown");
     let report = handle.join().expect("join");
     assert!(report.http_requests >= 3, "{report:?}");
+}
+
+#[test]
+fn responses_carry_request_id_timing_and_served_from() {
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+        ..ServerOptions::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let spec = small_spec(907);
+    let cold_started = std::time::Instant::now();
+    let cold = client.simulate(&spec).expect("cold simulate");
+    let cold_rtt_ns = u64::try_from(cold_started.elapsed().as_nanos()).unwrap();
+    let warm = client.simulate(&spec).expect("warm simulate");
+
+    // served_from reflects the executor's own stats deltas: a cold
+    // point is computed, its repeat is answered from the memo.
+    assert_eq!(cold["served_from"].as_str(), Some("computed"));
+    assert_eq!(warm["served_from"].as_str(), Some("cache"));
+
+    // Request ids are monotonic per daemon and echoed per response.
+    let cold_id = cold["request_id"].as_u64().expect("cold request_id");
+    let warm_id = warm["request_id"].as_u64().expect("warm request_id");
+    assert!(warm_id > cold_id, "ids must increase: {cold_id} then {warm_id}");
+
+    // The timing doc is a complete breakdown, and the server's total
+    // is bounded by what this client observed around the call.
+    for body in [&cold, &warm] {
+        for key in [
+            "total_ns",
+            "queue_ns",
+            "lock_ns",
+            "build_ns",
+            "break_in_ns",
+            "congestion_ns",
+            "routing_ns",
+            "trials",
+            "cache_hits",
+            "builds_reused",
+        ] {
+            assert!(
+                body["timing"][key].as_u64().is_some(),
+                "missing timing key {key}: {body:?}"
+            );
+        }
+    }
+    let cold_total = cold["timing"]["total_ns"].as_u64().expect("total_ns");
+    assert!(cold_total > 0, "a computed request takes measurable time");
+    assert!(
+        cold_total <= cold_rtt_ns,
+        "server-attributed time ({cold_total} ns) cannot exceed the \
+         client-observed RTT ({cold_rtt_ns} ns)"
+    );
+    assert!(
+        cold["timing"]["trials"].as_u64().expect("trials") >= 3,
+        "the cold request executed the spec's trials"
+    );
+
+    // Sweep classification: all-warm → cache, warm+cold mix → partial.
+    let mixed = client
+        .sweep(&[spec.clone(), small_spec(908)])
+        .expect("mixed sweep");
+    assert_eq!(mixed["served_from"].as_str(), Some("partial"));
+    let all_warm = client.sweep(std::slice::from_ref(&spec)).expect("warm sweep");
+    assert_eq!(all_warm["served_from"].as_str(), Some("cache"));
+    let all_cold = client.sweep(&[small_spec(909)]).expect("cold sweep");
+    assert_eq!(all_cold["served_from"].as_str(), Some("computed"));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn trace_op_and_debug_trace_serve_chrome_trace_json() {
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+        ..ServerOptions::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    // One cold simulate populates the flight recorder with a request
+    // root span plus executor child spans.
+    client.simulate(&small_spec(611)).expect("simulate");
+
+    let body = client.trace().expect("trace op");
+    assert!(body["spans"].as_u64().expect("spans") >= 1);
+    assert!(body["recorded"].as_u64().expect("recorded") >= 1);
+    let events = body["trace"]["traceEvents"].as_array().expect("traceEvents");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e["name"].as_str())
+        .collect();
+    assert!(
+        names.contains(&"request:simulate"),
+        "missing request root span in {names:?}"
+    );
+    assert!(
+        names.contains(&"cache-probe"),
+        "missing cache-probe span in {names:?}"
+    );
+
+    // The HTTP endpoint serves the same document shape.
+    let http = http_get(addr, "/debug/trace");
+    assert!(http.starts_with("HTTP/1.1 200 OK"), "{http}");
+    let doc_body = http.split("\r\n\r\n").nth(1).expect("trace body");
+    let doc: Value = serde_json::from_str(doc_body).expect("Chrome trace JSON parses");
+    assert_eq!(doc["displayTimeUnit"].as_str(), Some("ms"));
+    assert!(!doc["traceEvents"].as_array().expect("array").is_empty());
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn healthz_reports_per_op_counters_and_slow_requests() {
+    let (addr, handle) = start(ServerOptions {
+        threads: Some(1),
+        cache: None,
+        // Threshold 0: every request counts as slow, so the counter
+        // and the log line provably fire.
+        slow_ms: Some(0),
+        slow_log: Some(std::env::temp_dir().join(format!(
+            "sos-serve-test-slowlog-{}.jsonl",
+            std::process::id()
+        ))),
+        ..ServerOptions::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    client.simulate(&small_spec(713)).expect("simulate");
+
+    let health = http_get(addr, "/healthz");
+    let body = health.split("\r\n\r\n").nth(1).expect("health body");
+    let doc: Value = serde_json::from_str(body).expect("health JSON parses");
+    // Counters are process-global (shared with concurrent tests), so
+    // assert presence and monotone floors only.
+    for op in ["ping", "analyze", "simulate", "sweep", "profile", "shutdown", "trace"] {
+        assert!(
+            doc["requests_by_op"][op].as_u64().is_some(),
+            "missing per-op counter {op}: {doc:?}"
+        );
+    }
+    assert!(doc["requests_by_op"]["ping"].as_u64().expect("ping count") >= 1);
+    assert!(doc["requests_by_op"]["simulate"].as_u64().expect("simulate count") >= 1);
+    assert!(doc["slow_requests_total"].as_u64().expect("slow total") >= 2);
+
+    // The slow log got structured JSONL lines for both requests.
+    let log_path = std::env::temp_dir().join(format!(
+        "sos-serve-test-slowlog-{}.jsonl",
+        std::process::id()
+    ));
+    let log = std::fs::read_to_string(&log_path).expect("slow log exists");
+    let slow_lines: Vec<&str> = log
+        .lines()
+        .filter(|l| l.contains("\"slow_request\""))
+        .collect();
+    assert!(slow_lines.len() >= 2, "expected slow lines, got:\n{log}");
+    for line in slow_lines {
+        let parsed: Value = serde_json::from_str(line).expect("slow line parses");
+        assert!(parsed["slow_request"]["request_id"].as_u64().is_some());
+        assert!(parsed["slow_request"]["timing"]["total_ns"].as_u64().is_some());
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+    let _ = std::fs::remove_file(&log_path);
 }
 
 /// Sends one raw frame and reads the error response's code.
